@@ -1,0 +1,46 @@
+// Figure 3: mAP of the victim video retrieval systems — four feature
+// extractors × three training losses × two datasets.
+//
+// Paper shape to reproduce: trained systems achieve usable mAP on both
+// datasets; the best extractor/loss combination depends on the dataset
+// (SlowFast strongest on UCF101; ArcFace tends to help on HMDB51).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace duo;
+
+int main() {
+  const bench::BenchParams params = bench::default_params();
+  std::cout << "Fig. 3 — victim mAP (scale: "
+            << bench::scale_name(params.scale) << ")\n\n";
+
+  for (const auto& spec : {params.ucf, params.hmdb}) {
+    TableWriter table("Fig. 3 — mAP (%) of victim systems on " + spec.name);
+    table.set_header({"Extractor", "ArcFaceLoss", "LiftedLoss", "AngularLoss"});
+
+    std::uint64_t seed = 1000;
+    for (const auto victim_kind : models::victim_model_kinds()) {
+      std::vector<TableWriter::Cell> row;
+      row.emplace_back(std::string(models::model_kind_name(victim_kind)));
+      for (const auto loss_kind :
+           {nn::VictimLossKind::kArcFace, nn::VictimLossKind::kLifted,
+            nn::VictimLossKind::kAngular}) {
+        bench::VictimWorld world =
+            bench::make_victim(spec, victim_kind, loss_kind, params, ++seed);
+        const double map =
+            retrieval::evaluate_map(*world.system, world.dataset.test,
+                                    params.m) *
+            100.0;
+        row.emplace_back(map);
+      }
+      table.add_row(std::move(row));
+    }
+    bench::emit(table, "fig3_" + spec.name + ".csv");
+  }
+  bench::print_paper_note(
+      "Fig. 3: UCF101 mAP ≈ 40–60% with SlowFast best; HMDB51 favors "
+      "ArcFaceLoss; loss choice matters more on the smaller dataset.");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 4: mAP of the surrogate model as a function of (a) the number of
+// query-harvested training samples and (b) the output feature size.
+//
+// Paper shape to reproduce: mAP grows substantially with the harvest size
+// (19.91% → 50.92% on UCF101 from 165 → 3,616 samples) while the output
+// feature size has little impact.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "retrieval/trainer.hpp"
+
+using namespace duo;
+
+int main() {
+  const bench::BenchParams params = bench::default_params();
+  std::cout << "Fig. 4 — surrogate mAP (scale: "
+            << bench::scale_name(params.scale) << ")\n\n";
+
+  // Paper harvest sizes on UCF101: {165, 1111, 3616, 8421} training samples.
+  // Mapped onto miniature triplet budgets with the same growth profile.
+  const std::size_t triplet_targets[] = {60, 160, 320, 520};
+  const char* paper_sizes[] = {"165", "1,111", "3,616", "8,421"};
+
+  for (const auto& spec : {params.ucf, params.hmdb}) {
+    bench::VictimWorld world = bench::make_victim(
+        spec, models::ModelKind::kI3D, nn::VictimLossKind::kArcFace, params,
+        4242);
+
+    TableWriter by_size("Fig. 4a — surrogate mAP (%) vs harvest size on " +
+                        spec.name);
+    by_size.set_header({"paper #samples", "harvested videos", "triplets",
+                        "mAP (%)"});
+    for (int i = 0; i < 4; ++i) {
+      bench::SurrogateWorld sw = bench::make_surrogate(
+          world, models::ModelKind::kC3D, triplet_targets[i],
+          params.feature_dim, params, 5000 + static_cast<std::uint64_t>(i));
+
+      // Index the gallery with surrogate features and evaluate mAP.
+      retrieval::RetrievalSystem system(std::move(sw.model), 1);
+      system.add_all(world.dataset.train);
+      const double map =
+          retrieval::evaluate_map(system, world.dataset.test, params.m) * 100.0;
+      by_size.add_row({std::string(paper_sizes[i]),
+                       static_cast<long long>(sw.harvested.video_ids.size()),
+                       static_cast<long long>(sw.harvested.triplets.size()),
+                       map});
+    }
+    bench::emit(by_size, "fig4a_" + spec.name + ".csv");
+
+    TableWriter by_dim("Fig. 4b — surrogate mAP (%) vs feature size on " +
+                       spec.name);
+    by_dim.set_header({"paper feature size", "ours", "mAP (%)"});
+    const std::int64_t paper_dims[] = {256, 512, 768, 1024};
+    for (int i = 0; i < 4; ++i) {
+      // Scale the paper's dimensions onto the miniature feature head.
+      const std::int64_t dim = params.feature_dim * (i + 1) / 2 + 4;
+      bench::SurrogateWorld sw = bench::make_surrogate(
+          world, models::ModelKind::kC3D, bench::kDefaultSurrogateTriplets, dim,
+          params, 6000 + static_cast<std::uint64_t>(i));
+      retrieval::RetrievalSystem system(std::move(sw.model), 1);
+      system.add_all(world.dataset.train);
+      const double map =
+          retrieval::evaluate_map(system, world.dataset.test, params.m) * 100.0;
+      by_dim.add_row({static_cast<long long>(paper_dims[i]),
+                      static_cast<long long>(dim), map});
+    }
+    bench::emit(by_dim, "fig4b_" + spec.name + ".csv");
+  }
+
+  bench::print_paper_note(
+      "Fig. 4: surrogate mAP rises with harvest size (19.91% → 50.92% on "
+      "UCF101); output feature size has little impact.");
+  return 0;
+}

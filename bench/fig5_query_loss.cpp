@@ -1,0 +1,99 @@
+// Figure 5: the ranking loss T (Eq. 2) versus the number of queries in
+// SparseQuery, for DUO-C3D, DUO-Res18, Vanilla, and HEU-Nes.
+//
+// Shape to reproduce: T decreases with queries for all query-based attacks
+// (the queries genuinely rectify the perturbation), and DUO's curves sit
+// below Vanilla's — the sparse prior gives a better starting point and a
+// better-directed search.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace duo;
+
+int main() {
+  const bench::BenchParams params = bench::default_params();
+  std::cout << "Fig. 5 — T vs #queries (scale: "
+            << bench::scale_name(params.scale) << ")\n\n";
+
+  for (const auto& spec : {params.ucf, params.hmdb}) {
+    bench::VictimWorld world = bench::make_victim(
+        spec, models::ModelKind::kTPN, nn::VictimLossKind::kArcFace, params,
+        13100);
+    bench::SurrogateWorld c3d = bench::make_surrogate(
+        world, models::ModelKind::kC3D, bench::kDefaultSurrogateTriplets,
+        params.feature_dim, params, 13200);
+    bench::SurrogateWorld res18 = bench::make_surrogate(
+        world, models::ModelKind::kResNet18, bench::kDefaultSurrogateTriplets,
+        params.feature_dim, params, 13300);
+
+    const auto pairs =
+        attack::sample_attack_pairs(world.dataset.train, 1, 13400);
+
+    // Assemble the compared attacks with one SparseQuery phase each so the
+    // x-axes align.
+    attack::DuoConfig duo_cfg = bench::make_duo_config(params, spec.geometry);
+    duo_cfg.iter_numH = 1;
+    attack::DuoAttack duo_c3d(*c3d.model, duo_cfg);
+    attack::DuoAttack duo_res(*res18.model, duo_cfg);
+
+    baselines::VanillaConfig vcfg;
+    vcfg.k = duo_cfg.transfer.k;
+    vcfg.n = duo_cfg.transfer.n;
+    vcfg.query.iter_numQ = params.iter_num_q;
+    vcfg.query.m = params.m;
+    baselines::VanillaAttack vanilla(vcfg);
+
+    baselines::HeuConfig hcfg;
+    hcfg.k = duo_cfg.transfer.k;
+    hcfg.n = duo_cfg.transfer.n;
+    hcfg.m = params.m;
+    hcfg.nes_population = 4;
+    hcfg.nes_iterations = std::max(2, params.iter_num_q / 8);
+    baselines::HeuAttack heu(baselines::HeuStrategy::kNatureEstimated, hcfg);
+
+    std::vector<attack::Attack*> attacks{&duo_c3d, &duo_res, &vanilla, &heu};
+    std::vector<std::vector<double>> histories;
+    for (auto* atk : attacks) {
+      retrieval::BlackBoxHandle handle(*world.system);
+      const auto outcome = atk->run(pairs[0].v, pairs[0].v_t, handle);
+      histories.push_back(outcome.t_history);
+    }
+
+    // Print a downsampled table: one row per ~5% of the longest history.
+    std::size_t longest = 0;
+    for (const auto& h : histories) longest = std::max(longest, h.size());
+    TableWriter table("Fig. 5 — ranking loss T vs query iteration on " +
+                      spec.name);
+    table.set_header({"iteration", "DUO-C3D", "DUO-Res18", "Vanilla",
+                      "HEU-Nes"});
+    table.set_precision(4);
+    const std::size_t stride = std::max<std::size_t>(1, longest / 20);
+    for (std::size_t i = 0; i < longest; i += stride) {
+      std::vector<TableWriter::Cell> row;
+      row.emplace_back(static_cast<long long>(i));
+      for (const auto& h : histories) {
+        const std::size_t j = std::min(i, h.size() - 1);
+        row.emplace_back(h[j]);
+      }
+      table.add_row(std::move(row));
+    }
+    bench::emit(table, "fig5_" + spec.name + ".csv");
+
+    // Sanity summary: final T per attack.
+    std::cout << "final T:";
+    const char* names[] = {"DUO-C3D", "DUO-Res18", "Vanilla", "HEU-Nes"};
+    for (std::size_t a = 0; a < histories.size(); ++a) {
+      std::cout << "  " << names[a] << "=" << histories[a].back();
+    }
+    std::cout << "\n\n";
+  }
+
+  bench::print_paper_note(
+      "Fig. 5: T decreases monotonically with queries for every attack; "
+      "DUO's T ends below Vanilla's, which matches DUO's higher AP@m in "
+      "Table II.");
+  return 0;
+}

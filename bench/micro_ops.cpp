@@ -1,0 +1,143 @@
+// Microbenchmarks (google-benchmark) for the hot paths underneath the
+// experiment harnesses: tensor algebra, convolution, model forward/backward,
+// retrieval queries, the ranking-similarity metric, and the two pixel
+// selectors (ADMM vs plain top-k — the DESIGN.md §5 ablation).
+
+#include <benchmark/benchmark.h>
+
+#include "attack/lp_box_admm.hpp"
+#include "metrics/metrics.hpp"
+#include "models/feature_extractor.hpp"
+#include "retrieval/index.hpp"
+#include "video/synthetic.hpp"
+
+namespace {
+
+using namespace duo;
+
+void BM_TensorAxpy(benchmark::State& state) {
+  Rng rng(1);
+  Tensor a = Tensor::uniform({state.range(0)}, -1.0f, 1.0f, rng);
+  const Tensor b = Tensor::uniform({state.range(0)}, -1.0f, 1.0f, rng);
+  for (auto _ : state) {
+    a.axpy(0.5f, b);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TensorAxpy)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_TensorMatmul(benchmark::State& state) {
+  Rng rng(2);
+  const std::int64_t n = state.range(0);
+  const Tensor a = Tensor::uniform({n, n}, -1.0f, 1.0f, rng);
+  const Tensor b = Tensor::uniform({n, n}, -1.0f, 1.0f, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.matmul(b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_TensorMatmul)->Arg(32)->Arg(64);
+
+void BM_ModelExtract(benchmark::State& state) {
+  const video::VideoGeometry g{8, 16, 16, 3};
+  Rng rng(3);
+  auto model = models::make_extractor(
+      static_cast<models::ModelKind>(state.range(0)), g, 16, rng);
+  model->set_training(false);
+  auto spec = video::DatasetSpec::hmdb51_like(3);
+  spec.geometry = g;
+  const video::Video v = video::SyntheticGenerator(spec).make_video(0, 0, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->extract(v));
+  }
+}
+BENCHMARK(BM_ModelExtract)
+    ->Arg(static_cast<int>(models::ModelKind::kC3D))
+    ->Arg(static_cast<int>(models::ModelKind::kI3D))
+    ->Arg(static_cast<int>(models::ModelKind::kTPN))
+    ->Arg(static_cast<int>(models::ModelKind::kSlowFast))
+    ->Arg(static_cast<int>(models::ModelKind::kResNet34));
+
+void BM_ModelBackwardToInput(benchmark::State& state) {
+  const video::VideoGeometry g{8, 16, 16, 3};
+  Rng rng(4);
+  auto model = models::make_extractor(models::ModelKind::kC3D, g, 16, rng);
+  model->set_training(false);
+  auto spec = video::DatasetSpec::hmdb51_like(4);
+  spec.geometry = g;
+  const video::Video v = video::SyntheticGenerator(spec).make_video(0, 0, 8);
+  const Tensor grad = Tensor::ones({16});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->extract(v));
+    benchmark::DoNotOptimize(model->backward_to_input(grad));
+  }
+}
+BENCHMARK(BM_ModelBackwardToInput);
+
+void BM_RetrievalQuery(benchmark::State& state) {
+  const std::int64_t dim = 32;
+  retrieval::RetrievalIndex index(dim, static_cast<std::size_t>(state.range(0)));
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    retrieval::GalleryEntry e;
+    e.id = i;
+    e.label = i % 50;
+    e.feature = Tensor::uniform({dim}, -1.0f, 1.0f, rng);
+    index.add(e);
+  }
+  const Tensor q = Tensor::uniform({dim}, -1.0f, 1.0f, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.query(q, 10));
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_RetrievalQuery)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_NdcgSimilarity(benchmark::State& state) {
+  metrics::RetrievalList a, b;
+  for (int i = 0; i < state.range(0); ++i) {
+    a.push_back(i);
+    b.push_back(state.range(0) - i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metrics::ndcg_similarity(a, b));
+  }
+}
+BENCHMARK(BM_NdcgSimilarity)->Arg(10)->Arg(100);
+
+void BM_PixelSelect_Admm(benchmark::State& state) {
+  Rng rng(6);
+  const Tensor scores =
+      Tensor::uniform({state.range(0)}, -1.0f, 1.0f, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        attack::lp_box_admm_select(scores, state.range(0) / 16,
+                                   attack::LpBoxAdmmConfig{}));
+  }
+}
+BENCHMARK(BM_PixelSelect_Admm)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_PixelSelect_Topk(benchmark::State& state) {
+  Rng rng(7);
+  const Tensor scores =
+      Tensor::uniform({state.range(0)}, -1.0f, 1.0f, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attack::topk_select(scores, state.range(0) / 16));
+  }
+}
+BENCHMARK(BM_PixelSelect_Topk)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_SyntheticVideo(benchmark::State& state) {
+  auto spec = video::DatasetSpec::ucf101_like();
+  video::SyntheticGenerator gen(spec);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.make_video(0, 0, ++seed));
+  }
+}
+BENCHMARK(BM_SyntheticVideo);
+
+}  // namespace
+
+BENCHMARK_MAIN();

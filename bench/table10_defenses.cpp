@@ -1,0 +1,72 @@
+// Table X: detection rate (%) of the two defenses — feature squeezing and
+// Noise2Self — against AEs from every attack (I3D victim, both datasets).
+//
+// Shapes to reproduce: dense/impulsive attacks (Vanilla) are caught most by
+// feature squeezing; DUO's sparse low-magnitude perturbations achieve among
+// the lowest detection rates, confirming the stealthiness claim.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "defense/defense.hpp"
+
+using namespace duo;
+
+int main() {
+  const bench::BenchParams params = bench::default_params();
+  std::cout << "Table X — defense detection rates (scale: "
+            << bench::scale_name(params.scale) << ")\n\n";
+
+  for (const auto& spec : {params.ucf, params.hmdb}) {
+    bench::VictimWorld world = bench::make_victim(
+        spec, models::ModelKind::kI3D, nn::VictimLossKind::kArcFace, params,
+        17100);
+    bench::SurrogateWorld c3d = bench::make_surrogate(
+        world, models::ModelKind::kC3D, bench::kDefaultSurrogateTriplets,
+        params.feature_dim, params, 17200);
+    bench::SurrogateWorld res18 = bench::make_surrogate(
+        world, models::ModelKind::kResNet18, bench::kDefaultSurrogateTriplets,
+        params.feature_dim, params, 17300);
+
+    const auto pairs = attack::sample_attack_pairs(world.dataset.train,
+                                                   params.pairs, 17400);
+
+    // Calibrate both detectors on clean training videos.
+    defense::Detector fs(*world.system,
+                         std::make_unique<defense::FeatureSqueezing>(
+                             defense::FeatureSqueezingConfig{}),
+                         params.m);
+    defense::Detector n2s(*world.system,
+                          std::make_unique<defense::Noise2Self>(
+                              defense::Noise2SelfConfig{}),
+                          params.m);
+    std::vector<video::Video> calibration(
+        world.dataset.train.begin(),
+        world.dataset.train.begin() +
+            std::min<std::size_t>(10, world.dataset.train.size()));
+    fs.calibrate(calibration);
+    n2s.calibrate(calibration);
+
+    TableWriter table("Table X — detection rate (%) on " + spec.name);
+    table.set_header({"Attack", "feature squeezing", "Noise2Self"});
+
+    auto attacks = bench::make_attack_suite(*c3d.model, *res18.model, params,
+                                            spec.geometry);
+    for (auto& atk : attacks) {
+      std::vector<video::Video> adversarials;
+      for (const auto& pair : pairs) {
+        retrieval::BlackBoxHandle handle(*world.system);
+        adversarials.push_back(atk->run(pair.v, pair.v_t, handle).adversarial);
+      }
+      table.add_row({atk->name(), fs.detection_rate(adversarials),
+                     n2s.detection_rate(adversarials)});
+    }
+    bench::emit(table, "table10_" + spec.name + ".csv");
+  }
+
+  bench::print_paper_note(
+      "Table X: Vanilla is caught most by feature squeezing (82.68% on "
+      "UCF101); DUO-C3D achieves the lowest rate there (8.25%); Noise2Self "
+      "rates are mid-range for all sparse attacks.");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Table III: DUO attack performance vs the size of the surrogate dataset.
+//
+// Shape to reproduce: enlarging the harvest barely changes AP@m or Spa —
+// DUO works with a handful of samples (the paper fixes 1,111 thereafter).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace duo;
+
+int main() {
+  const bench::BenchParams params = bench::default_params();
+  std::cout << "Table III — surrogate dataset size (scale: "
+            << bench::scale_name(params.scale) << ")\n\n";
+
+  const std::size_t triplet_targets[] = {60, 160, 320, 520};
+  const char* paper_sizes[] = {"165", "1,111", "3,616", "8,421"};
+
+  for (const auto& spec : {params.ucf, params.hmdb}) {
+    bench::VictimWorld world = bench::make_victim(
+        spec, models::ModelKind::kI3D, nn::VictimLossKind::kArcFace, params,
+        9100);
+    const auto pairs =
+        attack::sample_attack_pairs(world.dataset.train, params.pairs, 9200);
+
+    for (const auto surrogate_kind :
+         {models::ModelKind::kC3D, models::ModelKind::kResNet18}) {
+      TableWriter table(std::string("Table III — DUO-") +
+                        models::model_kind_name(surrogate_kind) + " on " +
+                        spec.name);
+      table.set_header(
+          {"paper #samples", "harvested", "AP@m (%)", "Spa", "PScore"});
+      for (int i = 0; i < 4; ++i) {
+        bench::SurrogateWorld sw = bench::make_surrogate(
+            world, surrogate_kind, triplet_targets[i],
+            params.feature_dim, params, 9300 + static_cast<std::uint64_t>(i));
+
+        attack::DuoAttack duo(*sw.model,
+                              bench::make_duo_config(params, spec.geometry));
+        const auto eval =
+            attack::evaluate_attack(duo, *world.system, pairs, params.m);
+        table.add_row({std::string(paper_sizes[i]),
+                       static_cast<long long>(sw.harvested.video_ids.size()),
+                       eval.mean_ap_m_after_pct,
+                       static_cast<long long>(eval.mean_spa),
+                       eval.mean_pscore});
+      }
+      bench::emit(table, std::string("table3_") + spec.name + "_" +
+                             models::model_kind_name(surrogate_kind) + ".csv");
+    }
+  }
+
+  bench::print_paper_note(
+      "Table III: DUO-C3D on UCF101 — AP@m 58.08→55.19 and Spa 2,903→2,184 "
+      "as samples grow 165→8,421: more data does not materially help.");
+  return 0;
+}

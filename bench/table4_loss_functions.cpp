@@ -1,0 +1,56 @@
+// Table IV: DUO attack performance against victims trained with different
+// metric losses (ArcFace / Lifted / Angular).
+//
+// Shape to reproduce: ArcFaceLoss is the most robust victim loss (lowest
+// AP@m); Lifted and Angular leave the victim easier to steer.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace duo;
+
+int main() {
+  const bench::BenchParams params = bench::default_params();
+  std::cout << "Table IV — victim loss functions (scale: "
+            << bench::scale_name(params.scale) << ")\n\n";
+
+  for (const auto& spec : {params.ucf, params.hmdb}) {
+    for (const auto surrogate_kind :
+         {models::ModelKind::kC3D, models::ModelKind::kResNet18}) {
+      TableWriter table(std::string("Table IV — DUO-") +
+                        models::model_kind_name(surrogate_kind) + " on " +
+                        spec.name);
+      table.set_header({"Victim loss", "AP@m (%)", "Spa", "PScore"});
+
+      std::uint64_t seed = 10100;
+      for (const auto loss_kind :
+           {nn::VictimLossKind::kArcFace, nn::VictimLossKind::kLifted,
+            nn::VictimLossKind::kAngular}) {
+        bench::VictimWorld world = bench::make_victim(
+            spec, models::ModelKind::kI3D, loss_kind, params, ++seed);
+        bench::SurrogateWorld sw = bench::make_surrogate(
+            world, surrogate_kind, bench::kDefaultSurrogateTriplets,
+            params.feature_dim, params, seed * 17);
+        const auto pairs = attack::sample_attack_pairs(world.dataset.train,
+                                                       params.pairs, seed * 23);
+
+        attack::DuoAttack duo(*sw.model,
+                              bench::make_duo_config(params, spec.geometry));
+        const auto eval =
+            attack::evaluate_attack(duo, *world.system, pairs, params.m);
+        table.add_row({std::string(nn::victim_loss_name(loss_kind)),
+                       eval.mean_ap_m_after_pct,
+                       static_cast<long long>(eval.mean_spa),
+                       eval.mean_pscore});
+      }
+      bench::emit(table, std::string("table4_") + spec.name + "_" +
+                             models::model_kind_name(surrogate_kind) + ".csv");
+    }
+  }
+
+  bench::print_paper_note(
+      "Table IV: UCF101/DUO-C3D — ArcFace 56.40 (Spa 2,800) vs Lifted 67.87 "
+      "(Spa 1,620) vs Angular 63.88: ArcFace is the most robust victim loss.");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Table VII: DUO performance as the per-pixel budget τ sweeps
+// {15, 30, 40, 50}.
+//
+// Shapes to reproduce: AP@m grows with τ (larger steps steer features
+// further); Spa moves little (τ changes magnitudes, not the number of
+// selected pixels); PScore grows roughly linearly in τ.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace duo;
+
+int main() {
+  const bench::BenchParams params = bench::default_params();
+  std::cout << "Table VII — tau sweep (scale: "
+            << bench::scale_name(params.scale) << ")\n\n";
+
+  for (const auto& spec : {params.ucf, params.hmdb}) {
+    bench::VictimWorld world = bench::make_victim(
+        spec, models::ModelKind::kI3D, nn::VictimLossKind::kArcFace, params,
+        14100);
+    const auto pairs =
+        attack::sample_attack_pairs(world.dataset.train, params.pairs, 14200);
+
+    for (const auto surrogate_kind :
+         {models::ModelKind::kC3D, models::ModelKind::kResNet18}) {
+      bench::SurrogateWorld sw = bench::make_surrogate(
+          world, surrogate_kind, bench::kDefaultSurrogateTriplets,
+          params.feature_dim, params,
+          14300 + static_cast<std::uint64_t>(surrogate_kind));
+
+      TableWriter table(std::string("Table VII — DUO-") +
+                        models::model_kind_name(surrogate_kind) + " on " +
+                        spec.name);
+      table.set_header({"tau", "AP@m (%)", "Spa", "PScore"});
+      for (const float tau : {15.0f, 30.0f, 40.0f, 50.0f}) {
+        attack::DuoConfig cfg = bench::make_duo_config(params, spec.geometry);
+        cfg.transfer.tau = tau;
+        cfg.query.tau = tau;
+        attack::DuoAttack duo(*sw.model, cfg);
+        const auto eval =
+            attack::evaluate_attack(duo, *world.system, pairs, params.m);
+        table.add_row({static_cast<long long>(tau), eval.mean_ap_m_after_pct,
+                       static_cast<long long>(eval.mean_spa),
+                       eval.mean_pscore});
+      }
+      bench::emit(table, std::string("table7_") + spec.name + "_" +
+                             models::model_kind_name(surrogate_kind) + ".csv");
+    }
+  }
+
+  bench::print_paper_note(
+      "Table VII: DUO-C3D on UCF101 — AP@m 51.62→57.88 as τ 15→50; Spa "
+      "roughly flat (2,249→2,557); PScore 0.06→0.20 grows with τ.");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Table VIII: DUO performance as the outer loop count iter_numH sweeps
+// {1, 2, 3, 4}.
+//
+// Shapes to reproduce: AP@m improves with iter_numH (and saturates ~3);
+// Spa and PScore grow with iter_numH — each extra round adds perturbation.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace duo;
+
+int main() {
+  const bench::BenchParams params = bench::default_params();
+  std::cout << "Table VIII — iter_numH sweep (scale: "
+            << bench::scale_name(params.scale) << ")\n\n";
+
+  for (const auto& spec : {params.ucf, params.hmdb}) {
+    bench::VictimWorld world = bench::make_victim(
+        spec, models::ModelKind::kI3D, nn::VictimLossKind::kArcFace, params,
+        15100);
+    const auto pairs =
+        attack::sample_attack_pairs(world.dataset.train, params.pairs, 15200);
+
+    for (const auto surrogate_kind :
+         {models::ModelKind::kC3D, models::ModelKind::kResNet18}) {
+      bench::SurrogateWorld sw = bench::make_surrogate(
+          world, surrogate_kind, bench::kDefaultSurrogateTriplets,
+          params.feature_dim, params,
+          15300 + static_cast<std::uint64_t>(surrogate_kind));
+
+      TableWriter table(std::string("Table VIII — DUO-") +
+                        models::model_kind_name(surrogate_kind) + " on " +
+                        spec.name);
+      table.set_header(
+          {"iter_numH", "AP@m (%)", "Spa", "PScore", "queries"});
+      for (const int h : {1, 2, 3, 4}) {
+        attack::DuoConfig cfg = bench::make_duo_config(params, spec.geometry);
+        cfg.iter_numH = h;
+        attack::DuoAttack duo(*sw.model, cfg);
+        const auto eval =
+            attack::evaluate_attack(duo, *world.system, pairs, params.m);
+        table.add_row({static_cast<long long>(h), eval.mean_ap_m_after_pct,
+                       static_cast<long long>(eval.mean_spa),
+                       eval.mean_pscore,
+                       static_cast<long long>(eval.mean_queries)});
+      }
+      bench::emit(table, std::string("table8_") + spec.name + "_" +
+                             models::model_kind_name(surrogate_kind) + ".csv");
+    }
+  }
+
+  bench::print_paper_note(
+      "Table VIII: DUO-C3D on UCF101 — AP@m 53.04→56.94 as iter_numH 1→3 "
+      "(then flat); Spa 1,712→3,007 and PScore 0.08→0.15 keep growing.");
+  return 0;
+}

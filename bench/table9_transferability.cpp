@@ -1,0 +1,154 @@
+// Table IX: transferability of SparseTransfer-only AEs (no SparseQuery
+// fine-tuning) under ℓ2 and ℓ∞ constraints, evaluated on all four target
+// models, compared against TIMI.
+//
+// Shapes to reproduce: pure-transfer DUO AEs keep Spa ~100× below TIMI at
+// comparable-or-better AP@m on SlowFast; AP@m is lower than full DUO
+// (SparseQuery's fine-tuning accounts for the gap to Table II).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "attack/sparse_transfer.hpp"
+#include "metrics/metrics.hpp"
+
+using namespace duo;
+
+namespace {
+
+// Evaluate transfer-only AEs on a victim: generate φ per pair on the
+// surrogate and measure AP@m / Spa / PScore against the victim's lists.
+struct TransferEval {
+  double ap_m = 0.0;
+  double spa = 0.0;
+  double pscore = 0.0;
+};
+
+TransferEval evaluate_transfer(models::FeatureExtractor& surrogate,
+                               attack::NormKind norm,
+                               retrieval::RetrievalSystem& victim,
+                               const std::vector<attack::AttackPair>& pairs,
+                               const bench::BenchParams& params,
+                               const video::VideoGeometry& geometry) {
+  TransferEval out;
+  for (const auto& pair : pairs) {
+    attack::SparseTransferConfig cfg;
+    cfg.k = params.default_k(geometry);
+    cfg.n = params.default_n();
+    cfg.tau = params.tau;
+    cfg.norm = norm;
+    cfg.outer_iterations = params.scale == bench::Scale::kSmoke ? 2 : 4;
+    cfg.theta_steps = params.scale == bench::Scale::kSmoke ? 4 : 10;
+    const auto result =
+        attack::sparse_transfer(pair.v, pair.v_t, surrogate, cfg);
+    const video::Video adv = result.perturbation.apply_to(pair.v);
+    const Tensor phi = adv.data() - pair.v.data();
+
+    const auto list_adv = victim.retrieve(adv, params.m);
+    const auto list_vt = victim.retrieve(pair.v_t, params.m);
+    out.ap_m += metrics::ap_at_m(list_adv, list_vt) * 100.0;
+    out.spa += static_cast<double>(metrics::sparsity(phi));
+    out.pscore += metrics::pscore(phi);
+  }
+  const double n = static_cast<double>(pairs.size());
+  out.ap_m /= n;
+  out.spa /= n;
+  out.pscore /= n;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const bench::BenchParams params = bench::default_params();
+  std::cout << "Table IX — transferability (UCF101, scale: "
+            << bench::scale_name(params.scale) << ")\n\n";
+
+  const auto& spec = params.ucf;
+
+  // One victim per target model, all sharing the dataset; the surrogates are
+  // harvested from the TPN victim (the attacker steals one service, then
+  // transfers everywhere).
+  std::vector<std::unique_ptr<bench::VictimWorld>> victims;
+  for (const auto kind : models::victim_model_kinds()) {
+    victims.push_back(std::make_unique<bench::VictimWorld>(bench::make_victim(
+        spec, kind, nn::VictimLossKind::kArcFace, params,
+        16100 + static_cast<std::uint64_t>(kind))));
+  }
+  bench::VictimWorld& harvest_world = *victims.front();
+  bench::SurrogateWorld c3d = bench::make_surrogate(
+      harvest_world, models::ModelKind::kC3D,
+      bench::kDefaultSurrogateTriplets, params.feature_dim, params,
+      16200);
+  bench::SurrogateWorld res18 = bench::make_surrogate(
+      harvest_world, models::ModelKind::kResNet18,
+      bench::kDefaultSurrogateTriplets, params.feature_dim, params,
+      16300);
+
+  const auto pairs = attack::sample_attack_pairs(
+      harvest_world.dataset.train, params.pairs, 16400);
+
+  TableWriter table("Table IX — SparseTransfer-only AEs across targets (" +
+                    spec.name + ")");
+  std::vector<std::string> header{"Attack"};
+  for (const auto kind : models::victim_model_kinds()) {
+    const std::string name = models::model_kind_name(kind);
+    header.push_back(name + " AP@m");
+    header.push_back(name + " Spa");
+  }
+  table.set_header(header);
+
+  struct RowSpec {
+    std::string name;
+    models::FeatureExtractor* surrogate;
+    attack::NormKind norm;
+    bool timi;
+  };
+  std::vector<RowSpec> rows{
+      {"TIMI-C3D (n=16)", c3d.model.get(), attack::NormKind::kLinf, true},
+      {"TIMI-Res (n=16)", res18.model.get(), attack::NormKind::kLinf, true},
+      {"DUO-C3D (l2)", c3d.model.get(), attack::NormKind::kL2, false},
+      {"DUO-Res18 (l2)", res18.model.get(), attack::NormKind::kL2, false},
+      {"DUO-C3D (linf)", c3d.model.get(), attack::NormKind::kLinf, false},
+      {"DUO-Res18 (linf)", res18.model.get(), attack::NormKind::kLinf, false},
+  };
+
+  for (const auto& rs : rows) {
+    std::vector<TableWriter::Cell> row;
+    row.emplace_back(rs.name);
+    for (auto& world : victims) {
+      if (rs.timi) {
+        baselines::TimiConfig tcfg;
+        tcfg.iterations = params.scale == bench::Scale::kSmoke ? 3 : 10;
+        baselines::TimiAttack timi(*rs.surrogate, tcfg);
+        double ap = 0.0, spa = 0.0;
+        for (const auto& pair : pairs) {
+          retrieval::BlackBoxHandle handle(*world->system);
+          const auto outcome = timi.run(pair.v, pair.v_t, handle);
+          const auto list_adv =
+              world->system->retrieve(outcome.adversarial, params.m);
+          const auto list_vt = world->system->retrieve(pair.v_t, params.m);
+          ap += metrics::ap_at_m(list_adv, list_vt) * 100.0;
+          spa += static_cast<double>(metrics::sparsity(outcome.perturbation));
+        }
+        row.emplace_back(ap / static_cast<double>(pairs.size()));
+        row.emplace_back(
+            static_cast<long long>(spa / static_cast<double>(pairs.size())));
+      } else {
+        const TransferEval eval = evaluate_transfer(
+            *rs.surrogate, rs.norm, *world->system, pairs, params,
+            spec.geometry);
+        row.emplace_back(eval.ap_m);
+        row.emplace_back(static_cast<long long>(eval.spa));
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  bench::emit(table, "table9_UCF101.csv");
+
+  bench::print_paper_note(
+      "Table IX: DUO-C3D(l2) beats TIMI-C3D on SlowFast (44.94 vs 40.16) at "
+      "Spa 2,135 vs 588,726; transfer-only AP@m sits below full-DUO Table II "
+      "numbers (SparseQuery closes the gap).");
+  return 0;
+}

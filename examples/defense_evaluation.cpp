@@ -1,0 +1,104 @@
+// Defense-deployment scenario (paper §V-D): a retrieval operator deploys
+// feature squeezing and Noise2Self in front of the service, calibrates on
+// clean traffic, and measures what each defense catches — a dense TIMI
+// upload, a random-sparse Vanilla upload, and a DUO upload.
+//
+// Build & run:  ./build/examples/defense_evaluation
+
+#include <cstdio>
+#include <vector>
+
+#include "attack/duo.hpp"
+#include "attack/evaluation.hpp"
+#include "attack/surrogate.hpp"
+#include "baselines/timi.hpp"
+#include "baselines/vanilla.hpp"
+#include "defense/defense.hpp"
+#include "models/feature_extractor.hpp"
+#include "nn/losses.hpp"
+#include "retrieval/system.hpp"
+#include "retrieval/trainer.hpp"
+#include "video/synthetic.hpp"
+
+using namespace duo;
+
+int main() {
+  auto spec = video::DatasetSpec::ucf101_like();
+  spec.num_classes = 10;
+  spec.train_per_class = 6;
+  spec.geometry = {8, 16, 16, 3};
+  const video::Dataset dataset = video::SyntheticGenerator(spec).generate();
+
+  Rng rng(31);
+  auto extractor =
+      models::make_extractor(models::ModelKind::kI3D, spec.geometry, 16, rng);
+  nn::ArcFaceLoss loss(16, spec.num_classes, rng);
+  retrieval::TrainerConfig tcfg;
+  tcfg.epochs = 4;
+  retrieval::train_extractor(*extractor, loss, dataset.train, tcfg);
+  retrieval::RetrievalSystem service(std::move(extractor), 4);
+  service.add_all(dataset.train);
+
+  // Deploy both defenses, calibrated on clean traffic.
+  defense::Detector squeeze(
+      service,
+      std::make_unique<defense::FeatureSqueezing>(
+          defense::FeatureSqueezingConfig{}),
+      10);
+  defense::Detector denoise(
+      service, std::make_unique<defense::Noise2Self>(defense::Noise2SelfConfig{}),
+      10);
+  const std::vector<video::Video> clean(dataset.train.begin(),
+                                        dataset.train.begin() + 12);
+  squeeze.calibrate(clean);
+  denoise.calibrate(clean);
+  std::printf("detectors calibrated: squeeze threshold %.4f, noise2self %.4f\n\n",
+              squeeze.threshold(), denoise.threshold());
+
+  // Attacker setup shared by all three attacks.
+  attack::VideoStore store(dataset.train);
+  retrieval::BlackBoxHandle harvest_handle(service);
+  attack::SurrogateHarvestConfig hcfg;
+  hcfg.target_video_count = 20;
+  const auto harvested = attack::harvest_surrogate_dataset(
+      harvest_handle, store, {dataset.train[3].id()}, hcfg);
+  auto surrogate =
+      models::make_extractor(models::ModelKind::kC3D, spec.geometry, 16, rng);
+  attack::train_surrogate(*surrogate, harvested, store,
+                          attack::SurrogateTrainConfig{});
+
+  const auto pairs = attack::sample_attack_pairs(dataset.train, 3, 55);
+
+  baselines::TimiConfig timi_cfg;
+  baselines::TimiAttack timi(*surrogate, timi_cfg);
+
+  baselines::VanillaConfig van_cfg;
+  van_cfg.k = 400;
+  van_cfg.n = 3;
+  van_cfg.query.iter_numQ = 100;
+  baselines::VanillaAttack vanilla(van_cfg);
+
+  attack::DuoConfig duo_cfg;
+  duo_cfg.transfer.k = 400;
+  duo_cfg.transfer.n = 3;
+  duo_cfg.query.iter_numQ = 100;
+  duo_cfg.iter_numH = 2;
+  attack::DuoAttack duo(*surrogate, duo_cfg);
+
+  std::printf("%-10s %-22s %-22s\n", "attack", "feature squeezing",
+              "Noise2Self");
+  for (attack::Attack* atk :
+       std::vector<attack::Attack*>{&timi, &vanilla, &duo}) {
+    std::vector<video::Video> uploads;
+    for (const auto& pair : pairs) {
+      retrieval::BlackBoxHandle handle(service);
+      uploads.push_back(atk->run(pair.v, pair.v_t, handle).adversarial);
+    }
+    std::printf("%-10s %-22.1f %-22.1f\n", atk->name().c_str(),
+                squeeze.detection_rate(uploads),
+                denoise.detection_rate(uploads));
+  }
+  std::printf("\nexpected shape: the sparse, low-magnitude DUO uploads should "
+              "be the hardest to flag (Table X).\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Quickstart: the full DUO story on one (v, v_t) pair.
+//
+//   1. Build a synthetic video world and train a victim retrieval service.
+//   2. Steal a surrogate model through black-box queries.
+//   3. Run DUO (SparseTransfer + SparseQuery) to craft v_adv.
+//   4. Show the retrieval lists before/after and the stealthiness metrics.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+#include <iostream>
+
+#include "attack/duo.hpp"
+#include "attack/evaluation.hpp"
+#include "attack/surrogate.hpp"
+#include "metrics/metrics.hpp"
+#include "models/feature_extractor.hpp"
+#include "nn/losses.hpp"
+#include "retrieval/system.hpp"
+#include "retrieval/trainer.hpp"
+#include "video/synthetic.hpp"
+
+using namespace duo;
+
+namespace {
+
+void print_list(const char* tag, const metrics::RetrievalList& list,
+                const retrieval::RetrievalSystem& system) {
+  std::printf("%-22s [", tag);
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    std::printf("%s%lld(c%d)", i ? ", " : "", static_cast<long long>(list[i]),
+                system.label_of(list[i]));
+  }
+  std::printf("]\n");
+}
+
+}  // namespace
+
+int main() {
+  // --- 1. A miniature video world + trained victim -------------------------
+  auto spec = video::DatasetSpec::ucf101_like();
+  spec.num_classes = 10;
+  spec.train_per_class = 6;
+  spec.test_per_class = 2;
+  spec.geometry = {8, 16, 16, 3};
+  const video::Dataset dataset = video::SyntheticGenerator(spec).generate();
+  std::printf("dataset: %zu train / %zu test videos, %d classes\n",
+              dataset.train.size(), dataset.test.size(), spec.num_classes);
+
+  Rng rng(7);
+  auto extractor =
+      models::make_extractor(models::ModelKind::kTPN, spec.geometry, 16, rng);
+  nn::ArcFaceLoss loss(16, spec.num_classes, rng);
+  retrieval::TrainerConfig tcfg;
+  tcfg.epochs = 4;
+  retrieval::train_extractor(*extractor, loss, dataset.train, tcfg);
+
+  retrieval::RetrievalSystem victim(std::move(extractor), /*num_nodes=*/4);
+  victim.add_all(dataset.train);
+  std::printf("victim mAP@10: %.2f%%\n\n",
+              retrieval::evaluate_map(victim, dataset.test, 10) * 100.0);
+
+  // --- 2. Steal a surrogate through the black-box API ----------------------
+  attack::VideoStore store(dataset.train);
+  retrieval::BlackBoxHandle handle(victim);
+  attack::SurrogateHarvestConfig hcfg;
+  hcfg.target_video_count = 20;
+  const auto harvested = attack::harvest_surrogate_dataset(
+      handle, store, {dataset.train[0].id()}, hcfg);
+  std::printf("harvested %zu videos / %zu ranking triplets with %lld queries\n",
+              harvested.video_ids.size(), harvested.triplets.size(),
+              static_cast<long long>(harvested.queries_spent));
+
+  auto surrogate =
+      models::make_extractor(models::ModelKind::kC3D, spec.geometry, 16, rng);
+  attack::train_surrogate(*surrogate, harvested, store,
+                          attack::SurrogateTrainConfig{});
+
+  // --- 3. Attack one pair ---------------------------------------------------
+  const auto pairs = attack::sample_attack_pairs(dataset.train, 1, 99);
+  const video::Video& v = pairs[0].v;
+  const video::Video& v_t = pairs[0].v_t;
+  std::printf("\noriginal video id=%lld class=%d; target id=%lld class=%d\n",
+              static_cast<long long>(v.id()), v.label(),
+              static_cast<long long>(v_t.id()), v_t.label());
+
+  attack::DuoConfig cfg;
+  cfg.transfer.k = 400;
+  cfg.transfer.n = 3;
+  cfg.transfer.tau = 30.0f;
+  cfg.query.iter_numQ = 120;
+  cfg.iter_numH = 2;
+  attack::DuoAttack duo(*surrogate, cfg);
+
+  retrieval::BlackBoxHandle attack_handle(victim);
+  const auto outcome = duo.run(v, v_t, attack_handle);
+
+  // --- 4. Results ------------------------------------------------------------
+  const auto list_v = victim.retrieve(v, 10);
+  const auto list_vt = victim.retrieve(v_t, 10);
+  const auto list_adv = victim.retrieve(outcome.adversarial, 10);
+  std::printf("\n");
+  print_list("R(v):", list_v, victim);
+  print_list("R(v_t):", list_vt, victim);
+  print_list("R(v_adv):", list_adv, victim);
+
+  std::printf("\nAP@m(R(v),    R(v_t)) = %.2f%%   (w/o attack)\n",
+              metrics::ap_at_m(list_v, list_vt) * 100.0);
+  std::printf("AP@m(R(v_adv),R(v_t)) = %.2f%%   (after DUO)\n",
+              metrics::ap_at_m(list_adv, list_vt) * 100.0);
+  std::printf("Spa  = %lld of %lld elements (%.3f%%)\n",
+              static_cast<long long>(metrics::sparsity(outcome.perturbation)),
+              static_cast<long long>(spec.geometry.total_elements()),
+              100.0 * metrics::sparsity(outcome.perturbation) /
+                  static_cast<double>(spec.geometry.total_elements()));
+  std::printf("PScore = %.4f, ‖φ‖∞ = %.1f, queries spent = %lld\n",
+              metrics::pscore(outcome.perturbation),
+              outcome.perturbation.norm_linf(),
+              static_cast<long long>(outcome.queries));
+  std::printf("perturbed frames: %lld of %lld\n",
+              static_cast<long long>(metrics::perturbed_frames(
+                  outcome.perturbation, spec.geometry.elements_per_frame())),
+              static_cast<long long>(spec.geometry.frames));
+  return 0;
+}

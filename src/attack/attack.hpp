@@ -1,0 +1,37 @@
+#pragma once
+
+// Common interface for all attacks (DUO and the baselines of §V-B), so the
+// bench harnesses evaluate every attack identically.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "retrieval/system.hpp"
+#include "video/video.hpp"
+
+namespace duo::attack {
+
+struct AttackOutcome {
+  video::Video adversarial;        // what the attacker uploads (quantized)
+  Tensor perturbation;             // v_adv − v in pixel space
+  std::vector<double> t_history;   // ranking loss per query iteration
+  std::int64_t queries = 0;        // black-box queries spent
+};
+
+class Attack {
+ public:
+  virtual ~Attack() = default;
+
+  Attack() = default;
+  Attack(const Attack&) = delete;
+  Attack& operator=(const Attack&) = delete;
+
+  // Generate v_adv so that R^m(v_adv) approaches R^m(v_t).
+  virtual AttackOutcome run(const video::Video& v, const video::Video& v_t,
+                            retrieval::BlackBoxHandle& victim) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace duo::attack

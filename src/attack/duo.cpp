@@ -1,0 +1,55 @@
+#include "attack/duo.hpp"
+
+namespace duo::attack {
+
+DuoAttack::DuoAttack(models::FeatureExtractor& surrogate, DuoConfig config)
+    : surrogate_(&surrogate),
+      config_(std::move(config)),
+      name_((config_.goal == AttackGoal::kTargeted ? "DUO-" : "DUO-U-") +
+            surrogate.name()) {
+  config_.transfer.goal = config_.goal;
+}
+
+AttackOutcome DuoAttack::run(const video::Video& v, const video::Video& v_t,
+                             retrieval::BlackBoxHandle& victim) {
+  const std::int64_t queries_before = victim.query_count();
+  ObjectiveContext ctx =
+      make_objective_context(victim, v, v_t, config_.m, config_.eta);
+  ctx.untargeted = config_.goal == AttackGoal::kUntargeted;
+
+  AttackOutcome out;
+  video::Video v_cur = v;  // base video of the current outer iteration
+  std::optional<Perturbation> init;
+
+  for (int h = 0; h < config_.iter_numH; ++h) {
+    const SparseTransferResult st =
+        sparse_transfer(v_cur, v_t, *surrogate_, config_.transfer, init);
+
+    SparseQueryConfig qcfg = config_.query;
+    qcfg.tau = config_.transfer.tau;
+    qcfg.m = config_.m;
+    qcfg.eta = config_.eta;
+    qcfg.seed = config_.query.seed + static_cast<std::uint64_t>(h) * 7919;
+    const SparseQueryResult sq =
+        sparse_query(v_cur, st.perturbation, victim, ctx, qcfg);
+
+    out.t_history.insert(out.t_history.end(), sq.t_history.begin(),
+                         sq.t_history.end());
+
+    // Re-initialize for the next round: v ← v_adv, and {I, F} seed the next
+    // SparseTransfer. θ restarts at 0 because v_cur has already absorbed the
+    // previous perturbation — carrying θ over would apply it twice.
+    v_cur = sq.v_adv;
+    Perturbation next(v.geometry());
+    next.pixel_mask() = st.perturbation.pixel_mask();
+    next.frame_mask() = st.perturbation.frame_mask();
+    init = std::move(next);
+  }
+
+  out.adversarial = std::move(v_cur);
+  out.perturbation = out.adversarial.data() - v.data();
+  out.queries = victim.query_count() - queries_before;
+  return out;
+}
+
+}  // namespace duo::attack

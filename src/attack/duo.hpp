@@ -1,0 +1,46 @@
+#pragma once
+
+// The DUO attack pipeline (§IV): SparseTransfer ⟶ SparseQuery, looped
+// iter_numH times with {I, F, v} re-initialized from the previous round
+// to escape local optima (§IV-C "Summary").
+
+#include <memory>
+
+#include "attack/attack.hpp"
+#include "attack/sparse_query.hpp"
+#include "attack/sparse_transfer.hpp"
+#include "models/feature_extractor.hpp"
+
+namespace duo::attack {
+
+struct DuoConfig {
+  SparseTransferConfig transfer;
+  SparseQueryConfig query;
+  int iter_numH = 2;  // paper: "a small number ... less than 4"
+  std::size_t m = 10;
+  double eta = 1.0;
+  // kUntargeted ignores v_t throughout: SparseTransfer pushes away from
+  // Fea(v) and SparseQuery minimizes H(R(v_adv), R(v)).
+  AttackGoal goal = AttackGoal::kTargeted;
+};
+
+class DuoAttack final : public Attack {
+ public:
+  // `surrogate` must be trained (attack/surrogate.hpp) and outlive the
+  // attack. The display name follows the paper: DUO-<surrogate backbone>.
+  DuoAttack(models::FeatureExtractor& surrogate, DuoConfig config);
+
+  AttackOutcome run(const video::Video& v, const video::Video& v_t,
+                    retrieval::BlackBoxHandle& victim) override;
+
+  std::string name() const override { return name_; }
+
+  const DuoConfig& config() const noexcept { return config_; }
+
+ private:
+  models::FeatureExtractor* surrogate_;
+  DuoConfig config_;
+  std::string name_;
+};
+
+}  // namespace duo::attack

@@ -1,0 +1,79 @@
+#include "attack/evaluation.hpp"
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "metrics/metrics.hpp"
+
+namespace duo::attack {
+
+std::vector<AttackPair> sample_attack_pairs(
+    const std::vector<video::Video>& pool, std::size_t count,
+    std::uint64_t seed) {
+  DUO_CHECK_MSG(pool.size() >= 2, "need at least two videos");
+  Rng rng(seed);
+  std::vector<AttackPair> pairs;
+  pairs.reserve(count);
+  int guard = 0;
+  while (pairs.size() < count) {
+    DUO_CHECK_MSG(++guard < 100000, "could not sample differently-labeled pairs");
+    const auto& a = pool[rng.uniform_index(pool.size())];
+    const auto& b = pool[rng.uniform_index(pool.size())];
+    if (a.label() == b.label()) continue;
+    pairs.push_back({a, b});
+  }
+  return pairs;
+}
+
+AttackEvaluation evaluate_attack(Attack& attack,
+                                 retrieval::RetrievalSystem& victim,
+                                 const std::vector<AttackPair>& pairs,
+                                 std::size_t m) {
+  AttackEvaluation eval;
+  eval.attack_name = attack.name();
+  for (const auto& pair : pairs) {
+    retrieval::BlackBoxHandle handle(victim);
+    PairEvaluation pe;
+
+    const auto list_v = victim.retrieve(pair.v, m);
+    const auto list_vt = victim.retrieve(pair.v_t, m);
+    pe.ap_m_before = metrics::ap_at_m(list_v, list_vt);
+
+    AttackOutcome outcome = attack.run(pair.v, pair.v_t, handle);
+    const auto list_adv = victim.retrieve(outcome.adversarial, m);
+    pe.ap_m_after = metrics::ap_at_m(list_adv, list_vt);
+    pe.spa = metrics::sparsity(outcome.perturbation);
+    pe.pscore = metrics::pscore(outcome.perturbation);
+    pe.queries = outcome.queries;
+    pe.t_history = std::move(outcome.t_history);
+
+    eval.mean_ap_m_before_pct += pe.ap_m_before * 100.0;
+    eval.mean_ap_m_after_pct += pe.ap_m_after * 100.0;
+    eval.mean_spa += static_cast<double>(pe.spa);
+    eval.mean_pscore += pe.pscore;
+    eval.mean_queries += static_cast<double>(pe.queries);
+    eval.pairs.push_back(std::move(pe));
+  }
+  const double n = static_cast<double>(pairs.size());
+  if (n > 0) {
+    eval.mean_ap_m_before_pct /= n;
+    eval.mean_ap_m_after_pct /= n;
+    eval.mean_spa /= n;
+    eval.mean_pscore /= n;
+    eval.mean_queries /= n;
+  }
+  return eval;
+}
+
+double evaluate_without_attack(retrieval::RetrievalSystem& victim,
+                               const std::vector<AttackPair>& pairs,
+                               std::size_t m) {
+  double acc = 0.0;
+  for (const auto& pair : pairs) {
+    const auto list_v = victim.retrieve(pair.v, m);
+    const auto list_vt = victim.retrieve(pair.v_t, m);
+    acc += metrics::ap_at_m(list_v, list_vt) * 100.0;
+  }
+  return pairs.empty() ? 0.0 : acc / static_cast<double>(pairs.size());
+}
+
+}  // namespace duo::attack

@@ -1,0 +1,56 @@
+#pragma once
+
+// Attack evaluation harness shared by all benches: sample (v, v_t) pairs,
+// run an attack on each, measure AP@m / Spa / PScore (§V-A).
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/attack.hpp"
+#include "retrieval/system.hpp"
+#include "video/video.hpp"
+
+namespace duo::attack {
+
+struct AttackPair {
+  video::Video v;    // original video
+  video::Video v_t;  // target video (different label)
+};
+
+// Random pairs of differently-labeled videos from `pool` (paper §V-A: ten
+// pairs from the training set).
+std::vector<AttackPair> sample_attack_pairs(const std::vector<video::Video>& pool,
+                                            std::size_t count,
+                                            std::uint64_t seed);
+
+struct PairEvaluation {
+  double ap_m_before = 0.0;  // AP@m(R(v), R(v_t)) — "w/o attack"
+  double ap_m_after = 0.0;   // AP@m(R(v_adv), R(v_t))
+  std::int64_t spa = 0;
+  double pscore = 0.0;
+  std::int64_t queries = 0;
+  std::vector<double> t_history;
+};
+
+struct AttackEvaluation {
+  std::string attack_name;
+  double mean_ap_m_before_pct = 0.0;
+  double mean_ap_m_after_pct = 0.0;
+  double mean_spa = 0.0;
+  double mean_pscore = 0.0;
+  double mean_queries = 0.0;
+  std::vector<PairEvaluation> pairs;
+};
+
+// Run `attack` on every pair against `victim`; m is the retrieval depth.
+AttackEvaluation evaluate_attack(Attack& attack,
+                                 retrieval::RetrievalSystem& victim,
+                                 const std::vector<AttackPair>& pairs,
+                                 std::size_t m);
+
+// The "w/o attack" row of Table II: AP@m between R(v) and R(v_t) only.
+double evaluate_without_attack(retrieval::RetrievalSystem& victim,
+                               const std::vector<AttackPair>& pairs,
+                               std::size_t m);
+
+}  // namespace duo::attack

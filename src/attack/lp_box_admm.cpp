@@ -1,0 +1,106 @@
+#include "attack/lp_box_admm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace duo::attack {
+
+namespace {
+
+// Project y onto the sphere { x : ‖x − ½·1‖ = √d / 2 }.
+void project_sphere(std::vector<float>& y) {
+  const std::size_t d = y.size();
+  const float radius = 0.5f * std::sqrt(static_cast<float>(d));
+  double norm2 = 0.0;
+  for (const float v : y) {
+    const double c = static_cast<double>(v) - 0.5;
+    norm2 += c * c;
+  }
+  const float norm = static_cast<float>(std::sqrt(norm2)) + 1e-12f;
+  const float scale = radius / norm;
+  for (auto& v : y) v = 0.5f + (v - 0.5f) * scale;
+}
+
+}  // namespace
+
+Tensor lp_box_admm_relax(const Tensor& scores, const LpBoxAdmmConfig& config) {
+  const std::int64_t d = scores.size();
+  DUO_CHECK_MSG(d > 0, "lp_box_admm: empty scores");
+
+  // Normalize g so rho is scale-free.
+  const float gmax = std::max(scores.abs().max(), 1e-12f);
+  std::vector<float> g(static_cast<std::size_t>(d));
+  for (std::int64_t i = 0; i < d; ++i) g[static_cast<std::size_t>(i)] = scores[i] / gmax;
+
+  std::vector<float> x(static_cast<std::size_t>(d), 0.5f);
+  std::vector<float> z1 = x, z2 = x;           // box / sphere splits
+  std::vector<float> u1(static_cast<std::size_t>(d), 0.0f);
+  std::vector<float> u2(static_cast<std::size_t>(d), 0.0f);
+
+  float rho = config.rho;
+  for (int it = 0; it < config.iterations; ++it) {
+    // x-update: argmin gᵀx + ρ/2 (‖x−z1+u1‖² + ‖x−z2+u2‖²)  (closed form)
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = 0.5f * (z1[i] - u1[i] + z2[i] - u2[i] - g[i] / rho);
+    }
+    // z1-update: box projection of x + u1.
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      z1[i] = std::clamp(x[i] + u1[i], 0.0f, 1.0f);
+    }
+    // z2-update: sphere projection of x + u2.
+    for (std::size_t i = 0; i < x.size(); ++i) z2[i] = x[i] + u2[i];
+    project_sphere(z2);
+    // Dual updates.
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      u1[i] += x[i] - z1[i];
+      u2[i] += x[i] - z2[i];
+    }
+    rho *= config.rho_growth;
+  }
+
+  Tensor out(scores.shape());
+  for (std::int64_t i = 0; i < d; ++i) {
+    out[i] = std::clamp(x[static_cast<std::size_t>(i)], 0.0f, 1.0f);
+  }
+  return out;
+}
+
+namespace {
+// Top-k of `relaxed`, with ties broken by the original objective `g`
+// (smaller g preferred — bigger loss reduction). Without the tie-break, the
+// saturated plateaus the ADMM relaxation produces (many coordinates exactly
+// at the box bound) would degenerate to index order.
+Tensor binarize_topk(const Tensor& relaxed, const Tensor& g, std::int64_t k) {
+  const std::int64_t d = relaxed.size();
+  const std::int64_t kk = std::min(k, d);
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(d));
+  std::iota(idx.begin(), idx.end(), 0);
+  std::nth_element(idx.begin(), idx.begin() + kk, idx.end(),
+                   [&](std::int64_t a, std::int64_t b) {
+                     if (relaxed[a] != relaxed[b]) return relaxed[a] > relaxed[b];
+                     if (g[a] != g[b]) return g[a] < g[b];
+                     return a < b;
+                   });
+  Tensor mask(relaxed.shape());
+  for (std::int64_t i = 0; i < kk; ++i) {
+    mask[idx[static_cast<std::size_t>(i)]] = 1.0f;
+  }
+  return mask;
+}
+}  // namespace
+
+Tensor lp_box_admm_select(const Tensor& scores, std::int64_t k,
+                          const LpBoxAdmmConfig& config) {
+  return binarize_topk(lp_box_admm_relax(scores, config), scores, k);
+}
+
+Tensor topk_select(const Tensor& scores, std::int64_t k) {
+  // Selecting element i reduces the loss by −scores[i]; pick most negative.
+  Tensor neg = -scores;
+  return binarize_topk(neg, scores, k);
+}
+
+}  // namespace duo::attack

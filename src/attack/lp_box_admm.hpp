@@ -1,0 +1,38 @@
+#pragma once
+
+// ℓp-box ADMM pixel selection (Wu & Ghanem [18], as used by the paper for
+// the I-update of Algorithm 1).
+//
+// The binary constraint x ∈ {0,1}^d is replaced by the intersection of the
+// box [0,1]^d and the ℓ2 sphere { x : ‖x − ½·1‖² = d/4 }. We minimize the
+// linearized objective gᵀx (g = per-element loss reduction when selecting
+// the element) under those two constraints with ADMM, then binarize by
+// taking the top-k coordinates of the relaxed solution.
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace duo::attack {
+
+struct LpBoxAdmmConfig {
+  int iterations = 20;
+  float rho = 1.0f;       // penalty weight
+  float rho_growth = 1.03f;  // mild continuation on rho
+};
+
+// Returns the relaxed solution x ∈ [0,1]^d (same shape as `scores`).
+// `scores` holds g; more-negative g (bigger loss reduction) → closer to 1.
+Tensor lp_box_admm_relax(const Tensor& scores, const LpBoxAdmmConfig& config);
+
+// Full selection: relax with ADMM, then pick the k largest coordinates of
+// the relaxed solution. Returns a binary mask tensor.
+Tensor lp_box_admm_select(const Tensor& scores, std::int64_t k,
+                          const LpBoxAdmmConfig& config);
+
+// Ablation baseline: plain top-k of −scores without the ADMM relaxation
+// (DESIGN.md §5 "ADMM-style pixel update" ablation).
+Tensor topk_select(const Tensor& scores, std::int64_t k);
+
+}  // namespace duo::attack

@@ -1,0 +1,105 @@
+#include "attack/perturbation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace duo::attack {
+
+Perturbation::Perturbation(const video::VideoGeometry& geometry)
+    : geometry_(geometry),
+      pixel_mask_(Tensor::ones(geometry.tensor_shape())),
+      frame_mask_(Tensor::ones(geometry.tensor_shape())),
+      magnitude_(geometry.tensor_shape()) {}
+
+Tensor Perturbation::combined() const {
+  Tensor phi = pixel_mask_;
+  phi *= frame_mask_;
+  phi *= magnitude_;
+  return phi;
+}
+
+std::int64_t Perturbation::selected_pixels() const noexcept {
+  return pixel_mask_.norm_l0(0.5f);
+}
+
+std::int64_t Perturbation::selected_frames() const {
+  const std::int64_t fe = geometry_.elements_per_frame();
+  std::int64_t count = 0;
+  const float* d = frame_mask_.data();
+  for (std::int64_t f = 0; f < geometry_.frames; ++f) {
+    if (d[f * fe] > 0.5f) ++count;
+  }
+  return count;
+}
+
+void Perturbation::set_frames(const std::vector<std::int64_t>& frames) {
+  frame_mask_.fill(0.0f);
+  const std::int64_t fe = geometry_.elements_per_frame();
+  float* d = frame_mask_.data();
+  for (const std::int64_t f : frames) {
+    DUO_CHECK_MSG(f >= 0 && f < geometry_.frames, "frame index out of range");
+    for (std::int64_t e = 0; e < fe; ++e) d[f * fe + e] = 1.0f;
+  }
+}
+
+std::vector<std::int64_t> Perturbation::selected_frame_indices() const {
+  std::vector<std::int64_t> out;
+  const std::int64_t fe = geometry_.elements_per_frame();
+  const float* d = frame_mask_.data();
+  for (std::int64_t f = 0; f < geometry_.frames; ++f) {
+    if (d[f * fe] > 0.5f) out.push_back(f);
+  }
+  return out;
+}
+
+void Perturbation::restrict_pixels_to_frames_topk(const Tensor& scores,
+                                                  std::int64_t k) {
+  DUO_CHECK_MSG(scores.same_shape(pixel_mask_), "scores shape mismatch");
+  DUO_CHECK_MSG(k >= 0, "k must be non-negative");
+  const std::int64_t n = pixel_mask_.size();
+
+  // Candidates: elements in selected frames.
+  std::vector<std::int64_t> candidates;
+  candidates.reserve(static_cast<std::size_t>(n));
+  const float* fm = frame_mask_.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (fm[i] > 0.5f) candidates.push_back(i);
+  }
+  const std::int64_t kk =
+      std::min<std::int64_t>(k, static_cast<std::int64_t>(candidates.size()));
+
+  const float* s = scores.data();
+  auto cmp = [&](std::int64_t a, std::int64_t b) {
+    if (s[a] != s[b]) return s[a] > s[b];
+    return a < b;
+  };
+  std::nth_element(candidates.begin(), candidates.begin() + kk,
+                   candidates.end(), cmp);
+
+  pixel_mask_.fill(0.0f);
+  float* pm = pixel_mask_.data();
+  for (std::int64_t i = 0; i < kk; ++i) {
+    pm[candidates[static_cast<std::size_t>(i)]] = 1.0f;
+  }
+}
+
+video::Video Perturbation::apply_to(const video::Video& v) const {
+  DUO_CHECK_MSG(v.geometry() == geometry_, "video geometry mismatch");
+  const Tensor phi = combined();
+  Tensor data = v.data();
+  data += phi;
+  data.clamp_(0.0f, 255.0f);
+  // Quantize: an attacker uploads integer pixels, so sub-0.5 perturbations
+  // vanish. This is what makes the measured Spa much smaller than k (the
+  // regularized θ leaves most selected pixels below the rounding threshold).
+  for (auto& x : data.flat()) x = std::round(x);
+  return video::Video(std::move(data), geometry_, v.label(), v.id());
+}
+
+Tensor Perturbation::effective_perturbation(const video::Video& v) const {
+  const video::Video adv = apply_to(v);
+  return adv.data() - v.data();
+}
+
+}  // namespace duo::attack

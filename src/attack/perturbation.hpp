@@ -1,0 +1,63 @@
+#pragma once
+
+// Perturbation φ = I ⊙ F ⊙ θ (paper §III-C / §IV-B): a pixel-selection mask
+// I, a frame-selection mask F, and a magnitude tensor θ, all in pixel space
+// [N, H, W, C] with values on the [0, 255] scale.
+
+#include <cstdint>
+#include <vector>
+
+#include "video/video.hpp"
+
+namespace duo::attack {
+
+class Perturbation {
+ public:
+  Perturbation() = default;
+  explicit Perturbation(const video::VideoGeometry& geometry);
+
+  const video::VideoGeometry& geometry() const noexcept { return geometry_; }
+
+  Tensor& pixel_mask() noexcept { return pixel_mask_; }
+  const Tensor& pixel_mask() const noexcept { return pixel_mask_; }
+  Tensor& frame_mask() noexcept { return frame_mask_; }
+  const Tensor& frame_mask() const noexcept { return frame_mask_; }
+  Tensor& magnitude() noexcept { return magnitude_; }
+  const Tensor& magnitude() const noexcept { return magnitude_; }
+
+  // φ = I ⊙ F ⊙ θ.
+  Tensor combined() const;
+
+  // Number of selected pixels 1ᵀI (counting elements, like Spa).
+  std::int64_t selected_pixels() const noexcept;
+  // Number of selected frames ‖F‖₂,₀.
+  std::int64_t selected_frames() const;
+
+  // Set the frame mask from a list of selected frame indices.
+  void set_frames(const std::vector<std::int64_t>& frames);
+  // Selected frame indices in ascending order.
+  std::vector<std::int64_t> selected_frame_indices() const;
+
+  // Zero out pixel-mask entries outside selected frames, then keep only the
+  // top-k surviving pixels ranked by score descending (larger = better;
+  // ties by index). Enforces the constraint 1ᵀI = k within ‖F‖₂,₀ = n.
+  void restrict_pixels_to_frames_topk(const Tensor& scores, std::int64_t k);
+
+  // Clamp θ to [−τ, τ].
+  void clamp_magnitude(float tau) { magnitude_.clamp_(-tau, tau); }
+
+  // v_adv = round(clip(v + φ)): quantized to integer pixels in [0, 255],
+  // matching what a real attacker must upload. Label/id copied from `v`.
+  video::Video apply_to(const video::Video& v) const;
+
+  // The effective perturbation of the *uploaded* video: quantized(v+φ) − v.
+  Tensor effective_perturbation(const video::Video& v) const;
+
+ private:
+  video::VideoGeometry geometry_;
+  Tensor pixel_mask_;  // I ∈ {0,1}^[N,H,W,C]
+  Tensor frame_mask_;  // F ∈ {0,1}^[N,H,W,C], constant within each frame
+  Tensor magnitude_;   // θ ∈ [−τ, τ]^[N,H,W,C]
+};
+
+}  // namespace duo::attack

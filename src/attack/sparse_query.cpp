@@ -1,0 +1,137 @@
+#include "attack/sparse_query.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace duo::attack {
+
+namespace {
+
+// CLIP of Eq. 3: pixel validity and the per-pixel ℓ∞ budget around v.
+float clip_pixel(float candidate, float original, float tau) {
+  const float lo = std::max(0.0f, original - tau);
+  const float hi = std::min(255.0f, original + tau);
+  return std::clamp(candidate, lo, hi);
+}
+
+video::Video quantized(const video::Video& v) {
+  Tensor data = v.data();
+  for (auto& x : data.flat()) x = std::round(x);
+  return video::Video(std::move(data), v.geometry(), v.label(), v.id());
+}
+
+}  // namespace
+
+SparseQueryResult sparse_query(const video::Video& v,
+                               const Perturbation& perturbation,
+                               retrieval::BlackBoxHandle& victim,
+                               const ObjectiveContext& ctx,
+                               const SparseQueryConfig& config) {
+  const video::VideoGeometry& g = v.geometry();
+  DUO_CHECK_MSG(perturbation.geometry() == g, "perturbation geometry mismatch");
+  Rng rng(config.seed);
+
+  // Support of φ (Eq. 4): only these coordinates may be perturbed further.
+  // The mask product I⊙F defines the support; θ supplies the step magnitude
+  // (a coordinate with θ = 0 is still selectable — Vanilla starts that way).
+  const Tensor phi = perturbation.combined();
+  const Tensor support_mask =
+      perturbation.pixel_mask() * perturbation.frame_mask();
+  std::vector<std::int64_t> support;
+  for (std::int64_t i = 0; i < support_mask.size(); ++i) {
+    if (support_mask[i] > 0.5f) support.push_back(i);
+  }
+
+  SparseQueryResult result;
+  const std::int64_t queries_before = victim.query_count();
+
+  // Line 1: v_adv⁰ = v + φ (the paper's Alg. 2 writes v; the pipeline passes
+  // the SparseTransfer output by handing us φ).
+  video::Video v_adv = perturbation.apply_to(v);
+  // Line 2: T⁰.
+  double t_current = t_loss(victim, quantized(v_adv), ctx);
+  result.t_history.push_back(t_current);
+
+  if (support.empty()) {
+    result.v_adv = std::move(v_adv);
+    result.final_t = t_current;
+    result.queries_spent = victim.query_count() - queries_before;
+    return result;
+  }
+
+  // Line 3: ε from θ — the step magnitude is the mean |θ| over the support.
+  // When θ carries no signal (e.g. Vanilla's random support starts at θ = 0)
+  // fall back to τ/4, and always floor at 1 pixel level so quantization
+  // cannot swallow accepted steps.
+  double theta_mass = 0.0;
+  for (const auto i : support) theta_mass += std::fabs(phi[i]);
+  const float theta_mean =
+      static_cast<float>(theta_mass / static_cast<double>(support.size()));
+  const float eps =
+      std::max(1.0f, theta_mean >= 1.0f ? theta_mean : config.tau * 0.25f);
+
+  // Without-replacement sampling: shuffled support, reshuffled when drained.
+  std::vector<std::int64_t> deck = support;
+  rng.shuffle(deck);
+  std::size_t deck_pos = 0;
+  int stall = 0;
+
+  const std::size_t group =
+      config.coords_per_step > 0
+          ? static_cast<std::size_t>(config.coords_per_step)
+          : std::clamp<std::size_t>(support.size() / 12, 1, 64);
+
+  std::vector<std::int64_t> coords;
+  std::vector<float> before;
+  coords.reserve(group);
+  before.reserve(group);
+
+  for (int kappa = 1; kappa < config.iter_numQ; ++kappa) {
+    coords.clear();
+    for (std::size_t c = 0; c < group; ++c) {
+      if (deck_pos >= deck.size()) {
+        rng.shuffle(deck);
+        deck_pos = 0;
+      }
+      coords.push_back(deck[deck_pos++]);
+    }
+
+    bool accepted = false;
+    for (const float xi : {+eps, -eps}) {
+      before.clear();
+      bool changed = false;
+      for (const auto coord : coords) {
+        const float prev = v_adv.data()[coord];
+        before.push_back(prev);
+        const float after = clip_pixel(prev + xi, v.data()[coord], config.tau);
+        if (after != prev) changed = true;
+        v_adv.data()[coord] = after;
+      }
+      if (!changed) {
+        for (std::size_t c = 0; c < coords.size(); ++c) {
+          v_adv.data()[coords[c]] = before[c];
+        }
+        continue;
+      }
+      const double t_candidate = t_loss(victim, quantized(v_adv), ctx);
+      if (t_candidate < t_current) {
+        t_current = t_candidate;
+        accepted = true;
+        break;  // Alg. 2 line 11
+      }
+      for (std::size_t c = 0; c < coords.size(); ++c) {
+        v_adv.data()[coords[c]] = before[c];  // revert the group
+      }
+    }
+    result.t_history.push_back(t_current);
+    stall = accepted ? 0 : stall + 1;
+    if (config.patience > 0 && stall >= config.patience) break;
+  }
+
+  result.v_adv = quantized(v_adv);
+  result.final_t = t_current;
+  result.queries_spent = victim.query_count() - queries_before;
+  return result;
+}
+
+}  // namespace duo::attack

@@ -1,0 +1,51 @@
+#pragma once
+
+// SparseQuery (Algorithm 2): SimBA-style query attack restricted to the
+// support of φ = I ⊙ F ⊙ θ. Each iteration samples a Cartesian-basis
+// direction q from the support without replacement (Eq. 4 zeroes directions
+// outside the support) and tries ±ε steps, keeping whichever decreases the
+// ranking loss T (Eq. 2 / Eq. 3).
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/objective.hpp"
+#include "attack/perturbation.hpp"
+#include "retrieval/system.hpp"
+#include "video/video.hpp"
+
+namespace duo::attack {
+
+struct SparseQueryConfig {
+  int iter_numQ = 300;  // paper default 1,000; quick-scale default 300
+  float tau = 30.0f;    // keeps ‖v_adv − v‖∞ ≤ τ (matches Eq. 1)
+  std::size_t m = 10;
+  double eta = 1.0;
+  std::uint64_t seed = 17;
+  // Coordinates flipped together per query step. The paper samples single
+  // Cartesian basis vectors (= 1); at miniature geometry a one-pixel step
+  // cannot move the feature across any ranking boundary, so the bench scale
+  // groups several support coordinates into one step (0 = adaptive:
+  // support/12, clamped to [1, 64]). Grouped steps still satisfy Eq. 4 —
+  // every touched coordinate lies in the support of I⊙F⊙θ.
+  int coords_per_step = 0;
+  // Stop early after this many consecutive rejected iterations (0 = never).
+  int patience = 0;
+};
+
+struct SparseQueryResult {
+  video::Video v_adv;
+  std::vector<double> t_history;  // T after each iteration (Fig. 5 series)
+  std::int64_t queries_spent = 0;
+  double final_t = 0.0;
+};
+
+// Runs Algorithm 2 starting from v_adv⁰ = v + φ. `ctx` carries the reference
+// lists R^m(v) and R^m(v_t).
+SparseQueryResult sparse_query(const video::Video& v,
+                               const Perturbation& perturbation,
+                               retrieval::BlackBoxHandle& victim,
+                               const ObjectiveContext& ctx,
+                               const SparseQueryConfig& config);
+
+}  // namespace duo::attack

@@ -1,0 +1,214 @@
+#include "attack/sparse_transfer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "attack/lp_box_admm.hpp"
+#include "nn/optimizer.hpp"
+
+namespace duo::attack {
+
+namespace {
+
+struct LossAndGrad {
+  double loss = 0.0;
+  Tensor pixel_grad;  // d loss / d(pixel-space video values)
+};
+
+// Surrogate feature loss and its gradient with respect to the perturbed
+// video's pixels (the λ‖φ‖² term is handled by the caller where the masks
+// are known). Targeted: L = ‖Fea(v+φ) − Fea(v_t)‖². Untargeted: the
+// reference feature is Fea(v) and we *maximize* the distance, i.e.
+// L = −‖Fea(v+φ) − Fea(v)‖².
+LossAndGrad feature_loss_grad(const video::Video& v_adv,
+                              const Tensor& reference_feature,
+                              models::FeatureExtractor& surrogate,
+                              AttackGoal goal) {
+  LossAndGrad out;
+  const Tensor input = v_adv.to_model_input();
+  const Tensor feature = surrogate.extract_model_input(input);
+
+  Tensor diff = feature - reference_feature;
+  const float sign = goal == AttackGoal::kTargeted ? 1.0f : -1.0f;
+  out.loss = sign * diff.dot(diff);
+  // dL/dFea = ±2(Fea − Fea_ref)
+  diff *= 2.0f * sign;
+  for (auto* p : surrogate.parameters()) p->zero_grad();
+  const Tensor model_grad = surrogate.backward_to_input(diff);
+  // Chain rule through to_model_input: d(model)/d(pixel) = 1/255.
+  out.pixel_grad = video::Video::from_model_space(
+      model_grad, v_adv.geometry(), /*scale_to_pixels=*/false);
+  out.pixel_grad *= (1.0f / 255.0f);
+  return out;
+}
+
+// Eq. 1's regularizer λ‖θ⊙I⊙F‖² is expressed in model-input units ([0,1]
+// scale); our θ lives on the [0,255] pixel scale, so the regularizer value
+// scales by 1/255² and its pixel-space gradient by a further 1/255.
+constexpr float kModelScale = 1.0f / 255.0f;
+
+// Per-frame ‖·‖₂ of a pixel-space tensor.
+std::vector<double> frame_l2(const Tensor& t,
+                             const video::VideoGeometry& g) {
+  std::vector<double> out(static_cast<std::size_t>(g.frames), 0.0);
+  const std::int64_t fe = g.elements_per_frame();
+  const float* d = t.data();
+  for (std::int64_t f = 0; f < g.frames; ++f) {
+    double acc = 0.0;
+    for (std::int64_t e = 0; e < fe; ++e) {
+      const double x = d[f * fe + e];
+      acc += x * x;
+    }
+    out[static_cast<std::size_t>(f)] = std::sqrt(acc);
+  }
+  return out;
+}
+
+void project_theta(Tensor& theta, const SparseTransferConfig& cfg) {
+  if (cfg.norm == NormKind::kLinf) {
+    theta.clamp_(-cfg.tau, cfg.tau);
+    return;
+  }
+  // ℓ2 ball with the budget-equivalent radius τ·√k.
+  const double radius =
+      static_cast<double>(cfg.tau) *
+      std::sqrt(static_cast<double>(std::max<std::int64_t>(cfg.k, 1)));
+  const double norm = theta.norm_l2();
+  if (norm > radius) theta *= static_cast<float>(radius / norm);
+}
+
+}  // namespace
+
+SparseTransferResult sparse_transfer(
+    const video::Video& v, const video::Video& v_t,
+    models::FeatureExtractor& surrogate, const SparseTransferConfig& config,
+    const std::optional<Perturbation>& init) {
+  DUO_CHECK_MSG(v.geometry() == v_t.geometry(), "geometry mismatch");
+  DUO_CHECK_MSG(config.k > 0 && config.n > 0, "k and n must be positive");
+  DUO_CHECK_MSG(config.n <= v.geometry().frames, "n exceeds frame count");
+  const video::VideoGeometry& g = v.geometry();
+
+  surrogate.set_training(false);
+  // Targeted: steer toward Fea(v_t). Untargeted: push away from Fea(v).
+  const Tensor target_feature = config.goal == AttackGoal::kTargeted
+                                    ? surrogate.extract(v_t)
+                                    : surrogate.extract(v);
+
+  SparseTransferResult result;
+  // Line 1: I and F start at 1 (all selected), θ at 0 — unless resumed.
+  Perturbation& pert = result.perturbation;
+  pert = init.has_value() ? *init : Perturbation(g);
+
+  // Untargeted warm start: at θ = 0 the loss −‖Fea(v+φ) − Fea(v)‖² has a
+  // vanishing gradient (we sit exactly at the reference), so kick θ with
+  // small deterministic noise to break the symmetry.
+  if (config.goal == AttackGoal::kUntargeted &&
+      pert.magnitude().norm_l0() == 0) {
+    Rng rng(config.seed);
+    pert.magnitude() =
+        Tensor::uniform(g.tensor_shape(), -config.tau / 8.0f,
+                        config.tau / 8.0f, rng);
+  }
+
+  nn::StepDecay schedule(config.step_init * config.tau,
+                         config.step_decay_every, config.step_decay_rate);
+  std::int64_t global_step = 0;
+
+  for (int outer = 0; outer < config.outer_iterations; ++outer) {
+    // ---- Line 3: θ-update by gradient descent under S ----------------------
+    Tensor last_grad(g.tensor_shape());
+    double last_loss = 0.0;
+    for (int s = 0; s < config.theta_steps; ++s) {
+      video::Video v_adv(v.data() + pert.combined(), g, v.label(), v.id());
+      v_adv.clamp_valid();
+      const LossAndGrad lg =
+          feature_loss_grad(v_adv, target_feature, surrogate, config.goal);
+      last_loss = lg.loss;
+      last_grad = lg.pixel_grad;
+
+      // dL/dθ = (g + 2λφ·scale²) ⊙ I ⊙ F; normalized-∞ steepest descent
+      // with the paper's decayed step size.
+      Tensor step_dir = lg.pixel_grad;
+      step_dir.axpy(2.0f * config.lambda * kModelScale * kModelScale,
+                    pert.combined());
+      step_dir *= pert.pixel_mask();
+      step_dir *= pert.frame_mask();
+      const float ginf = step_dir.norm_linf();
+      if (ginf < 1e-12f) break;
+      const float lr = schedule.lr_at(global_step++);
+      pert.magnitude().axpy(-lr / ginf, step_dir);
+      project_theta(pert.magnitude(), config);
+    }
+    (void)last_loss;
+
+    // ---- Line 4: I-update with (ℓp-box) ADMM -------------------------------
+    // Selecting element e adds θ_e to the input; first-order loss change is
+    // g_e·θ_e plus the regularizer's λθ_e². More-negative scores are better.
+    Tensor scores = last_grad * pert.magnitude();
+    {
+      Tensor reg = pert.magnitude() * pert.magnitude();
+      scores.axpy(config.lambda * kModelScale * kModelScale, reg);
+    }
+    // Elements outside currently selected frames cannot help (φ = I⊙F⊙θ):
+    // push their score far positive so neither selector picks them.
+    {
+      const float worst = scores.abs().max() + 1.0f;
+      const float* fm = pert.frame_mask().data();
+      float* sc = scores.data();
+      for (std::int64_t i = 0; i < scores.size(); ++i) {
+        if (fm[i] < 0.5f) sc[i] = worst;
+      }
+    }
+    if (config.use_admm) {
+      LpBoxAdmmConfig admm_cfg;
+      admm_cfg.iterations = config.admm_iterations;
+      // ADMM relaxation prefers large x where g is negative; feed raw scores.
+      pert.pixel_mask() = lp_box_admm_select(scores, config.k, admm_cfg);
+    } else {
+      pert.pixel_mask() = topk_select(scores, config.k);
+    }
+
+    // ---- Lines 5–7: F-update via continuous relaxation C -------------------
+    // C_f is driven by the loss reduction available in frame f: the masked
+    // gradient-magnitude mass −Σ_{e∈f} g_e·(I⊙θ)_e; frames are then ranked
+    // by ‖C_π(1)‖₂ ≥ … and the top n are kept.
+    Tensor masked = pert.pixel_mask() * pert.magnitude();
+    Tensor frame_drive = last_grad * masked;
+    const auto drive = frame_l2(frame_drive, g);
+    std::vector<std::int64_t> order(static_cast<std::size_t>(g.frames));
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::int64_t a, std::int64_t b) {
+      const double da = drive[static_cast<std::size_t>(a)];
+      const double db = drive[static_cast<std::size_t>(b)];
+      if (da != db) return da > db;
+      return a < b;
+    });
+    order.resize(static_cast<std::size_t>(config.n));
+    pert.set_frames(order);
+
+    // Keep 1ᵀI = k consistent with the new frame set.
+    pert.restrict_pixels_to_frames_topk(scores * -1.0f, config.k);
+
+    // Loss of the *masked* perturbation — the quantity the while-loop of
+    // Alg. 1 monitors for convergence (comparable across rounds, unlike the
+    // dense-support loss seen during the first θ phase).
+    {
+      video::Video v_adv(v.data() + pert.combined(), g, v.label(), v.id());
+      v_adv.clamp_valid();
+      const LossAndGrad lg =
+          feature_loss_grad(v_adv, target_feature, surrogate, config.goal);
+      result.loss_history.push_back(
+          lg.loss +
+          config.lambda *
+              std::pow(pert.combined().norm_l2() * kModelScale, 2.0));
+    }
+  }
+
+  // Final feasibility: θ respects the norm budget, masks are binary, the
+  // pixel budget holds within the n selected frames.
+  project_theta(pert.magnitude(), config);
+  return result;
+}
+
+}  // namespace duo::attack

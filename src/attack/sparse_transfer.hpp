@@ -1,0 +1,63 @@
+#pragma once
+
+// SparseTransfer (Algorithm 1): generate initial sparse perturbations on the
+// surrogate model by alternating
+//   θ-update  — gradient descent on L(Fea(v+φ), Fea(v_t)) + λ‖φ‖² with the
+//               paper's step schedule (0.1, ×0.9 every 50 steps),
+//   I-update  — ℓp-box ADMM selection of k pixels (lp_box_admm.hpp),
+//   F-update  — continuous relaxation C per frame, then top-n frames by
+//               ‖C_π(1)‖₂ ≥ … ≥ ‖C_π(N)‖₂ (Alg. 1 lines 5–7).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "attack/perturbation.hpp"
+#include "models/feature_extractor.hpp"
+#include "video/video.hpp"
+
+namespace duo::attack {
+
+// Norm constraint used on θ (Table IX compares ℓ∞ against ℓ2).
+enum class NormKind { kLinf, kL2 };
+
+// Attack goal (§I: "our method can be easily extended to launch untargeted
+// attacks"). Targeted pulls Fea(v_adv) toward Fea(v_t); untargeted pushes
+// it away from Fea(v) (v_t is ignored).
+enum class AttackGoal { kTargeted, kUntargeted };
+
+struct SparseTransferConfig {
+  std::int64_t k = 2500;   // pixel budget 1ᵀI = k
+  std::int64_t n = 4;      // frame budget ‖F‖₂,₀ = n
+  float tau = 30.0f;       // per-pixel magnitude cap (0..255 scale)
+  float lambda = 6.7379e-3f;  // λ = e⁻⁵ (paper §V-B)
+  NormKind norm = NormKind::kLinf;
+  AttackGoal goal = AttackGoal::kTargeted;
+
+  int outer_iterations = 5;   // alternating rounds of Alg. 1's while-loop
+  int theta_steps = 12;       // GD steps on θ per round
+  float step_init = 0.1f;     // of τ; decays ×0.9 every 50 global steps
+  int step_decay_every = 50;
+  float step_decay_rate = 0.9f;
+
+  bool use_admm = true;  // false → plain top-k (ablation, DESIGN.md §5)
+  int admm_iterations = 15;
+  // Seed for the untargeted warm start (below); unused when targeted.
+  std::uint64_t seed = 29;
+};
+
+struct SparseTransferResult {
+  Perturbation perturbation;
+  std::vector<double> loss_history;  // surrogate loss per outer iteration
+};
+
+// Runs Algorithm 1. `init` (from a previous DUO outer iteration) seeds
+// {I, F, θ}; when absent, I = F = 1 and θ = 0 per the paper.
+SparseTransferResult sparse_transfer(const video::Video& v,
+                                     const video::Video& v_t,
+                                     models::FeatureExtractor& surrogate,
+                                     const SparseTransferConfig& config,
+                                     const std::optional<Perturbation>& init =
+                                         std::nullopt);
+
+}  // namespace duo::attack

@@ -1,0 +1,174 @@
+#include "attack/surrogate.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.hpp"
+#include "nn/losses.hpp"
+#include "nn/optimizer.hpp"
+
+namespace duo::attack {
+
+VideoStore::VideoStore(const std::vector<video::Video>& videos) {
+  for (const auto& v : videos) add(v);
+}
+
+void VideoStore::add(const video::Video& v) {
+  by_id_.insert_or_assign(v.id(), v);
+}
+
+const video::Video& VideoStore::get(std::int64_t id) const {
+  const auto it = by_id_.find(id);
+  DUO_CHECK_MSG(it != by_id_.end(), "VideoStore: unknown id");
+  return it->second;
+}
+
+bool VideoStore::contains(std::int64_t id) const {
+  return by_id_.count(id) != 0;
+}
+
+SurrogateDataset harvest_surrogate_dataset(
+    retrieval::BlackBoxHandle& victim, const VideoStore& store,
+    const std::vector<std::int64_t>& seed_ids,
+    const SurrogateHarvestConfig& config) {
+  DUO_CHECK_MSG(!seed_ids.empty(), "harvest: need at least one seed video");
+  Rng rng(config.seed);
+  SurrogateDataset out;
+  std::unordered_set<std::int64_t> held;
+
+  const std::int64_t queries_before = victim.query_count();
+  std::vector<std::int64_t> frontier = seed_ids;
+  for (const auto id : seed_ids) {
+    DUO_CHECK_MSG(store.contains(id), "harvest: seed not in store");
+    held.insert(id);
+  }
+  // Anchors and their retrieval lists, kept for the contrastive pass below.
+  std::vector<std::pair<std::int64_t, metrics::RetrievalList>> anchor_lists;
+
+  auto harvest_list = [&](std::int64_t anchor_id) {
+    const auto list = victim.retrieve(store.get(anchor_id), config.m);
+    if (list.size() < 2) return list;
+    // Triplets ⟨anchor, v_i, v_j⟩ for i < j, capped for balance: prefer
+    // widely separated ranks (most informative ordering constraints).
+    int added = 0;
+    for (std::size_t gap = list.size() - 1; gap >= 1 && added < config.max_triplets_per_list; --gap) {
+      for (std::size_t i = 0; i + gap < list.size() && added < config.max_triplets_per_list; ++i) {
+        out.triplets.push_back({anchor_id, list[i], list[i + gap]});
+        ++added;
+      }
+    }
+    for (const auto id : list) held.insert(id);
+    anchor_lists.emplace_back(anchor_id, list);
+    return list;
+  };
+
+  // Estimated total triplets so far (within-list + contrastive pass below).
+  auto triplet_estimate = [&] {
+    return out.triplets.size() +
+           anchor_lists.size() *
+               static_cast<std::size_t>(config.out_of_list_per_anchor);
+  };
+  auto targets_met = [&] {
+    // The triplet target, when set, is the primary stopping rule (it is the
+    // surrogate-dataset size the paper sweeps); the video-count target is
+    // the fallback for target_triplets == 0.
+    if (config.target_triplets > 0) {
+      return triplet_estimate() >= config.target_triplets;
+    }
+    return held.size() >= config.target_video_count;
+  };
+
+  // Step 3 loop (Z rounds of Steps 1–2).
+  for (int round = 0; round < config.rounds && !targets_met(); ++round) {
+    std::vector<std::int64_t> next_frontier;
+    for (const auto anchor : frontier) {
+      if (targets_met()) break;
+      const auto list = harvest_list(anchor);  // Step 1
+      // Step 2: uniformly select M videos from the list and requery them
+      // next round.
+      std::vector<std::int64_t> pool(list.begin(), list.end());
+      rng.shuffle(pool);
+      const int take =
+          std::min<int>(config.expand_per_query, static_cast<int>(pool.size()));
+      next_frontier.insert(next_frontier.end(), pool.begin(),
+                           pool.begin() + take);
+    }
+    if (next_frontier.empty()) break;
+    frontier = std::move(next_frontier);
+  }
+
+  out.video_ids.assign(held.begin(), held.end());
+  std::sort(out.video_ids.begin(), out.video_ids.end());
+
+  // Contrastive pass: everything the attacker holds that is absent from an
+  // anchor's top-m must be farther than anything in the list.
+  for (const auto& [anchor, list] : anchor_lists) {
+    std::unordered_set<std::int64_t> in_list(list.begin(), list.end());
+    std::vector<std::int64_t> outside;
+    for (const auto id : out.video_ids) {
+      if (!in_list.count(id) && id != anchor) outside.push_back(id);
+    }
+    if (outside.empty() || list.empty()) continue;
+    for (int i = 0; i < config.out_of_list_per_anchor; ++i) {
+      const std::int64_t closer = list[rng.uniform_index(list.size())];
+      const std::int64_t farther = outside[rng.uniform_index(outside.size())];
+      out.triplets.push_back({anchor, closer, farther});
+    }
+  }
+
+  out.queries_spent = victim.query_count() - queries_before;
+  return out;
+}
+
+SurrogateTrainStats train_surrogate(models::FeatureExtractor& surrogate,
+                                    const SurrogateDataset& dataset,
+                                    const VideoStore& store,
+                                    const SurrogateTrainConfig& config) {
+  DUO_CHECK_MSG(!dataset.triplets.empty(), "train_surrogate: no triplets");
+  surrogate.set_training(true);
+  nn::Adam optimizer(surrogate.parameters(), config.learning_rate);
+  Rng rng(config.seed);
+
+  SurrogateTrainStats stats;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    int contributing = 0;
+    for (int step = 0; step < config.triplets_per_epoch; ++step) {
+      const RankTriplet& t =
+          dataset.triplets[rng.uniform_index(dataset.triplets.size())];
+      const video::Video& va = store.get(t.anchor);
+      const video::Video& vc = store.get(t.closer);
+      const video::Video& vf = store.get(t.farther);
+
+      const Tensor fa = surrogate.extract(va);
+      const Tensor fc = surrogate.extract(vc);
+      const Tensor ff = surrogate.extract(vf);
+      const auto grads = nn::ranked_triplet_loss(fa, fc, ff, config.gamma);
+      // Epoch loss averages over *all* sampled triplets (satisfied ones
+      // contribute zero) so the metric is comparable across epochs.
+      epoch_loss += grads.loss;
+      if (grads.loss <= 0.0) continue;
+      ++contributing;
+
+      optimizer.zero_grad();
+      // Re-forward before each backward so layer caches match the sample.
+      (void)surrogate.extract(va);
+      (void)surrogate.backward_to_input(grads.anchor_grad);
+      (void)surrogate.extract(vc);
+      (void)surrogate.backward_to_input(grads.closer_grad);
+      (void)surrogate.extract(vf);
+      (void)surrogate.backward_to_input(grads.farther_grad);
+      optimizer.step();
+    }
+    stats.epoch_losses.push_back(epoch_loss / config.triplets_per_epoch);
+    if (config.verbose) {
+      DUO_LOG_INFO("surrogate %s epoch %d/%d loss=%.4f (%d active)",
+                   surrogate.name().c_str(), epoch + 1, config.epochs,
+                   stats.epoch_losses.back(), contributing);
+    }
+  }
+  surrogate.set_training(false);
+  return stats;
+}
+
+}  // namespace duo::attack

@@ -1,0 +1,96 @@
+#pragma once
+
+// SparseTransfer step 1 (§IV-B1): build a surrogate model S(·) approximating
+// the black-box victim R(·).
+//
+// The attacker seeds the process with videos it owns, queries the victim,
+// downloads the returned videos (VideoStore stands in for the public video
+// site), and harvests ranking triplets ⟨anchor, vᵢ, vⱼ⟩ (i < j in R^m):
+// the victim believes vᵢ is more similar to the anchor than vⱼ. The
+// surrogate is trained to reproduce those rankings with the margin loss
+// Σ_{j>i} [D(v,vᵢ) − D(v,vⱼ) + γ]₊ (γ = 0.2).
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "models/feature_extractor.hpp"
+#include "retrieval/system.hpp"
+#include "video/video.hpp"
+
+namespace duo::attack {
+
+// Public id → video lookup (the attacker can fetch any returned video).
+class VideoStore {
+ public:
+  VideoStore() = default;
+  explicit VideoStore(const std::vector<video::Video>& videos);
+
+  void add(const video::Video& v);
+  const video::Video& get(std::int64_t id) const;
+  bool contains(std::int64_t id) const;
+  std::size_t size() const noexcept { return by_id_.size(); }
+
+ private:
+  std::unordered_map<std::int64_t, video::Video> by_id_;
+};
+
+struct RankTriplet {
+  std::int64_t anchor = -1;   // query video id
+  std::int64_t closer = -1;   // v_i, ranked higher
+  std::int64_t farther = -1;  // v_j, ranked lower (i < j)
+};
+
+struct SurrogateDataset {
+  std::vector<std::int64_t> video_ids;  // distinct videos the attacker holds
+  std::vector<RankTriplet> triplets;
+  std::int64_t queries_spent = 0;
+};
+
+struct SurrogateHarvestConfig {
+  std::size_t m = 10;               // list length per query
+  int expand_per_query = 3;         // M: videos re-queried per list (Step 2)
+  int rounds = 4;                   // Z: Step-3 repetitions
+  std::size_t target_video_count = 40;  // stop once this many videos held
+  // Primary stopping rule: keep querying (up to `rounds`) until this many
+  // training triplets are harvested. This is the "size of the surrogate
+  // dataset" that Table III / Fig. 4 sweep. 0 disables the rule and falls
+  // back to target_video_count alone.
+  std::size_t target_triplets = 400;
+  int max_triplets_per_list = 20;   // cap per list to balance the set
+  // Contrastive triplets ⟨anchor, in-list, out-of-list⟩: a video the attacker
+  // holds that did NOT appear in the anchor's top-m must rank below every
+  // returned one. These carry most of the training signal — within-list
+  // triplets alone only order already-similar videos.
+  int out_of_list_per_anchor = 24;
+  std::uint64_t seed = 11;
+};
+
+// Steps 1–3 of §IV-B1. `seed_ids` are the attacker's own starting videos
+// (must exist in `store`).
+SurrogateDataset harvest_surrogate_dataset(
+    retrieval::BlackBoxHandle& victim, const VideoStore& store,
+    const std::vector<std::int64_t>& seed_ids,
+    const SurrogateHarvestConfig& config);
+
+struct SurrogateTrainConfig {
+  int epochs = 4;
+  int triplets_per_epoch = 64;
+  float learning_rate = 2e-3f;
+  float gamma = 0.2f;  // ranking margin (paper §IV-B1)
+  std::uint64_t seed = 13;
+  bool verbose = false;
+};
+
+struct SurrogateTrainStats {
+  std::vector<double> epoch_losses;
+};
+
+// Train `surrogate` in place on harvested triplets.
+SurrogateTrainStats train_surrogate(models::FeatureExtractor& surrogate,
+                                    const SurrogateDataset& dataset,
+                                    const VideoStore& store,
+                                    const SurrogateTrainConfig& config);
+
+}  // namespace duo::attack

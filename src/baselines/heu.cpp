@@ -1,0 +1,156 @@
+#include "baselines/heu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "attack/objective.hpp"
+#include "baselines/vanilla.hpp"
+
+namespace duo::baselines {
+
+attack::Perturbation saliency_support(const video::Video& v, std::int64_t k,
+                                      std::int64_t n) {
+  const video::VideoGeometry& g = v.geometry();
+  attack::Perturbation pert(g);
+  const std::int64_t fe = g.elements_per_frame();
+  const float* data = v.data().data();
+
+  // Key frames: motion energy ‖frame_t − frame_{t−1}‖² (frame 0 pairs with
+  // frame 1 so it can still win when the action starts immediately).
+  std::vector<double> motion(static_cast<std::size_t>(g.frames), 0.0);
+  for (std::int64_t f = 0; f < g.frames; ++f) {
+    const std::int64_t prev = f == 0 ? 1 : f - 1;
+    double acc = 0.0;
+    for (std::int64_t e = 0; e < fe; ++e) {
+      const double d = static_cast<double>(data[f * fe + e]) -
+                       data[prev * fe + e];
+      acc += d * d;
+    }
+    motion[static_cast<std::size_t>(f)] = acc;
+  }
+  std::vector<std::int64_t> order(static_cast<std::size_t>(g.frames));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::int64_t a, std::int64_t b) {
+    const double ma = motion[static_cast<std::size_t>(a)];
+    const double mb = motion[static_cast<std::size_t>(b)];
+    if (ma != mb) return ma > mb;
+    return a < b;
+  });
+  order.resize(static_cast<std::size_t>(std::min<std::int64_t>(n, g.frames)));
+  pert.set_frames(order);
+
+  // Salient pixels: deviation from the frame's per-channel mean (local
+  // contrast proxy), ranked within the selected frames.
+  Tensor scores(g.tensor_shape());
+  for (const auto f : order) {
+    std::vector<double> channel_mean(static_cast<std::size_t>(g.channels), 0.0);
+    const std::int64_t px = g.pixels_per_frame();
+    for (std::int64_t e = 0; e < fe; ++e) {
+      channel_mean[static_cast<std::size_t>(e % g.channels)] +=
+          data[f * fe + e];
+    }
+    for (auto& m : channel_mean) m /= static_cast<double>(px);
+    for (std::int64_t e = 0; e < fe; ++e) {
+      scores[f * fe + e] = std::fabs(
+          data[f * fe + e] -
+          static_cast<float>(channel_mean[static_cast<std::size_t>(e % g.channels)]));
+    }
+  }
+  pert.restrict_pixels_to_frames_topk(scores, k);
+  pert.magnitude().fill(0.0f);
+  return pert;
+}
+
+HeuAttack::HeuAttack(HeuStrategy strategy, HeuConfig config)
+    : strategy_(strategy), config_(std::move(config)) {}
+
+attack::AttackOutcome HeuAttack::run(const video::Video& v,
+                                     const video::Video& v_t,
+                                     retrieval::BlackBoxHandle& victim) {
+  const std::int64_t queries_before = victim.query_count();
+  const video::VideoGeometry& g = v.geometry();
+  Rng rng(config_.seed ^ static_cast<std::uint64_t>(v.id() * 0x9E3779B9ULL));
+
+  attack::Perturbation pert =
+      strategy_ == HeuStrategy::kNatureEstimated
+          ? saliency_support(v, config_.k, config_.n)
+          : random_support(g, config_.k, config_.n, rng);
+
+  const Tensor support = pert.pixel_mask() * pert.frame_mask();
+  std::vector<std::int64_t> coords;
+  for (std::int64_t i = 0; i < support.size(); ++i) {
+    if (support[i] > 0.5f) coords.push_back(i);
+  }
+
+  const attack::ObjectiveContext ctx =
+      attack::make_objective_context(victim, v, v_t, config_.m, config_.eta);
+
+  auto quantize = [](video::Video video) {
+    for (auto& x : video.data().flat()) x = std::round(x);
+    return video;
+  };
+  auto clip_to_budget = [&](video::Video& candidate) {
+    float* d = candidate.data().data();
+    const float* orig = v.data().data();
+    for (const auto i : coords) {
+      const float lo = std::max(0.0f, orig[i] - config_.tau);
+      const float hi = std::min(255.0f, orig[i] + config_.tau);
+      d[i] = std::clamp(d[i], lo, hi);
+    }
+  };
+
+  video::Video v_adv = v;
+  attack::AttackOutcome out;
+  double t_current = attack::t_loss(victim, quantize(v_adv), ctx);
+  out.t_history.push_back(t_current);
+
+  if (coords.empty()) {
+    out.adversarial = quantize(std::move(v_adv));
+    out.perturbation = out.adversarial.data() - v.data();
+    out.queries = victim.query_count() - queries_before;
+    return out;
+  }
+
+  for (int it = 0; it < config_.nes_iterations; ++it) {
+    // NES gradient estimate with antithetic sampling on the support.
+    std::vector<float> grad(coords.size(), 0.0f);
+    for (int p = 0; p < config_.nes_population; ++p) {
+      std::vector<float> noise(coords.size());
+      for (auto& z : noise) z = rng.normal_f(0.0f, 1.0f);
+
+      video::Video plus = v_adv;
+      video::Video minus = v_adv;
+      for (std::size_t c = 0; c < coords.size(); ++c) {
+        plus.data()[coords[c]] += config_.nes_sigma * noise[c];
+        minus.data()[coords[c]] -= config_.nes_sigma * noise[c];
+      }
+      clip_to_budget(plus);
+      clip_to_budget(minus);
+      const double t_plus = attack::t_loss(victim, quantize(plus), ctx);
+      const double t_minus = attack::t_loss(victim, quantize(minus), ctx);
+      const float w = static_cast<float>(t_plus - t_minus);
+      for (std::size_t c = 0; c < coords.size(); ++c) {
+        grad[c] += w * noise[c];
+      }
+    }
+
+    // Sign step downhill, then re-measure.
+    for (std::size_t c = 0; c < coords.size(); ++c) {
+      const float step = grad[c] > 0.0f ? -config_.step_size
+                         : grad[c] < 0.0f ? config_.step_size
+                                          : 0.0f;
+      v_adv.data()[coords[c]] += step;
+    }
+    clip_to_budget(v_adv);
+    t_current = attack::t_loss(victim, quantize(v_adv), ctx);
+    out.t_history.push_back(t_current);
+  }
+
+  out.adversarial = quantize(std::move(v_adv));
+  out.perturbation = out.adversarial.data() - v.data();
+  out.queries = victim.query_count() - queries_before;
+  return out;
+}
+
+}  // namespace duo::baselines

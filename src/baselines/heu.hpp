@@ -1,0 +1,54 @@
+#pragma once
+
+// HEU baseline (Wei et al. [16]): heuristic black-box attack on video
+// models. Two variants, as in §V-B:
+//
+//  * HEU-Nes — the "nature-estimated" strategy: key frames are chosen by
+//    motion energy (temporal difference), salient pixels by local contrast,
+//    and the perturbation is optimized with NES gradient estimation over
+//    black-box queries.
+//  * HEU-Sim — the same NES optimizer but with the random-selection strategy
+//    of Vanilla instead of the saliency heuristics.
+
+#include "attack/attack.hpp"
+#include "attack/perturbation.hpp"
+
+namespace duo::baselines {
+
+struct HeuConfig {
+  std::int64_t k = 2500;
+  std::int64_t n = 4;
+  float tau = 30.0f;
+  std::size_t m = 10;
+  double eta = 1.0;
+  int nes_iterations = 25;      // NES outer steps
+  int nes_population = 8;       // antithetic pairs per step → 2·pop queries
+  float nes_sigma = 4.0f;       // exploration stddev (pixel scale)
+  float step_size = 4.0f;       // sign-step size per iteration
+  std::uint64_t seed = 29;
+};
+
+enum class HeuStrategy { kNatureEstimated, kRandom };
+
+class HeuAttack final : public attack::Attack {
+ public:
+  HeuAttack(HeuStrategy strategy, HeuConfig config);
+
+  attack::AttackOutcome run(const video::Video& v, const video::Video& v_t,
+                            retrieval::BlackBoxHandle& victim) override;
+
+  std::string name() const override {
+    return strategy_ == HeuStrategy::kNatureEstimated ? "HEU-Nes" : "HEU-Sim";
+  }
+
+ private:
+  HeuStrategy strategy_;
+  HeuConfig config_;
+};
+
+// Saliency-based support selection (exposed for tests): top-n frames by
+// motion energy, top-k pixels by local contrast within those frames.
+attack::Perturbation saliency_support(const video::Video& v, std::int64_t k,
+                                      std::int64_t n);
+
+}  // namespace duo::baselines

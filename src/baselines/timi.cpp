@@ -1,0 +1,113 @@
+#include "baselines/timi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace duo::baselines {
+
+namespace {
+
+// Spatial Gaussian smoothing of a pixel-space gradient [N, H, W, C] — the
+// translation-invariant trick: attacking a smoothed gradient transfers
+// better across architectures.
+Tensor ti_smooth(const Tensor& grad, const video::VideoGeometry& g,
+                 int radius, float sigma) {
+  std::vector<float> kernel(static_cast<std::size_t>(2 * radius + 1));
+  float ksum = 0.0f;
+  for (int i = -radius; i <= radius; ++i) {
+    const float w = std::exp(-static_cast<float>(i * i) / (2.0f * sigma * sigma));
+    kernel[static_cast<std::size_t>(i + radius)] = w;
+    ksum += w;
+  }
+  for (auto& w : kernel) w /= ksum;
+
+  // Separable convolution: rows then columns, per frame and channel.
+  Tensor tmp(grad.shape());
+  Tensor out(grad.shape());
+  for (std::int64_t n = 0; n < g.frames; ++n) {
+    for (std::int64_t c = 0; c < g.channels; ++c) {
+      for (std::int64_t y = 0; y < g.height; ++y) {
+        for (std::int64_t x = 0; x < g.width; ++x) {
+          float acc = 0.0f;
+          for (int dx = -radius; dx <= radius; ++dx) {
+            const std::int64_t xx =
+                std::clamp<std::int64_t>(x + dx, 0, g.width - 1);
+            acc += kernel[static_cast<std::size_t>(dx + radius)] *
+                   grad.at(n, y, xx, c);
+          }
+          tmp.at(n, y, x, c) = acc;
+        }
+      }
+      for (std::int64_t y = 0; y < g.height; ++y) {
+        for (std::int64_t x = 0; x < g.width; ++x) {
+          float acc = 0.0f;
+          for (int dy = -radius; dy <= radius; ++dy) {
+            const std::int64_t yy =
+                std::clamp<std::int64_t>(y + dy, 0, g.height - 1);
+            acc += kernel[static_cast<std::size_t>(dy + radius)] *
+                   tmp.at(n, yy, x, c);
+          }
+          out.at(n, y, x, c) = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TimiAttack::TimiAttack(models::FeatureExtractor& surrogate, TimiConfig config)
+    : surrogate_(&surrogate),
+      config_(config),
+      name_("TIMI-" + surrogate.name()) {}
+
+attack::AttackOutcome TimiAttack::run(const video::Video& v,
+                                      const video::Video& v_t,
+                                      retrieval::BlackBoxHandle& victim) {
+  (void)victim;  // transfer-only: spends no queries
+  const video::VideoGeometry& g = v.geometry();
+  surrogate_->set_training(false);
+  const Tensor target_feature = surrogate_->extract(v_t);
+
+  const float alpha =
+      config_.tau / static_cast<float>(std::max(1, config_.iterations));
+  Tensor delta(g.tensor_shape());
+  Tensor velocity(g.tensor_shape());
+
+  for (int it = 0; it < config_.iterations; ++it) {
+    video::Video v_adv(v.data() + delta, g, v.label(), v.id());
+    v_adv.clamp_valid();
+
+    const Tensor feature = surrogate_->extract(v_adv);
+    Tensor diff = feature - target_feature;
+    diff *= 2.0f;  // d‖Fea − Fea_t‖²/dFea
+    for (auto* p : surrogate_->parameters()) p->zero_grad();
+    const Tensor model_grad = surrogate_->backward_to_input(diff);
+    Tensor grad = video::Video::from_model_space(model_grad, g, false);
+
+    // TI: smooth, MI: accumulate L1-normalized gradient into the velocity.
+    grad = ti_smooth(grad, g, config_.ti_kernel_radius, config_.ti_sigma);
+    const double l1 = grad.norm_l1();
+    if (l1 > 1e-12) grad *= static_cast<float>(1.0 / l1);
+    velocity *= config_.momentum;
+    velocity += grad;
+
+    // Descend (we minimize the feature distance to the target).
+    delta.axpy(-alpha, velocity.sign());
+    delta.clamp_(-config_.tau, config_.tau);
+  }
+
+  video::Video v_adv(v.data() + delta, g, v.label(), v.id());
+  v_adv.clamp_valid();
+  for (auto& x : v_adv.data().flat()) x = std::round(x);
+
+  attack::AttackOutcome out;
+  out.adversarial = std::move(v_adv);
+  out.perturbation = out.adversarial.data() - v.data();
+  out.queries = 0;
+  return out;
+}
+
+}  // namespace duo::baselines

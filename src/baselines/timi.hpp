@@ -1,0 +1,38 @@
+#pragma once
+
+// TIMI baseline (Dong et al. [25]): transfer-only dense attack combining the
+// momentum-iterative (MI) method with translation-invariant (TI) gradient
+// smoothing. Perturbs every frame and every pixel (Table II reports it with
+// n = 16 and Spa ≈ the full tensor), which is exactly the density DUO's
+// sparsification eliminates.
+
+#include "attack/attack.hpp"
+#include "models/feature_extractor.hpp"
+
+namespace duo::baselines {
+
+struct TimiConfig {
+  int iterations = 10;
+  float tau = 10.0f;          // ℓ∞ budget (paper Table II: PScore ≈ 10)
+  float momentum = 1.0f;      // MI decay factor μ
+  int ti_kernel_radius = 1;   // TI Gaussian kernel radius (3×3)
+  float ti_sigma = 1.0f;
+};
+
+class TimiAttack final : public attack::Attack {
+ public:
+  // Name follows the paper: TIMI-<surrogate backbone>.
+  TimiAttack(models::FeatureExtractor& surrogate, TimiConfig config);
+
+  attack::AttackOutcome run(const video::Video& v, const video::Video& v_t,
+                            retrieval::BlackBoxHandle& victim) override;
+
+  std::string name() const override { return name_; }
+
+ private:
+  models::FeatureExtractor* surrogate_;
+  TimiConfig config_;
+  std::string name_;
+};
+
+}  // namespace duo::baselines

@@ -1,0 +1,61 @@
+#include "baselines/vanilla.hpp"
+
+#include <numeric>
+
+namespace duo::baselines {
+
+attack::Perturbation random_support(const video::VideoGeometry& geometry,
+                                    std::int64_t k, std::int64_t n, Rng& rng) {
+  attack::Perturbation pert(geometry);
+
+  std::vector<std::int64_t> frames(static_cast<std::size_t>(geometry.frames));
+  std::iota(frames.begin(), frames.end(), 0);
+  rng.shuffle(frames);
+  frames.resize(static_cast<std::size_t>(
+      std::min<std::int64_t>(n, geometry.frames)));
+  pert.set_frames(frames);
+
+  // k random elements within the selected frames.
+  const std::int64_t fe = geometry.elements_per_frame();
+  std::vector<std::int64_t> candidates;
+  candidates.reserve(static_cast<std::size_t>(frames.size()) *
+                     static_cast<std::size_t>(fe));
+  for (const auto f : frames) {
+    for (std::int64_t e = 0; e < fe; ++e) candidates.push_back(f * fe + e);
+  }
+  rng.shuffle(candidates);
+  const std::size_t kk = static_cast<std::size_t>(
+      std::min<std::int64_t>(k, static_cast<std::int64_t>(candidates.size())));
+
+  pert.pixel_mask().fill(0.0f);
+  for (std::size_t i = 0; i < kk; ++i) {
+    pert.pixel_mask()[candidates[i]] = 1.0f;
+  }
+  pert.magnitude().fill(0.0f);
+  return pert;
+}
+
+attack::AttackOutcome VanillaAttack::run(const video::Video& v,
+                                         const video::Video& v_t,
+                                         retrieval::BlackBoxHandle& victim) {
+  const std::int64_t queries_before = victim.query_count();
+  Rng rng(config_.seed ^ static_cast<std::uint64_t>(v.id() * 2654435761ULL));
+  const attack::Perturbation pert =
+      random_support(v.geometry(), config_.k, config_.n, rng);
+
+  const attack::ObjectiveContext ctx = attack::make_objective_context(
+      victim, v, v_t, config_.query.m, config_.query.eta);
+  attack::SparseQueryConfig qcfg = config_.query;
+  qcfg.seed = rng.next_u64();
+  const attack::SparseQueryResult sq =
+      attack::sparse_query(v, pert, victim, ctx, qcfg);
+
+  attack::AttackOutcome out;
+  out.adversarial = sq.v_adv;
+  out.perturbation = out.adversarial.data() - v.data();
+  out.t_history = sq.t_history;
+  out.queries = victim.query_count() - queries_before;
+  return out;
+}
+
+}  // namespace duo::baselines

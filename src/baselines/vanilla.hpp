@@ -1,0 +1,38 @@
+#pragma once
+
+// Vanilla baseline (§V-B): random pixel/frame selection at a fixed sparsity
+// budget, followed by a SimBA-style query attack [53] on that support. This
+// is DUO with the dual frame-pixel *search* replaced by random choice — the
+// ablation that isolates the value of SparseTransfer's prior knowledge.
+
+#include "attack/attack.hpp"
+#include "attack/sparse_query.hpp"
+
+namespace duo::baselines {
+
+struct VanillaConfig {
+  std::int64_t k = 2500;  // pixels selected (uniformly within chosen frames)
+  std::int64_t n = 4;     // frames selected uniformly at random
+  attack::SparseQueryConfig query;
+  std::uint64_t seed = 23;
+};
+
+class VanillaAttack final : public attack::Attack {
+ public:
+  explicit VanillaAttack(VanillaConfig config) : config_(std::move(config)) {}
+
+  attack::AttackOutcome run(const video::Video& v, const video::Video& v_t,
+                            retrieval::BlackBoxHandle& victim) override;
+
+  std::string name() const override { return "Vanilla"; }
+
+ private:
+  VanillaConfig config_;
+};
+
+// Shared helper: a Perturbation with n uniformly random frames and k
+// uniformly random pixels inside them, θ = 0 (also used by HEU-Sim).
+attack::Perturbation random_support(const video::VideoGeometry& geometry,
+                                    std::int64_t k, std::int64_t n, Rng& rng);
+
+}  // namespace duo::baselines

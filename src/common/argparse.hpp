@@ -1,0 +1,61 @@
+#pragma once
+
+// Minimal command-line flag parsing for the example/CLI binaries:
+// --name value and --flag forms, with typed getters and defaults.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace duo {
+
+class ArgParse {
+ public:
+  ArgParse(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string token = argv[i];
+      if (token.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(token));
+        continue;
+      }
+      token.erase(0, 2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        named_[token] = argv[++i];
+      } else {
+        named_[token] = "";  // boolean flag
+      }
+    }
+  }
+
+  bool has(const std::string& name) const { return named_.count(name) != 0; }
+
+  std::string get(const std::string& name, const std::string& fallback) const {
+    const auto it = named_.find(name);
+    return it == named_.end() ? fallback : it->second;
+  }
+
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const {
+    const auto it = named_.find(name);
+    if (it == named_.end()) return fallback;
+    DUO_CHECK_MSG(!it->second.empty(), "flag --" + name + " needs a value");
+    return std::stoll(it->second);
+  }
+
+  double get_double(const std::string& name, double fallback) const {
+    const auto it = named_.find(name);
+    if (it == named_.end()) return fallback;
+    DUO_CHECK_MSG(!it->second.empty(), "flag --" + name + " needs a value");
+    return std::stod(it->second);
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> named_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace duo

@@ -1,0 +1,35 @@
+#pragma once
+
+// Invariant checking. DUO_CHECK is always on (cheap compared to the numeric
+// kernels it guards) and throws std::logic_error so tests can assert on
+// misuse and callers can recover at an experiment boundary.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace duo::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "DUO_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace duo::detail
+
+#define DUO_CHECK(expr)                                               \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::duo::detail::check_failed(#expr, __FILE__, __LINE__, "");     \
+    }                                                                 \
+  } while (0)
+
+#define DUO_CHECK_MSG(expr, msg)                                      \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::duo::detail::check_failed(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                 \
+  } while (0)

@@ -1,0 +1,47 @@
+#include "common/logging.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <ctime>
+
+namespace duo {
+
+LogLevel& log_level() noexcept {
+  static LogLevel level = LogLevel::kInfo;
+  return level;
+}
+
+namespace detail {
+
+namespace {
+const char* level_tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?????";
+}
+}  // namespace
+
+void vlog(LogLevel level, const char* fmt, std::va_list args) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::fprintf(stderr, "[%s] ", level_tag(level));
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+}
+
+void log_impl(LogLevel level, const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  vlog(level, fmt, args);
+  va_end(args);
+}
+
+}  // namespace detail
+}  // namespace duo

@@ -1,0 +1,38 @@
+#pragma once
+
+// Minimal leveled logging to stderr. Experiments and benches use the table
+// writer (table.hpp) for primary output; logging is for progress/diagnostics.
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace duo {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global minimum level; default Info. Not thread-synchronized by design:
+// races on a plain enum read are benign for logging purposes.
+LogLevel& log_level() noexcept;
+
+namespace detail {
+void vlog(LogLevel level, const char* fmt, std::va_list args);
+void log_impl(LogLevel level, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+}  // namespace detail
+
+#define DUO_LOG_DEBUG(...) \
+  ::duo::detail::log_impl(::duo::LogLevel::kDebug, __VA_ARGS__)
+#define DUO_LOG_INFO(...) \
+  ::duo::detail::log_impl(::duo::LogLevel::kInfo, __VA_ARGS__)
+#define DUO_LOG_WARN(...) \
+  ::duo::detail::log_impl(::duo::LogLevel::kWarn, __VA_ARGS__)
+#define DUO_LOG_ERROR(...) \
+  ::duo::detail::log_impl(::duo::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace duo

@@ -1,0 +1,96 @@
+#include "common/table.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace duo {
+
+void TableWriter::set_header(std::vector<std::string> header) {
+  DUO_CHECK_MSG(rows_.empty(), "set_header after rows were added");
+  header_ = std::move(header);
+}
+
+void TableWriter::add_row(std::vector<Cell> row) {
+  DUO_CHECK_MSG(row.size() == header_.size(), "row width != header width");
+  rows_.push_back(std::move(row));
+}
+
+std::string TableWriter::format_cell(const Cell& cell) const {
+  if (const auto* s = std::get_if<std::string>(&cell)) return *s;
+  if (const auto* i = std::get_if<long long>(&cell)) return std::to_string(*i);
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision_) << std::get<double>(cell);
+  return os.str();
+}
+
+void TableWriter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+
+  std::vector<std::vector<std::string>> formatted;
+  formatted.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(format_cell(row[c]));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    formatted.push_back(std::move(cells));
+  }
+
+  os << "== " << title_ << " ==\n";
+  auto print_sep = [&] {
+    os << '+';
+    for (const auto w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+         << cells[c] << " |";
+    }
+    os << '\n';
+  };
+
+  print_sep();
+  print_row(header_);
+  print_sep();
+  for (const auto& cells : formatted) print_row(cells);
+  print_sep();
+}
+
+bool TableWriter::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string quoted = "\"";
+    for (const char ch : s) {
+      if (ch == '"') quoted += "\"\"";
+      else quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c) out << ',';
+    out << escape(header_[c]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      out << escape(format_cell(row[c]));
+    }
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace duo

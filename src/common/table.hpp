@@ -1,0 +1,47 @@
+#pragma once
+
+// Formatted table output for experiment harnesses. Benches print the same
+// rows/columns as the paper's tables; TableWriter handles alignment and an
+// optional CSV mirror so results can be diffed across runs.
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace duo {
+
+class TableWriter {
+ public:
+  using Cell = std::variant<std::string, double, long long>;
+
+  explicit TableWriter(std::string title) : title_(std::move(title)) {}
+
+  // Column headers; must be set before rows.
+  void set_header(std::vector<std::string> header);
+
+  // Append one row; cell count must match the header.
+  void add_row(std::vector<Cell> row);
+
+  // Number formatting for double cells (default 2 decimal places).
+  void set_precision(int digits) { precision_ = digits; }
+
+  // Render an aligned ASCII table.
+  void print(std::ostream& os) const;
+
+  // Write CSV (header + rows) to a file; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  const std::string& title() const noexcept { return title_; }
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::string format_cell(const Cell& cell) const;
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 2;
+};
+
+}  // namespace duo

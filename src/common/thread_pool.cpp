@@ -1,0 +1,112 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+#include "common/check.hpp"
+
+namespace duo {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw == 0 ? 1 : hw;
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DUO_CHECK_MSG(!stop_, "enqueue on stopped pool");
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1 || workers_.size() == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  // Dynamic index dispatch: workers grab the next index atomically, which
+  // load-balances uneven per-item cost (e.g. attacks that converge early).
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  auto remaining = std::make_shared<std::atomic<std::size_t>>(count);
+  auto first_error = std::make_shared<std::atomic<bool>>(false);
+  auto error = std::make_shared<std::exception_ptr>();
+  auto error_mutex = std::make_shared<std::mutex>();
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+
+  const std::size_t shards = std::min(workers_.size(), count);
+  for (std::size_t s = 0; s < shards; ++s) {
+    // `count` is captured by value: a straggler shard can observe
+    // i >= count after the caller has already returned. `fn`, `done_mutex`,
+    // `done_cv`, and `done` are only touched before the final fetch_sub,
+    // which happens-before the caller's wait() returns.
+    enqueue([&, count, next, remaining, first_error, error, error_mutex] {
+      for (;;) {
+        const std::size_t i = next->fetch_add(1);
+        if (i >= count) break;
+        if (!first_error->load(std::memory_order_relaxed)) {
+          try {
+            fn(i);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(*error_mutex);
+            if (!first_error->exchange(true)) {
+              *error = std::current_exception();
+            }
+          }
+        }
+        if (remaining->fetch_sub(1) == 1) {
+          std::lock_guard<std::mutex> lock(done_mutex);
+          done = true;
+          done_cv.notify_one();
+        }
+      }
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return done; });
+  if (first_error->load() && *error) std::rethrow_exception(*error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace duo

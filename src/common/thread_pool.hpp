@@ -1,0 +1,49 @@
+#pragma once
+
+// Fixed-size thread pool with a blocking parallel_for. Used to parallelize
+// embarrassingly parallel work: per-video feature extraction, per-pair attack
+// evaluation, and the distributed retrieval scatter phase.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace duo {
+
+class ThreadPool {
+ public:
+  // num_threads == 0 selects hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  // Enqueue a task; fire-and-forget. Use parallel_for for joined work.
+  void enqueue(std::function<void()> task);
+
+  // Run fn(i) for i in [0, count), blocking until all complete. Exceptions
+  // from fn propagate: the first one thrown is rethrown on the caller.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  // Process-wide shared pool for library internals that want parallelism
+  // without plumbing a pool through every call.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace duo

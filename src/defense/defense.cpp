@@ -1,0 +1,180 @@
+#include "defense/defense.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "metrics/metrics.hpp"
+
+namespace duo::defense {
+
+namespace {
+
+float median_of(std::vector<float>& values) {
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  return values[mid];
+}
+
+}  // namespace
+
+video::Video FeatureSqueezing::apply(const video::Video& v) const {
+  const video::VideoGeometry& g = v.geometry();
+  video::Video out = v;
+
+  // Bit-depth reduction: quantize to 2^bits levels over [0, 255].
+  const float levels = static_cast<float>((1 << config_.bit_depth) - 1);
+  for (auto& x : out.data().flat()) {
+    x = std::round(x / 255.0f * levels) / levels * 255.0f;
+  }
+
+  // Median spatial smoothing per frame/channel.
+  if (config_.median_radius > 0) {
+    const int r = config_.median_radius;
+    Tensor smoothed = out.data();
+    std::vector<float> window;
+    window.reserve(static_cast<std::size_t>((2 * r + 1) * (2 * r + 1)));
+    for (std::int64_t n = 0; n < g.frames; ++n) {
+      for (std::int64_t y = 0; y < g.height; ++y) {
+        for (std::int64_t x = 0; x < g.width; ++x) {
+          for (std::int64_t c = 0; c < g.channels; ++c) {
+            window.clear();
+            for (int dy = -r; dy <= r; ++dy) {
+              const std::int64_t yy =
+                  std::clamp<std::int64_t>(y + dy, 0, g.height - 1);
+              for (int dx = -r; dx <= r; ++dx) {
+                const std::int64_t xx =
+                    std::clamp<std::int64_t>(x + dx, 0, g.width - 1);
+                window.push_back(out.data().at(n, yy, xx, c));
+              }
+            }
+            smoothed.at(n, y, x, c) = median_of(window);
+          }
+        }
+      }
+    }
+    out.data() = std::move(smoothed);
+  }
+  return out;
+}
+
+video::Video Noise2Self::apply(const video::Video& v) const {
+  const video::VideoGeometry& g = v.geometry();
+
+  // J-invariant predictor: pixel (n,y,x,c) is predicted as a weighted sum of
+  // its 4 spatial neighbors, 4 diagonal neighbors, and (optionally) the two
+  // temporal neighbors — never itself. The weights are fitted per channel on
+  // this very video by ridge regression (self-supervision: the target is the
+  // noisy pixel, the predictor cannot see it, so it can only fit the signal).
+  struct Offset { int dn, dy, dx; };
+  std::vector<Offset> offsets = {
+      {0, -1, 0}, {0, 1, 0}, {0, 0, -1}, {0, 0, 1},
+      {0, -1, -1}, {0, -1, 1}, {0, 1, -1}, {0, 1, 1},
+  };
+  if (config_.use_temporal && g.frames > 1) {
+    offsets.push_back({-1, 0, 0});
+    offsets.push_back({1, 0, 0});
+  }
+  const std::size_t k = offsets.size();
+
+  auto sample = [&](std::int64_t n, std::int64_t y, std::int64_t x,
+                    std::int64_t c, const Offset& o) {
+    const std::int64_t nn = std::clamp<std::int64_t>(n + o.dn, 0, g.frames - 1);
+    const std::int64_t yy = std::clamp<std::int64_t>(y + o.dy, 0, g.height - 1);
+    const std::int64_t xx = std::clamp<std::int64_t>(x + o.dx, 0, g.width - 1);
+    return v.data().at(nn, yy, xx, c);
+  };
+
+  video::Video out = v;
+  for (std::int64_t c = 0; c < g.channels; ++c) {
+    // Normal equations A w = b with A = XᵀX + ridge·I, b = Xᵀ·target.
+    std::vector<double> a(k * k, 0.0);
+    std::vector<double> b(k, 0.0);
+    for (std::int64_t n = 0; n < g.frames; ++n) {
+      for (std::int64_t y = 0; y < g.height; ++y) {
+        for (std::int64_t x = 0; x < g.width; ++x) {
+          std::vector<double> row(k);
+          for (std::size_t j = 0; j < k; ++j) {
+            row[j] = sample(n, y, x, c, offsets[j]) / 255.0;
+          }
+          const double target = v.data().at(n, y, x, c) / 255.0;
+          for (std::size_t i = 0; i < k; ++i) {
+            b[i] += row[i] * target;
+            for (std::size_t j = 0; j < k; ++j) a[i * k + j] += row[i] * row[j];
+          }
+        }
+      }
+    }
+    const double ridge = static_cast<double>(config_.ridge) *
+                         static_cast<double>(g.frames * g.pixels_per_frame());
+    for (std::size_t i = 0; i < k; ++i) a[i * k + i] += ridge;
+
+    // Gaussian elimination with partial pivoting (k ≤ 10).
+    std::vector<double> w = b;
+    for (std::size_t col = 0; col < k; ++col) {
+      std::size_t pivot = col;
+      for (std::size_t r = col + 1; r < k; ++r) {
+        if (std::fabs(a[r * k + col]) > std::fabs(a[pivot * k + col])) pivot = r;
+      }
+      for (std::size_t j = 0; j < k; ++j) std::swap(a[col * k + j], a[pivot * k + j]);
+      std::swap(w[col], w[pivot]);
+      const double diag = a[col * k + col];
+      DUO_CHECK_MSG(std::fabs(diag) > 1e-12, "noise2self: singular system");
+      for (std::size_t r = 0; r < k; ++r) {
+        if (r == col) continue;
+        const double factor = a[r * k + col] / diag;
+        for (std::size_t j = col; j < k; ++j) a[r * k + j] -= factor * a[col * k + j];
+        w[r] -= factor * w[col];
+      }
+    }
+    for (std::size_t i = 0; i < k; ++i) w[i] /= a[i * k + i];
+
+    // Denoise: replace each pixel with its J-invariant prediction.
+    for (std::int64_t n = 0; n < g.frames; ++n) {
+      for (std::int64_t y = 0; y < g.height; ++y) {
+        for (std::int64_t x = 0; x < g.width; ++x) {
+          double pred = 0.0;
+          for (std::size_t j = 0; j < k; ++j) {
+            pred += w[j] * (sample(n, y, x, c, offsets[j]) / 255.0);
+          }
+          out.data().at(n, y, x, c) =
+              std::clamp(static_cast<float>(pred * 255.0), 0.0f, 255.0f);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Detector::Detector(retrieval::RetrievalSystem& system,
+                   std::unique_ptr<InputTransform> transform, std::size_t m)
+    : system_(&system), transform_(std::move(transform)), m_(m) {
+  DUO_CHECK_MSG(transform_ != nullptr, "Detector: null transform");
+}
+
+double Detector::score(const video::Video& v) {
+  const auto raw = system_->retrieve(v, m_);
+  const auto squeezed = system_->retrieve(transform_->apply(v), m_);
+  return 1.0 - metrics::ndcg_similarity(raw, squeezed);
+}
+
+void Detector::calibrate(const std::vector<video::Video>& clean) {
+  DUO_CHECK_MSG(!clean.empty(), "Detector: empty calibration set");
+  double worst = 0.0;
+  for (const auto& v : clean) worst = std::max(worst, score(v));
+  threshold_ = worst + 1e-6;
+}
+
+double Detector::detection_rate(const std::vector<video::Video>& adversarial) {
+  if (adversarial.empty()) return 0.0;
+  std::size_t flagged = 0;
+  for (const auto& v : adversarial) {
+    if (is_adversarial(v)) ++flagged;
+  }
+  return 100.0 * static_cast<double>(flagged) /
+         static_cast<double>(adversarial.size());
+}
+
+}  // namespace duo::defense

@@ -1,0 +1,91 @@
+#pragma once
+
+// Defenses of §V-D. Both follow the same detection recipe: transform the
+// incoming query video, retrieve with both the raw and transformed video,
+// and flag the query as adversarial when the two retrieval lists disagree
+// more than a threshold calibrated on clean traffic.
+//
+//  * Feature squeezing (Xu et al. [26]): bit-depth reduction + median
+//    spatial smoothing.
+//  * Noise2Self (Batson & Royer [27]): J-invariant self-supervised
+//    denoising — each pixel is predicted from a neighborhood that excludes
+//    the pixel itself, with per-channel combination weights fitted on the
+//    query video alone (no clean data needed), exactly the J-invariance
+//    trick of the paper.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "retrieval/system.hpp"
+#include "video/video.hpp"
+
+namespace duo::defense {
+
+// Input transform interface.
+class InputTransform {
+ public:
+  virtual ~InputTransform() = default;
+  virtual video::Video apply(const video::Video& v) const = 0;
+  virtual std::string name() const = 0;
+};
+
+struct FeatureSqueezingConfig {
+  int bit_depth = 5;       // reduce 8-bit pixels to this many bits
+  int median_radius = 1;   // 3×3 spatial median
+};
+
+class FeatureSqueezing final : public InputTransform {
+ public:
+  explicit FeatureSqueezing(FeatureSqueezingConfig config) : config_(config) {}
+  video::Video apply(const video::Video& v) const override;
+  std::string name() const override { return "feature-squeezing"; }
+
+ private:
+  FeatureSqueezingConfig config_;
+};
+
+struct Noise2SelfConfig {
+  bool use_temporal = true;  // include t±1 neighbors in the predictor
+  float ridge = 1e-3f;       // ridge regularization for the weight fit
+};
+
+class Noise2Self final : public InputTransform {
+ public:
+  explicit Noise2Self(Noise2SelfConfig config) : config_(config) {}
+  video::Video apply(const video::Video& v) const override;
+  std::string name() const override { return "noise2self"; }
+
+ private:
+  Noise2SelfConfig config_;
+};
+
+// List-consistency detector around an InputTransform.
+class Detector {
+ public:
+  Detector(retrieval::RetrievalSystem& system,
+           std::unique_ptr<InputTransform> transform, std::size_t m = 10);
+
+  // Disagreement score in [0, 1]: 1 − NDCG-similarity of the two lists.
+  double score(const video::Video& v);
+
+  // Pick the threshold as the max clean score plus a small margin, bounding
+  // the false-positive rate on the calibration set at zero.
+  void calibrate(const std::vector<video::Video>& clean);
+
+  bool is_adversarial(const video::Video& v) { return score(v) > threshold_; }
+
+  double threshold() const noexcept { return threshold_; }
+  const std::string transform_name() const { return transform_->name(); }
+
+  // Detection rate (%) over a set of adversarial videos.
+  double detection_rate(const std::vector<video::Video>& adversarial);
+
+ private:
+  retrieval::RetrievalSystem* system_;
+  std::unique_ptr<InputTransform> transform_;
+  std::size_t m_;
+  double threshold_ = 0.5;
+};
+
+}  // namespace duo::defense

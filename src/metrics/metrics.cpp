@@ -1,0 +1,101 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.hpp"
+
+namespace duo::metrics {
+
+double average_precision(const std::vector<bool>& relevant,
+                         std::int64_t total_relevant) {
+  if (relevant.empty() || total_relevant <= 0) return 0.0;
+  double acc = 0.0;
+  std::int64_t hits = 0;
+  for (std::size_t i = 0; i < relevant.size(); ++i) {
+    if (relevant[i]) {
+      ++hits;
+      acc += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  const std::int64_t denom =
+      std::min<std::int64_t>(total_relevant,
+                             static_cast<std::int64_t>(relevant.size()));
+  return denom > 0 ? acc / static_cast<double>(denom) : 0.0;
+}
+
+double precision_at(const RetrievalList& a, const RetrievalList& b,
+                    std::size_t i) {
+  DUO_CHECK_MSG(i >= 1 && i <= a.size() && i <= b.size(),
+                "precision_at: i out of range");
+  std::unordered_set<std::int64_t> top_a(a.begin(),
+                                         a.begin() + static_cast<long>(i));
+  std::size_t common = 0;
+  for (std::size_t j = 0; j < i; ++j) {
+    if (top_a.count(b[j])) ++common;
+  }
+  return static_cast<double>(common) / static_cast<double>(i);
+}
+
+double ap_at_m(const RetrievalList& a, const RetrievalList& b) {
+  const std::size_t m = std::min(a.size(), b.size());
+  if (m == 0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 1; i <= m; ++i) acc += precision_at(a, b, i);
+  return acc / static_cast<double>(m);
+}
+
+std::int64_t sparsity(const Tensor& perturbation, float eps) {
+  return perturbation.norm_l0(eps);
+}
+
+std::int64_t perturbed_frames(const Tensor& perturbation,
+                              std::int64_t frame_elements, float eps) {
+  DUO_CHECK_MSG(frame_elements > 0, "frame_elements must be positive");
+  DUO_CHECK_MSG(perturbation.size() % frame_elements == 0,
+                "perturbation size not divisible by frame size");
+  const std::int64_t frames = perturbation.size() / frame_elements;
+  std::int64_t count = 0;
+  const float* d = perturbation.data();
+  for (std::int64_t f = 0; f < frames; ++f) {
+    for (std::int64_t e = 0; e < frame_elements; ++e) {
+      if (std::fabs(d[f * frame_elements + e]) > eps) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+double pscore(const Tensor& perturbation) {
+  if (perturbation.empty()) return 0.0;
+  return perturbation.norm_l1() / static_cast<double>(perturbation.size());
+}
+
+double ndcg_similarity(const RetrievalList& a, const RetrievalList& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  std::unordered_map<std::int64_t, std::size_t> pos_b;
+  pos_b.reserve(b.size());
+  for (std::size_t j = 0; j < b.size(); ++j) pos_b.emplace(b[j], j);
+
+  auto discount = [](std::size_t rank) {
+    return 1.0 / std::log2(static_cast<double>(rank) + 2.0);
+  };
+
+  double gain = 0.0, ideal = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ideal += discount(i) * discount(i);
+    const auto it = pos_b.find(a[i]);
+    if (it != pos_b.end()) {
+      // Co-occurring item: discount by both ranks so early agreement on
+      // early items dominates.
+      gain += discount(i) * discount(it->second);
+    }
+  }
+  return ideal > 0.0 ? gain / ideal : 0.0;
+}
+
+}  // namespace duo::metrics

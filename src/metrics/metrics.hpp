@@ -1,0 +1,49 @@
+#pragma once
+
+// Evaluation metrics of §V-A: mAP, AP@m, Spa, PScore, and the NDCG-style
+// list similarity H used inside the SparseQuery objective (Eq. 2).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace duo::metrics {
+
+// A retrieval result: gallery video ids in descending similarity order.
+using RetrievalList = std::vector<std::int64_t>;
+
+// Average precision of one query: `relevant` flags each retrieved position,
+// `total_relevant` is the number of relevant gallery items (paper's N).
+// AP = (1/min(N, m)) · Σ_{i: relevant} ctop(i)/i over the retrieved list.
+double average_precision(const std::vector<bool>& relevant,
+                         std::int64_t total_relevant);
+
+// AP@m between two retrieval lists (paper §V-A): prec_i is the top-i overlap
+// ratio |R_i(a) ∩ R_i(b)| / i and AP@m = Σ_i prec_i / m. Lists may have
+// different lengths; m is the length of the shorter one.
+double ap_at_m(const RetrievalList& a, const RetrievalList& b);
+
+// Top-i overlap ratio prec_i for a single i (1-based).
+double precision_at(const RetrievalList& a, const RetrievalList& b,
+                    std::size_t i);
+
+// Sparsity Spa = Σ_i ‖φ_i‖₀: number of nonzero elements of the perturbation
+// (Table II: a dense attack on 16×112×112×3 gives ≈ 602K).
+std::int64_t sparsity(const Tensor& perturbation, float eps = 1e-6f);
+
+// Number of frames with at least one nonzero element (‖φ‖₂,₀ of §III-C).
+// `frame_elements` is W·H·C.
+std::int64_t perturbed_frames(const Tensor& perturbation,
+                              std::int64_t frame_elements, float eps = 1e-6f);
+
+// PScore = mean |φ| over all N·B·C elements (perceptibility score [49]).
+double pscore(const Tensor& perturbation);
+
+// NDCG-style co-occurrence similarity H(R(a), R(b)) ∈ [0, 1] (Eq. 2, derived
+// from the NDCG-based function of QAIR [10]): items of `a` that co-occur in
+// `b` contribute a rank-discounted gain from both positions.
+double ndcg_similarity(const RetrievalList& a, const RetrievalList& b);
+
+}  // namespace duo::metrics

@@ -1,0 +1,298 @@
+#include "models/feature_extractor.hpp"
+
+#include "nn/activations.hpp"
+#include "nn/compose.hpp"
+#include "nn/conv3d.hpp"
+#include "nn/linear.hpp"
+#include "nn/lstm.hpp"
+#include "nn/norm.hpp"
+#include "nn/pool3d.hpp"
+#include "nn/residual.hpp"
+
+namespace duo::models {
+
+namespace {
+
+using nn::Conv3d;
+using nn::Conv3dSpec;
+
+// Shared wrapper: any Module mapping [C, T, H, W] → [D].
+class SequentialExtractor final : public FeatureExtractor {
+ public:
+  SequentialExtractor(std::string name, std::int64_t feature_dim,
+                      std::unique_ptr<nn::Module> net)
+      : name_(std::move(name)), dim_(feature_dim), net_(std::move(net)) {}
+
+  Tensor extract_model_input(const Tensor& input) override {
+    Tensor out = net_->forward(input);
+    DUO_CHECK_MSG(out.size() == dim_, "extractor output dim mismatch");
+    return out;
+  }
+
+  Tensor backward_to_input(const Tensor& grad_feature) override {
+    return net_->backward(grad_feature);
+  }
+
+  std::vector<nn::Parameter*> parameters() override {
+    return net_->parameters();
+  }
+  void set_training(bool training) override { net_->set_training(training); }
+  std::int64_t feature_dim() const override { return dim_; }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::int64_t dim_;
+  std::unique_ptr<nn::Module> net_;
+};
+
+std::unique_ptr<nn::Module> conv_in_relu(std::int64_t cin, std::int64_t cout,
+                                         std::array<std::int64_t, 3> kernel,
+                                         std::array<std::int64_t, 3> stride,
+                                         std::array<std::int64_t, 3> padding,
+                                         Rng& rng) {
+  auto seq = std::make_unique<nn::Sequential>();
+  Conv3dSpec spec;
+  spec.in_channels = cin;
+  spec.out_channels = cout;
+  spec.kernel = kernel;
+  spec.stride = stride;
+  spec.padding = padding;
+  seq->add(std::make_unique<Conv3d>(spec, rng));
+  seq->add(std::make_unique<nn::InstanceNorm3d>(cout));
+  seq->add(std::make_unique<nn::ReLU>());
+  return seq;
+}
+
+// 2D (per-frame) residual block with k=(1,3,3); optional spatial stride and
+// channel change via a 1×1×1 projection shortcut.
+std::unique_ptr<nn::Module> residual_block_2d(std::int64_t cin,
+                                              std::int64_t cout,
+                                              std::int64_t spatial_stride,
+                                              Rng& rng) {
+  auto body = std::make_unique<nn::Sequential>();
+  Conv3dSpec c1;
+  c1.in_channels = cin;
+  c1.out_channels = cout;
+  c1.kernel = {1, 3, 3};
+  c1.stride = {1, spatial_stride, spatial_stride};
+  c1.padding = {0, 1, 1};
+  body->add(std::make_unique<Conv3d>(c1, rng));
+  body->add(std::make_unique<nn::InstanceNorm3d>(cout));
+  body->add(std::make_unique<nn::ReLU>());
+  Conv3dSpec c2 = c1;
+  c2.in_channels = cout;
+  c2.stride = {1, 1, 1};
+  body->add(std::make_unique<Conv3d>(c2, rng));
+  body->add(std::make_unique<nn::InstanceNorm3d>(cout));
+
+  std::unique_ptr<nn::Module> shortcut;
+  if (cin != cout || spatial_stride != 1) {
+    Conv3dSpec proj;
+    proj.in_channels = cin;
+    proj.out_channels = cout;
+    proj.kernel = {1, 1, 1};
+    proj.stride = {1, spatial_stride, spatial_stride};
+    proj.padding = {0, 0, 0};
+    proj.bias = false;
+    shortcut = std::make_unique<Conv3d>(proj, rng);
+  }
+  return std::make_unique<nn::Residual>(std::move(body), std::move(shortcut));
+}
+
+// --- MiniC3D: plain stacked 3×3×3 convolutions (Tran et al. [43]) ---------
+std::unique_ptr<nn::Module> build_c3d(std::int64_t channels,
+                                      std::int64_t feature_dim, Rng& rng) {
+  auto net = std::make_unique<nn::Sequential>();
+  net->add(conv_in_relu(channels, 8, {3, 3, 3}, {1, 1, 1}, {1, 1, 1}, rng));
+  net->add(std::make_unique<nn::MaxPool3d>(
+      std::array<std::int64_t, 3>{1, 2, 2}));
+  net->add(conv_in_relu(8, 16, {3, 3, 3}, {1, 1, 1}, {1, 1, 1}, rng));
+  net->add(std::make_unique<nn::MaxPool3d>(
+      std::array<std::int64_t, 3>{2, 2, 2}));
+  net->add(conv_in_relu(16, 24, {3, 3, 3}, {1, 1, 1}, {1, 1, 1}, rng));
+  net->add(std::make_unique<nn::GlobalAvgPool>());
+  net->add(std::make_unique<nn::Linear>(24, feature_dim, rng));
+  return net;
+}
+
+// --- MiniResNet18 / MiniResNet34: 2D residual backbone + temporal pooling --
+std::unique_ptr<nn::Module> build_resnet(std::int64_t channels,
+                                         std::int64_t feature_dim,
+                                         int blocks_per_stage, Rng& rng) {
+  auto net = std::make_unique<nn::Sequential>();
+  net->add(conv_in_relu(channels, 8, {1, 3, 3}, {1, 1, 1}, {0, 1, 1}, rng));
+  // Stage 1 at 8 channels, stage 2 at 16 with spatial downsampling.
+  for (int b = 0; b < blocks_per_stage; ++b) {
+    net->add(residual_block_2d(8, 8, 1, rng));
+  }
+  net->add(residual_block_2d(8, 16, 2, rng));
+  for (int b = 1; b < blocks_per_stage; ++b) {
+    net->add(residual_block_2d(16, 16, 1, rng));
+  }
+  net->add(std::make_unique<nn::GlobalAvgPool>());
+  net->add(std::make_unique<nn::Linear>(16, feature_dim, rng));
+  return net;
+}
+
+// --- MiniI3D: inflated 3D stem + inception-style dual branch (Carreira &
+// Zisserman [21]) -----------------------------------------------------------
+std::unique_ptr<nn::Module> build_i3d(std::int64_t channels,
+                                      std::int64_t feature_dim, Rng& rng) {
+  auto net = std::make_unique<nn::Sequential>();
+  net->add(conv_in_relu(channels, 8, {3, 3, 3}, {1, 2, 2}, {1, 1, 1}, rng));
+
+  auto branches = std::make_unique<nn::Parallel>();
+  {
+    // 1×1×1 bottleneck branch.
+    branches->add(conv_in_relu(8, 8, {1, 1, 1}, {1, 1, 1}, {0, 0, 0}, rng));
+    // 3×3×3 inflated branch.
+    branches->add(conv_in_relu(8, 12, {3, 3, 3}, {1, 1, 1}, {1, 1, 1}, rng));
+  }
+  net->add(std::move(branches));  // → 20 channels
+  net->add(std::make_unique<nn::MaxPool3d>(
+      std::array<std::int64_t, 3>{2, 2, 2}));
+  net->add(conv_in_relu(20, 24, {3, 3, 3}, {1, 1, 1}, {1, 1, 1}, rng));
+  net->add(std::make_unique<nn::GlobalAvgPool>());
+  net->add(std::make_unique<nn::Linear>(24, feature_dim, rng));
+  return net;
+}
+
+// --- MiniTPN: shared stem + temporal pyramid of pooling rates (Yang et al.
+// [22]) ----------------------------------------------------------------------
+std::unique_ptr<nn::Module> build_tpn(std::int64_t channels,
+                                      std::int64_t feature_dim, Rng& rng) {
+  auto net = std::make_unique<nn::Sequential>();
+  net->add(conv_in_relu(channels, 8, {3, 3, 3}, {1, 2, 2}, {1, 1, 1}, rng));
+
+  auto pyramid = std::make_unique<nn::Parallel>();
+  // Rate 1: full temporal resolution.
+  {
+    auto p = std::make_unique<nn::Sequential>();
+    p->add(conv_in_relu(8, 8, {3, 3, 3}, {1, 1, 1}, {1, 1, 1}, rng));
+    p->add(std::make_unique<nn::GlobalAvgPool>());
+    pyramid->add(std::move(p));
+  }
+  // Rate 2: temporally pooled ×2.
+  {
+    auto p = std::make_unique<nn::Sequential>();
+    p->add(std::make_unique<nn::AvgPool3d>(
+        std::array<std::int64_t, 3>{2, 1, 1}));
+    p->add(conv_in_relu(8, 8, {3, 3, 3}, {1, 1, 1}, {1, 1, 1}, rng));
+    p->add(std::make_unique<nn::GlobalAvgPool>());
+    pyramid->add(std::move(p));
+  }
+  // Rate 4: temporally pooled ×4.
+  {
+    auto p = std::make_unique<nn::Sequential>();
+    p->add(std::make_unique<nn::AvgPool3d>(
+        std::array<std::int64_t, 3>{4, 1, 1}));
+    p->add(conv_in_relu(8, 8, {3, 3, 3}, {1, 1, 1}, {1, 1, 1}, rng));
+    p->add(std::make_unique<nn::GlobalAvgPool>());
+    pyramid->add(std::move(p));
+  }
+  net->add(std::move(pyramid));  // → [24]
+  net->add(std::make_unique<nn::Linear>(24, feature_dim, rng));
+  return net;
+}
+
+// --- MiniSlowFast: slow pathway (temporal stride 4, wide) + fast pathway
+// (full rate, thin) fused at the head (Feichtenhofer et al. [23]) ------------
+std::unique_ptr<nn::Module> build_slowfast(std::int64_t channels,
+                                           std::int64_t feature_dim,
+                                           Rng& rng) {
+  auto paths = std::make_unique<nn::Parallel>();
+  {
+    auto slow = std::make_unique<nn::Sequential>();
+    slow->add(std::make_unique<nn::AvgPool3d>(
+        std::array<std::int64_t, 3>{4, 1, 1}));
+    slow->add(conv_in_relu(channels, 12, {1, 3, 3}, {1, 2, 2}, {0, 1, 1}, rng));
+    slow->add(conv_in_relu(12, 16, {3, 3, 3}, {1, 1, 1}, {1, 1, 1}, rng));
+    slow->add(std::make_unique<nn::GlobalAvgPool>());
+    paths->add(std::move(slow));
+  }
+  {
+    auto fast = std::make_unique<nn::Sequential>();
+    fast->add(conv_in_relu(channels, 4, {3, 3, 3}, {1, 2, 2}, {1, 1, 1}, rng));
+    fast->add(conv_in_relu(4, 8, {3, 3, 3}, {1, 1, 1}, {1, 1, 1}, rng));
+    fast->add(std::make_unique<nn::GlobalAvgPool>());
+    paths->add(std::move(fast));
+  }
+  auto net = std::make_unique<nn::Sequential>();
+  net->add(std::move(paths));  // → [24]
+  net->add(std::make_unique<nn::Linear>(24, feature_dim, rng));
+  return net;
+}
+
+// --- LstmNet: stacked 2D CNN for spatial features + LSTM for temporal
+// features, the generic retrieval backbone of Fig. 1 [42] --------------------
+std::unique_ptr<nn::Module> build_lstmnet(std::int64_t channels,
+                                          std::int64_t feature_dim, Rng& rng) {
+  auto net = std::make_unique<nn::Sequential>();
+  net->add(conv_in_relu(channels, 8, {1, 3, 3}, {1, 2, 2}, {0, 1, 1}, rng));
+  net->add(conv_in_relu(8, 16, {1, 3, 3}, {1, 1, 1}, {0, 1, 1}, rng));
+  net->add(std::make_unique<nn::SpatialAvgPool>());  // → [T, 16]
+  net->add(std::make_unique<nn::Lstm>(16, 24, rng)); // → [T, 24]
+  net->add(std::make_unique<nn::TemporalMean>());    // → [24]
+  net->add(std::make_unique<nn::Linear>(24, feature_dim, rng));
+  return net;
+}
+
+}  // namespace
+
+const char* model_kind_name(ModelKind kind) noexcept {
+  switch (kind) {
+    case ModelKind::kI3D: return "I3D";
+    case ModelKind::kTPN: return "TPN";
+    case ModelKind::kSlowFast: return "SlowFast";
+    case ModelKind::kResNet34: return "Resnet34";
+    case ModelKind::kC3D: return "C3D";
+    case ModelKind::kResNet18: return "Resnet18";
+    case ModelKind::kLstmNet: return "LstmNet";
+  }
+  return "?";
+}
+
+std::vector<ModelKind> victim_model_kinds() {
+  return {ModelKind::kTPN, ModelKind::kSlowFast, ModelKind::kI3D,
+          ModelKind::kResNet34};
+}
+
+std::vector<ModelKind> surrogate_model_kinds() {
+  return {ModelKind::kC3D, ModelKind::kResNet18};
+}
+
+std::unique_ptr<FeatureExtractor> make_extractor(
+    ModelKind kind, const video::VideoGeometry& geometry,
+    std::int64_t feature_dim, Rng& rng) {
+  DUO_CHECK_MSG(feature_dim > 0, "feature_dim must be positive");
+  DUO_CHECK_MSG(geometry.frames >= 4, "models require at least 4 frames");
+  const std::int64_t c = geometry.channels;
+  switch (kind) {
+    case ModelKind::kC3D:
+      return std::make_unique<SequentialExtractor>(
+          "C3D", feature_dim, build_c3d(c, feature_dim, rng));
+    case ModelKind::kResNet18:
+      return std::make_unique<SequentialExtractor>(
+          "Resnet18", feature_dim, build_resnet(c, feature_dim, 1, rng));
+    case ModelKind::kResNet34:
+      return std::make_unique<SequentialExtractor>(
+          "Resnet34", feature_dim, build_resnet(c, feature_dim, 2, rng));
+    case ModelKind::kI3D:
+      return std::make_unique<SequentialExtractor>(
+          "I3D", feature_dim, build_i3d(c, feature_dim, rng));
+    case ModelKind::kTPN:
+      return std::make_unique<SequentialExtractor>(
+          "TPN", feature_dim, build_tpn(c, feature_dim, rng));
+    case ModelKind::kSlowFast:
+      return std::make_unique<SequentialExtractor>(
+          "SlowFast", feature_dim, build_slowfast(c, feature_dim, rng));
+    case ModelKind::kLstmNet:
+      return std::make_unique<SequentialExtractor>(
+          "LstmNet", feature_dim, build_lstmnet(c, feature_dim, rng));
+  }
+  DUO_CHECK_MSG(false, "unknown model kind");
+  return nullptr;
+}
+
+}  // namespace duo::models

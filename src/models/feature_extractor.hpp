@@ -1,0 +1,81 @@
+#pragma once
+
+// FeatureExtractor: the deep model of Fig. 1. Maps a video to a feature
+// vector Fea(v) ∈ R^D; retrieval ranks gallery videos by L2 distance in this
+// space. Attack code additionally needs d(feature-loss)/d(input-video), which
+// `backward_to_input` provides after an `extract_*` call.
+//
+// Extractors are stateful across forward/backward (layer caches), so a single
+// instance must not be used from multiple threads concurrently.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/module.hpp"
+#include "video/video.hpp"
+
+namespace duo::models {
+
+class FeatureExtractor {
+ public:
+  virtual ~FeatureExtractor() = default;
+
+  FeatureExtractor() = default;
+  FeatureExtractor(const FeatureExtractor&) = delete;
+  FeatureExtractor& operator=(const FeatureExtractor&) = delete;
+
+  // Feature for a video (converts to model space internally).
+  Tensor extract(const video::Video& v) {
+    return extract_model_input(v.to_model_input());
+  }
+
+  // Feature for a model-space input [C, T, H, W] in [0, 1].
+  virtual Tensor extract_model_input(const Tensor& input) = 0;
+
+  // Gradient of a scalar loss w.r.t. the *model-space input* of the most
+  // recent extract call, given d(loss)/d(feature). Also accumulates parameter
+  // gradients (harmless at attack time where only input grads are read).
+  virtual Tensor backward_to_input(const Tensor& grad_feature) = 0;
+
+  virtual std::vector<nn::Parameter*> parameters() = 0;
+  virtual void set_training(bool training) = 0;
+
+  virtual std::int64_t feature_dim() const = 0;
+  virtual std::string name() const = 0;
+
+  std::int64_t parameter_count() {
+    std::int64_t n = 0;
+    for (auto* p : parameters()) n += p->size();
+    return n;
+  }
+};
+
+// The architectures of the paper's evaluation (§V-B): four victims
+// (I3D, TPN, SlowFast, ResNet34), two surrogates (C3D, ResNet18), and the
+// generic LSTM+CNN retrieval backbone of Fig. 1.
+enum class ModelKind {
+  kI3D,
+  kTPN,
+  kSlowFast,
+  kResNet34,
+  kC3D,
+  kResNet18,
+  kLstmNet,
+};
+
+const char* model_kind_name(ModelKind kind) noexcept;
+
+// All victim kinds in paper order (Fig. 3 / Table II columns).
+std::vector<ModelKind> victim_model_kinds();
+// Both surrogate kinds (DUO-C3D, DUO-Res18).
+std::vector<ModelKind> surrogate_model_kinds();
+
+// Build a miniature analogue of `kind` for the given input geometry.
+// Weights are randomly initialized from `rng` (train before use).
+std::unique_ptr<FeatureExtractor> make_extractor(
+    ModelKind kind, const video::VideoGeometry& geometry,
+    std::int64_t feature_dim, Rng& rng);
+
+}  // namespace duo::models

@@ -1,0 +1,70 @@
+#include "models/serialization.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace duo::models {
+
+namespace {
+constexpr char kMagic[8] = {'D', 'U', 'O', 'W', '1', '\0', '\0', '\0'};
+}
+
+bool save_parameters(FeatureExtractor& extractor, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+
+  const auto params = extractor.parameters();
+  out.write(kMagic, sizeof(kMagic));
+  const std::int64_t count = static_cast<std::int64_t>(params.size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto* p : params) {
+    const std::int64_t size = p->size();
+    out.write(reinterpret_cast<const char*>(&size), sizeof(size));
+  }
+  for (const auto* p : params) {
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(p->size() * sizeof(float)));
+  }
+  return static_cast<bool>(out);
+}
+
+bool load_parameters(FeatureExtractor& extractor, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
+
+  const auto params = extractor.parameters();
+  std::int64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || count != static_cast<std::int64_t>(params.size())) return false;
+
+  std::vector<std::int64_t> sizes(static_cast<std::size_t>(count));
+  for (auto& s : sizes) {
+    in.read(reinterpret_cast<char*>(&s), sizeof(s));
+  }
+  if (!in) return false;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (sizes[i] != params[i]->size()) return false;
+  }
+
+  // All-or-nothing: stage into buffers, then commit.
+  std::vector<std::vector<float>> staged(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    staged[i].resize(static_cast<std::size_t>(sizes[i]));
+    in.read(reinterpret_cast<char*>(staged[i].data()),
+            static_cast<std::streamsize>(staged[i].size() * sizeof(float)));
+  }
+  if (!in) return false;
+
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    float* dst = params[i]->value.data();
+    std::memcpy(dst, staged[i].data(), staged[i].size() * sizeof(float));
+  }
+  return true;
+}
+
+}  // namespace duo::models

@@ -1,0 +1,24 @@
+#pragma once
+
+// Model-weight serialization: flat binary checkpoint of all parameters of a
+// FeatureExtractor, in parameter-iteration order. A checkpoint only loads
+// back into the identical architecture/feature-dim/geometry (validated via a
+// layout fingerprint), which is exactly the deployment story the library
+// needs: train a victim once, attack it across bench runs.
+
+#include <string>
+
+#include "models/feature_extractor.hpp"
+
+namespace duo::models {
+
+// Save every parameter tensor of `extractor` to `path`. Returns false on
+// I/O failure.
+bool save_parameters(FeatureExtractor& extractor, const std::string& path);
+
+// Load a checkpoint written by save_parameters into `extractor`. Returns
+// false on I/O failure or if the checkpoint's parameter layout (count and
+// per-parameter sizes) does not match the extractor.
+bool load_parameters(FeatureExtractor& extractor, const std::string& path);
+
+}  // namespace duo::models

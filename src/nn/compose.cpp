@@ -1,0 +1,139 @@
+#include "nn/compose.hpp"
+
+namespace duo::nn {
+
+Tensor Parallel::forward(const Tensor& input) {
+  DUO_CHECK_MSG(!children_.empty(), "Parallel: no children");
+  std::vector<Tensor> outs;
+  outs.reserve(children_.size());
+  cached_out_shapes_.clear();
+  for (auto& child : children_) {
+    outs.push_back(child->forward(input));
+    cached_out_shapes_.push_back(outs.back().shape());
+  }
+
+  const std::size_t rank = outs.front().rank();
+  std::int64_t axis0 = 0;
+  for (const auto& o : outs) {
+    DUO_CHECK_MSG(o.rank() == rank, "Parallel: rank mismatch across children");
+    for (std::size_t a = 1; a < rank; ++a) {
+      DUO_CHECK_MSG(o.shape()[a] == outs.front().shape()[a],
+                    "Parallel: non-concat axis mismatch");
+    }
+    axis0 += o.shape()[0];
+  }
+
+  Tensor::Shape out_shape = outs.front().shape();
+  out_shape[0] = axis0;
+  Tensor out(out_shape);
+  float* dst = out.data();
+  for (const auto& o : outs) {
+    const float* src = o.data();
+    for (std::int64_t i = 0; i < o.size(); ++i) *dst++ = src[i];
+  }
+  return out;
+}
+
+Tensor Parallel::backward(const Tensor& grad_output) {
+  DUO_CHECK_MSG(cached_out_shapes_.size() == children_.size(),
+                "Parallel: backward before forward");
+  Tensor grad_input;
+  const float* src = grad_output.data();
+  std::int64_t consumed = 0;
+  for (std::size_t c = 0; c < children_.size(); ++c) {
+    Tensor g(cached_out_shapes_[c]);
+    float* dst = g.data();
+    for (std::int64_t i = 0; i < g.size(); ++i) dst[i] = src[consumed + i];
+    consumed += g.size();
+    Tensor gi = children_[c]->backward(g);
+    if (grad_input.empty()) {
+      grad_input = std::move(gi);
+    } else {
+      grad_input += gi;
+    }
+  }
+  DUO_CHECK_MSG(consumed == grad_output.size(),
+                "Parallel: grad size mismatch");
+  return grad_input;
+}
+
+std::vector<Parameter*> Parallel::parameters() {
+  std::vector<Parameter*> out;
+  for (auto& child : children_) {
+    auto p = child->parameters();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+void Parallel::set_training(bool training) {
+  Module::set_training(training);
+  for (auto& child : children_) child->set_training(training);
+}
+
+Tensor SpatialAvgPool::forward(const Tensor& input) {
+  DUO_CHECK_MSG(input.rank() == 4, "SpatialAvgPool expects [C, T, H, W]");
+  cached_input_shape_ = input.shape();
+  const std::int64_t c = input.shape()[0], t = input.shape()[1];
+  const std::int64_t hw = input.shape()[2] * input.shape()[3];
+  const float inv = 1.0f / static_cast<float>(hw);
+  Tensor out({t, c});
+  const float* x = input.data();
+  for (std::int64_t cc = 0; cc < c; ++cc) {
+    for (std::int64_t tt = 0; tt < t; ++tt) {
+      const float* plane = x + (cc * t + tt) * hw;
+      double acc = 0.0;
+      for (std::int64_t i = 0; i < hw; ++i) acc += plane[i];
+      out.at(tt, cc) = static_cast<float>(acc) * inv;
+    }
+  }
+  return out;
+}
+
+Tensor SpatialAvgPool::backward(const Tensor& grad_output) {
+  DUO_CHECK_MSG(cached_input_shape_.size() == 4,
+                "SpatialAvgPool: backward before forward");
+  const std::int64_t c = cached_input_shape_[0], t = cached_input_shape_[1];
+  const std::int64_t hw = cached_input_shape_[2] * cached_input_shape_[3];
+  DUO_CHECK(grad_output.shape() == Tensor::Shape({t, c}));
+  const float inv = 1.0f / static_cast<float>(hw);
+  Tensor grad_input(cached_input_shape_);
+  float* gx = grad_input.data();
+  for (std::int64_t cc = 0; cc < c; ++cc) {
+    for (std::int64_t tt = 0; tt < t; ++tt) {
+      const float g = grad_output.at(tt, cc) * inv;
+      float* plane = gx + (cc * t + tt) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) plane[i] = g;
+    }
+  }
+  return grad_input;
+}
+
+Tensor TemporalMean::forward(const Tensor& input) {
+  DUO_CHECK_MSG(input.rank() == 2, "TemporalMean expects [T, D]");
+  cached_input_shape_ = input.shape();
+  const std::int64_t t = input.shape()[0], d = input.shape()[1];
+  const float inv = 1.0f / static_cast<float>(t);
+  Tensor out({d});
+  for (std::int64_t tt = 0; tt < t; ++tt) {
+    for (std::int64_t dd = 0; dd < d; ++dd) out[dd] += input.at(tt, dd) * inv;
+  }
+  return out;
+}
+
+Tensor TemporalMean::backward(const Tensor& grad_output) {
+  DUO_CHECK_MSG(cached_input_shape_.size() == 2,
+                "TemporalMean: backward before forward");
+  const std::int64_t t = cached_input_shape_[0], d = cached_input_shape_[1];
+  DUO_CHECK(grad_output.size() == d);
+  const float inv = 1.0f / static_cast<float>(t);
+  Tensor grad_input(cached_input_shape_);
+  for (std::int64_t tt = 0; tt < t; ++tt) {
+    for (std::int64_t dd = 0; dd < d; ++dd) {
+      grad_input.at(tt, dd) = grad_output[dd] * inv;
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace duo::nn

@@ -1,0 +1,61 @@
+#pragma once
+
+// Composition modules for multi-path architectures (MiniI3D's inception-style
+// branches, MiniSlowFast's dual pathways, MiniTPN's temporal pyramid).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace duo::nn {
+
+// Applies each child to the same input and concatenates the outputs along
+// axis 0. Children must produce outputs that agree on all axes except 0:
+// rank-4 [C, T, H, W] activations (channel concat) or rank-1 [D] feature
+// vectors (vector concat). Backward splits the gradient back per child.
+class Parallel final : public Module {
+ public:
+  Parallel() = default;
+
+  Parallel& add(std::unique_ptr<Module> m) {
+    children_.push_back(std::move(m));
+    return *this;
+  }
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  void set_training(bool training) override;
+  std::string name() const override { return "Parallel"; }
+
+ private:
+  std::vector<std::unique_ptr<Module>> children_;
+  std::vector<Tensor::Shape> cached_out_shapes_;
+};
+
+// Spatial-only average pooling: [C, T, H, W] → [T, C]. Bridges convolutional
+// backbones into sequence models (the LSTM retrieval backbone of Fig. 1).
+class SpatialAvgPool final : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "SpatialAvgPool"; }
+
+ private:
+  Tensor::Shape cached_input_shape_;
+};
+
+// Mean over the time axis: [T, D] → [D].
+class TemporalMean final : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "TemporalMean"; }
+
+ private:
+  Tensor::Shape cached_input_shape_;
+};
+
+}  // namespace duo::nn

@@ -1,0 +1,155 @@
+#include "nn/conv3d.hpp"
+
+#include "nn/init.hpp"
+
+namespace duo::nn {
+
+namespace {
+std::int64_t conv_out_dim(std::int64_t in, std::int64_t k, std::int64_t s,
+                          std::int64_t p) {
+  const std::int64_t out = (in + 2 * p - k) / s + 1;
+  DUO_CHECK_MSG(out > 0, "Conv3d: non-positive output dimension");
+  return out;
+}
+}  // namespace
+
+Conv3d::Conv3d(Conv3dSpec spec, Rng& rng)
+    : spec_(spec),
+      weight_(kaiming_uniform(
+          {spec.out_channels, spec.in_channels, spec.kernel[0], spec.kernel[1],
+           spec.kernel[2]},
+          spec.in_channels * spec.kernel[0] * spec.kernel[1] * spec.kernel[2],
+          rng)),
+      bias_(Tensor({spec.out_channels})) {
+  DUO_CHECK(spec.in_channels > 0 && spec.out_channels > 0);
+  for (int a = 0; a < 3; ++a) {
+    DUO_CHECK(spec.kernel[a] > 0 && spec.stride[a] > 0 && spec.padding[a] >= 0);
+  }
+}
+
+Tensor::Shape Conv3d::output_shape(const Tensor::Shape& in) const {
+  DUO_CHECK_MSG(in.size() == 4, "Conv3d expects [C, T, H, W]");
+  DUO_CHECK_MSG(in[0] == spec_.in_channels, "Conv3d: channel mismatch");
+  return {spec_.out_channels,
+          conv_out_dim(in[1], spec_.kernel[0], spec_.stride[0], spec_.padding[0]),
+          conv_out_dim(in[2], spec_.kernel[1], spec_.stride[1], spec_.padding[1]),
+          conv_out_dim(in[3], spec_.kernel[2], spec_.stride[2], spec_.padding[2])};
+}
+
+Tensor Conv3d::forward(const Tensor& input) {
+  const auto out_shape = output_shape(input.shape());
+  cached_input_ = input;
+
+  const std::int64_t cin = spec_.in_channels, cout = spec_.out_channels;
+  const std::int64_t ti = input.shape()[1], hi = input.shape()[2],
+                     wi = input.shape()[3];
+  const std::int64_t to = out_shape[1], ho = out_shape[2], wo = out_shape[3];
+  const auto [kt, kh, kw] = spec_.kernel;
+  const auto [st, sh, sw] = spec_.stride;
+  const auto [pt, ph, pw] = spec_.padding;
+
+  Tensor out(out_shape);
+  const float* x = input.data();
+  const float* w = weight_.value.data();
+  float* y = out.data();
+
+  for (std::int64_t co = 0; co < cout; ++co) {
+    const float b = spec_.bias ? bias_.value[co] : 0.0f;
+    for (std::int64_t ot = 0; ot < to; ++ot) {
+      for (std::int64_t oh = 0; oh < ho; ++oh) {
+        for (std::int64_t ow = 0; ow < wo; ++ow) {
+          float acc = b;
+          for (std::int64_t ci = 0; ci < cin; ++ci) {
+            const float* wc = w + (((co * cin + ci) * kt) * kh * kw);
+            const float* xc = x + ci * ti * hi * wi;
+            for (std::int64_t dt = 0; dt < kt; ++dt) {
+              const std::int64_t it = ot * st - pt + dt;
+              if (it < 0 || it >= ti) continue;
+              for (std::int64_t dh = 0; dh < kh; ++dh) {
+                const std::int64_t ih = oh * sh - ph + dh;
+                if (ih < 0 || ih >= hi) continue;
+                const float* xrow = xc + (it * hi + ih) * wi;
+                const float* wrow = wc + (dt * kh + dh) * kw;
+                for (std::int64_t dw = 0; dw < kw; ++dw) {
+                  const std::int64_t iw = ow * sw - pw + dw;
+                  if (iw < 0 || iw >= wi) continue;
+                  acc += wrow[dw] * xrow[iw];
+                }
+              }
+            }
+          }
+          y[((co * to + ot) * ho + oh) * wo + ow] = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv3d::backward(const Tensor& grad_output) {
+  DUO_CHECK_MSG(!cached_input_.empty(), "Conv3d: backward before forward");
+  const auto out_shape = output_shape(cached_input_.shape());
+  DUO_CHECK_MSG(grad_output.shape() == out_shape,
+                "Conv3d: grad_output shape mismatch");
+
+  const std::int64_t cin = spec_.in_channels, cout = spec_.out_channels;
+  const std::int64_t ti = cached_input_.shape()[1],
+                     hi = cached_input_.shape()[2],
+                     wi = cached_input_.shape()[3];
+  const std::int64_t to = out_shape[1], ho = out_shape[2], wo = out_shape[3];
+  const auto [kt, kh, kw] = spec_.kernel;
+  const auto [st, sh, sw] = spec_.stride;
+  const auto [pt, ph, pw] = spec_.padding;
+
+  Tensor grad_input(cached_input_.shape());
+  const float* x = cached_input_.data();
+  const float* w = weight_.value.data();
+  const float* gy = grad_output.data();
+  float* gw = weight_.grad.data();
+  float* gb = bias_.grad.data();
+  float* gx = grad_input.data();
+
+  for (std::int64_t co = 0; co < cout; ++co) {
+    for (std::int64_t ot = 0; ot < to; ++ot) {
+      for (std::int64_t oh = 0; oh < ho; ++oh) {
+        for (std::int64_t ow = 0; ow < wo; ++ow) {
+          const float g = gy[((co * to + ot) * ho + oh) * wo + ow];
+          if (g == 0.0f) continue;
+          if (spec_.bias) gb[co] += g;
+          for (std::int64_t ci = 0; ci < cin; ++ci) {
+            const float* wc = w + (((co * cin + ci) * kt) * kh * kw);
+            float* gwc = gw + (((co * cin + ci) * kt) * kh * kw);
+            const float* xc = x + ci * ti * hi * wi;
+            float* gxc = gx + ci * ti * hi * wi;
+            for (std::int64_t dt = 0; dt < kt; ++dt) {
+              const std::int64_t it = ot * st - pt + dt;
+              if (it < 0 || it >= ti) continue;
+              for (std::int64_t dh = 0; dh < kh; ++dh) {
+                const std::int64_t ih = oh * sh - ph + dh;
+                if (ih < 0 || ih >= hi) continue;
+                const float* xrow = xc + (it * hi + ih) * wi;
+                float* gxrow = gxc + (it * hi + ih) * wi;
+                const float* wrow = wc + (dt * kh + dh) * kw;
+                float* gwrow = gwc + (dt * kh + dh) * kw;
+                for (std::int64_t dw = 0; dw < kw; ++dw) {
+                  const std::int64_t iw = ow * sw - pw + dw;
+                  if (iw < 0 || iw >= wi) continue;
+                  gwrow[dw] += g * xrow[iw];
+                  gxrow[iw] += g * wrow[dw];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Parameter*> Conv3d::parameters() {
+  if (spec_.bias) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+}  // namespace duo::nn

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace duo::nn {
+
+// 3D convolution over [C, T, H, W] activations with zero padding.
+//
+// A temporal kernel size of 1 makes this a per-frame 2D convolution, which is
+// how the MiniResNet models (2D backbone + temporal pooling) are expressed
+// without a separate Conv2d implementation.
+struct Conv3dSpec {
+  std::int64_t in_channels = 0;
+  std::int64_t out_channels = 0;
+  std::array<std::int64_t, 3> kernel = {3, 3, 3};   // {kt, kh, kw}
+  std::array<std::int64_t, 3> stride = {1, 1, 1};   // {st, sh, sw}
+  std::array<std::int64_t, 3> padding = {1, 1, 1};  // {pt, ph, pw}
+  bool bias = true;
+};
+
+class Conv3d final : public Module {
+ public:
+  Conv3d(Conv3dSpec spec, Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override { return "Conv3d"; }
+
+  const Conv3dSpec& spec() const noexcept { return spec_; }
+
+  // Output shape for a given input shape (also validates the input shape).
+  Tensor::Shape output_shape(const Tensor::Shape& input_shape) const;
+
+ private:
+  Conv3dSpec spec_;
+  Parameter weight_;  // [Cout, Cin, kt, kh, kw]
+  Parameter bias_;    // [Cout] (unused storage when spec_.bias == false)
+  Tensor cached_input_;
+};
+
+}  // namespace duo::nn

@@ -1,0 +1,43 @@
+#pragma once
+
+// Numerical gradient checking. Every layer's analytic backward pass is
+// verified against central finite differences in the test suite.
+
+#include <functional>
+
+#include "tensor/tensor.hpp"
+
+namespace duo::nn {
+
+// Central-difference gradient of a scalar function at `x`.
+inline Tensor numerical_gradient(const std::function<double(const Tensor&)>& f,
+                                 const Tensor& x, float eps = 1e-3f) {
+  Tensor grad(x.shape());
+  Tensor probe = x;
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    const float orig = probe[i];
+    probe[i] = orig + eps;
+    const double up = f(probe);
+    probe[i] = orig - eps;
+    const double down = f(probe);
+    probe[i] = orig;
+    grad[i] = static_cast<float>((up - down) / (2.0 * eps));
+  }
+  return grad;
+}
+
+// Max absolute deviation between analytic and numerical gradients, relative
+// to the gradient scale (plus a floor to avoid 0/0).
+inline double gradient_max_relative_error(const Tensor& analytic,
+                                          const Tensor& numerical) {
+  double worst = 0.0;
+  for (std::int64_t i = 0; i < analytic.size(); ++i) {
+    const double a = analytic[i];
+    const double n = numerical[i];
+    const double scale = std::max({std::abs(a), std::abs(n), 1e-2});
+    worst = std::max(worst, std::abs(a - n) / scale);
+  }
+  return worst;
+}
+
+}  // namespace duo::nn

@@ -1,0 +1,27 @@
+#pragma once
+
+// Weight initialization schemes.
+
+#include <cmath>
+
+#include "tensor/tensor.hpp"
+
+namespace duo::nn {
+
+// Kaiming/He uniform init for ReLU networks: U(-b, b), b = sqrt(6 / fan_in).
+inline Tensor kaiming_uniform(Tensor::Shape shape, std::int64_t fan_in,
+                              Rng& rng) {
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(std::max<std::int64_t>(fan_in, 1)));
+  return Tensor::uniform(std::move(shape), -bound, bound, rng);
+}
+
+// Xavier/Glorot uniform for tanh/sigmoid gates (LSTM).
+inline Tensor xavier_uniform(Tensor::Shape shape, std::int64_t fan_in,
+                             std::int64_t fan_out, Rng& rng) {
+  const float bound = std::sqrt(
+      6.0f / static_cast<float>(std::max<std::int64_t>(fan_in + fan_out, 1)));
+  return Tensor::uniform(std::move(shape), -bound, bound, rng);
+}
+
+}  // namespace duo::nn

@@ -1,0 +1,53 @@
+#include "nn/linear.hpp"
+
+#include "nn/init.hpp"
+
+namespace duo::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng)
+    : in_(in_features),
+      out_(out_features),
+      weight_(kaiming_uniform({out_features, in_features}, in_features, rng)),
+      bias_(Tensor({out_features})) {}
+
+Tensor Linear::forward(const Tensor& input) {
+  DUO_CHECK_MSG(input.size() == in_, "Linear: input size mismatch");
+  cached_input_ = input.reshaped({in_});
+  Tensor out({out_});
+  const float* w = weight_.value.data();
+  const float* x = cached_input_.data();
+  float* y = out.data();
+  for (std::int64_t o = 0; o < out_; ++o) {
+    const float* wrow = w + o * in_;
+    float acc = bias_.value[o];
+    for (std::int64_t i = 0; i < in_; ++i) acc += wrow[i] * x[i];
+    y[o] = acc;
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  DUO_CHECK_MSG(grad_output.size() == out_, "Linear: grad size mismatch");
+  DUO_CHECK_MSG(cached_input_.size() == in_, "Linear: backward before forward");
+  Tensor grad_input({in_});
+  const float* w = weight_.value.data();
+  const float* x = cached_input_.data();
+  const float* gy = grad_output.data();
+  float* gw = weight_.grad.data();
+  float* gb = bias_.grad.data();
+  float* gx = grad_input.data();
+  for (std::int64_t o = 0; o < out_; ++o) {
+    const float g = gy[o];
+    gb[o] += g;
+    if (g == 0.0f) continue;
+    const float* wrow = w + o * in_;
+    float* gwrow = gw + o * in_;
+    for (std::int64_t i = 0; i < in_; ++i) {
+      gwrow[i] += g * x[i];
+      gx[i] += g * wrow[i];
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace duo::nn

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace duo::nn {
+
+// Fully-connected layer: y = W·x + b for a 1-D input [in]. Used for feature
+// flattening/projection heads in the retrieval models (paper Fig. 1).
+class Linear final : public Module {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  std::string name() const override { return "Linear"; }
+
+  std::int64_t in_features() const noexcept { return in_; }
+  std::int64_t out_features() const noexcept { return out_; }
+
+  Parameter& weight() noexcept { return weight_; }
+  Parameter& bias() noexcept { return bias_; }
+
+ private:
+  std::int64_t in_;
+  std::int64_t out_;
+  Parameter weight_;  // [out, in]
+  Parameter bias_;    // [out]
+  Tensor cached_input_;
+};
+
+}  // namespace duo::nn

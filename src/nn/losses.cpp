@@ -1,0 +1,410 @@
+#include "nn/losses.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "nn/init.hpp"
+
+namespace duo::nn {
+
+namespace {
+
+// Squared L2 distance between rows a and b of `f` ([B, D]).
+double row_dist_sq(const Tensor& f, std::int64_t a, std::int64_t b) {
+  const std::int64_t d = f.shape()[1];
+  const float* fa = f.data() + a * d;
+  const float* fb = f.data() + b * d;
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < d; ++i) {
+    const double diff = static_cast<double>(fa[i]) - fb[i];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+void check_batch(const Tensor& features, const std::vector<int>& labels) {
+  DUO_CHECK_MSG(features.rank() == 2, "loss expects [B, D] features");
+  DUO_CHECK_MSG(static_cast<std::int64_t>(labels.size()) == features.shape()[0],
+                "labels size != batch size");
+}
+
+}  // namespace
+
+BatchLossResult TripletMarginLoss::compute(const Tensor& features,
+                                           const std::vector<int>& labels) {
+  check_batch(features, labels);
+  const std::int64_t b = features.shape()[0], d = features.shape()[1];
+  BatchLossResult out;
+  out.feature_grads = Tensor({b, d});
+  std::int64_t active = 0;
+  double total = 0.0;
+
+  // First pass counts contributing triplets so gradients are means.
+  std::vector<std::array<std::int64_t, 3>> triplets;
+  for (std::int64_t a = 0; a < b; ++a) {
+    for (std::int64_t p = 0; p < b; ++p) {
+      if (p == a || labels[p] != labels[a]) continue;
+      for (std::int64_t n = 0; n < b; ++n) {
+        if (labels[n] == labels[a]) continue;
+        triplets.push_back({a, p, n});
+      }
+    }
+  }
+  if (triplets.empty()) return out;
+
+  const double inv = 1.0 / static_cast<double>(triplets.size());
+  for (const auto& [a, p, n] : triplets) {
+    const double term =
+        row_dist_sq(features, a, p) - row_dist_sq(features, a, n) + margin_;
+    if (term <= 0.0) continue;
+    ++active;
+    total += term;
+    // d/da = 2(a−p) − 2(a−n) = 2(n−p); d/dp = −2(a−p); d/dn = 2(a−n)
+    const float* fa = features.data() + a * d;
+    const float* fp = features.data() + p * d;
+    const float* fn = features.data() + n * d;
+    float* ga = out.feature_grads.data() + a * d;
+    float* gp = out.feature_grads.data() + p * d;
+    float* gn = out.feature_grads.data() + n * d;
+    const float w = static_cast<float>(inv);
+    for (std::int64_t i = 0; i < d; ++i) {
+      ga[i] += w * 2.0f * (fn[i] - fp[i]);
+      gp[i] += w * -2.0f * (fa[i] - fp[i]);
+      gn[i] += w * 2.0f * (fa[i] - fn[i]);
+    }
+  }
+  (void)active;
+  out.loss = total * inv;
+  return out;
+}
+
+ArcFaceLoss::ArcFaceLoss(std::int64_t feature_dim, std::int64_t num_classes,
+                         Rng& rng, float scale, float margin)
+    : dim_(feature_dim),
+      classes_(num_classes),
+      scale_(scale),
+      margin_(margin),
+      weights_(kaiming_uniform({num_classes, feature_dim}, feature_dim, rng)) {
+  DUO_CHECK(feature_dim > 0 && num_classes > 1);
+}
+
+BatchLossResult ArcFaceLoss::compute(const Tensor& features,
+                                     const std::vector<int>& labels) {
+  check_batch(features, labels);
+  DUO_CHECK_MSG(features.shape()[1] == dim_, "ArcFace: feature dim mismatch");
+  const std::int64_t b = features.shape()[0];
+  BatchLossResult out;
+  out.feature_grads = Tensor({b, dim_});
+  const double inv_b = 1.0 / static_cast<double>(b);
+  const float cos_m = std::cos(margin_), sin_m = std::sin(margin_);
+
+  // Normalized class weights and their norms (shared across the batch).
+  std::vector<float> wnorm(static_cast<std::size_t>(classes_));
+  std::vector<float> what(static_cast<std::size_t>(classes_ * dim_));
+  for (std::int64_t c = 0; c < classes_; ++c) {
+    const float* w = weights_.value.data() + c * dim_;
+    double n2 = 0.0;
+    for (std::int64_t i = 0; i < dim_; ++i) n2 += static_cast<double>(w[i]) * w[i];
+    const float n = std::sqrt(static_cast<float>(n2)) + 1e-12f;
+    wnorm[static_cast<std::size_t>(c)] = n;
+    for (std::int64_t i = 0; i < dim_; ++i) {
+      what[static_cast<std::size_t>(c * dim_ + i)] = w[i] / n;
+    }
+  }
+
+  double total = 0.0;
+  for (std::int64_t s = 0; s < b; ++s) {
+    const int y = labels[static_cast<std::size_t>(s)];
+    DUO_CHECK_MSG(y >= 0 && y < classes_, "ArcFace: label out of range");
+    const float* x = features.data() + s * dim_;
+    double xn2 = 0.0;
+    for (std::int64_t i = 0; i < dim_; ++i) xn2 += static_cast<double>(x[i]) * x[i];
+    const float xnorm = std::sqrt(static_cast<float>(xn2)) + 1e-12f;
+    std::vector<float> xhat(static_cast<std::size_t>(dim_));
+    for (std::int64_t i = 0; i < dim_; ++i) {
+      xhat[static_cast<std::size_t>(i)] = x[i] / xnorm;
+    }
+
+    // Cosine logits; the true class gets the additive angular margin.
+    std::vector<float> cosines(static_cast<std::size_t>(classes_));
+    for (std::int64_t c = 0; c < classes_; ++c) {
+      double acc = 0.0;
+      const float* wc = what.data() + c * dim_;
+      for (std::int64_t i = 0; i < dim_; ++i) acc += static_cast<double>(wc[i]) * xhat[static_cast<std::size_t>(i)];
+      cosines[static_cast<std::size_t>(c)] = static_cast<float>(acc);
+    }
+    const float cy = std::clamp(cosines[static_cast<std::size_t>(y)], -0.999f, 0.999f);
+    const float sin_y = std::sqrt(1.0f - cy * cy);
+    const float cy_margined = cy * cos_m - sin_y * sin_m;
+    // d cos(θ+m) / d cosθ
+    const float dmargin = cos_m + (cy / sin_y) * sin_m;
+
+    std::vector<float> logits(static_cast<std::size_t>(classes_));
+    float max_logit = -1e30f;
+    for (std::int64_t c = 0; c < classes_; ++c) {
+      logits[static_cast<std::size_t>(c)] =
+          scale_ * (c == y ? cy_margined : cosines[static_cast<std::size_t>(c)]);
+      max_logit = std::max(max_logit, logits[static_cast<std::size_t>(c)]);
+    }
+    double denom = 0.0;
+    for (std::int64_t c = 0; c < classes_; ++c) {
+      denom += std::exp(static_cast<double>(logits[static_cast<std::size_t>(c)] - max_logit));
+    }
+    const double log_py =
+        static_cast<double>(logits[static_cast<std::size_t>(y)] - max_logit) -
+        std::log(denom);
+    total += -log_py;
+
+    // Backward: dL/d cos_c, then project through the normalizations.
+    std::vector<float> dcos(static_cast<std::size_t>(classes_));
+    for (std::int64_t c = 0; c < classes_; ++c) {
+      const double pc =
+          std::exp(static_cast<double>(logits[static_cast<std::size_t>(c)] - max_logit)) / denom;
+      float dlogit = static_cast<float>(pc) - (c == y ? 1.0f : 0.0f);
+      dlogit *= static_cast<float>(inv_b);
+      dcos[static_cast<std::size_t>(c)] =
+          dlogit * scale_ * (c == y ? dmargin : 1.0f);
+    }
+
+    // g = Σ_c dcos_c · ŵ_c ; grad_x = (g − (g·x̂)x̂)/‖x‖
+    std::vector<float> g(static_cast<std::size_t>(dim_), 0.0f);
+    for (std::int64_t c = 0; c < classes_; ++c) {
+      const float dc = dcos[static_cast<std::size_t>(c)];
+      if (dc == 0.0f) continue;
+      const float* wc = what.data() + c * dim_;
+      for (std::int64_t i = 0; i < dim_; ++i) g[static_cast<std::size_t>(i)] += dc * wc[i];
+    }
+    double gdotx = 0.0;
+    for (std::int64_t i = 0; i < dim_; ++i) {
+      gdotx += static_cast<double>(g[static_cast<std::size_t>(i)]) * xhat[static_cast<std::size_t>(i)];
+    }
+    float* gx = out.feature_grads.data() + s * dim_;
+    for (std::int64_t i = 0; i < dim_; ++i) {
+      gx[i] = (g[static_cast<std::size_t>(i)] -
+               static_cast<float>(gdotx) * xhat[static_cast<std::size_t>(i)]) /
+              xnorm;
+    }
+
+    // grad_w_c = dcos_c · (x̂ − (x̂·ŵ_c)ŵ_c)/‖w_c‖
+    float* gw = weights_.grad.data();
+    for (std::int64_t c = 0; c < classes_; ++c) {
+      const float dc = dcos[static_cast<std::size_t>(c)];
+      if (dc == 0.0f) continue;
+      const float* wc = what.data() + c * dim_;
+      const float cdot = cosines[static_cast<std::size_t>(c)];
+      for (std::int64_t i = 0; i < dim_; ++i) {
+        gw[c * dim_ + i] += dc *
+                            (xhat[static_cast<std::size_t>(i)] - cdot * wc[i]) /
+                            wnorm[static_cast<std::size_t>(c)];
+      }
+    }
+  }
+  out.loss = total * inv_b;
+  return out;
+}
+
+BatchLossResult LiftedStructureLoss::compute(const Tensor& features,
+                                             const std::vector<int>& labels) {
+  check_batch(features, labels);
+  const std::int64_t b = features.shape()[0], d = features.shape()[1];
+  BatchLossResult out;
+  out.feature_grads = Tensor({b, d});
+
+  // Distances (plain L2, not squared — the lifted formulation uses D_ij).
+  std::vector<double> dist(static_cast<std::size_t>(b * b), 0.0);
+  for (std::int64_t i = 0; i < b; ++i) {
+    for (std::int64_t j = i + 1; j < b; ++j) {
+      const double dd = std::sqrt(row_dist_sq(features, i, j)) + 1e-12;
+      dist[static_cast<std::size_t>(i * b + j)] = dd;
+      dist[static_cast<std::size_t>(j * b + i)] = dd;
+    }
+  }
+
+  struct PosPair { std::int64_t i, j; };
+  std::vector<PosPair> positives;
+  for (std::int64_t i = 0; i < b; ++i) {
+    for (std::int64_t j = i + 1; j < b; ++j) {
+      if (labels[static_cast<std::size_t>(i)] == labels[static_cast<std::size_t>(j)]) {
+        positives.push_back({i, j});
+      }
+    }
+  }
+  if (positives.empty()) return out;
+
+  // Gradient of distance D_ab w.r.t. features: dD/df_a = (f_a − f_b)/D.
+  auto add_dist_grad = [&](std::int64_t a, std::int64_t bb, double coeff) {
+    const double dd = dist[static_cast<std::size_t>(a * b + bb)];
+    const float* fa = features.data() + a * d;
+    const float* fb = features.data() + bb * d;
+    float* ga = out.feature_grads.data() + a * d;
+    float* gb = out.feature_grads.data() + bb * d;
+    const float w = static_cast<float>(coeff / dd);
+    for (std::int64_t k = 0; k < d; ++k) {
+      const float diff = fa[k] - fb[k];
+      ga[k] += w * diff;
+      gb[k] -= w * diff;
+    }
+  };
+
+  double total = 0.0;
+  const double inv_p = 1.0 / (2.0 * static_cast<double>(positives.size()));
+  for (const auto& pp : positives) {
+    // J_ij = log Σ_{k∉class(i)} e^{m − D_ik} + log Σ_{k∉class(j)} e^{m − D_jk} + D_ij
+    auto neg_lse = [&](std::int64_t a, double& lse,
+                       std::vector<std::pair<std::int64_t, double>>& weights) {
+      double max_e = -1e30;
+      std::vector<std::pair<std::int64_t, double>> terms;
+      for (std::int64_t k = 0; k < b; ++k) {
+        if (labels[static_cast<std::size_t>(k)] == labels[static_cast<std::size_t>(a)]) continue;
+        const double e = margin_ - dist[static_cast<std::size_t>(a * b + k)];
+        terms.emplace_back(k, e);
+        max_e = std::max(max_e, e);
+      }
+      if (terms.empty()) { lse = 0.0; return false; }
+      double denom = 0.0;
+      for (auto& [k, e] : terms) denom += std::exp(e - max_e);
+      lse = max_e + std::log(denom);
+      for (auto& [k, e] : terms) {
+        weights.emplace_back(k, std::exp(e - max_e) / denom);
+      }
+      return true;
+    };
+
+    double lse_i = 0.0, lse_j = 0.0;
+    std::vector<std::pair<std::int64_t, double>> wi, wj;
+    const bool has_i = neg_lse(pp.i, lse_i, wi);
+    const bool has_j = neg_lse(pp.j, lse_j, wj);
+    if (!has_i && !has_j) continue;
+
+    const double j_ij = lse_i + lse_j + dist[static_cast<std::size_t>(pp.i * b + pp.j)];
+    if (j_ij <= 0.0) continue;
+    total += j_ij * j_ij;
+
+    // d(J²)/dD = 2J · dJ/dD ; dJ/dD_ij = 1 ; dJ/dD_ik = −softmax weight
+    const double c = 2.0 * j_ij * inv_p;
+    add_dist_grad(pp.i, pp.j, c);
+    for (const auto& [k, w] : wi) add_dist_grad(pp.i, k, -c * w);
+    for (const auto& [k, w] : wj) add_dist_grad(pp.j, k, -c * w);
+  }
+  out.loss = total * inv_p;
+  return out;
+}
+
+AngularLoss::AngularLoss(float alpha_degrees) {
+  const float a = alpha_degrees * 3.14159265358979323846f / 180.0f;
+  const float t = std::tan(a);
+  tan_alpha_sq_4_ = 4.0f * t * t;
+}
+
+BatchLossResult AngularLoss::compute(const Tensor& features,
+                                     const std::vector<int>& labels) {
+  check_batch(features, labels);
+  const std::int64_t b = features.shape()[0], d = features.shape()[1];
+  BatchLossResult out;
+  out.feature_grads = Tensor({b, d});
+
+  std::vector<std::array<std::int64_t, 3>> triplets;
+  for (std::int64_t a = 0; a < b; ++a) {
+    for (std::int64_t p = a + 1; p < b; ++p) {
+      if (labels[static_cast<std::size_t>(p)] != labels[static_cast<std::size_t>(a)]) continue;
+      for (std::int64_t n = 0; n < b; ++n) {
+        if (labels[static_cast<std::size_t>(n)] == labels[static_cast<std::size_t>(a)]) continue;
+        triplets.push_back({a, p, n});
+      }
+    }
+  }
+  if (triplets.empty()) return out;
+  const double inv = 1.0 / static_cast<double>(triplets.size());
+
+  double total = 0.0;
+  for (const auto& [a, p, n] : triplets) {
+    const float* fa = features.data() + a * d;
+    const float* fp = features.data() + p * d;
+    const float* fn = features.data() + n * d;
+    double ap = 0.0, nc = 0.0;
+    for (std::int64_t i = 0; i < d; ++i) {
+      const double dap = static_cast<double>(fa[i]) - fp[i];
+      ap += dap * dap;
+      const double dnc = static_cast<double>(fn[i]) - 0.5 * (fa[i] + fp[i]);
+      nc += dnc * dnc;
+    }
+    const double term = ap - tan_alpha_sq_4_ * nc;
+    if (term <= 0.0) continue;
+    total += term;
+    float* ga = out.feature_grads.data() + a * d;
+    float* gp = out.feature_grads.data() + p * d;
+    float* gn = out.feature_grads.data() + n * d;
+    const float w = static_cast<float>(inv);
+    const float c4 = tan_alpha_sq_4_;
+    for (std::int64_t i = 0; i < d; ++i) {
+      const float dap = fa[i] - fp[i];
+      const float dnc = fn[i] - 0.5f * (fa[i] + fp[i]);
+      // d(ap)/da = 2(a−p); d(nc)/da = −(n − (a+p)/2)
+      ga[i] += w * (2.0f * dap + c4 * dnc);
+      gp[i] += w * (-2.0f * dap + c4 * dnc);
+      gn[i] += w * (-c4 * 2.0f * dnc);
+    }
+  }
+  out.loss = total * inv;
+  return out;
+}
+
+const char* victim_loss_name(VictimLossKind kind) noexcept {
+  switch (kind) {
+    case VictimLossKind::kArcFace: return "ArcFaceLoss";
+    case VictimLossKind::kLifted: return "LiftedLoss";
+    case VictimLossKind::kAngular: return "AngularLoss";
+  }
+  return "?";
+}
+
+std::unique_ptr<BatchMetricLoss> make_victim_loss(VictimLossKind kind,
+                                                  std::int64_t feature_dim,
+                                                  std::int64_t num_classes,
+                                                  Rng& rng) {
+  switch (kind) {
+    case VictimLossKind::kArcFace:
+      return std::make_unique<ArcFaceLoss>(feature_dim, num_classes, rng);
+    case VictimLossKind::kLifted:
+      return std::make_unique<LiftedStructureLoss>();
+    case VictimLossKind::kAngular:
+      return std::make_unique<AngularLoss>();
+  }
+  DUO_CHECK_MSG(false, "unknown loss kind");
+  return nullptr;
+}
+
+RankedTripletGrads ranked_triplet_loss(const Tensor& anchor,
+                                       const Tensor& closer,
+                                       const Tensor& farther, float gamma) {
+  DUO_CHECK(anchor.same_shape(closer) && anchor.same_shape(farther));
+  RankedTripletGrads out;
+  out.anchor_grad = Tensor(anchor.shape());
+  out.closer_grad = Tensor(anchor.shape());
+  out.farther_grad = Tensor(anchor.shape());
+
+  // [D(v, v_j) − D(v, v_i) + γ]_+ : v_i ranks above v_j, so we want the
+  // distance to the closer (higher-ranked) video to be smaller by γ.
+  double d_close = 0.0, d_far = 0.0;
+  const std::int64_t n = anchor.size();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double dc = static_cast<double>(anchor[i]) - closer[i];
+    const double df = static_cast<double>(anchor[i]) - farther[i];
+    d_close += dc * dc;
+    d_far += df * df;
+  }
+  const double term = d_close - d_far + gamma;
+  if (term <= 0.0) return out;
+  out.loss = term;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float dc = anchor[i] - closer[i];
+    const float df = anchor[i] - farther[i];
+    out.anchor_grad[i] = 2.0f * (dc - df);
+    out.closer_grad[i] = -2.0f * dc;
+    out.farther_grad[i] = 2.0f * df;
+  }
+  return out;
+}
+
+}  // namespace duo::nn

@@ -1,0 +1,115 @@
+#pragma once
+
+// Metric-learning losses for training retrieval models.
+//
+// All losses share the BatchMetricLoss interface: given a batch of features
+// [B, D] and integer labels, they return the scalar loss and the gradient
+// with respect to every feature. The victim models are trained with ArcFace,
+// Lifted-structure, or Angular loss (paper Fig. 3 / Table IV); the surrogate
+// is trained with the triplet ranking loss of §IV-B1 (margin γ = 0.2).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/module.hpp"
+#include "tensor/tensor.hpp"
+
+namespace duo::nn {
+
+struct BatchLossResult {
+  double loss = 0.0;     // mean loss over the contributing terms
+  Tensor feature_grads;  // [B, D], d(loss)/d(feature)
+};
+
+class BatchMetricLoss {
+ public:
+  virtual ~BatchMetricLoss() = default;
+
+  // labels.size() must equal features.shape()[0].
+  virtual BatchLossResult compute(const Tensor& features,
+                                  const std::vector<int>& labels) = 0;
+
+  // Loss-owned trainable parameters (ArcFace class weights); default none.
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  virtual std::string name() const = 0;
+};
+
+// max(0, ‖a−p‖² − ‖a−n‖² + margin) over all in-batch (a, p, n) triplets.
+class TripletMarginLoss final : public BatchMetricLoss {
+ public:
+  explicit TripletMarginLoss(float margin = 0.2f) : margin_(margin) {}
+  BatchLossResult compute(const Tensor& features,
+                          const std::vector<int>& labels) override;
+  std::string name() const override { return "TripletMargin"; }
+
+ private:
+  float margin_;
+};
+
+// Additive angular margin loss (ArcFace [50]) with loss-owned class weights.
+class ArcFaceLoss final : public BatchMetricLoss {
+ public:
+  ArcFaceLoss(std::int64_t feature_dim, std::int64_t num_classes, Rng& rng,
+              float scale = 8.0f, float margin = 0.3f);
+  BatchLossResult compute(const Tensor& features,
+                          const std::vector<int>& labels) override;
+  std::vector<Parameter*> parameters() override { return {&weights_}; }
+  std::string name() const override { return "ArcFace"; }
+
+ private:
+  std::int64_t dim_;
+  std::int64_t classes_;
+  float scale_;
+  float margin_;
+  Parameter weights_;  // [classes, dim]
+};
+
+// Lifted-structure embedding loss [51] (smooth log-sum-exp variant).
+class LiftedStructureLoss final : public BatchMetricLoss {
+ public:
+  explicit LiftedStructureLoss(float margin = 1.0f) : margin_(margin) {}
+  BatchLossResult compute(const Tensor& features,
+                          const std::vector<int>& labels) override;
+  std::string name() const override { return "LiftedStructure"; }
+
+ private:
+  float margin_;
+};
+
+// Angular loss [52]: max(0, ‖a−p‖² − 4·tan²α·‖n − (a+p)/2‖²) over triplets.
+class AngularLoss final : public BatchMetricLoss {
+ public:
+  explicit AngularLoss(float alpha_degrees = 40.0f);
+  BatchLossResult compute(const Tensor& features,
+                          const std::vector<int>& labels) override;
+  std::string name() const override { return "Angular"; }
+
+ private:
+  float tan_alpha_sq_4_;  // 4·tan²α
+};
+
+// Factory for the three victim losses (bench parameterization).
+enum class VictimLossKind { kArcFace, kLifted, kAngular };
+const char* victim_loss_name(VictimLossKind kind) noexcept;
+std::unique_ptr<BatchMetricLoss> make_victim_loss(VictimLossKind kind,
+                                                  std::int64_t feature_dim,
+                                                  std::int64_t num_classes,
+                                                  Rng& rng);
+
+// Ranking triplet loss of §IV-B1 for features already extracted:
+// Σ_{j>i} [D(v,v_j) − D(v,v_i) + γ]_+ with D = squared L2.
+// Returns loss and gradients w.r.t. (anchor, closer, farther).
+struct RankedTripletGrads {
+  double loss = 0.0;
+  Tensor anchor_grad;
+  Tensor closer_grad;
+  Tensor farther_grad;
+};
+RankedTripletGrads ranked_triplet_loss(const Tensor& anchor,
+                                       const Tensor& closer,
+                                       const Tensor& farther, float gamma);
+
+}  // namespace duo::nn

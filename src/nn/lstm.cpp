@@ -1,0 +1,139 @@
+#include "nn/lstm.hpp"
+
+#include <cmath>
+
+#include "nn/activations.hpp"
+#include "nn/init.hpp"
+
+namespace duo::nn {
+
+Lstm::Lstm(std::int64_t input_size, std::int64_t hidden_size, Rng& rng)
+    : input_(input_size),
+      hidden_(hidden_size),
+      wx_(xavier_uniform({4 * hidden_size, input_size}, input_size,
+                         hidden_size, rng)),
+      wh_(xavier_uniform({4 * hidden_size, hidden_size}, hidden_size,
+                         hidden_size, rng)),
+      bias_(Tensor({4 * hidden_size})) {
+  DUO_CHECK(input_size > 0 && hidden_size > 0);
+  // Forget-gate bias starts at 1 (standard trick for gradient flow).
+  for (std::int64_t h = 0; h < hidden_; ++h) bias_.value[hidden_ + h] = 1.0f;
+}
+
+Tensor Lstm::forward(const Tensor& input) {
+  DUO_CHECK_MSG(input.rank() == 2 && input.shape()[1] == input_,
+                "Lstm expects [T, D]");
+  const std::int64_t t_len = input.shape()[0];
+  const std::int64_t h_sz = hidden_;
+  steps_.clear();
+  steps_.reserve(static_cast<std::size_t>(t_len));
+
+  Tensor out({t_len, h_sz});
+  Tensor h({h_sz});
+  Tensor c({h_sz});
+  const float* wx = wx_.value.data();
+  const float* wh = wh_.value.data();
+
+  for (std::int64_t t = 0; t < t_len; ++t) {
+    StepCache sc;
+    sc.x = Tensor({input_});
+    for (std::int64_t d = 0; d < input_; ++d) sc.x[d] = input.at(t, d);
+    sc.h_prev = h;
+    sc.c_prev = c;
+
+    // z = Wx·x + Wh·h_prev + b, gates split along 4H.
+    Tensor z({4 * h_sz});
+    for (std::int64_t r = 0; r < 4 * h_sz; ++r) {
+      float acc = bias_.value[r];
+      const float* wxr = wx + r * input_;
+      for (std::int64_t d = 0; d < input_; ++d) acc += wxr[d] * sc.x[d];
+      const float* whr = wh + r * h_sz;
+      for (std::int64_t k = 0; k < h_sz; ++k) acc += whr[k] * sc.h_prev[k];
+      z[r] = acc;
+    }
+
+    sc.i = Tensor({h_sz});
+    sc.f = Tensor({h_sz});
+    sc.g = Tensor({h_sz});
+    sc.o = Tensor({h_sz});
+    sc.c = Tensor({h_sz});
+    sc.tanh_c = Tensor({h_sz});
+    for (std::int64_t k = 0; k < h_sz; ++k) {
+      sc.i[k] = sigmoid_scalar(z[k]);
+      sc.f[k] = sigmoid_scalar(z[h_sz + k]);
+      sc.g[k] = tanh_scalar(z[2 * h_sz + k]);
+      sc.o[k] = sigmoid_scalar(z[3 * h_sz + k]);
+      sc.c[k] = sc.f[k] * sc.c_prev[k] + sc.i[k] * sc.g[k];
+      sc.tanh_c[k] = std::tanh(sc.c[k]);
+      h[k] = sc.o[k] * sc.tanh_c[k];
+      out.at(t, k) = h[k];
+    }
+    c = sc.c;
+    steps_.push_back(std::move(sc));
+  }
+  return out;
+}
+
+Tensor Lstm::backward(const Tensor& grad_output) {
+  const std::int64_t t_len = static_cast<std::int64_t>(steps_.size());
+  DUO_CHECK_MSG(t_len > 0, "Lstm: backward before forward");
+  DUO_CHECK_MSG(grad_output.rank() == 2 && grad_output.shape()[0] == t_len &&
+                    grad_output.shape()[1] == hidden_,
+                "Lstm: grad shape mismatch");
+
+  const std::int64_t h_sz = hidden_;
+  Tensor grad_input({t_len, input_});
+  Tensor dh_next({h_sz});
+  Tensor dc_next({h_sz});
+
+  const float* wx = wx_.value.data();
+  const float* wh = wh_.value.data();
+  float* gwx = wx_.grad.data();
+  float* gwh = wh_.grad.data();
+  float* gb = bias_.grad.data();
+
+  for (std::int64_t t = t_len - 1; t >= 0; --t) {
+    const StepCache& sc = steps_[static_cast<std::size_t>(t)];
+    Tensor dz({4 * h_sz});
+    Tensor dh({h_sz});
+    for (std::int64_t k = 0; k < h_sz; ++k) {
+      dh[k] = grad_output.at(t, k) + dh_next[k];
+    }
+    Tensor dc({h_sz});
+    for (std::int64_t k = 0; k < h_sz; ++k) {
+      const float dtanh = 1.0f - sc.tanh_c[k] * sc.tanh_c[k];
+      dc[k] = dh[k] * sc.o[k] * dtanh + dc_next[k];
+      const float di = dc[k] * sc.g[k];
+      const float df = dc[k] * sc.c_prev[k];
+      const float dg = dc[k] * sc.i[k];
+      const float do_ = dh[k] * sc.tanh_c[k];
+      dz[k] = di * sc.i[k] * (1.0f - sc.i[k]);
+      dz[h_sz + k] = df * sc.f[k] * (1.0f - sc.f[k]);
+      dz[2 * h_sz + k] = dg * (1.0f - sc.g[k] * sc.g[k]);
+      dz[3 * h_sz + k] = do_ * sc.o[k] * (1.0f - sc.o[k]);
+      dc_next[k] = dc[k] * sc.f[k];
+    }
+
+    dh_next.fill(0.0f);
+    for (std::int64_t r = 0; r < 4 * h_sz; ++r) {
+      const float g = dz[r];
+      gb[r] += g;
+      if (g == 0.0f) continue;
+      float* gwxr = gwx + r * input_;
+      const float* wxr = wx + r * input_;
+      for (std::int64_t d = 0; d < input_; ++d) {
+        gwxr[d] += g * sc.x[d];
+        grad_input.at(t, d) += g * wxr[d];
+      }
+      float* gwhr = gwh + r * h_sz;
+      const float* whr = wh + r * h_sz;
+      for (std::int64_t k = 0; k < h_sz; ++k) {
+        gwhr[k] += g * sc.h_prev[k];
+        dh_next[k] += g * whr[k];
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace duo::nn

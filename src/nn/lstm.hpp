@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace duo::nn {
+
+// Single-layer LSTM over a sequence [T, D] → hidden sequence [T, H].
+//
+// The paper's reference retrieval model (Fig. 1) couples an LSTM for temporal
+// features with a stacked CNN for spatial features; MiniLstmRetrieval uses
+// this module over per-frame CNN embeddings. Backward is full BPTT.
+class Lstm final : public Module {
+ public:
+  Lstm(std::int64_t input_size, std::int64_t hidden_size, Rng& rng);
+
+  Tensor forward(const Tensor& input) override;       // [T, D] → [T, H]
+  Tensor backward(const Tensor& grad_output) override;  // [T, H] → [T, D]
+  std::vector<Parameter*> parameters() override {
+    return {&wx_, &wh_, &bias_};
+  }
+  std::string name() const override { return "Lstm"; }
+
+  std::int64_t hidden_size() const noexcept { return hidden_; }
+
+ private:
+  std::int64_t input_;
+  std::int64_t hidden_;
+  // Gate order along the 4H axis: input (i), forget (f), cell (g), output (o).
+  Parameter wx_;    // [4H, D]
+  Parameter wh_;    // [4H, H]
+  Parameter bias_;  // [4H]
+
+  // Per-timestep caches for BPTT.
+  struct StepCache {
+    Tensor x;      // [D]
+    Tensor h_prev; // [H]
+    Tensor c_prev; // [H]
+    Tensor i, f, g, o;  // gate activations [H]
+    Tensor c;      // [H]
+    Tensor tanh_c; // [H]
+  };
+  std::vector<StepCache> steps_;
+};
+
+}  // namespace duo::nn

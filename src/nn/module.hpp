@@ -1,0 +1,124 @@
+#pragma once
+
+// Layer framework with hand-written backward passes.
+//
+// Modules operate on a single sample (no batch axis): video activations are
+// [C, T, H, W], vectors are [D]. Mini-batching is done by the training loop,
+// which accumulates parameter gradients across samples before an optimizer
+// step. This keeps every backward pass simple enough to verify against
+// numerical differentiation (see nn/gradcheck.hpp), which the test suite
+// does for every layer.
+//
+// forward() caches whatever the matching backward() needs; backward(grad_out)
+// accumulates parameter gradients (`Parameter::grad += ...`) and returns the
+// gradient with respect to the layer input. Calling backward without a prior
+// forward is a programming error and raises via DUO_CHECK.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace duo::nn {
+
+// A trainable tensor with its accumulated gradient.
+struct Parameter {
+  explicit Parameter(Tensor v) : value(std::move(v)), grad(value.shape()) {}
+
+  Tensor value;
+  Tensor grad;
+
+  void zero_grad() noexcept { grad.fill(0.0f); }
+  std::int64_t size() const noexcept { return value.size(); }
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  virtual Tensor forward(const Tensor& input) = 0;
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  // All trainable parameters, recursively. Default: none.
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  // Train/eval switch (batch-norm running stats, dropout).
+  virtual void set_training(bool training) { training_ = training; }
+  bool training() const noexcept { return training_; }
+
+  virtual std::string name() const = 0;
+
+  void zero_grad() {
+    for (auto* p : parameters()) p->zero_grad();
+  }
+
+  std::int64_t parameter_count() {
+    std::int64_t n = 0;
+    for (auto* p : parameters()) n += p->size();
+    return n;
+  }
+
+ protected:
+  bool training_ = true;
+};
+
+// Sequential container. Owns its children.
+class Sequential final : public Module {
+ public:
+  Sequential() = default;
+
+  // Builder-style: seq.add(std::make_unique<Linear>(...)).
+  Sequential& add(std::unique_ptr<Module> m) {
+    children_.push_back(std::move(m));
+    return *this;
+  }
+
+  template <typename M, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    children_.push_back(std::make_unique<M>(std::forward<Args>(args)...));
+    return *this;
+  }
+
+  Tensor forward(const Tensor& input) override {
+    Tensor x = input;
+    for (auto& child : children_) x = child->forward(x);
+    return x;
+  }
+
+  Tensor backward(const Tensor& grad_output) override {
+    Tensor g = grad_output;
+    for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
+      g = (*it)->backward(g);
+    }
+    return g;
+  }
+
+  std::vector<Parameter*> parameters() override {
+    std::vector<Parameter*> out;
+    for (auto& child : children_) {
+      auto p = child->parameters();
+      out.insert(out.end(), p.begin(), p.end());
+    }
+    return out;
+  }
+
+  void set_training(bool training) override {
+    Module::set_training(training);
+    for (auto& child : children_) child->set_training(training);
+  }
+
+  std::string name() const override { return "Sequential"; }
+
+  std::size_t child_count() const noexcept { return children_.size(); }
+  Module& child(std::size_t i) { return *children_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<Module>> children_;
+};
+
+}  // namespace duo::nn

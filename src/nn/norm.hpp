@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace duo::nn {
+
+// Per-channel instance normalization over [C, T, H, W] with a learned affine
+// transform. The framework is per-sample (no batch axis), so instance norm
+// plays the stabilizing role batch norm plays in the original architectures;
+// it normalizes each channel over its own T×H×W extent, train and eval alike.
+class InstanceNorm3d final : public Module {
+ public:
+  explicit InstanceNorm3d(std::int64_t channels, float eps = 1e-5f);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&gamma_, &beta_}; }
+  std::string name() const override { return "InstanceNorm3d"; }
+
+ private:
+  std::int64_t channels_;
+  float eps_;
+  Parameter gamma_;  // [C]
+  Parameter beta_;   // [C]
+  Tensor cached_normalized_;      // x_hat
+  std::vector<float> cached_inv_std_;  // per channel
+};
+
+}  // namespace duo::nn

@@ -1,0 +1,65 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace duo::nn {
+
+Sgd::Sgd(std::vector<Parameter*> params, float lr, float momentum)
+    : Optimizer(std::move(params), lr), momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (auto* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    Tensor& v = velocity_[i];
+    float* vd = v.data();
+    const float* gd = p.grad.data();
+    float* wd = p.value.data();
+    const std::int64_t n = p.size();
+    for (std::int64_t j = 0; j < n; ++j) {
+      vd[j] = momentum_ * vd[j] - lr_ * gd[j];
+      wd[j] += vd[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(params), lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (auto* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    float* md = m_[i].data();
+    float* vd = v_[i].data();
+    const float* gd = p.grad.data();
+    float* wd = p.value.data();
+    const std::int64_t n = p.size();
+    for (std::int64_t j = 0; j < n; ++j) {
+      md[j] = beta1_ * md[j] + (1.0f - beta1_) * gd[j];
+      vd[j] = beta2_ * vd[j] + (1.0f - beta2_) * gd[j] * gd[j];
+      const float mhat = md[j] / bc1;
+      const float vhat = vd[j] / bc2;
+      wd[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+float StepDecay::lr_at(std::int64_t step) const noexcept {
+  const std::int64_t k = every_ > 0 ? step / every_ : 0;
+  return initial_ * std::pow(rate_, static_cast<float>(k));
+}
+
+}  // namespace duo::nn

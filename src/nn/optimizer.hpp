@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace duo::nn {
+
+// Base optimizer over a fixed parameter set.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params, float lr)
+      : params_(std::move(params)), lr_(lr) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  virtual void step() = 0;
+
+  void zero_grad() {
+    for (auto* p : params_) p->zero_grad();
+  }
+
+  float lr() const noexcept { return lr_; }
+  void set_lr(float lr) noexcept { lr_ = lr; }
+
+ protected:
+  std::vector<Parameter*> params_;
+  float lr_;
+};
+
+// SGD with classical momentum.
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, float lr, float momentum = 0.9f);
+  void step() override;
+
+ private:
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+// Adam (Kingma & Ba, the paper's surrogate-training optimizer [44]).
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+  void step() override;
+
+ private:
+  float beta1_, beta2_, eps_;
+  std::int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+// Step-decay learning-rate schedule (paper §V-B: ×0.9 every 50 steps).
+class StepDecay {
+ public:
+  StepDecay(float initial_lr, std::int64_t every, float rate)
+      : initial_(initial_lr), every_(every), rate_(rate) {}
+
+  float lr_at(std::int64_t step) const noexcept;
+
+ private:
+  float initial_;
+  std::int64_t every_;
+  float rate_;
+};
+
+}  // namespace duo::nn

@@ -1,0 +1,192 @@
+#include "nn/pool3d.hpp"
+
+#include <limits>
+
+namespace duo::nn {
+
+namespace {
+std::int64_t pool_out_dim(std::int64_t in, std::int64_t k, std::int64_t s) {
+  DUO_CHECK_MSG(in >= k, "pool window larger than input");
+  return (in - k) / s + 1;
+}
+}  // namespace
+
+MaxPool3d::MaxPool3d(std::array<std::int64_t, 3> kernel,
+                     std::array<std::int64_t, 3> stride)
+    : kernel_(kernel), stride_(stride) {
+  for (int a = 0; a < 3; ++a) DUO_CHECK(kernel[a] > 0 && stride[a] > 0);
+}
+
+Tensor MaxPool3d::forward(const Tensor& input) {
+  DUO_CHECK_MSG(input.rank() == 4, "MaxPool3d expects [C, T, H, W]");
+  cached_input_shape_ = input.shape();
+  const std::int64_t c = input.shape()[0], ti = input.shape()[1],
+                     hi = input.shape()[2], wi = input.shape()[3];
+  const std::int64_t to = pool_out_dim(ti, kernel_[0], stride_[0]);
+  const std::int64_t ho = pool_out_dim(hi, kernel_[1], stride_[1]);
+  const std::int64_t wo = pool_out_dim(wi, kernel_[2], stride_[2]);
+
+  Tensor out({c, to, ho, wo});
+  argmax_.assign(static_cast<std::size_t>(out.size()), -1);
+  const float* x = input.data();
+  float* y = out.data();
+
+  std::int64_t oi = 0;
+  for (std::int64_t cc = 0; cc < c; ++cc) {
+    const float* xc = x + cc * ti * hi * wi;
+    for (std::int64_t ot = 0; ot < to; ++ot) {
+      for (std::int64_t oh = 0; oh < ho; ++oh) {
+        for (std::int64_t ow = 0; ow < wo; ++ow, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = -1;
+          for (std::int64_t dt = 0; dt < kernel_[0]; ++dt) {
+            const std::int64_t it = ot * stride_[0] + dt;
+            for (std::int64_t dh = 0; dh < kernel_[1]; ++dh) {
+              const std::int64_t ih = oh * stride_[1] + dh;
+              for (std::int64_t dw = 0; dw < kernel_[2]; ++dw) {
+                const std::int64_t iw = ow * stride_[2] + dw;
+                const std::int64_t idx = (it * hi + ih) * wi + iw;
+                if (xc[idx] > best) {
+                  best = xc[idx];
+                  best_idx = cc * ti * hi * wi + idx;
+                }
+              }
+            }
+          }
+          y[oi] = best;
+          argmax_[static_cast<std::size_t>(oi)] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool3d::backward(const Tensor& grad_output) {
+  DUO_CHECK_MSG(static_cast<std::size_t>(grad_output.size()) == argmax_.size(),
+                "MaxPool3d: backward before forward / shape mismatch");
+  Tensor grad_input(cached_input_shape_);
+  float* gx = grad_input.data();
+  const float* gy = grad_output.data();
+  for (std::size_t i = 0; i < argmax_.size(); ++i) {
+    gx[argmax_[i]] += gy[i];
+  }
+  return grad_input;
+}
+
+AvgPool3d::AvgPool3d(std::array<std::int64_t, 3> kernel,
+                     std::array<std::int64_t, 3> stride)
+    : kernel_(kernel), stride_(stride) {
+  for (int a = 0; a < 3; ++a) DUO_CHECK(kernel[a] > 0 && stride[a] > 0);
+}
+
+Tensor AvgPool3d::forward(const Tensor& input) {
+  DUO_CHECK_MSG(input.rank() == 4, "AvgPool3d expects [C, T, H, W]");
+  cached_input_shape_ = input.shape();
+  const std::int64_t c = input.shape()[0], ti = input.shape()[1],
+                     hi = input.shape()[2], wi = input.shape()[3];
+  const std::int64_t to = pool_out_dim(ti, kernel_[0], stride_[0]);
+  const std::int64_t ho = pool_out_dim(hi, kernel_[1], stride_[1]);
+  const std::int64_t wo = pool_out_dim(wi, kernel_[2], stride_[2]);
+  const float inv =
+      1.0f / static_cast<float>(kernel_[0] * kernel_[1] * kernel_[2]);
+
+  Tensor out({c, to, ho, wo});
+  const float* x = input.data();
+  float* y = out.data();
+  std::int64_t oi = 0;
+  for (std::int64_t cc = 0; cc < c; ++cc) {
+    const float* xc = x + cc * ti * hi * wi;
+    for (std::int64_t ot = 0; ot < to; ++ot) {
+      for (std::int64_t oh = 0; oh < ho; ++oh) {
+        for (std::int64_t ow = 0; ow < wo; ++ow, ++oi) {
+          float acc = 0.0f;
+          for (std::int64_t dt = 0; dt < kernel_[0]; ++dt) {
+            const std::int64_t it = ot * stride_[0] + dt;
+            for (std::int64_t dh = 0; dh < kernel_[1]; ++dh) {
+              const std::int64_t ih = oh * stride_[1] + dh;
+              const float* xrow = xc + (it * hi + ih) * wi;
+              for (std::int64_t dw = 0; dw < kernel_[2]; ++dw) {
+                acc += xrow[ow * stride_[2] + dw];
+              }
+            }
+          }
+          y[oi] = acc * inv;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor AvgPool3d::backward(const Tensor& grad_output) {
+  DUO_CHECK_MSG(cached_input_shape_.size() == 4,
+                "AvgPool3d: backward before forward");
+  const std::int64_t c = cached_input_shape_[0], ti = cached_input_shape_[1],
+                     hi = cached_input_shape_[2], wi = cached_input_shape_[3];
+  const std::int64_t to = pool_out_dim(ti, kernel_[0], stride_[0]);
+  const std::int64_t ho = pool_out_dim(hi, kernel_[1], stride_[1]);
+  const std::int64_t wo = pool_out_dim(wi, kernel_[2], stride_[2]);
+  DUO_CHECK(grad_output.shape() == Tensor::Shape({c, to, ho, wo}));
+  const float inv =
+      1.0f / static_cast<float>(kernel_[0] * kernel_[1] * kernel_[2]);
+
+  Tensor grad_input(cached_input_shape_);
+  float* gx = grad_input.data();
+  const float* gy = grad_output.data();
+  std::int64_t oi = 0;
+  for (std::int64_t cc = 0; cc < c; ++cc) {
+    float* gxc = gx + cc * ti * hi * wi;
+    for (std::int64_t ot = 0; ot < to; ++ot) {
+      for (std::int64_t oh = 0; oh < ho; ++oh) {
+        for (std::int64_t ow = 0; ow < wo; ++ow, ++oi) {
+          const float g = gy[oi] * inv;
+          for (std::int64_t dt = 0; dt < kernel_[0]; ++dt) {
+            const std::int64_t it = ot * stride_[0] + dt;
+            for (std::int64_t dh = 0; dh < kernel_[1]; ++dh) {
+              const std::int64_t ih = oh * stride_[1] + dh;
+              float* gxrow = gxc + (it * hi + ih) * wi;
+              for (std::int64_t dw = 0; dw < kernel_[2]; ++dw) {
+                gxrow[ow * stride_[2] + dw] += g;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& input) {
+  DUO_CHECK_MSG(input.rank() == 4, "GlobalAvgPool expects [C, T, H, W]");
+  cached_input_shape_ = input.shape();
+  const std::int64_t c = input.shape()[0];
+  const std::int64_t spatial = input.size() / c;
+  Tensor out({c});
+  const float* x = input.data();
+  for (std::int64_t cc = 0; cc < c; ++cc) {
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < spatial; ++i) acc += x[cc * spatial + i];
+    out[cc] = static_cast<float>(acc / static_cast<double>(spatial));
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+  DUO_CHECK_MSG(cached_input_shape_.size() == 4,
+                "GlobalAvgPool: backward before forward");
+  const std::int64_t c = cached_input_shape_[0];
+  DUO_CHECK(grad_output.size() == c);
+  const std::int64_t spatial = shape_numel(cached_input_shape_) / c;
+  const float inv = 1.0f / static_cast<float>(spatial);
+  Tensor grad_input(cached_input_shape_);
+  float* gx = grad_input.data();
+  for (std::int64_t cc = 0; cc < c; ++cc) {
+    const float g = grad_output[cc] * inv;
+    for (std::int64_t i = 0; i < spatial; ++i) gx[cc * spatial + i] = g;
+  }
+  return grad_input;
+}
+
+}  // namespace duo::nn

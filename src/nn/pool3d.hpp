@@ -1,0 +1,59 @@
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace duo::nn {
+
+// Max pooling over [C, T, H, W] with non-overlapping or strided windows.
+class MaxPool3d final : public Module {
+ public:
+  MaxPool3d(std::array<std::int64_t, 3> kernel,
+            std::array<std::int64_t, 3> stride);
+  explicit MaxPool3d(std::array<std::int64_t, 3> kernel)
+      : MaxPool3d(kernel, kernel) {}
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "MaxPool3d"; }
+
+ private:
+  std::array<std::int64_t, 3> kernel_;
+  std::array<std::int64_t, 3> stride_;
+  Tensor::Shape cached_input_shape_;
+  std::vector<std::int64_t> argmax_;  // flat input index per output element
+};
+
+// Average pooling over [C, T, H, W].
+class AvgPool3d final : public Module {
+ public:
+  AvgPool3d(std::array<std::int64_t, 3> kernel,
+            std::array<std::int64_t, 3> stride);
+  explicit AvgPool3d(std::array<std::int64_t, 3> kernel)
+      : AvgPool3d(kernel, kernel) {}
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "AvgPool3d"; }
+
+ private:
+  std::array<std::int64_t, 3> kernel_;
+  std::array<std::int64_t, 3> stride_;
+  Tensor::Shape cached_input_shape_;
+};
+
+// Global average pool: [C, T, H, W] → [C].
+class GlobalAvgPool final : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "GlobalAvgPool"; }
+
+ private:
+  Tensor::Shape cached_input_shape_;
+};
+
+}  // namespace duo::nn

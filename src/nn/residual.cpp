@@ -1,0 +1,55 @@
+#include "nn/residual.hpp"
+
+namespace duo::nn {
+
+Residual::Residual(std::unique_ptr<Module> body,
+                   std::unique_ptr<Module> shortcut)
+    : body_(std::move(body)), shortcut_(std::move(shortcut)) {
+  DUO_CHECK_MSG(body_ != nullptr, "Residual: body must not be null");
+}
+
+Tensor Residual::forward(const Tensor& input) {
+  Tensor main = body_->forward(input);
+  Tensor side = shortcut_ ? shortcut_->forward(input) : input;
+  DUO_CHECK_MSG(main.same_shape(side),
+                "Residual: body and shortcut shapes differ");
+  cached_sum_ = main + side;
+  Tensor out = cached_sum_;
+  for (auto& x : out.flat()) x = x > 0.0f ? x : 0.0f;
+  return out;
+}
+
+Tensor Residual::backward(const Tensor& grad_output) {
+  DUO_CHECK_MSG(grad_output.same_shape(cached_sum_),
+                "Residual: backward shape mismatch");
+  Tensor grad_sum = grad_output;
+  auto g = grad_sum.flat();
+  const auto s = cached_sum_.flat();
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (s[i] <= 0.0f) g[i] = 0.0f;
+  }
+  Tensor grad_input = body_->backward(grad_sum);
+  if (shortcut_) {
+    grad_input += shortcut_->backward(grad_sum);
+  } else {
+    grad_input += grad_sum;
+  }
+  return grad_input;
+}
+
+std::vector<Parameter*> Residual::parameters() {
+  std::vector<Parameter*> out = body_->parameters();
+  if (shortcut_) {
+    auto p = shortcut_->parameters();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+void Residual::set_training(bool training) {
+  Module::set_training(training);
+  body_->set_training(training);
+  if (shortcut_) shortcut_->set_training(training);
+}
+
+}  // namespace duo::nn

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace duo::nn {
+
+// Residual connection: y = relu(body(x) + shortcut(x)).
+//
+// `shortcut` may be null, meaning identity (requires body to preserve shape).
+// This is the building block of the MiniResNet backbones and the lateral
+// fusion paths in MiniSlowFast.
+class Residual final : public Module {
+ public:
+  Residual(std::unique_ptr<Module> body, std::unique_ptr<Module> shortcut);
+  explicit Residual(std::unique_ptr<Module> body)
+      : Residual(std::move(body), nullptr) {}
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  void set_training(bool training) override;
+  std::string name() const override { return "Residual"; }
+
+ private:
+  std::unique_ptr<Module> body_;
+  std::unique_ptr<Module> shortcut_;  // nullptr = identity
+  Tensor cached_sum_;                 // pre-ReLU sum
+};
+
+}  // namespace duo::nn

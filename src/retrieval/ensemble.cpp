@@ -1,0 +1,46 @@
+#include "retrieval/ensemble.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace duo::retrieval {
+
+void EnsembleRetrievalSystem::add_member(
+    std::unique_ptr<RetrievalSystem> member) {
+  DUO_CHECK_MSG(member != nullptr, "ensemble: null member");
+  if (!members_.empty()) {
+    DUO_CHECK_MSG(member->gallery_size() == members_.front()->gallery_size(),
+                  "ensemble: members must index the same gallery");
+  }
+  members_.push_back(std::move(member));
+}
+
+metrics::RetrievalList EnsembleRetrievalSystem::retrieve(const video::Video& v,
+                                                         std::size_t m) {
+  DUO_CHECK_MSG(!members_.empty(), "ensemble: no members");
+  std::unordered_map<std::int64_t, double> scores;
+  for (auto& member : members_) {
+    const auto list = member->retrieve(v, 2 * m);
+    for (std::size_t rank = 0; rank < list.size(); ++rank) {
+      // Reciprocal-rank fusion with the standard k = 60 smoothing constant.
+      scores[list[rank]] += 1.0 / (60.0 + static_cast<double>(rank));
+    }
+  }
+
+  std::vector<std::pair<std::int64_t, double>> ranked(scores.begin(),
+                                                      scores.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+
+  metrics::RetrievalList out;
+  const std::size_t take = std::min(m, ranked.size());
+  out.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) out.push_back(ranked[i].first);
+  return out;
+}
+
+}  // namespace duo::retrieval

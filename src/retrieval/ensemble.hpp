@@ -1,0 +1,32 @@
+#pragma once
+
+// Ensemble retrieval (paper §V-D, "a potential defense against DUO"):
+// serve retrieval from several independently trained backbones and fuse
+// their lists. An AE crafted against any one feature space must now move
+// all of them, which blunts both transfer- and query-based attacks.
+
+#include <memory>
+#include <vector>
+
+#include "retrieval/system.hpp"
+
+namespace duo::retrieval {
+
+class EnsembleRetrievalSystem {
+ public:
+  EnsembleRetrievalSystem() = default;
+
+  // Members must already hold their (identical) galleries.
+  void add_member(std::unique_ptr<RetrievalSystem> member);
+  std::size_t member_count() const noexcept { return members_.size(); }
+  RetrievalSystem& member(std::size_t i) { return *members_.at(i); }
+
+  // Fused top-m via reciprocal-rank fusion: score(id) = Σ_members 1/(60 + r)
+  // over each member's top-(2m) list, descending. Ties break by id.
+  metrics::RetrievalList retrieve(const video::Video& v, std::size_t m);
+
+ private:
+  std::vector<std::unique_ptr<RetrievalSystem>> members_;
+};
+
+}  // namespace duo::retrieval

@@ -1,0 +1,90 @@
+#include "retrieval/index.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+
+namespace duo::retrieval {
+
+DataNode::DataNode(std::int64_t feature_dim) : dim_(feature_dim) {
+  DUO_CHECK(feature_dim > 0);
+}
+
+void DataNode::add(const GalleryEntry& entry) {
+  DUO_CHECK_MSG(entry.feature.size() == dim_, "DataNode: feature dim mismatch");
+  ids_.push_back(entry.id);
+  labels_.push_back(entry.label);
+  const float* f = entry.feature.data();
+  features_.insert(features_.end(), f, f + dim_);
+}
+
+std::vector<Neighbor> DataNode::query(const Tensor& feature,
+                                      std::size_t m) const {
+  DUO_CHECK_MSG(feature.size() == dim_, "DataNode: query dim mismatch");
+  const float* q = feature.data();
+  std::vector<Neighbor> all;
+  all.reserve(ids_.size());
+  for (std::size_t r = 0; r < ids_.size(); ++r) {
+    const float* f = features_.data() + r * static_cast<std::size_t>(dim_);
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < dim_; ++i) {
+      const double d = static_cast<double>(q[i]) - f[i];
+      acc += d * d;
+    }
+    all.push_back({ids_[r], labels_[r], acc});
+  }
+  const std::size_t k = std::min(m, all.size());
+  auto cmp = [](const Neighbor& a, const Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  };
+  std::partial_sort(all.begin(), all.begin() + static_cast<long>(k), all.end(),
+                    cmp);
+  all.resize(k);
+  return all;
+}
+
+RetrievalIndex::RetrievalIndex(std::int64_t feature_dim, std::size_t num_nodes)
+    : dim_(feature_dim) {
+  DUO_CHECK_MSG(num_nodes >= 1, "RetrievalIndex: needs at least one node");
+  nodes_.reserve(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) nodes_.emplace_back(feature_dim);
+}
+
+void RetrievalIndex::add(const GalleryEntry& entry) {
+  nodes_[next_node_].add(entry);
+  next_node_ = (next_node_ + 1) % nodes_.size();
+  ++total_;
+}
+
+std::vector<Neighbor> RetrievalIndex::query(const Tensor& feature,
+                                            std::size_t m,
+                                            bool parallel) const {
+  std::vector<std::vector<Neighbor>> partials(nodes_.size());
+  if (parallel && nodes_.size() > 1) {
+    ThreadPool::shared().parallel_for(nodes_.size(), [&](std::size_t i) {
+      partials[i] = nodes_[i].query(feature, m);
+    });
+  } else {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      partials[i] = nodes_[i].query(feature, m);
+    }
+  }
+
+  std::vector<Neighbor> merged;
+  for (auto& p : partials) {
+    merged.insert(merged.end(), p.begin(), p.end());
+  }
+  auto cmp = [](const Neighbor& a, const Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  };
+  const std::size_t k = std::min(m, merged.size());
+  std::partial_sort(merged.begin(), merged.begin() + static_cast<long>(k),
+                    merged.end(), cmp);
+  merged.resize(k);
+  return merged;
+}
+
+}  // namespace duo::retrieval

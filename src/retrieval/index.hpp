@@ -1,0 +1,69 @@
+#pragma once
+
+// Distributed retrieval index (Fig. 1): gallery features are sharded over
+// DataNodes; a query fans out to every node (scatter), each node returns its
+// local top-m by L2 distance, and the results are merged (gather) into the
+// global top-m list.
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace duo::retrieval {
+
+struct GalleryEntry {
+  std::int64_t id = -1;
+  int label = -1;
+  Tensor feature;  // [D]
+};
+
+struct Neighbor {
+  std::int64_t id = -1;
+  int label = -1;
+  double distance = 0.0;
+};
+
+// One storage shard. Holds features contiguously for cache-friendly scans.
+class DataNode {
+ public:
+  explicit DataNode(std::int64_t feature_dim);
+
+  void add(const GalleryEntry& entry);
+  std::size_t size() const noexcept { return ids_.size(); }
+
+  // Local top-m nearest neighbors by L2 distance (ties broken by id for
+  // determinism). m may exceed size(); fewer results are returned then.
+  std::vector<Neighbor> query(const Tensor& feature, std::size_t m) const;
+
+ private:
+  std::int64_t dim_;
+  std::vector<std::int64_t> ids_;
+  std::vector<int> labels_;
+  std::vector<float> features_;  // row-major [size, dim]
+};
+
+// The scatter-gather index across nodes.
+class RetrievalIndex {
+ public:
+  // `num_nodes` shards; entries are assigned round-robin by insertion order.
+  RetrievalIndex(std::int64_t feature_dim, std::size_t num_nodes);
+
+  void add(const GalleryEntry& entry);
+  std::size_t size() const noexcept { return total_; }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::int64_t feature_dim() const noexcept { return dim_; }
+
+  // Global top-m: scatter to all nodes (in parallel when parallel=true),
+  // gather and merge.
+  std::vector<Neighbor> query(const Tensor& feature, std::size_t m,
+                              bool parallel = false) const;
+
+ private:
+  std::int64_t dim_;
+  std::vector<DataNode> nodes_;
+  std::size_t next_node_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace duo::retrieval

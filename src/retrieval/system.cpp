@@ -1,0 +1,77 @@
+#include "retrieval/system.hpp"
+
+#include "common/check.hpp"
+
+namespace duo::retrieval {
+
+RetrievalSystem::RetrievalSystem(
+    std::unique_ptr<models::FeatureExtractor> extractor, std::size_t num_nodes)
+    : extractor_(std::move(extractor)),
+      index_(extractor_ ? extractor_->feature_dim() : 1, num_nodes) {
+  DUO_CHECK_MSG(extractor_ != nullptr, "RetrievalSystem: null extractor");
+  extractor_->set_training(false);
+}
+
+void RetrievalSystem::add_to_gallery(const video::Video& v) {
+  GalleryEntry entry;
+  entry.id = v.id();
+  entry.label = v.label();
+  entry.feature = extractor_->extract(v);
+  index_.add(entry);
+  DUO_CHECK_MSG(labels_.emplace(v.id(), v.label()).second,
+                "duplicate gallery id");
+  ++label_counts_[v.label()];
+}
+
+void RetrievalSystem::add_all(const std::vector<video::Video>& videos) {
+  for (const auto& v : videos) add_to_gallery(v);
+}
+
+metrics::RetrievalList RetrievalSystem::retrieve(const video::Video& v,
+                                                 std::size_t m) {
+  const auto detailed = retrieve_detailed(v, m);
+  metrics::RetrievalList out;
+  out.reserve(detailed.size());
+  for (const auto& n : detailed) out.push_back(n.id);
+  return out;
+}
+
+std::vector<Neighbor> RetrievalSystem::retrieve_detailed(const video::Video& v,
+                                                         std::size_t m) {
+  const Tensor feature = extractor_->extract(v);
+  return retrieve_feature(feature, m);
+}
+
+std::vector<Neighbor> RetrievalSystem::retrieve_feature(const Tensor& feature,
+                                                        std::size_t m) const {
+  return index_.query(feature, m, /*parallel=*/index_.node_count() > 1);
+}
+
+int RetrievalSystem::label_of(std::int64_t gallery_id) const {
+  const auto it = labels_.find(gallery_id);
+  DUO_CHECK_MSG(it != labels_.end(), "unknown gallery id");
+  return it->second;
+}
+
+std::int64_t RetrievalSystem::relevant_count(int label) const {
+  const auto it = label_counts_.find(label);
+  return it == label_counts_.end() ? 0 : it->second;
+}
+
+double evaluate_map(RetrievalSystem& system,
+                    const std::vector<video::Video>& queries, std::size_t m) {
+  if (queries.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& q : queries) {
+    const auto result = system.retrieve_detailed(q, m);
+    std::vector<bool> relevant(result.size());
+    for (std::size_t i = 0; i < result.size(); ++i) {
+      relevant[i] = result[i].label == q.label();
+    }
+    acc += metrics::average_precision(relevant,
+                                      system.relevant_count(q.label()));
+  }
+  return acc / static_cast<double>(queries.size());
+}
+
+}  // namespace duo::retrieval

@@ -1,0 +1,86 @@
+#pragma once
+
+// RetrievalSystem: feature extractor + distributed index + gallery metadata —
+// the victim service R(·) of the paper. BlackBoxHandle is the attacker-facing
+// facade: it only exposes retrieve(v, m) and counts queries, enforcing the
+// black-box threat model in the type system.
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "metrics/metrics.hpp"
+#include "models/feature_extractor.hpp"
+#include "retrieval/index.hpp"
+#include "video/video.hpp"
+
+namespace duo::retrieval {
+
+class RetrievalSystem {
+ public:
+  // Takes ownership of the (trained) extractor. `num_nodes` is the number of
+  // distributed data nodes the gallery is sharded over.
+  RetrievalSystem(std::unique_ptr<models::FeatureExtractor> extractor,
+                  std::size_t num_nodes = 4);
+
+  // Featurize and index a gallery video.
+  void add_to_gallery(const video::Video& v);
+  void add_all(const std::vector<video::Video>& videos);
+
+  // Top-m retrieval R^m(v): gallery ids in descending similarity.
+  metrics::RetrievalList retrieve(const video::Video& v, std::size_t m);
+  // Retrieval with distances/labels (used by evaluation harnesses).
+  std::vector<Neighbor> retrieve_detailed(const video::Video& v,
+                                          std::size_t m);
+  // Retrieval for a precomputed feature (no extractor forward).
+  std::vector<Neighbor> retrieve_feature(const Tensor& feature,
+                                         std::size_t m) const;
+
+  models::FeatureExtractor& extractor() noexcept { return *extractor_; }
+  const RetrievalIndex& index() const noexcept { return index_; }
+  std::size_t gallery_size() const noexcept { return index_.size(); }
+  int label_of(std::int64_t gallery_id) const;
+  std::int64_t relevant_count(int label) const;
+
+ private:
+  std::unique_ptr<models::FeatureExtractor> extractor_;
+  RetrievalIndex index_;
+  std::unordered_map<std::int64_t, int> labels_;
+  std::unordered_map<int, std::int64_t> label_counts_;
+};
+
+// Attacker's view of the victim: retrieval lists only, with query accounting.
+// Wraps any queryable backend (single system, ensemble, instrumented fake in
+// tests) behind a type-erased retrieve function.
+class BlackBoxHandle {
+ public:
+  using RetrieveFn =
+      std::function<metrics::RetrievalList(const video::Video&, std::size_t)>;
+
+  explicit BlackBoxHandle(RetrievalSystem& system)
+      : retrieve_([&system](const video::Video& v, std::size_t m) {
+          return system.retrieve(v, m);
+        }) {}
+
+  explicit BlackBoxHandle(RetrieveFn retrieve)
+      : retrieve_(std::move(retrieve)) {}
+
+  metrics::RetrievalList retrieve(const video::Video& v, std::size_t m) {
+    ++query_count_;
+    return retrieve_(v, m);
+  }
+
+  std::int64_t query_count() const noexcept { return query_count_; }
+  void reset_query_count() noexcept { query_count_ = 0; }
+
+ private:
+  RetrieveFn retrieve_;
+  std::int64_t query_count_ = 0;
+};
+
+// mAP of the system over labeled queries (paper Fig. 3/4): relevance = label
+// match against the gallery, AP per query over the top-m list.
+double evaluate_map(RetrievalSystem& system,
+                    const std::vector<video::Video>& queries, std::size_t m);
+
+}  // namespace duo::retrieval

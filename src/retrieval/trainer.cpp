@@ -1,0 +1,117 @@
+#include "retrieval/trainer.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.hpp"
+#include "nn/optimizer.hpp"
+
+namespace duo::retrieval {
+
+namespace {
+
+// Sample a class-balanced batch: pick batch_size/2 classes, two videos each,
+// guaranteeing positive pairs for the metric losses.
+std::vector<std::size_t> sample_batch(
+    const std::unordered_map<int, std::vector<std::size_t>>& by_class,
+    int batch_size, Rng& rng) {
+  std::vector<int> class_ids;
+  class_ids.reserve(by_class.size());
+  for (const auto& [label, idxs] : by_class) {
+    if (idxs.size() >= 2) class_ids.push_back(label);
+  }
+  DUO_CHECK_MSG(!class_ids.empty(),
+                "training set needs a class with >= 2 videos");
+  rng.shuffle(class_ids);
+
+  std::vector<std::size_t> batch;
+  const int pairs = std::max(1, batch_size / 2);
+  for (int p = 0; p < pairs; ++p) {
+    const int label = class_ids[static_cast<std::size_t>(p) % class_ids.size()];
+    const auto& idxs = by_class.at(label);
+    const std::size_t a = idxs[rng.uniform_index(idxs.size())];
+    std::size_t b = idxs[rng.uniform_index(idxs.size())];
+    while (b == a) b = idxs[rng.uniform_index(idxs.size())];
+    batch.push_back(a);
+    batch.push_back(b);
+  }
+  return batch;
+}
+
+}  // namespace
+
+TrainStats train_extractor(models::FeatureExtractor& extractor,
+                           nn::BatchMetricLoss& loss,
+                           const std::vector<video::Video>& train,
+                           const TrainerConfig& config) {
+  DUO_CHECK_MSG(!train.empty(), "empty training set");
+  extractor.set_training(true);
+
+  std::unordered_map<int, std::vector<std::size_t>> by_class;
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    by_class[train[i].label()].push_back(i);
+  }
+
+  std::vector<nn::Parameter*> params = extractor.parameters();
+  {
+    auto loss_params = loss.parameters();
+    params.insert(params.end(), loss_params.begin(), loss_params.end());
+  }
+  nn::Adam optimizer(params, config.learning_rate);
+  Rng rng(config.seed);
+
+  const int steps_per_epoch = std::max<int>(
+      1, static_cast<int>(train.size()) / std::max(1, config.batch_size));
+
+  TrainStats stats;
+  const std::int64_t dim = extractor.feature_dim();
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    for (int step = 0; step < steps_per_epoch; ++step) {
+      const auto batch = sample_batch(by_class, config.batch_size, rng);
+      const std::int64_t b = static_cast<std::int64_t>(batch.size());
+
+      // Forward each sample; features stacked [B, D]. Layer caches are
+      // per-forward, so backward must be interleaved per sample: we re-run
+      // forward before each backward to restore the caches.
+      Tensor features({b, dim});
+      std::vector<int> labels(batch.size());
+      for (std::int64_t s = 0; s < b; ++s) {
+        const auto& v = train[batch[static_cast<std::size_t>(s)]];
+        const Tensor f = extractor.extract(v);
+        for (std::int64_t d = 0; d < dim; ++d) features.at(s, d) = f[d];
+        labels[static_cast<std::size_t>(s)] = v.label();
+      }
+
+      // zero_grad before compute: the loss accumulates its own parameter
+      // grads (ArcFace class weights) inside compute().
+      optimizer.zero_grad();
+      const nn::BatchLossResult result = loss.compute(features, labels);
+      epoch_loss += result.loss;
+
+      for (std::int64_t s = 0; s < b; ++s) {
+        Tensor grad_f({dim});
+        bool nonzero = false;
+        for (std::int64_t d = 0; d < dim; ++d) {
+          grad_f[d] = result.feature_grads.at(s, d);
+          nonzero = nonzero || grad_f[d] != 0.0f;
+        }
+        if (!nonzero) continue;
+        const auto& v = train[batch[static_cast<std::size_t>(s)]];
+        (void)extractor.extract(v);  // restore layer caches for this sample
+        (void)extractor.backward_to_input(grad_f);
+      }
+      optimizer.step();
+    }
+    epoch_loss /= steps_per_epoch;
+    stats.epoch_losses.push_back(epoch_loss);
+    if (config.verbose) {
+      DUO_LOG_INFO("train %s epoch %d/%d loss=%.4f", extractor.name().c_str(),
+                   epoch + 1, config.epochs, epoch_loss);
+    }
+  }
+  extractor.set_training(false);
+  return stats;
+}
+
+}  // namespace duo::retrieval

@@ -1,0 +1,38 @@
+#pragma once
+
+// Metric-learning trainer for feature extractors. Victim models are trained
+// on labeled videos with one of the three paper losses (ArcFace / Lifted /
+// Angular); the attack's surrogate is trained elsewhere (attack/surrogate.hpp)
+// from query-harvested triplets.
+
+#include <memory>
+
+#include "models/feature_extractor.hpp"
+#include "nn/losses.hpp"
+#include "video/video.hpp"
+
+namespace duo::retrieval {
+
+struct TrainerConfig {
+  int epochs = 6;
+  int batch_size = 12;
+  float learning_rate = 2e-3f;
+  std::uint64_t seed = 7;
+  bool verbose = false;
+};
+
+struct TrainStats {
+  std::vector<double> epoch_losses;
+  double final_loss() const {
+    return epoch_losses.empty() ? 0.0 : epoch_losses.back();
+  }
+};
+
+// Trains `extractor` in place. Batches are class-balanced samples of the
+// training set (metric losses need same-class pairs in every batch).
+TrainStats train_extractor(models::FeatureExtractor& extractor,
+                           nn::BatchMetricLoss& loss,
+                           const std::vector<video::Video>& train,
+                           const TrainerConfig& config);
+
+}  // namespace duo::retrieval

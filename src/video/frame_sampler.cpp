@@ -1,0 +1,41 @@
+#include "video/frame_sampler.hpp"
+
+namespace duo::video {
+
+std::vector<std::int64_t> uniform_sample_indices(std::int64_t total_frames,
+                                                 std::int64_t target_frames) {
+  DUO_CHECK(total_frames > 0 && target_frames > 0);
+  std::vector<std::int64_t> idx;
+  idx.reserve(static_cast<std::size_t>(target_frames));
+  for (std::int64_t i = 0; i < target_frames; ++i) {
+    // Center of the i-th of target_frames equal segments.
+    const double pos = (static_cast<double>(i) + 0.5) *
+                       static_cast<double>(total_frames) /
+                       static_cast<double>(target_frames);
+    std::int64_t f = static_cast<std::int64_t>(pos);
+    if (f >= total_frames) f = total_frames - 1;
+    idx.push_back(f);
+  }
+  return idx;
+}
+
+Video uniform_sample(const Video& v, std::int64_t target_frames) {
+  const VideoGeometry& g = v.geometry();
+  if (g.frames == target_frames) return v;
+  const auto indices = uniform_sample_indices(g.frames, target_frames);
+
+  VideoGeometry out_g = g;
+  out_g.frames = target_frames;
+  Video out(out_g, v.label(), v.id());
+  const std::int64_t frame_elems = g.elements_per_frame();
+  const float* src = v.data().data();
+  float* dst = out.data().data();
+  for (std::int64_t i = 0; i < target_frames; ++i) {
+    const float* s = src + indices[static_cast<std::size_t>(i)] * frame_elems;
+    float* d = dst + i * frame_elems;
+    for (std::int64_t e = 0; e < frame_elems; ++e) d[e] = s[e];
+  }
+  return out;
+}
+
+}  // namespace duo::video

@@ -1,0 +1,19 @@
+#pragma once
+
+// Frame sampling. The paper (§V-A, following [1]) uniformly samples a
+// 16-frame snippet from each video before feeding the retrieval model.
+
+#include "video/video.hpp"
+
+namespace duo::video {
+
+// Uniformly sample `target_frames` frames from `v` (indices spread evenly
+// across [0, N)). If the video already has exactly `target_frames` frames it
+// is returned unchanged. Requires N >= 1.
+Video uniform_sample(const Video& v, std::int64_t target_frames);
+
+// The frame indices uniform_sample picks, exposed for tests.
+std::vector<std::int64_t> uniform_sample_indices(std::int64_t total_frames,
+                                                 std::int64_t target_frames);
+
+}  // namespace duo::video

@@ -1,0 +1,171 @@
+#include "video/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace duo::video {
+
+namespace {
+constexpr float kTwoPi = 6.283185307179586f;
+}
+
+DatasetSpec DatasetSpec::ucf101_like(std::uint64_t seed) {
+  DatasetSpec s;
+  s.name = "UCF101";
+  s.num_classes = 20;
+  s.train_per_class = 8;
+  s.test_per_class = 4;
+  s.geometry = {16, 24, 24, 3};
+  s.seed = seed;
+  return s;
+}
+
+DatasetSpec DatasetSpec::hmdb51_like(std::uint64_t seed) {
+  DatasetSpec s;
+  s.name = "HMDB51";
+  s.num_classes = 10;
+  s.train_per_class = 8;
+  s.test_per_class = 4;
+  s.geometry = {16, 24, 24, 3};
+  s.seed = seed;
+  return s;
+}
+
+DatasetSpec DatasetSpec::ucf101_full(std::uint64_t seed) {
+  DatasetSpec s;
+  s.name = "UCF101-full";
+  s.num_classes = 101;
+  s.train_per_class = 92;  // ≈ 9,324 training videos
+  s.test_per_class = 40;   // ≈ 3,996 testing videos (paper Table I)
+  s.geometry = VideoGeometry::paper_scale();
+  s.seed = seed;
+  return s;
+}
+
+DatasetSpec DatasetSpec::hmdb51_full(std::uint64_t seed) {
+  DatasetSpec s;
+  s.name = "HMDB51-full";
+  s.num_classes = 51;
+  s.train_per_class = 96;  // ≈ 4,900 training videos
+  s.test_per_class = 41;   // ≈ 2,100 testing videos
+  s.geometry = VideoGeometry::paper_scale();
+  s.seed = seed;
+  return s;
+}
+
+SyntheticGenerator::SyntheticGenerator(DatasetSpec spec) : spec_(std::move(spec)) {
+  DUO_CHECK(spec_.num_classes > 1);
+  Rng rng(spec_.seed * 0x9E3779B97F4A7C15ULL + 7);
+  patterns_.reserve(static_cast<std::size_t>(spec_.num_classes));
+  const int frames = static_cast<int>(spec_.geometry.frames);
+  for (int c = 0; c < spec_.num_classes; ++c) {
+    ClassPattern p;
+    // Low spatial frequencies: wavelengths of several pixels even at the
+    // miniature 16–32 px geometry, so content survives the mild smoothing
+    // defenses apply (a 3×3 median must not erase the class signal).
+    p.freq_x = rng.uniform_f(0.5f, 2.0f);
+    p.freq_y = rng.uniform_f(0.5f, 2.0f);
+    p.phase = rng.uniform_f(0.0f, kTwoPi);
+    p.velocity_x = rng.uniform_f(-2.5f, 2.5f);
+    p.velocity_y = rng.uniform_f(-2.5f, 2.5f);
+    for (auto& m : p.color_mix) m = rng.uniform_f(0.25f, 1.0f);
+    p.event_length = rng.uniform_int(3, 5);
+    p.event_start = rng.uniform_int(0, std::max(0, frames - p.event_length - 1));
+    p.event_freq = rng.uniform_f(1.5f, 3.5f);
+    patterns_.push_back(p);
+  }
+}
+
+Video SyntheticGenerator::make_video(int label, std::int64_t id,
+                                     std::uint64_t instance_seed) const {
+  DUO_CHECK(label >= 0 && label < spec_.num_classes);
+  const ClassPattern& p = patterns_[static_cast<std::size_t>(label)];
+  const VideoGeometry& g = spec_.geometry;
+  Rng rng(instance_seed);
+
+  // Per-video jitter: substantial parameter perturbations + random spatial
+  // offset. The jitter width controls intra-class spread, which in turn
+  // controls how hard the retrieval problem is — tuned so trained victims
+  // land in the paper's mAP regime (≈40–65%, Fig. 3) rather than at
+  // near-perfect separation.
+  const float jfx = p.freq_x * rng.uniform_f(0.85f, 1.15f);
+  const float jfy = p.freq_y * rng.uniform_f(0.85f, 1.15f);
+  const float jphase = p.phase + rng.uniform_f(-0.45f, 0.45f);
+  const float jvx = p.velocity_x * rng.uniform_f(0.7f, 1.3f);
+  const float jvy = p.velocity_y * rng.uniform_f(0.7f, 1.3f);
+  const float off_x = rng.uniform_f(0.0f, static_cast<float>(g.width));
+  const float off_y = rng.uniform_f(0.0f, static_cast<float>(g.height));
+  // Shared "scene background": the same spatial wave for every class with a
+  // per-video random phase. It contributes class-independent feature
+  // variance, so retrieval lists of different-class queries overlap — the
+  // regime the paper's Table II "w/o attack" AP@m of 25–68% implies.
+  const float bg_phase = rng.uniform_f(0.0f, kTwoPi);
+  const float bg_vx = rng.uniform_f(-1.5f, 1.5f);
+  // Per-video signal strength: some videos express their action weakly
+  // (distant camera, occlusion). Weak-signal videos sit near the feature
+  // centroid and show up in many retrieval lists — the "hub" items that give
+  // different-class queries overlapping lists (Table II "w/o attack" rows).
+  const float signal = rng.uniform_f(0.75f, 1.0f);
+  // Mild sensor noise. Kept low enough that content (not noise) dominates
+  // the learned features — real decoded video is similarly smooth, which is
+  // what makes feature-squeezing defenses viable on clean traffic (§V-D).
+  const float noise_sigma = rng.uniform_f(1.0f, 2.5f);
+
+  Video v(g, label, id);
+  const float inv_w = 1.0f / static_cast<float>(g.width);
+  const float inv_h = 1.0f / static_cast<float>(g.height);
+  for (std::int64_t n = 0; n < g.frames; ++n) {
+    const float t = static_cast<float>(n);
+    const bool in_event = n >= p.event_start &&
+                          n < p.event_start + p.event_length;
+    for (std::int64_t y = 0; y < g.height; ++y) {
+      for (std::int64_t x = 0; x < g.width; ++x) {
+        const float fx = (static_cast<float>(x) + jvx * t + off_x) * inv_w;
+        const float fy = (static_cast<float>(y) + jvy * t + off_y) * inv_h;
+        float base = std::sin(kTwoPi * jfx * fx + jphase) *
+                     std::cos(kTwoPi * jfy * fy);
+        if (in_event) {
+          // Class-discriminative flash: a distinct diagonal grating only
+          // present in the event window.
+          base += 0.8f * std::sin(kTwoPi * p.event_freq * (fx + fy) + jphase);
+        }
+        const float bg = std::sin(
+            kTwoPi * 1.3f *
+                ((static_cast<float>(x) + bg_vx * t) * inv_w +
+                 static_cast<float>(y) * inv_h) +
+            bg_phase);
+        for (std::int64_t c = 0; c < g.channels; ++c) {
+          const float mix = p.color_mix[static_cast<std::size_t>(c % 3)];
+          const float value = 127.5f + 62.0f * signal * mix * base +
+                              28.0f * bg + rng.normal_f(0.0f, noise_sigma);
+          // Integer pixels, like real decoded video; keeps quantized
+          // perturbation accounting exact (attack/perturbation.hpp).
+          v.pixel(n, y, x, c) = std::round(std::clamp(value, 0.0f, 255.0f));
+        }
+      }
+    }
+  }
+  return v;
+}
+
+Dataset SyntheticGenerator::generate() const {
+  Dataset ds;
+  ds.spec = spec_;
+  ds.train.reserve(static_cast<std::size_t>(spec_.train_size()));
+  ds.test.reserve(static_cast<std::size_t>(spec_.test_size()));
+  Rng seeder(spec_.seed);
+  std::int64_t id = 0;
+  for (int c = 0; c < spec_.num_classes; ++c) {
+    for (int i = 0; i < spec_.train_per_class; ++i) {
+      ds.train.push_back(make_video(c, id++, seeder.next_u64()));
+    }
+    for (int i = 0; i < spec_.test_per_class; ++i) {
+      ds.test.push_back(make_video(c, id++, seeder.next_u64()));
+    }
+  }
+  return ds;
+}
+
+}  // namespace duo::video

@@ -1,0 +1,49 @@
+#include "video/video.hpp"
+
+namespace duo::video {
+
+Video::Video(VideoGeometry geometry, int label, std::int64_t id)
+    : data_(geometry.tensor_shape()), geometry_(geometry), label_(label), id_(id) {}
+
+Video::Video(Tensor data, VideoGeometry geometry, int label, std::int64_t id)
+    : data_(std::move(data)), geometry_(geometry), label_(label), id_(id) {
+  DUO_CHECK_MSG(data_.shape() == geometry_.tensor_shape(),
+                "Video: data shape does not match geometry");
+}
+
+Tensor Video::to_model_input() const {
+  const auto& g = geometry_;
+  Tensor out({g.channels, g.frames, g.height, g.width});
+  constexpr float kInv255 = 1.0f / 255.0f;
+  for (std::int64_t n = 0; n < g.frames; ++n) {
+    for (std::int64_t y = 0; y < g.height; ++y) {
+      for (std::int64_t x = 0; x < g.width; ++x) {
+        for (std::int64_t c = 0; c < g.channels; ++c) {
+          out.at(c, n, y, x) = data_.at(n, y, x, c) * kInv255;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Video::from_model_space(const Tensor& model_tensor,
+                               const VideoGeometry& g, bool scale_to_pixels) {
+  DUO_CHECK_MSG(model_tensor.shape() ==
+                    Tensor::Shape({g.channels, g.frames, g.height, g.width}),
+                "from_model_space: shape mismatch");
+  Tensor out(g.tensor_shape());
+  const float scale = scale_to_pixels ? 255.0f : 1.0f;
+  for (std::int64_t n = 0; n < g.frames; ++n) {
+    for (std::int64_t y = 0; y < g.height; ++y) {
+      for (std::int64_t x = 0; x < g.width; ++x) {
+        for (std::int64_t c = 0; c < g.channels; ++c) {
+          out.at(n, y, x, c) = model_tensor.at(c, n, y, x) * scale;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace duo::video

@@ -1,0 +1,81 @@
+#pragma once
+
+// Video representation. Following the paper's notation, a video is
+// v ∈ R^{N×W×H×C}: N frames of W×H pixels with C channels, pixel values in
+// [0, 255]. Storage is row-major [N, H, W, C] (frames of H rows of W pixels).
+//
+// Models consume the layout [C, T, H, W] scaled to [0, 1]; conversions are
+// exact inverses of each other so attack perturbations computed in model
+// space map back to pixel space losslessly (up to float rounding).
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace duo::video {
+
+struct VideoGeometry {
+  std::int64_t frames = 16;   // N
+  std::int64_t width = 32;    // W
+  std::int64_t height = 32;   // H
+  std::int64_t channels = 3;  // C
+
+  std::int64_t pixels_per_frame() const noexcept { return width * height; }
+  std::int64_t elements_per_frame() const noexcept {
+    return width * height * channels;
+  }
+  std::int64_t total_elements() const noexcept {
+    return frames * elements_per_frame();
+  }
+  Tensor::Shape tensor_shape() const {
+    return {frames, height, width, channels};
+  }
+  bool operator==(const VideoGeometry&) const = default;
+
+  // Paper-scale geometry (UCF101: 16×112×112×3 → 602,112 elements).
+  static VideoGeometry paper_scale() { return {16, 112, 112, 3}; }
+};
+
+class Video {
+ public:
+  Video() = default;
+  Video(VideoGeometry geometry, int label, std::int64_t id);
+  Video(Tensor data, VideoGeometry geometry, int label, std::int64_t id);
+
+  const VideoGeometry& geometry() const noexcept { return geometry_; }
+  int label() const noexcept { return label_; }
+  std::int64_t id() const noexcept { return id_; }
+
+  Tensor& data() noexcept { return data_; }
+  const Tensor& data() const noexcept { return data_; }
+
+  float pixel(std::int64_t frame, std::int64_t y, std::int64_t x,
+              std::int64_t c) const {
+    return data_.at(frame, y, x, c);
+  }
+  float& pixel(std::int64_t frame, std::int64_t y, std::int64_t x,
+               std::int64_t c) {
+    return data_.at(frame, y, x, c);
+  }
+
+  // Clamp all pixels to the valid [0, 255] range.
+  void clamp_valid() noexcept { data_.clamp_(0.0f, 255.0f); }
+
+  // Model-space conversion: [N,H,W,C]·[0,255] → [C,N,H,W]·[0,1].
+  Tensor to_model_input() const;
+
+  // Inverse of to_model_input (for gradients: maps model-space tensors back
+  // to pixel layout; scale_to_pixels=true multiplies by 255).
+  static Tensor from_model_space(const Tensor& model_tensor,
+                                 const VideoGeometry& geometry,
+                                 bool scale_to_pixels);
+
+ private:
+  Tensor data_;  // [N, H, W, C], values in [0, 255]
+  VideoGeometry geometry_;
+  int label_ = -1;
+  std::int64_t id_ = -1;
+};
+
+}  // namespace duo::video

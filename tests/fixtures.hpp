@@ -1,0 +1,86 @@
+#pragma once
+
+// Shared test fixture: a tiny synthetic world (dataset + trained victim
+// retrieval system + trained surrogate) built once per test binary. Keeping
+// it a lazy singleton makes the attack tests fast while still exercising the
+// full pipeline against a *trained* victim.
+
+#include <memory>
+#include <vector>
+
+#include "attack/surrogate.hpp"
+#include "models/feature_extractor.hpp"
+#include "nn/losses.hpp"
+#include "retrieval/system.hpp"
+#include "retrieval/trainer.hpp"
+#include "video/synthetic.hpp"
+
+namespace duo::testing {
+
+struct TinyWorld {
+  video::DatasetSpec spec;
+  video::Dataset dataset;
+  std::unique_ptr<retrieval::RetrievalSystem> victim;
+  std::unique_ptr<models::FeatureExtractor> surrogate;
+  std::unique_ptr<attack::VideoStore> store;
+
+  static const TinyWorld& instance() {
+    static TinyWorld world = build();
+    return world;
+  }
+
+  // Non-const access for tests that need to mutate the victim (the retrieval
+  // index itself is immutable; extractor caches are per-call state).
+  static TinyWorld& mutable_instance() {
+    return const_cast<TinyWorld&>(instance());
+  }
+
+ private:
+  static TinyWorld build() {
+    TinyWorld w;
+    w.spec = video::DatasetSpec::hmdb51_like(77);
+    w.spec.num_classes = 5;
+    w.spec.train_per_class = 6;
+    w.spec.test_per_class = 2;
+    w.spec.geometry = {8, 16, 16, 3};
+    w.dataset = video::SyntheticGenerator(w.spec).generate();
+
+    // Victim: trained TPN + ArcFace.
+    Rng vrng(101);
+    auto extractor = models::make_extractor(models::ModelKind::kTPN,
+                                            w.spec.geometry, 16, vrng);
+    nn::ArcFaceLoss loss(16, w.spec.num_classes, vrng);
+    retrieval::TrainerConfig tcfg;
+    tcfg.epochs = 4;
+    tcfg.batch_size = 10;
+    tcfg.learning_rate = 3e-3f;
+    retrieval::train_extractor(*extractor, loss, w.dataset.train, tcfg);
+    w.victim =
+        std::make_unique<retrieval::RetrievalSystem>(std::move(extractor), 2);
+    w.victim->add_all(w.dataset.train);
+
+    // Attacker-side store: gallery videos are publicly fetchable.
+    w.store = std::make_unique<attack::VideoStore>(w.dataset.train);
+
+    // Surrogate: C3D trained on query-harvested triplets.
+    Rng srng(202);
+    w.surrogate = models::make_extractor(models::ModelKind::kC3D,
+                                         w.spec.geometry, 16, srng);
+    retrieval::BlackBoxHandle handle(*w.victim);
+    attack::SurrogateHarvestConfig hcfg;
+    hcfg.m = 8;
+    hcfg.rounds = 2;
+    hcfg.target_video_count = 20;
+    hcfg.target_triplets = 150;  // keep the fixture light
+    const auto harvested = attack::harvest_surrogate_dataset(
+        handle, *w.store, {w.dataset.train[0].id(), w.dataset.train[7].id()},
+        hcfg);
+    attack::SurrogateTrainConfig scfg;
+    scfg.epochs = 3;
+    scfg.triplets_per_epoch = 40;
+    attack::train_surrogate(*w.surrogate, harvested, *w.store, scfg);
+    return w;
+  }
+};
+
+}  // namespace duo::testing

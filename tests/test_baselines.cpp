@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "baselines/heu.hpp"
+#include "baselines/timi.hpp"
+#include "baselines/vanilla.hpp"
+#include "fixtures.hpp"
+#include "metrics/metrics.hpp"
+
+namespace duo::baselines {
+namespace {
+
+using duo::testing::TinyWorld;
+
+TEST(RandomSupport, RespectsBudgets) {
+  video::VideoGeometry g{8, 16, 16, 3};
+  Rng rng(1);
+  const attack::Perturbation p = random_support(g, 120, 3, rng);
+  EXPECT_EQ(p.selected_pixels(), 120);
+  EXPECT_EQ(p.selected_frames(), 3);
+  // Pixels all live inside selected frames.
+  const Tensor combined_mask = p.pixel_mask() * p.frame_mask();
+  EXPECT_EQ(combined_mask.norm_l0(), 120);
+}
+
+TEST(RandomSupport, DifferentSeedsDiffer) {
+  video::VideoGeometry g{8, 16, 16, 3};
+  Rng r1(1), r2(2);
+  const auto a = random_support(g, 50, 2, r1);
+  const auto b = random_support(g, 50, 2, r2);
+  EXPECT_FALSE(a.pixel_mask().allclose(b.pixel_mask()));
+}
+
+TEST(Vanilla, ProducesSparseBoundedPerturbation) {
+  auto& w = TinyWorld::mutable_instance();
+  VanillaConfig cfg;
+  cfg.k = 150;
+  cfg.n = 3;
+  cfg.query.iter_numQ = 30;
+  cfg.query.tau = 20.0f;
+  cfg.query.m = 8;
+  VanillaAttack attack(cfg);
+  EXPECT_EQ(attack.name(), "Vanilla");
+
+  retrieval::BlackBoxHandle handle(*w.victim);
+  const auto outcome =
+      attack.run(w.dataset.train[0], w.dataset.train[12], handle);
+
+  EXPECT_LE(metrics::sparsity(outcome.perturbation), cfg.k);
+  EXPECT_LE(outcome.perturbation.norm_linf(), cfg.query.tau + 0.5f);
+  EXPECT_GT(outcome.queries, 0);
+  EXPECT_EQ(outcome.queries, handle.query_count());
+}
+
+TEST(Timi, PerturbsDenselyUpToTau) {
+  auto& w = TinyWorld::mutable_instance();
+  TimiConfig cfg;
+  cfg.iterations = 5;
+  cfg.tau = 10.0f;
+  TimiAttack attack(*w.surrogate, cfg);
+  EXPECT_EQ(attack.name(), "TIMI-C3D");
+
+  retrieval::BlackBoxHandle handle(*w.victim);
+  const auto outcome =
+      attack.run(w.dataset.train[1], w.dataset.train[13], handle);
+
+  // Dense: the vast majority of elements are perturbed (Table II: Spa ≈
+  // the full tensor for TIMI).
+  const auto total = w.spec.geometry.total_elements();
+  EXPECT_GT(metrics::sparsity(outcome.perturbation), total / 2);
+  EXPECT_LE(outcome.perturbation.norm_linf(), cfg.tau + 0.5f);
+  // Transfer-only: no black-box queries.
+  EXPECT_EQ(outcome.queries, 0);
+  EXPECT_EQ(handle.query_count(), 0);
+}
+
+TEST(Timi, MovesTowardTargetOnSurrogate) {
+  auto& w = TinyWorld::mutable_instance();
+  TimiConfig cfg;
+  cfg.iterations = 8;
+  cfg.tau = 10.0f;
+  TimiAttack attack(*w.surrogate, cfg);
+  retrieval::BlackBoxHandle handle(*w.victim);
+  const auto& v = w.dataset.train[2];
+  const auto& vt = w.dataset.train[14];
+  const auto outcome = attack.run(v, vt, handle);
+
+  const Tensor ft = w.surrogate->extract(vt);
+  const double before = (w.surrogate->extract(v) - ft).norm_l2();
+  const double after = (w.surrogate->extract(outcome.adversarial) - ft).norm_l2();
+  EXPECT_LT(after, before);
+}
+
+TEST(SaliencySupport, SelectsRequestedBudgets) {
+  auto& w = TinyWorld::mutable_instance();
+  const auto p = saliency_support(w.dataset.train[0], 100, 3);
+  EXPECT_EQ(p.selected_pixels(), 100);
+  EXPECT_EQ(p.selected_frames(), 3);
+}
+
+TEST(SaliencySupport, PrefersHighMotionFrames) {
+  // Build a video with one frame that differs drastically from neighbors;
+  // motion-based key-frame selection must include it.
+  video::VideoGeometry g{8, 8, 8, 3};
+  video::Video v(g, 0, 0);
+  v.data().fill(100.0f);
+  const std::int64_t fe = g.elements_per_frame();
+  for (std::int64_t e = 0; e < fe; ++e) v.data()[5 * fe + e] = 250.0f;
+
+  const auto p = saliency_support(v, 50, 2);
+  const auto frames = p.selected_frame_indices();
+  // Frame 5 and/or its successor 6 carry the motion spike.
+  const bool has_spike =
+      std::find(frames.begin(), frames.end(), 5) != frames.end() ||
+      std::find(frames.begin(), frames.end(), 6) != frames.end();
+  EXPECT_TRUE(has_spike);
+}
+
+TEST(HeuNes, RunsAndRespectsBudgets) {
+  auto& w = TinyWorld::mutable_instance();
+  HeuConfig cfg;
+  cfg.k = 120;
+  cfg.n = 3;
+  cfg.tau = 20.0f;
+  cfg.nes_iterations = 3;
+  cfg.nes_population = 3;
+  cfg.m = 8;
+  HeuAttack attack(HeuStrategy::kNatureEstimated, cfg);
+  EXPECT_EQ(attack.name(), "HEU-Nes");
+
+  retrieval::BlackBoxHandle handle(*w.victim);
+  const auto outcome =
+      attack.run(w.dataset.train[3], w.dataset.train[16], handle);
+  EXPECT_LE(metrics::sparsity(outcome.perturbation), cfg.k);
+  EXPECT_LE(outcome.perturbation.norm_linf(), cfg.tau + 0.5f);
+  // NES spends 2·population queries per iteration plus bookkeeping.
+  EXPECT_GE(outcome.queries,
+            static_cast<std::int64_t>(cfg.nes_iterations) * 2 * cfg.nes_population);
+}
+
+TEST(HeuSim, UsesRandomStrategy) {
+  auto& w = TinyWorld::mutable_instance();
+  HeuConfig cfg;
+  cfg.k = 120;
+  cfg.n = 3;
+  cfg.nes_iterations = 2;
+  cfg.nes_population = 2;
+  cfg.m = 8;
+  HeuAttack attack(HeuStrategy::kRandom, cfg);
+  EXPECT_EQ(attack.name(), "HEU-Sim");
+
+  retrieval::BlackBoxHandle handle(*w.victim);
+  const auto outcome =
+      attack.run(w.dataset.train[4], w.dataset.train[18], handle);
+  EXPECT_LE(metrics::sparsity(outcome.perturbation), cfg.k);
+}
+
+TEST(HeuNes, THistoryRecorded) {
+  auto& w = TinyWorld::mutable_instance();
+  HeuConfig cfg;
+  cfg.nes_iterations = 3;
+  cfg.nes_population = 2;
+  cfg.m = 8;
+  HeuAttack attack(HeuStrategy::kNatureEstimated, cfg);
+  retrieval::BlackBoxHandle handle(*w.victim);
+  const auto outcome =
+      attack.run(w.dataset.train[5], w.dataset.train[20], handle);
+  EXPECT_EQ(outcome.t_history.size(),
+            static_cast<std::size_t>(cfg.nes_iterations) + 1);
+}
+
+}  // namespace
+}  // namespace duo::baselines

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "defense/defense.hpp"
+#include "fixtures.hpp"
+
+namespace duo::defense {
+namespace {
+
+using duo::testing::TinyWorld;
+
+TEST(FeatureSqueezing, BitDepthReductionQuantizes) {
+  video::VideoGeometry g{2, 4, 4, 3};
+  video::Video v(g, 0, 0);
+  Rng rng(1);
+  for (auto& x : v.data().flat()) x = std::round(rng.uniform_f(0.0f, 255.0f));
+
+  FeatureSqueezingConfig cfg;
+  cfg.bit_depth = 3;
+  cfg.median_radius = 0;  // isolate the quantization
+  FeatureSqueezing squeeze(cfg);
+  const video::Video out = squeeze.apply(v);
+
+  // 3 bits → 8 levels: every output value must be one of them.
+  const float levels = 7.0f;
+  for (std::int64_t i = 0; i < out.data().size(); ++i) {
+    const float q = out.data()[i] / 255.0f * levels;
+    EXPECT_NEAR(q, std::round(q), 1e-3);
+  }
+}
+
+TEST(FeatureSqueezing, MedianFilterRemovesImpulseNoise) {
+  video::VideoGeometry g{1, 8, 8, 1};
+  video::Video v(g, 0, 0);
+  v.data().fill(100.0f);
+  v.data().at(0, 4, 4, 0) = 255.0f;  // isolated spike
+
+  FeatureSqueezingConfig cfg;
+  cfg.bit_depth = 8;
+  cfg.median_radius = 1;
+  FeatureSqueezing squeeze(cfg);
+  const video::Video out = squeeze.apply(v);
+  EXPECT_NEAR(out.data().at(0, 4, 4, 0), 100.0f, 3.0f);
+}
+
+TEST(Noise2Self, ReducesGaussianNoise) {
+  // Build a smooth video + noise; the J-invariant denoiser must bring it
+  // closer to the clean signal.
+  video::VideoGeometry g{4, 12, 12, 1};
+  video::Video clean(g, 0, 0);
+  for (std::int64_t n = 0; n < g.frames; ++n) {
+    for (std::int64_t y = 0; y < g.height; ++y) {
+      for (std::int64_t x = 0; x < g.width; ++x) {
+        clean.pixel(n, y, x, 0) =
+            127.0f + 60.0f * std::sin(0.4f * static_cast<float>(x + y + n));
+      }
+    }
+  }
+  video::Video noisy = clean;
+  Rng rng(2);
+  for (auto& p : noisy.data().flat()) {
+    p = std::clamp(p + rng.normal_f(0.0f, 20.0f), 0.0f, 255.0f);
+  }
+
+  Noise2Self denoiser(Noise2SelfConfig{});
+  const video::Video denoised = denoiser.apply(noisy);
+
+  const double err_noisy = (noisy.data() - clean.data()).norm_l2();
+  const double err_denoised = (denoised.data() - clean.data()).norm_l2();
+  EXPECT_LT(err_denoised, err_noisy);
+}
+
+TEST(Noise2Self, NearIdentityOnSmoothContent) {
+  video::VideoGeometry g{2, 8, 8, 1};
+  video::Video v(g, 0, 0);
+  for (std::int64_t n = 0; n < g.frames; ++n) {
+    for (std::int64_t y = 0; y < g.height; ++y) {
+      for (std::int64_t x = 0; x < g.width; ++x) {
+        v.pixel(n, y, x, 0) = 50.0f + 2.0f * static_cast<float>(x);
+      }
+    }
+  }
+  Noise2Self denoiser(Noise2SelfConfig{});
+  const video::Video out = denoiser.apply(v);
+  // Interior pixels are linear in neighbors, so prediction is near-exact.
+  EXPECT_NEAR(out.pixel(1, 4, 4, 0), v.pixel(1, 4, 4, 0), 2.0f);
+}
+
+TEST(Detector, CalibratedThresholdPassesCleanVideos) {
+  auto& w = TinyWorld::mutable_instance();
+  Detector det(*w.victim, std::make_unique<FeatureSqueezing>(
+                              FeatureSqueezingConfig{}),
+               8);
+  std::vector<video::Video> clean(w.dataset.train.begin(),
+                                  w.dataset.train.begin() + 10);
+  det.calibrate(clean);
+  for (const auto& v : clean) {
+    EXPECT_FALSE(det.is_adversarial(v));
+  }
+}
+
+TEST(Detector, ScoreIsBounded) {
+  auto& w = TinyWorld::mutable_instance();
+  Detector det(*w.victim,
+               std::make_unique<Noise2Self>(Noise2SelfConfig{}), 8);
+  const double s = det.score(w.dataset.train[0]);
+  EXPECT_GE(s, 0.0);
+  EXPECT_LE(s, 1.0);
+}
+
+TEST(Detector, FlagsGrosslyPerturbedVideo) {
+  auto& w = TinyWorld::mutable_instance();
+  Detector det(*w.victim, std::make_unique<FeatureSqueezing>(
+                              FeatureSqueezingConfig{}),
+               8);
+  std::vector<video::Video> clean(w.dataset.train.begin(),
+                                  w.dataset.train.begin() + 8);
+  det.calibrate(clean);
+
+  // Salt-and-pepper garbage: squeezing changes its retrieval dramatically.
+  video::Video garbage = w.dataset.train[0];
+  Rng rng(3);
+  for (auto& p : garbage.data().flat()) {
+    if (rng.bernoulli(0.3)) p = rng.bernoulli(0.5) ? 0.0f : 255.0f;
+  }
+  const auto rate = det.detection_rate({garbage});
+  EXPECT_GT(rate, 0.0);
+}
+
+TEST(Detector, DetectionRateOfEmptySetIsZero) {
+  auto& w = TinyWorld::mutable_instance();
+  Detector det(*w.victim, std::make_unique<FeatureSqueezing>(
+                              FeatureSqueezingConfig{}),
+               8);
+  EXPECT_DOUBLE_EQ(det.detection_rate({}), 0.0);
+}
+
+TEST(Detector, EmptyCalibrationThrows) {
+  auto& w = TinyWorld::mutable_instance();
+  Detector det(*w.victim, std::make_unique<FeatureSqueezing>(
+                              FeatureSqueezingConfig{}),
+               8);
+  EXPECT_THROW(det.calibrate({}), std::logic_error);
+}
+
+TEST(Detector, TransformNameExposed) {
+  auto& w = TinyWorld::mutable_instance();
+  Detector fs(*w.victim,
+              std::make_unique<FeatureSqueezing>(FeatureSqueezingConfig{}), 8);
+  Detector n2s(*w.victim, std::make_unique<Noise2Self>(Noise2SelfConfig{}), 8);
+  EXPECT_EQ(fs.transform_name(), "feature-squeezing");
+  EXPECT_EQ(n2s.transform_name(), "noise2self");
+}
+
+}  // namespace
+}  // namespace duo::defense

@@ -1,0 +1,139 @@
+// End-to-end integration tests of the DUO pipeline against a trained victim.
+
+#include <gtest/gtest.h>
+
+#include "attack/duo.hpp"
+#include "attack/evaluation.hpp"
+#include "fixtures.hpp"
+#include "metrics/metrics.hpp"
+
+namespace duo::attack {
+namespace {
+
+using duo::testing::TinyWorld;
+
+DuoConfig quick_duo() {
+  DuoConfig cfg;
+  cfg.transfer.k = 200;
+  cfg.transfer.n = 3;
+  cfg.transfer.tau = 30.0f;
+  cfg.transfer.outer_iterations = 2;
+  cfg.transfer.theta_steps = 5;
+  cfg.query.iter_numQ = 60;
+  cfg.iter_numH = 2;
+  cfg.m = 8;
+  return cfg;
+}
+
+TEST(DuoPipeline, NameFollowsSurrogate) {
+  auto& w = TinyWorld::mutable_instance();
+  DuoAttack attack(*w.surrogate, quick_duo());
+  EXPECT_EQ(attack.name(), "DUO-C3D");
+}
+
+TEST(DuoPipeline, ProducesSparseBoundedAdversarialVideo) {
+  auto& w = TinyWorld::mutable_instance();
+  DuoAttack attack(*w.surrogate, quick_duo());
+  retrieval::BlackBoxHandle handle(*w.victim);
+
+  const auto& v = w.dataset.train[0];
+  const auto& vt = w.dataset.train[13];
+  const auto outcome = attack.run(v, vt, handle);
+
+  const auto cfg = quick_duo();
+  // Sparsity: far below the dense tensor, at most k per outer round.
+  EXPECT_LE(metrics::sparsity(outcome.perturbation),
+            cfg.transfer.k * cfg.iter_numH);
+  EXPECT_GT(metrics::sparsity(outcome.perturbation), 0);
+  // Perturbed frames bounded by n per outer round.
+  EXPECT_LE(metrics::perturbed_frames(outcome.perturbation,
+                                      v.geometry().elements_per_frame()),
+            static_cast<std::int64_t>(cfg.transfer.n) * cfg.iter_numH);
+  // Budget: each round adds at most τ on its own base.
+  EXPECT_LE(outcome.perturbation.norm_linf(),
+            cfg.transfer.tau * static_cast<float>(cfg.iter_numH) + 1.0f);
+  // Valid video.
+  EXPECT_GE(outcome.adversarial.data().min(), 0.0f);
+  EXPECT_LE(outcome.adversarial.data().max(), 255.0f);
+  EXPECT_GT(outcome.queries, 0);
+}
+
+TEST(DuoPipeline, TargetedAttackSucceedsOnAverage) {
+  // The paper's success criterion: AP@m(R(v_adv), R(v_t)) should exceed
+  // AP@m(R(v), R(v_t)) — the adversarial list is more target-like. Averaged
+  // over a few pairs to absorb per-pair noise.
+  auto& w = TinyWorld::mutable_instance();
+  DuoAttack attack(*w.surrogate, quick_duo());
+
+  const auto pairs = sample_attack_pairs(w.dataset.train, 4, 99);
+  const auto eval = evaluate_attack(attack, *w.victim, pairs, 8);
+  EXPECT_GE(eval.mean_ap_m_after_pct, eval.mean_ap_m_before_pct);
+  EXPECT_GT(eval.mean_ap_m_after_pct, 0.0);
+}
+
+TEST(DuoPipeline, THistorySpansAllOuterIterations) {
+  auto& w = TinyWorld::mutable_instance();
+  auto cfg = quick_duo();
+  cfg.query.iter_numQ = 20;
+  DuoAttack attack(*w.surrogate, cfg);
+  retrieval::BlackBoxHandle handle(*w.victim);
+  const auto outcome =
+      attack.run(w.dataset.train[2], w.dataset.train[15], handle);
+  // Each of the iter_numH SparseQuery phases records iter_numQ entries.
+  EXPECT_GE(outcome.t_history.size(),
+            static_cast<std::size_t>(cfg.iter_numH) * 10);
+}
+
+TEST(DuoPipeline, MoreOuterIterationsNeverReducesSparsityBudgetUse) {
+  auto& w = TinyWorld::mutable_instance();
+  auto cfg1 = quick_duo();
+  cfg1.iter_numH = 1;
+  auto cfg2 = quick_duo();
+  cfg2.iter_numH = 2;
+
+  retrieval::BlackBoxHandle h1(*w.victim), h2(*w.victim);
+  DuoAttack a1(*w.surrogate, cfg1), a2(*w.surrogate, cfg2);
+  const auto& v = w.dataset.train[3];
+  const auto& vt = w.dataset.train[17];
+  const auto o1 = a1.run(v, vt, h1);
+  const auto o2 = a2.run(v, vt, h2);
+  // Table VIII shape: more outer loops → at least as many queries spent.
+  EXPECT_GE(o2.queries, o1.queries);
+}
+
+TEST(SampleAttackPairs, PairsHaveDistinctLabels) {
+  auto& w = TinyWorld::mutable_instance();
+  const auto pairs = sample_attack_pairs(w.dataset.train, 10, 7);
+  ASSERT_EQ(pairs.size(), 10u);
+  for (const auto& p : pairs) {
+    EXPECT_NE(p.v.label(), p.v_t.label());
+  }
+}
+
+TEST(SampleAttackPairs, DeterministicForSeed) {
+  auto& w = TinyWorld::mutable_instance();
+  const auto a = sample_attack_pairs(w.dataset.train, 5, 42);
+  const auto b = sample_attack_pairs(w.dataset.train, 5, 42);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].v.id(), b[i].v.id());
+    EXPECT_EQ(a[i].v_t.id(), b[i].v_t.id());
+  }
+}
+
+TEST(EvaluateWithoutAttack, MatchesManualComputation) {
+  auto& w = TinyWorld::mutable_instance();
+  const auto pairs = sample_attack_pairs(w.dataset.train, 3, 5);
+  const double harness = evaluate_without_attack(*w.victim, pairs, 8);
+
+  double manual = 0.0;
+  for (const auto& p : pairs) {
+    manual += metrics::ap_at_m(w.victim->retrieve(p.v, 8),
+                               w.victim->retrieve(p.v_t, 8)) *
+              100.0;
+  }
+  manual /= static_cast<double>(pairs.size());
+  EXPECT_NEAR(harness, manual, 1e-9);
+}
+
+}  // namespace
+}  // namespace duo::attack

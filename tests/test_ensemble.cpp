@@ -1,0 +1,125 @@
+// Ensemble retrieval (paper §V-D "a potential defense against DUO").
+
+#include <gtest/gtest.h>
+
+#include "fixtures.hpp"
+#include "metrics/metrics.hpp"
+#include "nn/losses.hpp"
+#include "retrieval/ensemble.hpp"
+#include "retrieval/trainer.hpp"
+
+namespace duo::retrieval {
+namespace {
+
+using duo::testing::TinyWorld;
+
+std::unique_ptr<RetrievalSystem> make_member(const video::Dataset& dataset,
+                                             models::ModelKind kind,
+                                             std::uint64_t seed) {
+  Rng rng(seed);
+  auto extractor = models::make_extractor(kind, dataset.spec.geometry, 16, rng);
+  nn::ArcFaceLoss loss(16, dataset.spec.num_classes, rng);
+  TrainerConfig cfg;
+  cfg.epochs = 3;
+  cfg.seed = seed;
+  train_extractor(*extractor, loss, dataset.train, cfg);
+  auto system = std::make_unique<RetrievalSystem>(std::move(extractor), 2);
+  system->add_all(dataset.train);
+  return system;
+}
+
+TEST(Ensemble, RequiresMembers) {
+  EnsembleRetrievalSystem ensemble;
+  auto& w = TinyWorld::mutable_instance();
+  EXPECT_THROW(ensemble.retrieve(w.dataset.train[0], 5), std::logic_error);
+}
+
+TEST(Ensemble, SingleMemberMatchesThatMember) {
+  auto& w = TinyWorld::mutable_instance();
+  EnsembleRetrievalSystem ensemble;
+  ensemble.add_member(
+      make_member(w.dataset, models::ModelKind::kC3D, 9001));
+  const auto& v = w.dataset.train[3];
+  const auto fused = ensemble.retrieve(v, 5);
+  const auto direct = ensemble.member(0).retrieve(v, 5);
+  EXPECT_EQ(fused, direct);
+}
+
+TEST(Ensemble, FusesMultipleBackbones) {
+  auto& w = TinyWorld::mutable_instance();
+  EnsembleRetrievalSystem ensemble;
+  ensemble.add_member(make_member(w.dataset, models::ModelKind::kC3D, 9002));
+  ensemble.add_member(
+      make_member(w.dataset, models::ModelKind::kResNet18, 9003));
+  EXPECT_EQ(ensemble.member_count(), 2u);
+
+  const auto& v = w.dataset.train[5];
+  const auto fused = ensemble.retrieve(v, 8);
+  ASSERT_EQ(fused.size(), 8u);
+  // A gallery video is closest to itself in every member, so rank-fusion
+  // must put it first.
+  EXPECT_EQ(fused.front(), v.id());
+}
+
+TEST(Ensemble, RetrievalQualityAtLeastComparableToMembers) {
+  auto& w = TinyWorld::mutable_instance();
+  auto m1 = make_member(w.dataset, models::ModelKind::kC3D, 9004);
+  auto m2 = make_member(w.dataset, models::ModelKind::kResNet18, 9005);
+  RetrievalSystem* p1 = m1.get();
+  RetrievalSystem* p2 = m2.get();
+  EnsembleRetrievalSystem ensemble;
+  ensemble.add_member(std::move(m1));
+  ensemble.add_member(std::move(m2));
+
+  // mAP of the fused list over test queries vs the weaker single member.
+  auto map_of = [&](auto&& retrieve) {
+    double acc = 0.0;
+    for (const auto& q : w.dataset.test) {
+      const auto list = retrieve(q);
+      std::vector<bool> relevant(list.size());
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        relevant[i] = p1->label_of(list[i]) == q.label();
+      }
+      acc += metrics::average_precision(relevant,
+                                        p1->relevant_count(q.label()));
+    }
+    return acc / static_cast<double>(w.dataset.test.size());
+  };
+
+  const double map_fused =
+      map_of([&](const video::Video& q) { return ensemble.retrieve(q, 8); });
+  const double map_1 =
+      map_of([&](const video::Video& q) { return p1->retrieve(q, 8); });
+  const double map_2 =
+      map_of([&](const video::Video& q) { return p2->retrieve(q, 8); });
+  EXPECT_GE(map_fused, std::min(map_1, map_2) * 0.9);
+}
+
+TEST(Ensemble, BlackBoxHandleWrapsEnsemble) {
+  auto& w = TinyWorld::mutable_instance();
+  EnsembleRetrievalSystem ensemble;
+  ensemble.add_member(make_member(w.dataset, models::ModelKind::kC3D, 9006));
+  BlackBoxHandle handle(
+      [&ensemble](const video::Video& v, std::size_t m) {
+        return ensemble.retrieve(v, m);
+      });
+  const auto list = handle.retrieve(w.dataset.train[0], 5);
+  EXPECT_EQ(list.size(), 5u);
+  EXPECT_EQ(handle.query_count(), 1);
+}
+
+TEST(Ensemble, MismatchedGallerySizeRejected) {
+  auto& w = TinyWorld::mutable_instance();
+  EnsembleRetrievalSystem ensemble;
+  ensemble.add_member(make_member(w.dataset, models::ModelKind::kC3D, 9007));
+
+  Rng rng(9008);
+  auto extractor = models::make_extractor(models::ModelKind::kC3D,
+                                          w.spec.geometry, 16, rng);
+  auto partial = std::make_unique<RetrievalSystem>(std::move(extractor), 1);
+  partial->add_to_gallery(w.dataset.train[0]);  // gallery of one
+  EXPECT_THROW(ensemble.add_member(std::move(partial)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace duo::retrieval

@@ -1,0 +1,162 @@
+// Failure-injection and boundary-condition tests: how the library behaves
+// under misuse, degenerate inputs, and adversarially unhelpful conditions.
+
+#include <gtest/gtest.h>
+
+#include "attack/duo.hpp"
+#include "attack/evaluation.hpp"
+#include "attack/sparse_query.hpp"
+#include "attack/sparse_transfer.hpp"
+#include "baselines/timi.hpp"
+#include "fixtures.hpp"
+#include "metrics/metrics.hpp"
+#include "nn/conv3d.hpp"
+#include "nn/linear.hpp"
+#include "retrieval/index.hpp"
+
+namespace duo {
+namespace {
+
+using duo::testing::TinyWorld;
+
+TEST(FailureModes, ConvRejectsTooSmallInput) {
+  Rng rng(1);
+  nn::Conv3dSpec spec;
+  spec.in_channels = 1;
+  spec.out_channels = 1;
+  spec.kernel = {3, 3, 3};
+  spec.stride = {1, 1, 1};
+  spec.padding = {0, 0, 0};
+  nn::Conv3d layer(spec, rng);
+  // 2×2×2 spatial extent cannot fit a 3×3×3 kernel without padding.
+  EXPECT_THROW(layer.forward(Tensor({1, 2, 2, 2})), std::logic_error);
+}
+
+TEST(FailureModes, BackwardBeforeForwardThrows) {
+  Rng rng(2);
+  nn::Linear layer(3, 2, rng);
+  EXPECT_THROW(layer.backward(Tensor({2})), std::logic_error);
+}
+
+TEST(FailureModes, MismatchedGradShapeThrows) {
+  Rng rng(3);
+  nn::Linear layer(3, 2, rng);
+  (void)layer.forward(Tensor({3}));
+  EXPECT_THROW(layer.backward(Tensor({5})), std::logic_error);
+}
+
+TEST(FailureModes, EmptyGalleryQueryReturnsEmpty) {
+  retrieval::DataNode node(4);
+  const auto result = node.query(Tensor({4}), 10);
+  EXPECT_TRUE(result.empty());
+}
+
+TEST(FailureModes, AttackOnIdenticalSourceAndTargetIsStable) {
+  // v == v_t: the targeted objective starts satisfied. The attack must not
+  // crash and must return a valid (possibly unchanged) video.
+  auto& w = TinyWorld::mutable_instance();
+  attack::DuoConfig cfg;
+  cfg.transfer.k = 100;
+  cfg.transfer.n = 2;
+  cfg.transfer.outer_iterations = 1;
+  cfg.transfer.theta_steps = 3;
+  cfg.query.iter_numQ = 10;
+  cfg.iter_numH = 1;
+  cfg.m = 8;
+  attack::DuoAttack attack(*w.surrogate, cfg);
+  retrieval::BlackBoxHandle handle(*w.victim);
+  const auto& v = w.dataset.train[0];
+  const auto outcome = attack.run(v, v, handle);
+  EXPECT_GE(outcome.adversarial.data().min(), 0.0f);
+  EXPECT_LE(outcome.adversarial.data().max(), 255.0f);
+}
+
+TEST(FailureModes, SparseQueryWithZeroIterationsReturnsInitial) {
+  auto& w = TinyWorld::mutable_instance();
+  const auto& v = w.dataset.train[1];
+  const auto& vt = w.dataset.train[9];
+  retrieval::BlackBoxHandle handle(*w.victim);
+  const auto ctx = attack::make_objective_context(handle, v, vt, 8);
+  attack::Perturbation pert(v.geometry());
+  attack::SparseQueryConfig cfg;
+  cfg.iter_numQ = 1;  // only the initial evaluation
+  const auto result = attack::sparse_query(v, pert, handle, ctx, cfg);
+  EXPECT_EQ(result.t_history.size(), 1u);
+}
+
+TEST(FailureModes, SparseTransferOnUniformVideoStaysFinite) {
+  // A constant video has no texture for the surrogate to grab onto; the
+  // attack must still return finite, in-budget masks.
+  auto& w = TinyWorld::mutable_instance();
+  video::Video flat(w.spec.geometry, 0, 4242);
+  flat.data().fill(128.0f);
+
+  attack::SparseTransferConfig cfg;
+  cfg.k = 100;
+  cfg.n = 2;
+  cfg.outer_iterations = 2;
+  cfg.theta_steps = 4;
+  const auto result =
+      attack::sparse_transfer(flat, w.dataset.train[3], *w.surrogate, cfg);
+  EXPECT_EQ(result.perturbation.selected_pixels(), 100);
+  for (const auto loss : result.loss_history) {
+    EXPECT_TRUE(std::isfinite(loss));
+  }
+  EXPECT_LE(result.perturbation.magnitude().norm_linf(), cfg.tau + 1e-4f);
+}
+
+TEST(FailureModes, TimiOnBlackVideoProducesValidPixels) {
+  auto& w = TinyWorld::mutable_instance();
+  video::Video black(w.spec.geometry, 0, 4243);  // all zeros
+  baselines::TimiConfig cfg;
+  cfg.iterations = 4;
+  baselines::TimiAttack attack(*w.surrogate, cfg);
+  retrieval::BlackBoxHandle handle(*w.victim);
+  const auto outcome = attack.run(black, w.dataset.train[2], handle);
+  // All perturbations must be non-negative (clamped at 0 from below).
+  EXPECT_GE(outcome.adversarial.data().min(), 0.0f);
+  EXPECT_LE(outcome.adversarial.data().max(), 255.0f);
+  EXPECT_LE(outcome.perturbation.norm_linf(), cfg.tau + 0.5f);
+}
+
+TEST(FailureModes, EvaluateAttackWithZeroPairs) {
+  auto& w = TinyWorld::mutable_instance();
+  attack::DuoConfig cfg;
+  cfg.transfer.k = 50;
+  cfg.transfer.n = 2;
+  cfg.query.iter_numQ = 5;
+  cfg.iter_numH = 1;
+  attack::DuoAttack attack(*w.surrogate, cfg);
+  const auto eval = attack::evaluate_attack(attack, *w.victim, {}, 8);
+  EXPECT_EQ(eval.pairs.size(), 0u);
+  EXPECT_DOUBLE_EQ(eval.mean_ap_m_after_pct, 0.0);
+}
+
+TEST(FailureModes, SamplePairsFromSingleClassThrows) {
+  // All-same-label pool cannot produce differently-labeled pairs.
+  auto& w = TinyWorld::mutable_instance();
+  std::vector<video::Video> single_class;
+  for (const auto& v : w.dataset.train) {
+    if (v.label() == 0) single_class.push_back(v);
+  }
+  ASSERT_GE(single_class.size(), 2u);
+  EXPECT_THROW(attack::sample_attack_pairs(single_class, 1, 5),
+               std::logic_error);
+}
+
+TEST(FailureModes, QuantizationNeverCreatesOutOfRangePixels) {
+  auto& w = TinyWorld::mutable_instance();
+  attack::Perturbation p(w.spec.geometry);
+  Rng rng(5);
+  p.magnitude() = Tensor::uniform(w.spec.geometry.tensor_shape(), -300.0f,
+                                  300.0f, rng);  // wildly over budget
+  const video::Video adv = p.apply_to(w.dataset.train[0]);
+  EXPECT_GE(adv.data().min(), 0.0f);
+  EXPECT_LE(adv.data().max(), 255.0f);
+  for (std::int64_t i = 0; i < adv.data().size(); ++i) {
+    EXPECT_FLOAT_EQ(adv.data()[i], std::round(adv.data()[i]));
+  }
+}
+
+}  // namespace
+}  // namespace duo

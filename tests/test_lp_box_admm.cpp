@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "attack/lp_box_admm.hpp"
+
+namespace duo::attack {
+namespace {
+
+TEST(TopkSelect, PicksMostNegativeScores) {
+  Tensor scores({5}, std::vector<float>{-3.0f, 1.0f, -5.0f, 0.0f, -1.0f});
+  const Tensor mask = topk_select(scores, 2);
+  EXPECT_FLOAT_EQ(mask[0], 1.0f);
+  EXPECT_FLOAT_EQ(mask[2], 1.0f);
+  EXPECT_EQ(mask.norm_l0(), 2);
+}
+
+TEST(TopkSelect, KLargerThanSizeSelectsAll) {
+  Tensor scores({3}, std::vector<float>{-1, -2, -3});
+  EXPECT_EQ(topk_select(scores, 10).norm_l0(), 3);
+}
+
+TEST(TopkSelect, PreservesShape) {
+  Tensor scores({2, 3}, std::vector<float>{-1, 0, -2, 3, -4, 5});
+  const Tensor mask = topk_select(scores, 2);
+  EXPECT_EQ(mask.shape(), scores.shape());
+}
+
+TEST(LpBoxAdmm, RelaxedSolutionStaysInBox) {
+  Rng rng(1);
+  const Tensor scores = Tensor::uniform({64}, -1.0f, 1.0f, rng);
+  const Tensor x = lp_box_admm_relax(scores, LpBoxAdmmConfig{});
+  EXPECT_GE(x.min(), 0.0f);
+  EXPECT_LE(x.max(), 1.0f);
+}
+
+TEST(LpBoxAdmm, PrefersNegativeScores) {
+  // Strongly negative scores (big loss reduction) must end near 1, strongly
+  // positive near 0.
+  Tensor scores({6}, std::vector<float>{-10, -8, -6, 6, 8, 10});
+  const Tensor x = lp_box_admm_relax(scores, LpBoxAdmmConfig{});
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 3; j < 6; ++j) {
+      EXPECT_GT(x[i], x[j]);
+    }
+  }
+}
+
+TEST(LpBoxAdmm, SelectEnforcesExactBudget) {
+  Rng rng(2);
+  const Tensor scores = Tensor::uniform({128}, -1.0f, 1.0f, rng);
+  const Tensor mask = lp_box_admm_select(scores, 17, LpBoxAdmmConfig{});
+  EXPECT_EQ(mask.norm_l0(), 17);
+  for (std::int64_t i = 0; i < mask.size(); ++i) {
+    EXPECT_TRUE(mask[i] == 0.0f || mask[i] == 1.0f);
+  }
+}
+
+TEST(LpBoxAdmm, AgreesWithTopkOnWellSeparatedScores) {
+  // With a clear gap between "good" and "bad" elements both selectors must
+  // make the same choice — the ADMM relaxation only matters near ties.
+  Tensor scores({8}, std::vector<float>{-9, -8, -7, -6, 4, 5, 6, 7});
+  const Tensor admm = lp_box_admm_select(scores, 4, LpBoxAdmmConfig{});
+  const Tensor topk = topk_select(scores, 4);
+  EXPECT_TRUE(admm.allclose(topk));
+}
+
+TEST(LpBoxAdmm, DeterministicAcrossRuns) {
+  Rng rng(3);
+  const Tensor scores = Tensor::uniform({50}, -1.0f, 1.0f, rng);
+  const Tensor a = lp_box_admm_select(scores, 10, LpBoxAdmmConfig{});
+  const Tensor b = lp_box_admm_select(scores, 10, LpBoxAdmmConfig{});
+  EXPECT_TRUE(a.allclose(b));
+}
+
+TEST(LpBoxAdmm, EmptyScoresThrow) {
+  EXPECT_THROW(lp_box_admm_relax(Tensor(), LpBoxAdmmConfig{}),
+               std::logic_error);
+}
+
+TEST(LpBoxAdmm, ZeroBudgetSelectsNothing) {
+  Rng rng(4);
+  const Tensor scores = Tensor::uniform({16}, -1.0f, 1.0f, rng);
+  EXPECT_EQ(lp_box_admm_select(scores, 0, LpBoxAdmmConfig{}).norm_l0(), 0);
+}
+
+}  // namespace
+}  // namespace duo::attack

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "nn/gradcheck.hpp"
+#include "nn/lstm.hpp"
+#include "nn/optimizer.hpp"
+
+namespace duo::nn {
+namespace {
+
+TEST(Lstm, OutputShapeIsSequenceOfHidden) {
+  Rng rng(1);
+  Lstm lstm(3, 5, rng);
+  const Tensor x = Tensor::uniform({7, 3}, -1.0f, 1.0f, rng);
+  const Tensor out = lstm.forward(x);
+  EXPECT_EQ(out.shape(), (Tensor::Shape{7, 5}));
+}
+
+TEST(Lstm, RejectsWrongInputWidth) {
+  Rng rng(2);
+  Lstm lstm(3, 4, rng);
+  EXPECT_THROW(lstm.forward(Tensor({5, 2})), std::logic_error);
+}
+
+TEST(Lstm, InputGradientMatchesNumerical) {
+  Rng rng(3);
+  Lstm lstm(2, 3, rng);
+  const Tensor x = Tensor::uniform({4, 2}, -1.0f, 1.0f, rng);
+  const Tensor out = lstm.forward(x);
+  Rng wrng(4);
+  const Tensor weights = Tensor::uniform(out.shape(), -1.0f, 1.0f, wrng);
+
+  const Tensor analytic = lstm.backward(weights);
+  const Tensor numerical = numerical_gradient(
+      [&](const Tensor& probe) { return lstm.forward(probe).dot(weights); },
+      x);
+  EXPECT_LT(gradient_max_relative_error(analytic, numerical), 3e-2);
+}
+
+TEST(Lstm, ParameterGradientsMatchNumerical) {
+  Rng rng(5);
+  Lstm lstm(2, 2, rng);
+  const Tensor x = Tensor::uniform({3, 2}, -1.0f, 1.0f, rng);
+  const Tensor out = lstm.forward(x);
+  Rng wrng(6);
+  const Tensor weights = Tensor::uniform(out.shape(), -1.0f, 1.0f, wrng);
+
+  lstm.zero_grad();
+  (void)lstm.forward(x);
+  (void)lstm.backward(weights);
+
+  for (auto* param : lstm.parameters()) {
+    const Tensor analytic = param->grad;
+    const Tensor numerical = numerical_gradient(
+        [&](const Tensor& probe) {
+          const Tensor saved = param->value;
+          param->value = probe;
+          const double loss = lstm.forward(x).dot(weights);
+          param->value = saved;
+          return loss;
+        },
+        param->value);
+    EXPECT_LT(gradient_max_relative_error(analytic, numerical), 3e-2);
+  }
+}
+
+TEST(Lstm, StatePropagatesAcrossTime) {
+  // The first timestep's input must influence the last timestep's output.
+  Rng rng(7);
+  Lstm lstm(1, 4, rng);
+  Tensor x({6, 1}, 0.1f);
+  const Tensor base = lstm.forward(x);
+  x.at(0, 0) = 2.0f;
+  const Tensor bumped = lstm.forward(x);
+  double diff = 0.0;
+  for (std::int64_t h = 0; h < 4; ++h) {
+    diff += std::abs(base.at(5, h) - bumped.at(5, h));
+  }
+  EXPECT_GT(diff, 1e-5);
+}
+
+TEST(Lstm, LearnsToMemorizeFirstInput) {
+  // Task: output at final step should equal the first input value; trains
+  // through full BPTT.
+  Rng rng(8);
+  Lstm lstm(1, 8, rng);
+  Adam opt(lstm.parameters(), 0.02f);
+  double loss = 0.0;
+  for (int step = 0; step < 300; ++step) {
+    const float value = rng.uniform_f(-1.0f, 1.0f);
+    Tensor x({5, 1});
+    x.at(0, 0) = value;
+    const Tensor out = lstm.forward(x);
+    const float pred = out.at(4, 0);
+    loss = (pred - value) * (pred - value);
+
+    Tensor grad(out.shape());
+    grad.at(4, 0) = 2.0f * (pred - value);
+    opt.zero_grad();
+    (void)lstm.backward(grad);
+    opt.step();
+  }
+  EXPECT_LT(loss, 0.05);
+}
+
+TEST(Lstm, BackwardBeforeForwardThrows) {
+  Rng rng(9);
+  Lstm lstm(2, 2, rng);
+  EXPECT_THROW(lstm.backward(Tensor({3, 2})), std::logic_error);
+}
+
+}  // namespace
+}  // namespace duo::nn

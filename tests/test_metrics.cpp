@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.hpp"
+
+namespace duo::metrics {
+namespace {
+
+TEST(AveragePrecision, PerfectRanking) {
+  EXPECT_DOUBLE_EQ(average_precision({true, true, true}, 3), 1.0);
+}
+
+TEST(AveragePrecision, NothingRelevant) {
+  EXPECT_DOUBLE_EQ(average_precision({false, false}, 3), 0.0);
+}
+
+TEST(AveragePrecision, KnownMixedCase) {
+  // Relevant at ranks 1 and 3: AP = (1/1 + 2/3) / 2.
+  EXPECT_NEAR(average_precision({true, false, true}, 2), (1.0 + 2.0 / 3.0) / 2,
+              1e-12);
+}
+
+TEST(AveragePrecision, DenominatorCappedByListLength) {
+  // Only 2 retrieved but 10 relevant exist: denominator is min(10, 2).
+  EXPECT_DOUBLE_EQ(average_precision({true, true}, 10), 1.0);
+}
+
+TEST(AveragePrecision, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(average_precision({}, 5), 0.0);
+  EXPECT_DOUBLE_EQ(average_precision({true}, 0), 0.0);
+}
+
+TEST(PrecisionAt, TopOverlapRatio) {
+  const RetrievalList a{1, 2, 3, 4};
+  const RetrievalList b{2, 1, 9, 9};
+  EXPECT_DOUBLE_EQ(precision_at(a, b, 1), 0.0);  // {1} vs {2}
+  EXPECT_DOUBLE_EQ(precision_at(a, b, 2), 1.0);  // {1,2} vs {2,1}
+  EXPECT_DOUBLE_EQ(precision_at(a, b, 4), 0.5);
+}
+
+TEST(PrecisionAt, OutOfRangeThrows) {
+  const RetrievalList a{1, 2};
+  EXPECT_THROW(precision_at(a, a, 0), std::logic_error);
+  EXPECT_THROW(precision_at(a, a, 3), std::logic_error);
+}
+
+TEST(ApAtM, IdenticalListsGiveOne) {
+  const RetrievalList a{5, 3, 8, 1};
+  EXPECT_DOUBLE_EQ(ap_at_m(a, a), 1.0);
+}
+
+TEST(ApAtM, DisjointListsGiveZero) {
+  EXPECT_DOUBLE_EQ(ap_at_m({1, 2, 3}, {4, 5, 6}), 0.0);
+}
+
+TEST(ApAtM, OrderInsensitiveOverlapAtFullDepth) {
+  // Same set, reversed order: prec_m = 1 but earlier prec_i < 1.
+  const double v = ap_at_m({1, 2, 3, 4}, {4, 3, 2, 1});
+  EXPECT_GT(v, 0.0);
+  EXPECT_LT(v, 1.0);
+}
+
+TEST(ApAtM, EmptyListGivesZero) {
+  EXPECT_DOUBLE_EQ(ap_at_m({}, {1, 2}), 0.0);
+}
+
+TEST(ApAtM, UsesShorterLength) {
+  // a truncated to b's length.
+  EXPECT_DOUBLE_EQ(ap_at_m({1, 2, 3, 4, 5}, {1, 2}), 1.0);
+}
+
+TEST(Sparsity, CountsNonzeroElements) {
+  Tensor phi({2, 2}, std::vector<float>{0.0f, 1.5f, 0.0f, -2.0f});
+  EXPECT_EQ(sparsity(phi), 2);
+}
+
+TEST(Sparsity, EpsilonFiltersNumericalDust) {
+  Tensor phi({2}, std::vector<float>{1e-8f, 0.4f});
+  EXPECT_EQ(sparsity(phi), 1);
+}
+
+TEST(PerturbedFrames, CountsFramesWithAnyPerturbation) {
+  // 3 frames of 4 elements; frames 0 and 2 perturbed.
+  Tensor phi({12});
+  phi[1] = 1.0f;
+  phi[9] = -3.0f;
+  EXPECT_EQ(perturbed_frames(phi, 4), 2);
+}
+
+TEST(PerturbedFrames, RejectsBadFrameSize) {
+  Tensor phi({10});
+  EXPECT_THROW(perturbed_frames(phi, 3), std::logic_error);
+}
+
+TEST(PScore, MeanAbsolutePerturbation) {
+  Tensor phi({4}, std::vector<float>{10.0f, -10.0f, 10.0f, -10.0f});
+  EXPECT_DOUBLE_EQ(pscore(phi), 10.0);
+}
+
+TEST(PScore, DenseSaturatedAttackScoresLikePaper) {
+  // TIMI rows in Table II: every element at magnitude 10 → PScore 10.
+  Tensor phi({100}, 10.0f);
+  EXPECT_DOUBLE_EQ(pscore(phi), 10.0);
+}
+
+TEST(PScore, EmptyTensor) { EXPECT_DOUBLE_EQ(pscore(Tensor()), 0.0); }
+
+TEST(NdcgSimilarity, IdenticalListsGiveOne) {
+  const RetrievalList a{7, 2, 9};
+  EXPECT_NEAR(ndcg_similarity(a, a), 1.0, 1e-12);
+}
+
+TEST(NdcgSimilarity, DisjointListsGiveZero) {
+  EXPECT_DOUBLE_EQ(ndcg_similarity({1, 2}, {3, 4}), 0.0);
+}
+
+TEST(NdcgSimilarity, EarlyAgreementBeatsLateAgreement) {
+  const RetrievalList reference{1, 2, 3, 4, 5};
+  // Same single co-occurring item at rank 0 vs rank 4.
+  const double early = ndcg_similarity({1, 9, 8, 7, 6}, reference);
+  const double late = ndcg_similarity({9, 8, 7, 6, 1}, reference);
+  EXPECT_GT(early, late);
+}
+
+TEST(NdcgSimilarity, MoreOverlapScoresHigher) {
+  const RetrievalList reference{1, 2, 3, 4};
+  const double two = ndcg_similarity({1, 2, 8, 9}, reference);
+  const double three = ndcg_similarity({1, 2, 3, 9}, reference);
+  EXPECT_GT(three, two);
+}
+
+TEST(NdcgSimilarity, BoundedInUnitInterval) {
+  const RetrievalList a{1, 2, 3};
+  const RetrievalList b{3, 1, 2};
+  const double s = ndcg_similarity(a, b);
+  EXPECT_GE(s, 0.0);
+  EXPECT_LE(s, 1.0);
+}
+
+TEST(NdcgSimilarity, EmptyLists) {
+  EXPECT_DOUBLE_EQ(ndcg_similarity({}, {1}), 0.0);
+  EXPECT_DOUBLE_EQ(ndcg_similarity({1}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace duo::metrics

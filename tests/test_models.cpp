@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "models/feature_extractor.hpp"
+#include "video/synthetic.hpp"
+
+namespace duo::models {
+namespace {
+
+video::VideoGeometry test_geometry() { return {8, 16, 16, 3}; }
+
+video::Video test_video(std::uint64_t seed = 1) {
+  auto spec = video::DatasetSpec::hmdb51_like(seed);
+  spec.geometry = test_geometry();
+  video::SyntheticGenerator gen(spec);
+  return gen.make_video(0, 0, seed);
+}
+
+class AllModels : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(AllModels, ProducesFeatureOfRequestedDim) {
+  Rng rng(3);
+  auto model = make_extractor(GetParam(), test_geometry(), 32, rng);
+  model->set_training(false);
+  const Tensor f = model->extract(test_video());
+  EXPECT_EQ(f.size(), 32);
+  for (std::int64_t i = 0; i < f.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(f[i]));
+  }
+}
+
+TEST_P(AllModels, DeterministicForward) {
+  Rng rng(4);
+  auto model = make_extractor(GetParam(), test_geometry(), 16, rng);
+  model->set_training(false);
+  const video::Video v = test_video(2);
+  const Tensor a = model->extract(v);
+  const Tensor b = model->extract(v);
+  EXPECT_TRUE(a.allclose(b));
+}
+
+TEST_P(AllModels, InputGradientFlowsToEveryFrame) {
+  Rng rng(5);
+  auto model = make_extractor(GetParam(), test_geometry(), 16, rng);
+  model->set_training(false);
+  const video::Video v = test_video(3);
+  const Tensor input = v.to_model_input();
+  const Tensor f = model->extract_model_input(input);
+  Rng wrng(6);
+  const Tensor weights = Tensor::uniform(f.shape(), -1.0f, 1.0f, wrng);
+  const Tensor grad = model->backward_to_input(weights);
+  ASSERT_EQ(grad.shape(), input.shape());
+
+  const auto& g = test_geometry();
+  // Every frame should receive some gradient (models see all frames).
+  for (std::int64_t t = 0; t < g.frames; ++t) {
+    double mass = 0.0;
+    for (std::int64_t c = 0; c < g.channels; ++c) {
+      for (std::int64_t y = 0; y < g.height; ++y) {
+        for (std::int64_t x = 0; x < g.width; ++x) {
+          mass += std::abs(grad.at(c, t, y, x));
+        }
+      }
+    }
+    EXPECT_GT(mass, 0.0) << model_kind_name(GetParam()) << " frame " << t;
+  }
+}
+
+TEST_P(AllModels, HasTrainableParameters) {
+  Rng rng(7);
+  auto model = make_extractor(GetParam(), test_geometry(), 16, rng);
+  EXPECT_GT(model->parameter_count(), 100);
+}
+
+TEST_P(AllModels, DifferentSeedsGiveDifferentFeatures) {
+  Rng rng1(8), rng2(9);
+  auto m1 = make_extractor(GetParam(), test_geometry(), 16, rng1);
+  auto m2 = make_extractor(GetParam(), test_geometry(), 16, rng2);
+  m1->set_training(false);
+  m2->set_training(false);
+  const video::Video v = test_video(4);
+  EXPECT_FALSE(m1->extract(v).allclose(m2->extract(v)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Architectures, AllModels,
+    ::testing::Values(ModelKind::kI3D, ModelKind::kTPN, ModelKind::kSlowFast,
+                      ModelKind::kResNet34, ModelKind::kC3D,
+                      ModelKind::kResNet18, ModelKind::kLstmNet),
+    [](const ::testing::TestParamInfo<ModelKind>& info) {
+      return model_kind_name(info.param);
+    });
+
+TEST(ModelFactory, NamesMatchPaper) {
+  EXPECT_STREQ(model_kind_name(ModelKind::kI3D), "I3D");
+  EXPECT_STREQ(model_kind_name(ModelKind::kTPN), "TPN");
+  EXPECT_STREQ(model_kind_name(ModelKind::kSlowFast), "SlowFast");
+  EXPECT_STREQ(model_kind_name(ModelKind::kResNet34), "Resnet34");
+  EXPECT_STREQ(model_kind_name(ModelKind::kC3D), "C3D");
+  EXPECT_STREQ(model_kind_name(ModelKind::kResNet18), "Resnet18");
+}
+
+TEST(ModelFactory, VictimAndSurrogateKindLists) {
+  EXPECT_EQ(victim_model_kinds().size(), 4u);
+  EXPECT_EQ(surrogate_model_kinds().size(), 2u);
+}
+
+TEST(ModelFactory, ResNet34DeeperThanResNet18) {
+  Rng rng(10);
+  auto r18 = make_extractor(ModelKind::kResNet18, test_geometry(), 16, rng);
+  auto r34 = make_extractor(ModelKind::kResNet34, test_geometry(), 16, rng);
+  EXPECT_GT(r34->parameter_count(), r18->parameter_count());
+}
+
+TEST(ModelFactory, SupportsAllPaperFeatureDims) {
+  // Fig. 4 sweeps output feature sizes {256, 512, 768, 1024}; geometry
+  // here is miniature but the head must scale to any of them.
+  Rng rng(11);
+  for (const std::int64_t dim : {256, 512, 768, 1024}) {
+    auto model = make_extractor(ModelKind::kC3D, test_geometry(), dim, rng);
+    EXPECT_EQ(model->feature_dim(), dim);
+  }
+}
+
+}  // namespace
+}  // namespace duo::models

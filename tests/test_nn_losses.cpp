@@ -1,0 +1,198 @@
+// Metric-loss correctness: gradients vs finite differences, plus the
+// semantic properties each loss must have (zero when margins are satisfied,
+// pulling same-class features together, etc.).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nn/gradcheck.hpp"
+#include "nn/losses.hpp"
+
+namespace duo::nn {
+namespace {
+
+// Finite-difference check for a BatchMetricLoss's feature gradients.
+void check_loss_gradient(BatchMetricLoss& loss, const Tensor& features,
+                         const std::vector<int>& labels,
+                         double tolerance = 3e-2) {
+  const BatchLossResult result = loss.compute(features, labels);
+  const Tensor numerical = numerical_gradient(
+      [&](const Tensor& probe) { return loss.compute(probe, labels).loss; },
+      features);
+  EXPECT_LT(gradient_max_relative_error(result.feature_grads, numerical),
+            tolerance)
+      << loss.name();
+}
+
+Tensor random_features(std::int64_t b, std::int64_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::uniform({b, d}, -1.0f, 1.0f, rng);
+}
+
+TEST(TripletMarginLoss, GradientMatchesNumerical) {
+  TripletMarginLoss loss(0.5f);
+  const Tensor f = random_features(6, 4, 1);
+  check_loss_gradient(loss, f, {0, 0, 1, 1, 2, 2});
+}
+
+TEST(TripletMarginLoss, ZeroWhenWellSeparated) {
+  TripletMarginLoss loss(0.1f);
+  // Two tight clusters far apart: every triplet satisfied.
+  Tensor f({4, 2}, std::vector<float>{0, 0, 0.01f, 0, 10, 10, 10, 10.01f});
+  const auto result = loss.compute(f, {0, 0, 1, 1});
+  EXPECT_DOUBLE_EQ(result.loss, 0.0);
+  EXPECT_EQ(result.feature_grads.norm_l0(), 0);
+}
+
+TEST(TripletMarginLoss, PositiveWhenViolated) {
+  TripletMarginLoss loss(0.2f);
+  // Anchor closer to the negative than the positive.
+  Tensor f({3, 1}, std::vector<float>{0.0f, 5.0f, 0.1f});
+  const auto result = loss.compute(f, {0, 0, 1});
+  EXPECT_GT(result.loss, 0.0);
+}
+
+TEST(TripletMarginLoss, NoSameClassPairsMeansZero) {
+  TripletMarginLoss loss;
+  const Tensor f = random_features(3, 2, 2);
+  const auto result = loss.compute(f, {0, 1, 2});
+  EXPECT_DOUBLE_EQ(result.loss, 0.0);
+}
+
+TEST(ArcFaceLoss, GradientMatchesNumerical) {
+  Rng rng(3);
+  ArcFaceLoss loss(4, 3, rng);
+  const Tensor f = random_features(4, 4, 4);
+  check_loss_gradient(loss, f, {0, 1, 2, 0}, 5e-2);
+}
+
+TEST(ArcFaceLoss, LossDecreasesWhenFeatureAlignsWithClassWeight) {
+  Rng rng(5);
+  ArcFaceLoss loss(8, 4, rng);
+  const Tensor f = random_features(2, 8, 6);
+  const auto before = loss.compute(f, {1, 2});
+  // Take a gradient step on the features; loss must drop.
+  Tensor stepped = f;
+  stepped.axpy(-0.5f, before.feature_grads);
+  const auto after = loss.compute(stepped, {1, 2});
+  EXPECT_LT(after.loss, before.loss);
+}
+
+TEST(ArcFaceLoss, HasTrainableParameters) {
+  Rng rng(7);
+  ArcFaceLoss loss(4, 5, rng);
+  const auto params = loss.parameters();
+  ASSERT_EQ(params.size(), 1u);
+  EXPECT_EQ(params[0]->size(), 20);
+}
+
+TEST(ArcFaceLoss, LabelOutOfRangeThrows) {
+  Rng rng(8);
+  ArcFaceLoss loss(4, 3, rng);
+  const Tensor f = random_features(1, 4, 9);
+  EXPECT_THROW(loss.compute(f, {5}), std::logic_error);
+}
+
+TEST(LiftedStructureLoss, GradientMatchesNumerical) {
+  LiftedStructureLoss loss(1.0f);
+  const Tensor f = random_features(5, 3, 10);
+  check_loss_gradient(loss, f, {0, 0, 1, 1, 0}, 5e-2);
+}
+
+TEST(LiftedStructureLoss, ZeroWithoutPositivePairs) {
+  LiftedStructureLoss loss;
+  const Tensor f = random_features(3, 2, 11);
+  EXPECT_DOUBLE_EQ(loss.compute(f, {0, 1, 2}).loss, 0.0);
+}
+
+TEST(LiftedStructureLoss, StepReducesLoss) {
+  LiftedStructureLoss loss(1.0f);
+  Tensor f = random_features(6, 4, 12);
+  const std::vector<int> labels{0, 0, 1, 1, 2, 2};
+  const auto before = loss.compute(f, labels);
+  ASSERT_GT(before.loss, 0.0);
+  f.axpy(-0.05f, before.feature_grads);
+  const auto after = loss.compute(f, labels);
+  EXPECT_LT(after.loss, before.loss);
+}
+
+TEST(AngularLoss, GradientMatchesNumerical) {
+  AngularLoss loss(40.0f);
+  const Tensor f = random_features(5, 3, 13);
+  check_loss_gradient(loss, f, {0, 0, 1, 1, 2}, 5e-2);
+}
+
+TEST(AngularLoss, ZeroForTightClusterFarNegative) {
+  AngularLoss loss(40.0f);
+  Tensor f({3, 2}, std::vector<float>{0, 0, 0.01f, 0.01f, 50, 50});
+  EXPECT_DOUBLE_EQ(loss.compute(f, {0, 0, 1}).loss, 0.0);
+}
+
+TEST(VictimLossFactory, ProducesAllThreeKinds) {
+  Rng rng(14);
+  for (const auto kind : {VictimLossKind::kArcFace, VictimLossKind::kLifted,
+                          VictimLossKind::kAngular}) {
+    auto loss = make_victim_loss(kind, 8, 4, rng);
+    ASSERT_NE(loss, nullptr);
+    const Tensor f = random_features(4, 8, 15);
+    const auto result = loss->compute(f, {0, 0, 1, 1});
+    EXPECT_TRUE(std::isfinite(result.loss)) << victim_loss_name(kind);
+    EXPECT_EQ(result.feature_grads.shape(), (Tensor::Shape{4, 8}));
+  }
+}
+
+TEST(VictimLossFactory, NamesMatchPaper) {
+  EXPECT_STREQ(victim_loss_name(VictimLossKind::kArcFace), "ArcFaceLoss");
+  EXPECT_STREQ(victim_loss_name(VictimLossKind::kLifted), "LiftedLoss");
+  EXPECT_STREQ(victim_loss_name(VictimLossKind::kAngular), "AngularLoss");
+}
+
+TEST(RankedTripletLoss, SatisfiedMarginGivesZero) {
+  Tensor anchor({2}, std::vector<float>{0, 0});
+  Tensor closer({2}, std::vector<float>{0.1f, 0});
+  Tensor farther({2}, std::vector<float>{5, 5});
+  const auto result = ranked_triplet_loss(anchor, closer, farther, 0.2f);
+  EXPECT_DOUBLE_EQ(result.loss, 0.0);
+  EXPECT_EQ(result.anchor_grad.norm_l0(), 0);
+}
+
+TEST(RankedTripletLoss, ViolationGradientsMatchNumerical) {
+  Rng rng(16);
+  const Tensor anchor = Tensor::uniform({3}, -1, 1, rng);
+  const Tensor closer = Tensor::uniform({3}, 4, 5, rng);   // far: violates
+  const Tensor farther = Tensor::uniform({3}, -1, 1, rng);  // near
+  const auto result = ranked_triplet_loss(anchor, closer, farther, 0.2f);
+  ASSERT_GT(result.loss, 0.0);
+
+  const Tensor num_anchor = numerical_gradient(
+      [&](const Tensor& p) {
+        return ranked_triplet_loss(p, closer, farther, 0.2f).loss;
+      },
+      anchor);
+  EXPECT_LT(gradient_max_relative_error(result.anchor_grad, num_anchor), 2e-2);
+
+  const Tensor num_closer = numerical_gradient(
+      [&](const Tensor& p) {
+        return ranked_triplet_loss(anchor, p, farther, 0.2f).loss;
+      },
+      closer);
+  EXPECT_LT(gradient_max_relative_error(result.closer_grad, num_closer), 2e-2);
+
+  const Tensor num_farther = numerical_gradient(
+      [&](const Tensor& p) {
+        return ranked_triplet_loss(anchor, closer, p, 0.2f).loss;
+      },
+      farther);
+  EXPECT_LT(gradient_max_relative_error(result.farther_grad, num_farther),
+            2e-2);
+}
+
+TEST(BatchMetricLoss, LabelCountMismatchThrows) {
+  TripletMarginLoss loss;
+  const Tensor f = random_features(3, 2, 17);
+  EXPECT_THROW(loss.compute(f, {0, 1}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace duo::nn

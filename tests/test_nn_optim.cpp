@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "nn/linear.hpp"
+#include "nn/optimizer.hpp"
+
+namespace duo::nn {
+namespace {
+
+// Single-parameter quadratic: loss = ½‖w − target‖².
+struct Quadratic {
+  explicit Quadratic(Tensor target)
+      : target(std::move(target)), param(Tensor(this->target.shape())) {}
+
+  double loss_and_grad() {
+    param.zero_grad();
+    Tensor diff = param.value - target;
+    param.grad = diff;
+    return 0.5 * diff.dot(diff);
+  }
+
+  Tensor target;
+  Parameter param;
+};
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  Quadratic q(Tensor({4}, std::vector<float>{1, -2, 3, 0.5f}));
+  Sgd opt({&q.param}, 0.1f, 0.9f);
+  double loss = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    loss = q.loss_and_grad();
+    opt.step();
+  }
+  EXPECT_LT(loss, 1e-6);
+}
+
+TEST(Sgd, MomentumAcceleratesDescent) {
+  Quadratic a(Tensor({4}, 3.0f));
+  Quadratic b(Tensor({4}, 3.0f));
+  Sgd plain({&a.param}, 0.05f, 0.0f);
+  Sgd momentum({&b.param}, 0.05f, 0.9f);
+  for (int i = 0; i < 20; ++i) {
+    a.loss_and_grad();
+    plain.step();
+    b.loss_and_grad();
+    momentum.step();
+  }
+  EXPECT_LT(b.loss_and_grad(), a.loss_and_grad());
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Quadratic q(Tensor({3}, std::vector<float>{-1, 4, 2}));
+  Adam opt({&q.param}, 0.1f);
+  double loss = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    loss = q.loss_and_grad();
+    opt.step();
+  }
+  EXPECT_LT(loss, 1e-4);
+}
+
+TEST(Adam, HandlesSparseGradients) {
+  Quadratic q(Tensor({2}, std::vector<float>{5, 5}));
+  Adam opt({&q.param}, 0.05f);
+  for (int i = 0; i < 600; ++i) {
+    q.loss_and_grad();
+    // Zero out one coordinate's gradient half the time.
+    if (i % 2 == 0) q.param.grad[1] = 0.0f;
+    opt.step();
+  }
+  EXPECT_NEAR(q.param.value[0], 5.0f, 0.15f);
+  EXPECT_NEAR(q.param.value[1], 5.0f, 0.3f);
+}
+
+TEST(Optimizer, ZeroGradClearsAll) {
+  Quadratic q(Tensor({2}, 1.0f));
+  Sgd opt({&q.param}, 0.1f);
+  q.loss_and_grad();
+  EXPECT_GT(q.param.grad.norm_l1(), 0.0);
+  opt.zero_grad();
+  EXPECT_DOUBLE_EQ(q.param.grad.norm_l1(), 0.0);
+}
+
+TEST(Optimizer, LearningRateAccessors) {
+  Quadratic q(Tensor({1}, 0.0f));
+  Adam opt({&q.param}, 0.01f);
+  EXPECT_FLOAT_EQ(opt.lr(), 0.01f);
+  opt.set_lr(0.5f);
+  EXPECT_FLOAT_EQ(opt.lr(), 0.5f);
+}
+
+TEST(StepDecay, FollowsPaperSchedule) {
+  // §V-B: step size 0.1, decays ×0.9 every 50 steps.
+  StepDecay schedule(0.1f, 50, 0.9f);
+  EXPECT_FLOAT_EQ(schedule.lr_at(0), 0.1f);
+  EXPECT_FLOAT_EQ(schedule.lr_at(49), 0.1f);
+  EXPECT_FLOAT_EQ(schedule.lr_at(50), 0.09f);
+  EXPECT_FLOAT_EQ(schedule.lr_at(100), 0.1f * 0.9f * 0.9f);
+}
+
+TEST(StepDecay, ZeroPeriodMeansConstant) {
+  StepDecay schedule(0.2f, 0, 0.5f);
+  EXPECT_FLOAT_EQ(schedule.lr_at(1000), 0.2f);
+}
+
+TEST(TrainingLoop, LinearRegressionLearns) {
+  // y = W*x with fixed W*, least squares through the layer machinery.
+  Rng rng(5);
+  Linear model(3, 2, rng);
+  const Tensor w_true = Tensor::uniform({2, 3}, -1.0f, 1.0f, rng);
+  Adam opt(model.parameters(), 0.02f);
+
+  double last_loss = 0.0;
+  for (int step = 0; step < 500; ++step) {
+    const Tensor x = Tensor::uniform({3}, -1.0f, 1.0f, rng);
+    Tensor y_true({2});
+    for (std::int64_t o = 0; o < 2; ++o) {
+      for (std::int64_t i = 0; i < 3; ++i) {
+        y_true[o] += w_true.at(o, i) * x[i];
+      }
+    }
+    const Tensor y = model.forward(x);
+    Tensor diff = y - y_true;
+    last_loss = diff.dot(diff);
+    opt.zero_grad();
+    diff *= 2.0f;
+    (void)model.backward(diff);
+    opt.step();
+  }
+  EXPECT_LT(last_loss, 1e-3);
+}
+
+}  // namespace
+}  // namespace duo::nn

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "attack/perturbation.hpp"
+#include "metrics/metrics.hpp"
+
+namespace duo::attack {
+namespace {
+
+video::VideoGeometry geo() { return {4, 6, 6, 3}; }
+
+TEST(Perturbation, InitialStateMatchesAlgorithm1Line1) {
+  Perturbation p(geo());
+  // I = 1, F = 1, θ = 0.
+  EXPECT_EQ(p.selected_pixels(), geo().total_elements());
+  EXPECT_EQ(p.selected_frames(), geo().frames);
+  EXPECT_EQ(p.magnitude().norm_l0(), 0);
+  EXPECT_EQ(p.combined().norm_l0(), 0);
+}
+
+TEST(Perturbation, SetFramesMasksWholeFrames) {
+  Perturbation p(geo());
+  p.set_frames({1, 3});
+  EXPECT_EQ(p.selected_frames(), 2);
+  EXPECT_EQ(p.selected_frame_indices(), (std::vector<std::int64_t>{1, 3}));
+  const std::int64_t fe = geo().elements_per_frame();
+  EXPECT_FLOAT_EQ(p.frame_mask()[0 * fe], 0.0f);
+  EXPECT_FLOAT_EQ(p.frame_mask()[1 * fe + 5], 1.0f);
+}
+
+TEST(Perturbation, SetFramesRejectsOutOfRange) {
+  Perturbation p(geo());
+  EXPECT_THROW(p.set_frames({4}), std::logic_error);
+  EXPECT_THROW(p.set_frames({-1}), std::logic_error);
+}
+
+TEST(Perturbation, CombinedIsElementwiseProduct) {
+  Perturbation p(geo());
+  p.magnitude().fill(2.0f);
+  p.set_frames({0});
+  const Tensor phi = p.combined();
+  // Only frame 0 is nonzero.
+  EXPECT_EQ(phi.norm_l0(), geo().elements_per_frame());
+  EXPECT_FLOAT_EQ(phi[0], 2.0f);
+}
+
+TEST(Perturbation, TopKRestrictionEnforcesBudgetWithinFrames) {
+  Perturbation p(geo());
+  p.set_frames({2});
+  Rng rng(5);
+  const Tensor scores = Tensor::uniform(geo().tensor_shape(), 0.0f, 1.0f, rng);
+  p.restrict_pixels_to_frames_topk(scores, 10);
+  EXPECT_EQ(p.selected_pixels(), 10);
+  // All selected pixels live inside frame 2.
+  const std::int64_t fe = geo().elements_per_frame();
+  for (std::int64_t i = 0; i < p.pixel_mask().size(); ++i) {
+    if (p.pixel_mask()[i] > 0.5f) {
+      EXPECT_EQ(i / fe, 2);
+    }
+  }
+}
+
+TEST(Perturbation, TopKPicksHighestScores) {
+  video::VideoGeometry g{1, 2, 2, 1};
+  Perturbation p(g);
+  Tensor scores({1, 2, 2, 1}, std::vector<float>{0.1f, 0.9f, 0.5f, 0.3f});
+  p.restrict_pixels_to_frames_topk(scores, 2);
+  EXPECT_FLOAT_EQ(p.pixel_mask()[1], 1.0f);
+  EXPECT_FLOAT_EQ(p.pixel_mask()[2], 1.0f);
+  EXPECT_FLOAT_EQ(p.pixel_mask()[0], 0.0f);
+}
+
+TEST(Perturbation, TopKLargerThanCandidatesSelectsAll) {
+  video::VideoGeometry g{2, 2, 2, 1};
+  Perturbation p(g);
+  p.set_frames({0});
+  Rng rng(6);
+  p.restrict_pixels_to_frames_topk(
+      Tensor::uniform(g.tensor_shape(), 0.0f, 1.0f, rng), 100);
+  EXPECT_EQ(p.selected_pixels(), g.elements_per_frame());
+}
+
+TEST(Perturbation, ClampMagnitudeBoundsTheta) {
+  Perturbation p(geo());
+  p.magnitude().fill(100.0f);
+  p.clamp_magnitude(30.0f);
+  EXPECT_FLOAT_EQ(p.magnitude().max(), 30.0f);
+  p.magnitude().fill(-100.0f);
+  p.clamp_magnitude(30.0f);
+  EXPECT_FLOAT_EQ(p.magnitude().min(), -30.0f);
+}
+
+TEST(Perturbation, ApplyQuantizesAndClamps) {
+  video::VideoGeometry g{1, 2, 2, 1};
+  video::Video v(g, 0, 1);
+  v.data()[0] = 250.0f;
+  v.data()[1] = 4.0f;
+  v.data()[2] = 100.0f;
+  v.data()[3] = 100.0f;
+
+  Perturbation p(g);
+  p.magnitude()[0] = 20.0f;   // would exceed 255 → clamps to 255
+  p.magnitude()[1] = -20.0f;  // would go below 0 → clamps to 0
+  p.magnitude()[2] = 0.3f;    // below rounding threshold → vanishes
+  p.magnitude()[3] = 1.6f;    // rounds to +2
+
+  const video::Video adv = p.apply_to(v);
+  EXPECT_FLOAT_EQ(adv.data()[0], 255.0f);
+  EXPECT_FLOAT_EQ(adv.data()[1], 0.0f);
+  EXPECT_FLOAT_EQ(adv.data()[2], 100.0f);
+  EXPECT_FLOAT_EQ(adv.data()[3], 102.0f);
+}
+
+TEST(Perturbation, EffectivePerturbationMeasuresQuantizedDelta) {
+  video::VideoGeometry g{1, 2, 2, 1};
+  video::Video v(g, 0, 1);
+  v.data().fill(100.0f);
+  Perturbation p(g);
+  p.magnitude()[0] = 0.2f;  // vanishes after quantization
+  p.magnitude()[1] = 3.0f;
+  const Tensor eff = p.effective_perturbation(v);
+  EXPECT_EQ(metrics::sparsity(eff), 1);
+  EXPECT_FLOAT_EQ(eff[1], 3.0f);
+}
+
+TEST(Perturbation, SpaIsNeverAboveSelectedPixelBudget) {
+  Perturbation p(geo());
+  p.set_frames({0, 1});
+  Rng rng(7);
+  p.restrict_pixels_to_frames_topk(
+      Tensor::uniform(geo().tensor_shape(), 0.0f, 1.0f, rng), 40);
+  p.magnitude() = Tensor::uniform(geo().tensor_shape(), -30.0f, 30.0f, rng);
+
+  video::Video v(geo(), 0, 1);
+  v.data().fill(128.0f);
+  const Tensor eff = p.effective_perturbation(v);
+  EXPECT_LE(metrics::sparsity(eff), 40);
+}
+
+TEST(Perturbation, GeometryMismatchThrows) {
+  Perturbation p(geo());
+  video::Video v({2, 2, 2, 1}, 0, 1);
+  EXPECT_THROW(p.apply_to(v), std::logic_error);
+}
+
+}  // namespace
+}  // namespace duo::attack

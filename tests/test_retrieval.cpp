@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "retrieval/index.hpp"
+#include "retrieval/system.hpp"
+#include "retrieval/trainer.hpp"
+#include "video/synthetic.hpp"
+
+namespace duo::retrieval {
+namespace {
+
+GalleryEntry entry(std::int64_t id, int label, std::vector<float> f) {
+  GalleryEntry e;
+  e.id = id;
+  e.label = label;
+  const auto dim = static_cast<std::int64_t>(f.size());
+  e.feature = Tensor({dim}, std::move(f));
+  return e;
+}
+
+TEST(DataNode, ReturnsNearestFirst) {
+  DataNode node(2);
+  node.add(entry(1, 0, {0.0f, 0.0f}));
+  node.add(entry(2, 0, {1.0f, 0.0f}));
+  node.add(entry(3, 0, {5.0f, 5.0f}));
+  const auto result = node.query(Tensor({2}, std::vector<float>{0.1f, 0.0f}), 3);
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_EQ(result[0].id, 1);
+  EXPECT_EQ(result[1].id, 2);
+  EXPECT_EQ(result[2].id, 3);
+  EXPECT_LT(result[0].distance, result[1].distance);
+}
+
+TEST(DataNode, TopMSmallerThanStore) {
+  DataNode node(1);
+  for (int i = 0; i < 10; ++i) {
+    node.add(entry(i, 0, {static_cast<float>(i)}));
+  }
+  const auto result = node.query(Tensor({1}, std::vector<float>{0.0f}), 3);
+  EXPECT_EQ(result.size(), 3u);
+}
+
+TEST(DataNode, MExceedingSizeReturnsAll) {
+  DataNode node(1);
+  node.add(entry(1, 0, {1.0f}));
+  EXPECT_EQ(node.query(Tensor({1}, std::vector<float>{0.0f}), 10).size(), 1u);
+}
+
+TEST(DataNode, DimensionMismatchThrows) {
+  DataNode node(2);
+  EXPECT_THROW(node.add(entry(1, 0, {1.0f})), std::logic_error);
+}
+
+TEST(DataNode, DeterministicTieBreakById) {
+  DataNode node(1);
+  node.add(entry(7, 0, {1.0f}));
+  node.add(entry(3, 0, {1.0f}));
+  const auto result = node.query(Tensor({1}, std::vector<float>{1.0f}), 2);
+  EXPECT_EQ(result[0].id, 3);
+  EXPECT_EQ(result[1].id, 7);
+}
+
+TEST(RetrievalIndex, ShardsRoundRobin) {
+  RetrievalIndex index(1, 3);
+  for (int i = 0; i < 7; ++i) index.add(entry(i, 0, {static_cast<float>(i)}));
+  EXPECT_EQ(index.size(), 7u);
+  EXPECT_EQ(index.node_count(), 3u);
+}
+
+TEST(RetrievalIndex, ScatterGatherMatchesSingleNode) {
+  // The same entries in 1 node vs 4 nodes must yield identical top-m.
+  RetrievalIndex single(2, 1);
+  RetrievalIndex sharded(2, 4);
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    auto e = entry(i, i % 5, {rng.uniform_f(-1, 1), rng.uniform_f(-1, 1)});
+    single.add(e);
+    sharded.add(e);
+  }
+  const Tensor q({2}, std::vector<float>{0.2f, -0.3f});
+  const auto a = single.query(q, 10);
+  const auto b = sharded.query(q, 10, /*parallel=*/true);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_DOUBLE_EQ(a[i].distance, b[i].distance);
+  }
+}
+
+TEST(RetrievalIndex, RequiresAtLeastOneNode) {
+  EXPECT_THROW(RetrievalIndex(2, 0), std::logic_error);
+}
+
+class SystemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spec_ = video::DatasetSpec::hmdb51_like(21);
+    spec_.num_classes = 4;
+    spec_.train_per_class = 5;
+    spec_.test_per_class = 2;
+    spec_.geometry = {8, 16, 16, 3};
+    dataset_ = video::SyntheticGenerator(spec_).generate();
+
+    Rng rng(33);
+    auto extractor =
+        models::make_extractor(models::ModelKind::kC3D, spec_.geometry, 16, rng);
+    system_ = std::make_unique<RetrievalSystem>(std::move(extractor), 3);
+    system_->add_all(dataset_.train);
+  }
+
+  video::DatasetSpec spec_;
+  video::Dataset dataset_;
+  std::unique_ptr<RetrievalSystem> system_;
+};
+
+TEST_F(SystemTest, GalleryVideoRetrievesItselfFirst) {
+  const auto& v = dataset_.train[3];
+  const auto list = system_->retrieve(v, 5);
+  ASSERT_FALSE(list.empty());
+  EXPECT_EQ(list.front(), v.id());
+}
+
+TEST_F(SystemTest, LabelLookupAndCounts) {
+  const auto& v = dataset_.train.front();
+  EXPECT_EQ(system_->label_of(v.id()), v.label());
+  EXPECT_EQ(system_->relevant_count(v.label()), spec_.train_per_class);
+  EXPECT_EQ(system_->relevant_count(9999), 0);
+  EXPECT_THROW(system_->label_of(123456), std::logic_error);
+}
+
+TEST_F(SystemTest, DuplicateGalleryIdThrows) {
+  EXPECT_THROW(system_->add_to_gallery(dataset_.train.front()),
+               std::logic_error);
+}
+
+TEST_F(SystemTest, BlackBoxHandleCountsQueries) {
+  BlackBoxHandle handle(*system_);
+  EXPECT_EQ(handle.query_count(), 0);
+  (void)handle.retrieve(dataset_.test.front(), 5);
+  (void)handle.retrieve(dataset_.test.back(), 5);
+  EXPECT_EQ(handle.query_count(), 2);
+  handle.reset_query_count();
+  EXPECT_EQ(handle.query_count(), 0);
+}
+
+TEST_F(SystemTest, RetrieveFeatureMatchesRetrieveVideo) {
+  const auto& v = dataset_.test.front();
+  const auto via_video = system_->retrieve_detailed(v, 5);
+  const auto via_feature =
+      system_->retrieve_feature(system_->extractor().extract(v), 5);
+  ASSERT_EQ(via_video.size(), via_feature.size());
+  for (std::size_t i = 0; i < via_video.size(); ++i) {
+    EXPECT_EQ(via_video[i].id, via_feature[i].id);
+  }
+}
+
+TEST_F(SystemTest, TrainerReportsLossPerEpoch) {
+  nn::TripletMarginLoss loss(0.3f);
+  TrainerConfig cfg;
+  cfg.epochs = 3;
+  cfg.batch_size = 8;
+  const auto stats =
+      train_extractor(system_->extractor(), loss, dataset_.train, cfg);
+  EXPECT_EQ(stats.epoch_losses.size(), 3u);
+  EXPECT_TRUE(std::isfinite(stats.final_loss()));
+}
+
+TEST_F(SystemTest, MapOfTrainedSystemBeatsUntrained) {
+  // Proper version of the above: train first, then build the gallery.
+  nn::TripletMarginLoss loss(0.3f);
+  TrainerConfig cfg;
+  cfg.epochs = 5;
+  cfg.batch_size = 8;
+  cfg.learning_rate = 3e-3f;
+
+  Rng rng_a(55), rng_b(55);
+  auto untrained = std::make_unique<RetrievalSystem>(
+      models::make_extractor(models::ModelKind::kC3D, spec_.geometry, 16, rng_a),
+      2);
+  untrained->add_all(dataset_.train);
+  const double map_untrained = evaluate_map(*untrained, dataset_.test, 5);
+
+  auto extractor =
+      models::make_extractor(models::ModelKind::kC3D, spec_.geometry, 16, rng_b);
+  train_extractor(*extractor, loss, dataset_.train, cfg);
+  RetrievalSystem trained(std::move(extractor), 2);
+  trained.add_all(dataset_.train);
+  const double map_trained = evaluate_map(trained, dataset_.test, 5);
+
+  EXPECT_GT(map_trained, map_untrained);
+}
+
+}  // namespace
+}  // namespace duo::retrieval

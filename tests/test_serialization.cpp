@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "models/feature_extractor.hpp"
+#include "models/serialization.hpp"
+#include "video/synthetic.hpp"
+
+namespace duo::models {
+namespace {
+
+video::VideoGeometry geo() { return {8, 12, 12, 3}; }
+
+video::Video probe_video() {
+  auto spec = video::DatasetSpec::hmdb51_like(3);
+  spec.geometry = geo();
+  return video::SyntheticGenerator(spec).make_video(0, 0, 99);
+}
+
+TEST(Serialization, RoundTripRestoresExactFeatures) {
+  Rng rng(1);
+  auto model = make_extractor(ModelKind::kC3D, geo(), 16, rng);
+  model->set_training(false);
+  const video::Video v = probe_video();
+  const Tensor before = model->extract(v);
+
+  const std::string path = "/tmp/duo_test_weights.duow";
+  ASSERT_TRUE(save_parameters(*model, path));
+
+  // A differently seeded model produces different features; loading the
+  // checkpoint must restore the original exactly.
+  Rng rng2(2);
+  auto other = make_extractor(ModelKind::kC3D, geo(), 16, rng2);
+  other->set_training(false);
+  EXPECT_FALSE(other->extract(v).allclose(before));
+  ASSERT_TRUE(load_parameters(*other, path));
+  EXPECT_TRUE(other->extract(v).allclose(before));
+  std::remove(path.c_str());
+}
+
+TEST(Serialization, RejectsArchitectureMismatch) {
+  Rng rng(3);
+  auto c3d = make_extractor(ModelKind::kC3D, geo(), 16, rng);
+  auto tpn = make_extractor(ModelKind::kTPN, geo(), 16, rng);
+
+  const std::string path = "/tmp/duo_test_weights_mismatch.duow";
+  ASSERT_TRUE(save_parameters(*c3d, path));
+  EXPECT_FALSE(load_parameters(*tpn, path));
+  std::remove(path.c_str());
+}
+
+TEST(Serialization, RejectsFeatureDimMismatch) {
+  Rng rng(4);
+  auto narrow = make_extractor(ModelKind::kC3D, geo(), 8, rng);
+  auto wide = make_extractor(ModelKind::kC3D, geo(), 16, rng);
+  const std::string path = "/tmp/duo_test_weights_dim.duow";
+  ASSERT_TRUE(save_parameters(*narrow, path));
+  EXPECT_FALSE(load_parameters(*wide, path));
+  std::remove(path.c_str());
+}
+
+TEST(Serialization, RejectsGarbageFile) {
+  const std::string path = "/tmp/duo_test_weights_garbage.duow";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "definitely not a checkpoint";
+  }
+  Rng rng(5);
+  auto model = make_extractor(ModelKind::kC3D, geo(), 16, rng);
+  EXPECT_FALSE(load_parameters(*model, path));
+  std::remove(path.c_str());
+}
+
+TEST(Serialization, MissingFileFailsCleanly) {
+  Rng rng(6);
+  auto model = make_extractor(ModelKind::kC3D, geo(), 16, rng);
+  EXPECT_FALSE(load_parameters(*model, "/tmp/no_such_checkpoint.duow"));
+}
+
+TEST(Serialization, TruncatedFileRejectedWithoutPartialLoad) {
+  Rng rng(7);
+  auto model = make_extractor(ModelKind::kC3D, geo(), 16, rng);
+  model->set_training(false);
+  const video::Video v = probe_video();
+
+  const std::string path = "/tmp/duo_test_weights_trunc.duow";
+  ASSERT_TRUE(save_parameters(*model, path));
+  // Truncate the file to half its size.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const auto full = in.tellg();
+  in.seekg(0);
+  std::vector<char> data(static_cast<std::size_t>(full) / 2);
+  in.read(data.data(), static_cast<std::streamsize>(data.size()));
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  out.close();
+
+  Rng rng2(8);
+  auto other = make_extractor(ModelKind::kC3D, geo(), 16, rng2);
+  other->set_training(false);
+  const Tensor before = other->extract(v);
+  EXPECT_FALSE(load_parameters(*other, path));
+  // All-or-nothing: the failed load must not have modified any parameter.
+  EXPECT_TRUE(other->extract(v).allclose(before));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace duo::models

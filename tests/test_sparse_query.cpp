@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "attack/sparse_query.hpp"
+#include "baselines/vanilla.hpp"
+#include "fixtures.hpp"
+
+namespace duo::attack {
+namespace {
+
+using duo::testing::TinyWorld;
+
+Perturbation small_support(const video::Video& v, std::uint64_t seed,
+                           float theta = 10.0f) {
+  Rng rng(seed);
+  Perturbation p = baselines::random_support(v.geometry(), 150, 3, rng);
+  // Give θ some signal on the support.
+  Tensor noise =
+      Tensor::uniform(v.geometry().tensor_shape(), -theta, theta, rng);
+  p.magnitude() = noise * p.pixel_mask() * p.frame_mask();
+  return p;
+}
+
+TEST(SparseQuery, THistoryIsMonotoneNonIncreasing) {
+  auto& w = TinyWorld::mutable_instance();
+  const auto& v = w.dataset.train[1];
+  const auto& vt = w.dataset.train[14];
+  retrieval::BlackBoxHandle handle(*w.victim);
+  const auto ctx = make_objective_context(handle, v, vt, 8);
+
+  SparseQueryConfig cfg;
+  cfg.iter_numQ = 40;
+  cfg.tau = 30.0f;
+  cfg.m = 8;
+  const auto result =
+      sparse_query(v, small_support(v, 3), handle, ctx, cfg);
+  ASSERT_GE(result.t_history.size(), 2u);
+  for (std::size_t i = 1; i < result.t_history.size(); ++i) {
+    EXPECT_LE(result.t_history[i], result.t_history[i - 1] + 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(result.t_history.back(), result.final_t);
+}
+
+TEST(SparseQuery, NeverPerturbsOutsideSupport) {
+  auto& w = TinyWorld::mutable_instance();
+  const auto& v = w.dataset.train[2];
+  const auto& vt = w.dataset.train[16];
+  retrieval::BlackBoxHandle handle(*w.victim);
+  const auto ctx = make_objective_context(handle, v, vt, 8);
+
+  const Perturbation p = small_support(v, 4);
+  SparseQueryConfig cfg;
+  cfg.iter_numQ = 30;
+  cfg.tau = 30.0f;
+  cfg.m = 8;
+  const auto result = sparse_query(v, p, handle, ctx, cfg);
+
+  const Tensor support = p.pixel_mask() * p.frame_mask();
+  const Tensor delta = result.v_adv.data() - v.data();
+  for (std::int64_t i = 0; i < delta.size(); ++i) {
+    if (support[i] < 0.5f) {
+      EXPECT_FLOAT_EQ(delta[i], 0.0f) << "coordinate " << i;
+    }
+  }
+}
+
+TEST(SparseQuery, RespectsLinfBudgetAndPixelRange) {
+  auto& w = TinyWorld::mutable_instance();
+  const auto& v = w.dataset.train[3];
+  const auto& vt = w.dataset.train[17];
+  retrieval::BlackBoxHandle handle(*w.victim);
+  const auto ctx = make_objective_context(handle, v, vt, 8);
+
+  SparseQueryConfig cfg;
+  cfg.iter_numQ = 50;
+  cfg.tau = 12.0f;
+  cfg.m = 8;
+  const auto result = sparse_query(v, small_support(v, 5, 12.0f), handle, ctx, cfg);
+
+  const Tensor delta = result.v_adv.data() - v.data();
+  // Quantization rounds to the nearest integer, so allow +0.5.
+  EXPECT_LE(delta.norm_linf(), cfg.tau + 0.5f);
+  EXPECT_GE(result.v_adv.data().min(), 0.0f);
+  EXPECT_LE(result.v_adv.data().max(), 255.0f);
+}
+
+TEST(SparseQuery, CountsOneQueryPerEvaluation) {
+  auto& w = TinyWorld::mutable_instance();
+  const auto& v = w.dataset.train[4];
+  const auto& vt = w.dataset.train[19];
+  retrieval::BlackBoxHandle handle(*w.victim);
+  const auto ctx = make_objective_context(handle, v, vt, 8);
+  const std::int64_t before = handle.query_count();
+
+  SparseQueryConfig cfg;
+  cfg.iter_numQ = 20;
+  cfg.m = 8;
+  const auto result = sparse_query(v, small_support(v, 6), handle, ctx, cfg);
+  EXPECT_EQ(result.queries_spent, handle.query_count() - before);
+  // At most 2 candidate evaluations per iteration + the initial one.
+  EXPECT_LE(result.queries_spent, 2 * cfg.iter_numQ + 1);
+  EXPECT_GE(result.queries_spent, cfg.iter_numQ / 2);
+}
+
+TEST(SparseQuery, EmptySupportReturnsInitialVideo) {
+  auto& w = TinyWorld::mutable_instance();
+  const auto& v = w.dataset.train[5];
+  const auto& vt = w.dataset.train[21];
+  retrieval::BlackBoxHandle handle(*w.victim);
+  const auto ctx = make_objective_context(handle, v, vt, 8);
+
+  Perturbation p(v.geometry());
+  p.pixel_mask().fill(0.0f);  // nothing selectable
+  SparseQueryConfig cfg;
+  cfg.iter_numQ = 10;
+  const auto result = sparse_query(v, p, handle, ctx, cfg);
+  EXPECT_TRUE(result.v_adv.data().allclose(v.data()));
+  EXPECT_EQ(result.queries_spent, 1);  // only the initial T evaluation
+}
+
+TEST(SparseQuery, PatienceStopsEarly) {
+  auto& w = TinyWorld::mutable_instance();
+  const auto& v = w.dataset.train[6];
+  const auto& vt = w.dataset.train[23];
+  retrieval::BlackBoxHandle handle(*w.victim);
+  const auto ctx = make_objective_context(handle, v, vt, 8);
+
+  SparseQueryConfig stop_cfg;
+  stop_cfg.iter_numQ = 200;
+  stop_cfg.patience = 5;
+  stop_cfg.m = 8;
+  const auto result = sparse_query(v, small_support(v, 7), handle, ctx, stop_cfg);
+  EXPECT_LT(static_cast<int>(result.t_history.size()), stop_cfg.iter_numQ);
+}
+
+TEST(ObjectiveContext, TLossUsesMarginAndSimilarity) {
+  auto& w = TinyWorld::mutable_instance();
+  const auto& v = w.dataset.train[7];
+  const auto& vt = w.dataset.train[25];
+  retrieval::BlackBoxHandle handle(*w.victim);
+  const auto ctx = make_objective_context(handle, v, vt, 8, 1.0);
+
+  // T(v) should be high (list matches R(v) perfectly, differs from R(v_t));
+  // T(v_t) should be low.
+  const double t_self = t_loss(handle, v, ctx);
+  const double t_target = t_loss(handle, vt, ctx);
+  EXPECT_GT(t_self, t_target);
+
+  // From-list variant agrees with the queried variant.
+  const auto list = w.victim->retrieve(v, 8);
+  EXPECT_DOUBLE_EQ(t_loss_from_list(list, ctx), t_self);
+}
+
+}  // namespace
+}  // namespace duo::attack

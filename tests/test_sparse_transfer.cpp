@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "attack/sparse_transfer.hpp"
+#include "fixtures.hpp"
+
+namespace duo::attack {
+namespace {
+
+using duo::testing::TinyWorld;
+
+SparseTransferConfig quick_config() {
+  SparseTransferConfig cfg;
+  cfg.k = 200;
+  cfg.n = 3;
+  cfg.tau = 30.0f;
+  cfg.outer_iterations = 3;
+  cfg.theta_steps = 6;
+  return cfg;
+}
+
+TEST(SparseTransfer, OutputSatisfiesAllConstraints) {
+  auto& w = TinyWorld::mutable_instance();
+  const auto& v = w.dataset.train[1];
+  const auto& vt = w.dataset.train[10];
+  const auto cfg = quick_config();
+  const auto result = sparse_transfer(v, vt, *w.surrogate, cfg);
+  const Perturbation& p = result.perturbation;
+
+  // 1ᵀI = k (within the selected frames).
+  EXPECT_EQ(p.selected_pixels(), cfg.k);
+  // ‖F‖₂,₀ = n.
+  EXPECT_EQ(p.selected_frames(), cfg.n);
+  // ‖θ‖∞ ≤ τ.
+  EXPECT_LE(p.magnitude().norm_linf(), cfg.tau + 1e-4f);
+  // φ respects all three masks simultaneously.
+  const Tensor phi = p.combined();
+  EXPECT_LE(phi.norm_l0(), cfg.k);
+  const std::int64_t fe = v.geometry().elements_per_frame();
+  EXPECT_LE(phi.norm_l0(0.0f), cfg.k);
+  std::int64_t frames_touched = 0;
+  for (std::int64_t f = 0; f < v.geometry().frames; ++f) {
+    for (std::int64_t e = 0; e < fe; ++e) {
+      if (phi[f * fe + e] != 0.0f) {
+        ++frames_touched;
+        break;
+      }
+    }
+  }
+  EXPECT_LE(frames_touched, cfg.n);
+}
+
+TEST(SparseTransfer, MovesTowardTargetInSurrogateFeatureSpace) {
+  auto& w = TinyWorld::mutable_instance();
+  const auto& v = w.dataset.train[2];
+  const auto& vt = w.dataset.train[20];
+  const auto result = sparse_transfer(v, vt, *w.surrogate, quick_config());
+
+  const Tensor f_target = w.surrogate->extract(vt);
+  const Tensor f_before = w.surrogate->extract(v);
+  const video::Video adv = result.perturbation.apply_to(v);
+  const Tensor f_after = w.surrogate->extract(adv);
+
+  const double d_before = (f_before - f_target).norm_l2();
+  const double d_after = (f_after - f_target).norm_l2();
+  EXPECT_LT(d_after, d_before);
+}
+
+TEST(SparseTransfer, LossHistoryDecreasesOverall) {
+  auto& w = TinyWorld::mutable_instance();
+  const auto& v = w.dataset.train[3];
+  const auto& vt = w.dataset.train[15];
+  const auto result = sparse_transfer(v, vt, *w.surrogate, quick_config());
+  ASSERT_GE(result.loss_history.size(), 2u);
+  EXPECT_LT(result.loss_history.back(), result.loss_history.front());
+}
+
+TEST(SparseTransfer, AdmmAndTopkBothProduceValidMasks) {
+  auto& w = TinyWorld::mutable_instance();
+  const auto& v = w.dataset.train[4];
+  const auto& vt = w.dataset.train[18];
+  for (const bool use_admm : {true, false}) {
+    auto cfg = quick_config();
+    cfg.use_admm = use_admm;
+    const auto result = sparse_transfer(v, vt, *w.surrogate, cfg);
+    EXPECT_EQ(result.perturbation.selected_pixels(), cfg.k)
+        << "use_admm=" << use_admm;
+    EXPECT_EQ(result.perturbation.selected_frames(), cfg.n);
+  }
+}
+
+TEST(SparseTransfer, L2NormConstraintBoundsTotalEnergy) {
+  auto& w = TinyWorld::mutable_instance();
+  const auto& v = w.dataset.train[5];
+  const auto& vt = w.dataset.train[22];
+  auto cfg = quick_config();
+  cfg.norm = NormKind::kL2;
+  const auto result = sparse_transfer(v, vt, *w.surrogate, cfg);
+  const double budget =
+      static_cast<double>(cfg.tau) * std::sqrt(static_cast<double>(cfg.k));
+  EXPECT_LE(result.perturbation.magnitude().norm_l2(), budget * 1.001);
+}
+
+TEST(SparseTransfer, ResumesFromPreviousMasks) {
+  auto& w = TinyWorld::mutable_instance();
+  const auto& v = w.dataset.train[6];
+  const auto& vt = w.dataset.train[25];
+  const auto cfg = quick_config();
+  const auto first = sparse_transfer(v, vt, *w.surrogate, cfg);
+
+  Perturbation init(v.geometry());
+  init.pixel_mask() = first.perturbation.pixel_mask();
+  init.frame_mask() = first.perturbation.frame_mask();
+  const auto second = sparse_transfer(v, vt, *w.surrogate, cfg, init);
+  EXPECT_EQ(second.perturbation.selected_pixels(), cfg.k);
+  EXPECT_EQ(second.perturbation.selected_frames(), cfg.n);
+}
+
+TEST(SparseTransfer, RejectsInvalidBudgets) {
+  auto& w = TinyWorld::mutable_instance();
+  const auto& v = w.dataset.train[0];
+  auto cfg = quick_config();
+  cfg.n = 100;  // more frames than the video has
+  EXPECT_THROW(sparse_transfer(v, v, *w.surrogate, cfg), std::logic_error);
+  cfg = quick_config();
+  cfg.k = 0;
+  EXPECT_THROW(sparse_transfer(v, v, *w.surrogate, cfg), std::logic_error);
+}
+
+TEST(SparseTransfer, KeyFrameSelectionPrefersInformativeFrames) {
+  // The frame search should not simply pick the first n frames: across
+  // several pairs, the union of selected frames must cover more than n
+  // distinct indices (i.e., selection adapts to content).
+  auto& w = TinyWorld::mutable_instance();
+  const auto cfg = quick_config();
+  std::set<std::int64_t> seen;
+  for (const int i : {0, 7, 13, 19, 26}) {
+    const auto& v = w.dataset.train[static_cast<std::size_t>(i)];
+    const auto& vt = w.dataset.train[static_cast<std::size_t>((i + 9) % 30)];
+    const auto result = sparse_transfer(v, vt, *w.surrogate, cfg);
+    for (const auto f : result.perturbation.selected_frame_indices()) {
+      seen.insert(f);
+    }
+  }
+  EXPECT_GT(seen.size(), static_cast<std::size_t>(cfg.n));
+}
+
+}  // namespace
+}  // namespace duo::attack

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "attack/surrogate.hpp"
+#include "fixtures.hpp"
+
+namespace duo::attack {
+namespace {
+
+using duo::testing::TinyWorld;
+
+TEST(VideoStore, AddGetContains) {
+  auto& w = TinyWorld::mutable_instance();
+  VideoStore store(w.dataset.train);
+  EXPECT_EQ(store.size(), w.dataset.train.size());
+  const auto& v = w.dataset.train[3];
+  EXPECT_TRUE(store.contains(v.id()));
+  EXPECT_EQ(store.get(v.id()).label(), v.label());
+  EXPECT_FALSE(store.contains(999999));
+  EXPECT_THROW(store.get(999999), std::logic_error);
+}
+
+TEST(Harvest, CollectsVideosAndTriplets) {
+  auto& w = TinyWorld::mutable_instance();
+  retrieval::BlackBoxHandle handle(*w.victim);
+  SurrogateHarvestConfig cfg;
+  cfg.m = 8;
+  cfg.rounds = 2;
+  cfg.target_video_count = 15;
+  const auto ds = harvest_surrogate_dataset(
+      handle, *w.store, {w.dataset.train[0].id()}, cfg);
+
+  EXPECT_GE(ds.video_ids.size(), 8u);
+  EXPECT_FALSE(ds.triplets.empty());
+  EXPECT_GT(ds.queries_spent, 0);
+  EXPECT_EQ(ds.queries_spent, handle.query_count());
+}
+
+TEST(Harvest, TripletsRespectRankOrder) {
+  // For every harvested triplet, `closer` must genuinely rank above
+  // `farther` in the victim's list for that anchor.
+  auto& w = TinyWorld::mutable_instance();
+  retrieval::BlackBoxHandle handle(*w.victim);
+  SurrogateHarvestConfig cfg;
+  cfg.m = 6;
+  cfg.rounds = 1;
+  const auto ds = harvest_surrogate_dataset(
+      handle, *w.store, {w.dataset.train[2].id()}, cfg);
+  ASSERT_FALSE(ds.triplets.empty());
+
+  for (const auto& t : ds.triplets) {
+    const auto list = w.victim->retrieve(w.store->get(t.anchor), cfg.m);
+    std::int64_t pos_closer = -1, pos_farther = -1;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (list[i] == t.closer) pos_closer = static_cast<std::int64_t>(i);
+      if (list[i] == t.farther) pos_farther = static_cast<std::int64_t>(i);
+    }
+    ASSERT_GE(pos_closer, 0);
+    ASSERT_GE(pos_farther, 0);
+    EXPECT_LT(pos_closer, pos_farther);
+  }
+}
+
+TEST(Harvest, AllHarvestedIdsAreFetchable) {
+  auto& w = TinyWorld::mutable_instance();
+  retrieval::BlackBoxHandle handle(*w.victim);
+  SurrogateHarvestConfig cfg;
+  cfg.rounds = 2;
+  const auto ds = harvest_surrogate_dataset(
+      handle, *w.store, {w.dataset.train[4].id()}, cfg);
+  for (const auto id : ds.video_ids) {
+    EXPECT_TRUE(w.store->contains(id));
+  }
+  // Ids are unique and sorted.
+  std::unordered_set<std::int64_t> unique(ds.video_ids.begin(),
+                                          ds.video_ids.end());
+  EXPECT_EQ(unique.size(), ds.video_ids.size());
+}
+
+TEST(Harvest, EmptySeedsThrow) {
+  auto& w = TinyWorld::mutable_instance();
+  retrieval::BlackBoxHandle handle(*w.victim);
+  EXPECT_THROW(
+      harvest_surrogate_dataset(handle, *w.store, {}, SurrogateHarvestConfig{}),
+      std::logic_error);
+}
+
+TEST(TrainSurrogate, LossDecreasesAcrossEpochs) {
+  auto& w = TinyWorld::mutable_instance();
+  retrieval::BlackBoxHandle handle(*w.victim);
+  SurrogateHarvestConfig hcfg;
+  hcfg.rounds = 2;
+  hcfg.target_video_count = 18;
+  const auto ds = harvest_surrogate_dataset(
+      handle, *w.store, {w.dataset.train[1].id()}, hcfg);
+
+  Rng rng(404);
+  auto fresh = models::make_extractor(models::ModelKind::kResNet18,
+                                      w.spec.geometry, 16, rng);
+  SurrogateTrainConfig scfg;
+  scfg.epochs = 4;
+  scfg.triplets_per_epoch = 30;
+  const auto stats = train_surrogate(*fresh, ds, *w.store, scfg);
+  ASSERT_EQ(stats.epoch_losses.size(), 4u);
+  EXPECT_LT(stats.epoch_losses.back(), stats.epoch_losses.front());
+}
+
+TEST(TrainSurrogate, TrainedSurrogateAgreesWithVictimRankings) {
+  // The fixture's surrogate was trained from victim rankings: its feature
+  // distances should order victim-retrieved videos better than chance. For
+  // anchors in the gallery, check that the victim's top result (after the
+  // anchor itself) is closer in surrogate space than the victim's last
+  // result, for a majority of anchors.
+  auto& w = TinyWorld::mutable_instance();
+  int agree = 0, total = 0;
+  for (const int i : {0, 5, 11, 17, 23, 29}) {
+    const auto& anchor = w.dataset.train[static_cast<std::size_t>(i)];
+    const auto list = w.victim->retrieve(anchor, 8);
+    ASSERT_GE(list.size(), 3u);
+    // Skip position 0 (the anchor itself).
+    const auto& near_v = w.store->get(list[1]);
+    const auto& far_v = w.store->get(list.back());
+    const Tensor fa = w.surrogate->extract(anchor);
+    const Tensor fn = w.surrogate->extract(near_v);
+    const Tensor ff = w.surrogate->extract(far_v);
+    if ((fa - fn).norm_l2() < (fa - ff).norm_l2()) ++agree;
+    ++total;
+  }
+  EXPECT_GE(agree * 2, total);  // at least half
+}
+
+TEST(TrainSurrogate, NoTripletsThrows) {
+  auto& w = TinyWorld::mutable_instance();
+  SurrogateDataset empty;
+  Rng rng(1);
+  auto model = models::make_extractor(models::ModelKind::kC3D,
+                                      w.spec.geometry, 16, rng);
+  EXPECT_THROW(train_surrogate(*model, empty, *w.store, SurrogateTrainConfig{}),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace duo::attack

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace duo {
+namespace {
+
+TEST(TableWriter, PrintsHeaderAndRows) {
+  TableWriter t("Demo");
+  t.set_header({"name", "value"});
+  t.add_row({std::string("alpha"), 1.5});
+  t.add_row({std::string("beta"), 2.25});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Demo"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+  EXPECT_NE(out.find("2.25"), std::string::npos);
+}
+
+TEST(TableWriter, RowWidthMismatchThrows) {
+  TableWriter t("Bad");
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("only-one")}), std::logic_error);
+}
+
+TEST(TableWriter, PrecisionControlsDoubles) {
+  TableWriter t("P");
+  t.set_header({"x"});
+  t.set_precision(4);
+  t.add_row({3.14159});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("3.1416"), std::string::npos);
+}
+
+TEST(TableWriter, IntegerCells) {
+  TableWriter t("I");
+  t.set_header({"count"});
+  t.add_row({static_cast<long long>(602112)});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("602112"), std::string::npos);
+}
+
+TEST(TableWriter, WritesCsv) {
+  TableWriter t("CSV");
+  t.set_header({"a", "b"});
+  t.add_row({std::string("x,y"), 1.0});
+  const std::string path = "/tmp/duo_test_table.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"x,y\",1.00");
+  std::remove(path.c_str());
+}
+
+TEST(TableWriter, RowCount) {
+  TableWriter t("N");
+  t.set_header({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({1.0});
+  t.add_row({2.0});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace duo

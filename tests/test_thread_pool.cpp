@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace duo {
+namespace {
+
+TEST(ThreadPool, RunsAllIndicesExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, SingleItemRunsInline) {
+  ThreadPool pool(2);
+  int count = 0;
+  pool.parallel_for(1, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ThreadPool, PropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [&](std::size_t i) {
+                          if (i == 17) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSequential) {
+  ThreadPool pool(8);
+  std::vector<long long> partial(256, 0);
+  pool.parallel_for(256, [&](std::size_t i) {
+    partial[i] = static_cast<long long>(i) * i;
+  });
+  long long total = std::accumulate(partial.begin(), partial.end(), 0LL);
+  long long expected = 0;
+  for (long long i = 0; i < 256; ++i) expected += i * i;
+  EXPECT_EQ(total, expected);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(50, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 50);
+  }
+}
+
+TEST(ThreadPool, SizeReflectsRequestedThreads) {
+  ThreadPool pool(5);
+  EXPECT_EQ(pool.size(), 5u);
+}
+
+TEST(ThreadPool, SharedPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+}
+
+}  // namespace
+}  // namespace duo

@@ -1,0 +1,115 @@
+// Untargeted attack mode (§I extension): v_adv's retrieval list should
+// diverge from R(v) — no target video involved.
+
+#include <gtest/gtest.h>
+
+#include "attack/duo.hpp"
+#include "attack/evaluation.hpp"
+#include "fixtures.hpp"
+#include "metrics/metrics.hpp"
+
+namespace duo::attack {
+namespace {
+
+using duo::testing::TinyWorld;
+
+DuoConfig untargeted_config() {
+  DuoConfig cfg;
+  cfg.goal = AttackGoal::kUntargeted;
+  cfg.transfer.k = 200;
+  cfg.transfer.n = 3;
+  cfg.transfer.outer_iterations = 2;
+  cfg.transfer.theta_steps = 5;
+  cfg.query.iter_numQ = 50;
+  cfg.iter_numH = 1;
+  cfg.m = 8;
+  return cfg;
+}
+
+TEST(UntargetedDuo, NameMarksTheVariant) {
+  auto& w = TinyWorld::mutable_instance();
+  DuoAttack attack(*w.surrogate, untargeted_config());
+  EXPECT_EQ(attack.name(), "DUO-U-C3D");
+}
+
+TEST(UntargetedDuo, PushesListAwayFromOriginal) {
+  auto& w = TinyWorld::mutable_instance();
+  auto cfg = untargeted_config();
+  cfg.transfer.k = 400;
+  cfg.transfer.outer_iterations = 3;
+  cfg.query.iter_numQ = 120;
+  cfg.iter_numH = 2;
+  DuoAttack attack(*w.surrogate, cfg);
+
+  // Gallery self-retrieval is extremely stable (the original sits at
+  // distance 0 of itself), so demand measurable drift on at least one of
+  // the attacked videos rather than on every one.
+  double min_similarity = 1.0;
+  for (const int i : {0, 8, 16}) {
+    const auto& v = w.dataset.train[static_cast<std::size_t>(i)];
+    const auto& decoy = w.dataset.train[static_cast<std::size_t>(i + 6)];
+    retrieval::BlackBoxHandle handle(*w.victim);
+    const auto outcome = attack.run(v, decoy, handle);
+
+    const auto list_v = w.victim->retrieve(v, 8);
+    const auto list_adv = w.victim->retrieve(outcome.adversarial, 8);
+    min_similarity =
+        std::min(min_similarity, metrics::ndcg_similarity(list_adv, list_v));
+  }
+  EXPECT_LT(min_similarity, 1.0);
+}
+
+TEST(UntargetedDuo, StillRespectsSparsityBudgets) {
+  auto& w = TinyWorld::mutable_instance();
+  const auto cfg = untargeted_config();
+  DuoAttack attack(*w.surrogate, cfg);
+  retrieval::BlackBoxHandle handle(*w.victim);
+  const auto outcome =
+      attack.run(w.dataset.train[1], w.dataset.train[10], handle);
+  EXPECT_LE(metrics::sparsity(outcome.perturbation),
+            cfg.transfer.k * cfg.iter_numH);
+  EXPECT_LE(metrics::perturbed_frames(
+                outcome.perturbation,
+                w.spec.geometry.elements_per_frame()),
+            cfg.transfer.n * cfg.iter_numH);
+}
+
+TEST(UntargetedObjective, IgnoresTargetList) {
+  auto& w = TinyWorld::mutable_instance();
+  retrieval::BlackBoxHandle handle(*w.victim);
+  ObjectiveContext ctx = make_objective_context(
+      handle, w.dataset.train[0], w.dataset.train[9], 8);
+  ctx.untargeted = true;
+
+  // T depends only on similarity to R(v): swapping list_vt changes nothing.
+  const auto list = w.victim->retrieve(w.dataset.train[2], 8);
+  const double t1 = t_loss_from_list(list, ctx);
+  ctx.list_vt.clear();
+  const double t2 = t_loss_from_list(list, ctx);
+  EXPECT_DOUBLE_EQ(t1, t2);
+
+  // For the original video itself, untargeted T is maximal (H = 1 + η).
+  const double t_self = t_loss_from_list(ctx.list_v, ctx);
+  EXPECT_NEAR(t_self, 1.0 + ctx.eta, 1e-9);
+}
+
+TEST(UntargetedTransfer, MovesAwayFromOwnFeature) {
+  auto& w = TinyWorld::mutable_instance();
+  const auto& v = w.dataset.train[4];
+  SparseTransferConfig cfg;
+  cfg.goal = AttackGoal::kUntargeted;
+  cfg.k = 200;
+  cfg.n = 3;
+  cfg.outer_iterations = 2;
+  cfg.theta_steps = 6;
+  // v_t is ignored by the untargeted goal; pass v itself.
+  const auto result = sparse_transfer(v, v, *w.surrogate, cfg);
+  const video::Video adv = result.perturbation.apply_to(v);
+
+  const Tensor f_orig = w.surrogate->extract(v);
+  const Tensor f_adv = w.surrogate->extract(adv);
+  EXPECT_GT((f_adv - f_orig).norm_l2(), 0.0);
+}
+
+}  // namespace
+}  // namespace duo::attack

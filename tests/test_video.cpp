@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <unordered_set>
+
+#include "video/codec.hpp"
+#include "video/frame_sampler.hpp"
+#include "video/synthetic.hpp"
+#include "video/video.hpp"
+
+namespace duo::video {
+namespace {
+
+TEST(VideoGeometry, ElementCounts) {
+  VideoGeometry g{16, 24, 24, 3};
+  EXPECT_EQ(g.pixels_per_frame(), 576);
+  EXPECT_EQ(g.elements_per_frame(), 1728);
+  EXPECT_EQ(g.total_elements(), 27648);
+  EXPECT_EQ(g.tensor_shape(), (Tensor::Shape{16, 24, 24, 3}));
+}
+
+TEST(VideoGeometry, PaperScaleMatchesUcf101) {
+  const VideoGeometry g = VideoGeometry::paper_scale();
+  // Table II dense attacks perturb ≈ 602K elements: 16·112·112·3.
+  EXPECT_EQ(g.total_elements(), 602112);
+}
+
+TEST(Video, ModelInputRoundTrip) {
+  VideoGeometry g{2, 3, 4, 3};
+  Video v(g, 1, 42);
+  Rng rng(1);
+  for (auto& x : v.data().flat()) x = std::round(rng.uniform_f(0.0f, 255.0f));
+
+  const Tensor model = v.to_model_input();
+  EXPECT_EQ(model.shape(), (Tensor::Shape{3, 2, 4, 3}));
+  EXPECT_LE(model.max(), 1.0f);
+  EXPECT_GE(model.min(), 0.0f);
+
+  const Tensor back = Video::from_model_space(model, g, true);
+  EXPECT_TRUE(back.allclose(v.data(), 1e-3f));
+}
+
+TEST(Video, ModelInputLayoutIsChannelMajor) {
+  VideoGeometry g{1, 2, 1, 2};
+  Video v(g, 0, 0);
+  v.pixel(0, 0, 0, 0) = 255.0f;  // frame 0, y 0, x 0, channel 0
+  v.pixel(0, 0, 1, 1) = 127.5f;  // x 1, channel 1
+  const Tensor m = v.to_model_input();
+  EXPECT_FLOAT_EQ(m.at(0, 0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(m.at(1, 0, 0, 1), 0.5f);
+}
+
+TEST(Video, ClampValid) {
+  VideoGeometry g{1, 2, 2, 1};
+  Video v(g, 0, 0);
+  v.data()[0] = -10.0f;
+  v.data()[1] = 300.0f;
+  v.clamp_valid();
+  EXPECT_FLOAT_EQ(v.data()[0], 0.0f);
+  EXPECT_FLOAT_EQ(v.data()[1], 255.0f);
+}
+
+TEST(FrameSampler, UniformIndicesSpreadEvenly) {
+  const auto idx = uniform_sample_indices(32, 16);
+  ASSERT_EQ(idx.size(), 16u);
+  EXPECT_EQ(idx.front(), 1);
+  EXPECT_EQ(idx.back(), 31);
+  for (std::size_t i = 1; i < idx.size(); ++i) EXPECT_GT(idx[i], idx[i - 1]);
+}
+
+TEST(FrameSampler, IdentityWhenCountsMatch) {
+  const auto idx = uniform_sample_indices(16, 16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(idx[i], static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(FrameSampler, SamplesVideoTo16Frames) {
+  VideoGeometry g{40, 4, 4, 3};
+  Video v(g, 3, 9);
+  for (std::int64_t f = 0; f < g.frames; ++f) {
+    v.pixel(f, 0, 0, 0) = static_cast<float>(f);
+  }
+  const Video sampled = uniform_sample(v, 16);
+  EXPECT_EQ(sampled.geometry().frames, 16);
+  EXPECT_EQ(sampled.label(), 3);
+  EXPECT_EQ(sampled.id(), 9);
+  // Frame markers must be increasing samples of the original indices.
+  float prev = -1.0f;
+  for (std::int64_t f = 0; f < 16; ++f) {
+    const float marker = sampled.pixel(f, 0, 0, 0);
+    EXPECT_GT(marker, prev);
+    prev = marker;
+  }
+}
+
+TEST(Synthetic, DeterministicGeneration) {
+  const auto spec = DatasetSpec::hmdb51_like(99);
+  SyntheticGenerator gen1(spec), gen2(spec);
+  const Dataset a = gen1.generate();
+  const Dataset b = gen2.generate();
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (std::size_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_TRUE(a.train[i].data().allclose(b.train[i].data()));
+  }
+}
+
+TEST(Synthetic, SpecSizes) {
+  const auto ucf = DatasetSpec::ucf101_like();
+  EXPECT_EQ(static_cast<int>(SyntheticGenerator(ucf).generate().train.size()),
+            ucf.train_size());
+  EXPECT_EQ(static_cast<int>(SyntheticGenerator(ucf).generate().test.size()),
+            ucf.test_size());
+}
+
+TEST(Synthetic, UniqueIdsAndValidLabels) {
+  const auto spec = DatasetSpec::hmdb51_like();
+  const Dataset ds = SyntheticGenerator(spec).generate();
+  std::unordered_set<std::int64_t> ids;
+  for (const auto& v : ds.train) {
+    EXPECT_TRUE(ids.insert(v.id()).second);
+    EXPECT_GE(v.label(), 0);
+    EXPECT_LT(v.label(), spec.num_classes);
+  }
+  for (const auto& v : ds.test) {
+    EXPECT_TRUE(ids.insert(v.id()).second);
+  }
+}
+
+TEST(Synthetic, PixelsAreIntegralAndInRange) {
+  const Dataset ds = SyntheticGenerator(DatasetSpec::hmdb51_like()).generate();
+  const auto& v = ds.train.front();
+  for (std::int64_t i = 0; i < v.data().size(); ++i) {
+    const float x = v.data()[i];
+    EXPECT_GE(x, 0.0f);
+    EXPECT_LE(x, 255.0f);
+    EXPECT_FLOAT_EQ(x, std::round(x));
+  }
+}
+
+TEST(Synthetic, SameClassVideosShareChannelContrastSignature) {
+  // Raw pixel distance is dominated by the class-independent background (by
+  // design — that is what gives different-class queries overlapping
+  // retrieval lists). The class signal lives in content statistics; the
+  // per-channel contrast (std-dev) vector reflects the class color mix and
+  // must cluster by class.
+  auto spec = DatasetSpec::hmdb51_like(5);
+  spec.num_classes = 4;
+  spec.train_per_class = 6;
+  spec.test_per_class = 0;
+  const Dataset ds = SyntheticGenerator(spec).generate();
+
+  auto signature = [](const Video& v) {
+    const auto& g = v.geometry();
+    std::vector<double> mean(static_cast<std::size_t>(g.channels), 0.0);
+    std::vector<double> var(static_cast<std::size_t>(g.channels), 0.0);
+    const std::int64_t per_channel = v.data().size() / g.channels;
+    for (std::int64_t i = 0; i < v.data().size(); ++i) {
+      mean[static_cast<std::size_t>(i % g.channels)] += v.data()[i];
+    }
+    for (auto& m : mean) m /= static_cast<double>(per_channel);
+    for (std::int64_t i = 0; i < v.data().size(); ++i) {
+      const double d =
+          v.data()[i] - mean[static_cast<std::size_t>(i % g.channels)];
+      var[static_cast<std::size_t>(i % g.channels)] += d * d;
+    }
+    for (auto& x : var) x = std::sqrt(x / static_cast<double>(per_channel));
+    return var;
+  };
+
+  auto dist = [&](const Video& a, const Video& b) {
+    const auto sa = signature(a), sb = signature(b);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < sa.size(); ++c) {
+      acc += (sa[c] - sb[c]) * (sa[c] - sb[c]);
+    }
+    return std::sqrt(acc);
+  };
+
+  double intra = 0.0, inter = 0.0;
+  int n_intra = 0, n_inter = 0;
+  for (std::size_t i = 0; i < ds.train.size(); ++i) {
+    for (std::size_t j = i + 1; j < ds.train.size(); ++j) {
+      const double d = dist(ds.train[i], ds.train[j]);
+      if (ds.train[i].label() == ds.train[j].label()) {
+        intra += d;
+        ++n_intra;
+      } else {
+        inter += d;
+        ++n_inter;
+      }
+    }
+  }
+  EXPECT_LT(intra / n_intra, inter / n_inter);
+}
+
+TEST(Synthetic, EventWindowFramesDifferFromBaseline) {
+  // Key-frame phenomenon: frames inside the class event window carry the
+  // flash pattern, so they differ more across (event vs non-event) than
+  // within non-event frames of the same video.
+  auto spec = DatasetSpec::hmdb51_like(6);
+  SyntheticGenerator gen(spec);
+  const auto& pattern = gen.pattern(0);
+  const Video v = gen.make_video(0, 0, 1234);
+  const std::int64_t fe = v.geometry().elements_per_frame();
+
+  const std::int64_t event_frame = pattern.event_start;
+  std::int64_t nonevent_frame = -1;
+  for (std::int64_t f = 0; f < v.geometry().frames; ++f) {
+    if (f < pattern.event_start || f >= pattern.event_start + pattern.event_length) {
+      nonevent_frame = f;
+      break;
+    }
+  }
+  ASSERT_GE(nonevent_frame, 0);
+
+  double event_energy = 0.0, base_energy = 0.0;
+  for (std::int64_t e = 0; e < fe; ++e) {
+    const float ev = v.data()[event_frame * fe + e] - 127.5f;
+    const float ba = v.data()[nonevent_frame * fe + e] - 127.5f;
+    event_energy += ev * ev;
+    base_energy += ba * ba;
+  }
+  // The flash adds signal energy on top of the base pattern.
+  EXPECT_GT(event_energy, base_energy * 1.02);
+}
+
+TEST(Codec, SaveLoadRoundTrip) {
+  const Dataset ds = SyntheticGenerator(DatasetSpec::hmdb51_like(8)).generate();
+  const Video& v = ds.train.front();
+  const std::string path = "/tmp/duo_test_video.duov";
+  ASSERT_TRUE(save_video(v, path));
+  const auto loaded = load_video(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->label(), v.label());
+  EXPECT_EQ(loaded->id(), v.id());
+  EXPECT_TRUE(loaded->data().allclose(v.data(), 0.51f));
+  std::remove(path.c_str());
+}
+
+TEST(Codec, RejectsGarbageFile) {
+  const std::string path = "/tmp/duo_test_garbage.duov";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a video";
+  }
+  EXPECT_FALSE(load_video(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(Codec, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(load_video("/tmp/does_not_exist_duo.duov").has_value());
+}
+
+}  // namespace
+}  // namespace duo::video
