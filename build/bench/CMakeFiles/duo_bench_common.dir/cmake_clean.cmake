@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duo_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/duo_bench_common.dir/bench_common.cpp.o.d"
+  "libduo_bench_common.a"
+  "libduo_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duo_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libduo_bench_common.a"
+)

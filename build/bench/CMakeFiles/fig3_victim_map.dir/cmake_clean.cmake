@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_victim_map.dir/fig3_victim_map.cpp.o"
+  "CMakeFiles/fig3_victim_map.dir/fig3_victim_map.cpp.o.d"
+  "fig3_victim_map"
+  "fig3_victim_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_victim_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_surrogate_map.dir/fig4_surrogate_map.cpp.o"
+  "CMakeFiles/fig4_surrogate_map.dir/fig4_surrogate_map.cpp.o.d"
+  "fig4_surrogate_map"
+  "fig4_surrogate_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_surrogate_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

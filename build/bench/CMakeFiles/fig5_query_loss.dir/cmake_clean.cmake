@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_query_loss.dir/fig5_query_loss.cpp.o"
+  "CMakeFiles/fig5_query_loss.dir/fig5_query_loss.cpp.o.d"
+  "fig5_query_loss"
+  "fig5_query_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_query_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

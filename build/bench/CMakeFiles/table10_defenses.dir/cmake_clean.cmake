@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_defenses.dir/table10_defenses.cpp.o"
+  "CMakeFiles/table10_defenses.dir/table10_defenses.cpp.o.d"
+  "table10_defenses"
+  "table10_defenses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_defenses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_surrogate_size.dir/table3_surrogate_size.cpp.o"
+  "CMakeFiles/table3_surrogate_size.dir/table3_surrogate_size.cpp.o.d"
+  "table3_surrogate_size"
+  "table3_surrogate_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_surrogate_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

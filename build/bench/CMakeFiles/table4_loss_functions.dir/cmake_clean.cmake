@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_loss_functions.dir/table4_loss_functions.cpp.o"
+  "CMakeFiles/table4_loss_functions.dir/table4_loss_functions.cpp.o.d"
+  "table4_loss_functions"
+  "table4_loss_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_loss_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

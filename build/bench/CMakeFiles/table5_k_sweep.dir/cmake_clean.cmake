@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_k_sweep.dir/table5_k_sweep.cpp.o"
+  "CMakeFiles/table5_k_sweep.dir/table5_k_sweep.cpp.o.d"
+  "table5_k_sweep"
+  "table5_k_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_k_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

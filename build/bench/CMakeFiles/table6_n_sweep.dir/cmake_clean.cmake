@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_n_sweep.dir/table6_n_sweep.cpp.o"
+  "CMakeFiles/table6_n_sweep.dir/table6_n_sweep.cpp.o.d"
+  "table6_n_sweep"
+  "table6_n_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_n_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_iternumh.dir/table8_iternumh.cpp.o"
+  "CMakeFiles/table8_iternumh.dir/table8_iternumh.cpp.o.d"
+  "table8_iternumh"
+  "table8_iternumh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_iternumh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

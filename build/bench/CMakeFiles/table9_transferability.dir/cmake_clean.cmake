@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_transferability.dir/table9_transferability.cpp.o"
+  "CMakeFiles/table9_transferability.dir/table9_transferability.cpp.o.d"
+  "table9_transferability"
+  "table9_transferability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_transferability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

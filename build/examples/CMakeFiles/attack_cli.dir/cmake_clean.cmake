@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_cli.dir/attack_cli.cpp.o"
+  "CMakeFiles/attack_cli.dir/attack_cli.cpp.o.d"
+  "attack_cli"
+  "attack_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copyright_evasion.dir/copyright_evasion.cpp.o"
+  "CMakeFiles/copyright_evasion.dir/copyright_evasion.cpp.o.d"
+  "copyright_evasion"
+  "copyright_evasion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copyright_evasion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

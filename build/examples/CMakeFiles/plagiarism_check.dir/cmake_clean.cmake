@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plagiarism_check.dir/plagiarism_check.cpp.o"
+  "CMakeFiles/plagiarism_check.dir/plagiarism_check.cpp.o.d"
+  "plagiarism_check"
+  "plagiarism_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plagiarism_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

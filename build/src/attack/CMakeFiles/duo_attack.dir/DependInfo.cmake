@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/duo.cpp" "src/attack/CMakeFiles/duo_attack.dir/duo.cpp.o" "gcc" "src/attack/CMakeFiles/duo_attack.dir/duo.cpp.o.d"
+  "/root/repo/src/attack/evaluation.cpp" "src/attack/CMakeFiles/duo_attack.dir/evaluation.cpp.o" "gcc" "src/attack/CMakeFiles/duo_attack.dir/evaluation.cpp.o.d"
+  "/root/repo/src/attack/lp_box_admm.cpp" "src/attack/CMakeFiles/duo_attack.dir/lp_box_admm.cpp.o" "gcc" "src/attack/CMakeFiles/duo_attack.dir/lp_box_admm.cpp.o.d"
+  "/root/repo/src/attack/objective.cpp" "src/attack/CMakeFiles/duo_attack.dir/objective.cpp.o" "gcc" "src/attack/CMakeFiles/duo_attack.dir/objective.cpp.o.d"
+  "/root/repo/src/attack/perturbation.cpp" "src/attack/CMakeFiles/duo_attack.dir/perturbation.cpp.o" "gcc" "src/attack/CMakeFiles/duo_attack.dir/perturbation.cpp.o.d"
+  "/root/repo/src/attack/sparse_query.cpp" "src/attack/CMakeFiles/duo_attack.dir/sparse_query.cpp.o" "gcc" "src/attack/CMakeFiles/duo_attack.dir/sparse_query.cpp.o.d"
+  "/root/repo/src/attack/sparse_transfer.cpp" "src/attack/CMakeFiles/duo_attack.dir/sparse_transfer.cpp.o" "gcc" "src/attack/CMakeFiles/duo_attack.dir/sparse_transfer.cpp.o.d"
+  "/root/repo/src/attack/surrogate.cpp" "src/attack/CMakeFiles/duo_attack.dir/surrogate.cpp.o" "gcc" "src/attack/CMakeFiles/duo_attack.dir/surrogate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/retrieval/CMakeFiles/duo_retrieval.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/duo_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/duo_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/duo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/duo_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/duo_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/duo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

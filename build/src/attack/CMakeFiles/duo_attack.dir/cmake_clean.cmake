@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duo_attack.dir/duo.cpp.o"
+  "CMakeFiles/duo_attack.dir/duo.cpp.o.d"
+  "CMakeFiles/duo_attack.dir/evaluation.cpp.o"
+  "CMakeFiles/duo_attack.dir/evaluation.cpp.o.d"
+  "CMakeFiles/duo_attack.dir/lp_box_admm.cpp.o"
+  "CMakeFiles/duo_attack.dir/lp_box_admm.cpp.o.d"
+  "CMakeFiles/duo_attack.dir/objective.cpp.o"
+  "CMakeFiles/duo_attack.dir/objective.cpp.o.d"
+  "CMakeFiles/duo_attack.dir/perturbation.cpp.o"
+  "CMakeFiles/duo_attack.dir/perturbation.cpp.o.d"
+  "CMakeFiles/duo_attack.dir/sparse_query.cpp.o"
+  "CMakeFiles/duo_attack.dir/sparse_query.cpp.o.d"
+  "CMakeFiles/duo_attack.dir/sparse_transfer.cpp.o"
+  "CMakeFiles/duo_attack.dir/sparse_transfer.cpp.o.d"
+  "CMakeFiles/duo_attack.dir/surrogate.cpp.o"
+  "CMakeFiles/duo_attack.dir/surrogate.cpp.o.d"
+  "libduo_attack.a"
+  "libduo_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duo_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

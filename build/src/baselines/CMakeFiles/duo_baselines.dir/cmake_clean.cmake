@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duo_baselines.dir/heu.cpp.o"
+  "CMakeFiles/duo_baselines.dir/heu.cpp.o.d"
+  "CMakeFiles/duo_baselines.dir/timi.cpp.o"
+  "CMakeFiles/duo_baselines.dir/timi.cpp.o.d"
+  "CMakeFiles/duo_baselines.dir/vanilla.cpp.o"
+  "CMakeFiles/duo_baselines.dir/vanilla.cpp.o.d"
+  "libduo_baselines.a"
+  "libduo_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duo_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duo_common.dir/logging.cpp.o"
+  "CMakeFiles/duo_common.dir/logging.cpp.o.d"
+  "CMakeFiles/duo_common.dir/table.cpp.o"
+  "CMakeFiles/duo_common.dir/table.cpp.o.d"
+  "CMakeFiles/duo_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/duo_common.dir/thread_pool.cpp.o.d"
+  "libduo_common.a"
+  "libduo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libduo_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duo_defense.dir/defense.cpp.o"
+  "CMakeFiles/duo_defense.dir/defense.cpp.o.d"
+  "libduo_defense.a"
+  "libduo_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duo_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duo_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/duo_metrics.dir/metrics.cpp.o.d"
+  "libduo_metrics.a"
+  "libduo_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duo_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

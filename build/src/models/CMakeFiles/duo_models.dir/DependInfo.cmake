@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/architectures.cpp" "src/models/CMakeFiles/duo_models.dir/architectures.cpp.o" "gcc" "src/models/CMakeFiles/duo_models.dir/architectures.cpp.o.d"
+  "/root/repo/src/models/serialization.cpp" "src/models/CMakeFiles/duo_models.dir/serialization.cpp.o" "gcc" "src/models/CMakeFiles/duo_models.dir/serialization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/duo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/duo_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/duo_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/duo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

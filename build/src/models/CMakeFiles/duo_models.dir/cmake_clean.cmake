@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duo_models.dir/architectures.cpp.o"
+  "CMakeFiles/duo_models.dir/architectures.cpp.o.d"
+  "CMakeFiles/duo_models.dir/serialization.cpp.o"
+  "CMakeFiles/duo_models.dir/serialization.cpp.o.d"
+  "libduo_models.a"
+  "libduo_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duo_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

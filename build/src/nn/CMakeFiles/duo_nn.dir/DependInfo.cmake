@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/duo_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/duo_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/compose.cpp" "src/nn/CMakeFiles/duo_nn.dir/compose.cpp.o" "gcc" "src/nn/CMakeFiles/duo_nn.dir/compose.cpp.o.d"
+  "/root/repo/src/nn/conv3d.cpp" "src/nn/CMakeFiles/duo_nn.dir/conv3d.cpp.o" "gcc" "src/nn/CMakeFiles/duo_nn.dir/conv3d.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/duo_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/duo_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/losses.cpp" "src/nn/CMakeFiles/duo_nn.dir/losses.cpp.o" "gcc" "src/nn/CMakeFiles/duo_nn.dir/losses.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/nn/CMakeFiles/duo_nn.dir/lstm.cpp.o" "gcc" "src/nn/CMakeFiles/duo_nn.dir/lstm.cpp.o.d"
+  "/root/repo/src/nn/norm.cpp" "src/nn/CMakeFiles/duo_nn.dir/norm.cpp.o" "gcc" "src/nn/CMakeFiles/duo_nn.dir/norm.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/duo_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/duo_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/pool3d.cpp" "src/nn/CMakeFiles/duo_nn.dir/pool3d.cpp.o" "gcc" "src/nn/CMakeFiles/duo_nn.dir/pool3d.cpp.o.d"
+  "/root/repo/src/nn/residual.cpp" "src/nn/CMakeFiles/duo_nn.dir/residual.cpp.o" "gcc" "src/nn/CMakeFiles/duo_nn.dir/residual.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/duo_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/duo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

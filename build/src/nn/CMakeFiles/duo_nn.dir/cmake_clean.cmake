@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duo_nn.dir/activations.cpp.o"
+  "CMakeFiles/duo_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/duo_nn.dir/compose.cpp.o"
+  "CMakeFiles/duo_nn.dir/compose.cpp.o.d"
+  "CMakeFiles/duo_nn.dir/conv3d.cpp.o"
+  "CMakeFiles/duo_nn.dir/conv3d.cpp.o.d"
+  "CMakeFiles/duo_nn.dir/linear.cpp.o"
+  "CMakeFiles/duo_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/duo_nn.dir/losses.cpp.o"
+  "CMakeFiles/duo_nn.dir/losses.cpp.o.d"
+  "CMakeFiles/duo_nn.dir/lstm.cpp.o"
+  "CMakeFiles/duo_nn.dir/lstm.cpp.o.d"
+  "CMakeFiles/duo_nn.dir/norm.cpp.o"
+  "CMakeFiles/duo_nn.dir/norm.cpp.o.d"
+  "CMakeFiles/duo_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/duo_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/duo_nn.dir/pool3d.cpp.o"
+  "CMakeFiles/duo_nn.dir/pool3d.cpp.o.d"
+  "CMakeFiles/duo_nn.dir/residual.cpp.o"
+  "CMakeFiles/duo_nn.dir/residual.cpp.o.d"
+  "libduo_nn.a"
+  "libduo_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duo_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/retrieval/ensemble.cpp" "src/retrieval/CMakeFiles/duo_retrieval.dir/ensemble.cpp.o" "gcc" "src/retrieval/CMakeFiles/duo_retrieval.dir/ensemble.cpp.o.d"
+  "/root/repo/src/retrieval/index.cpp" "src/retrieval/CMakeFiles/duo_retrieval.dir/index.cpp.o" "gcc" "src/retrieval/CMakeFiles/duo_retrieval.dir/index.cpp.o.d"
+  "/root/repo/src/retrieval/system.cpp" "src/retrieval/CMakeFiles/duo_retrieval.dir/system.cpp.o" "gcc" "src/retrieval/CMakeFiles/duo_retrieval.dir/system.cpp.o.d"
+  "/root/repo/src/retrieval/trainer.cpp" "src/retrieval/CMakeFiles/duo_retrieval.dir/trainer.cpp.o" "gcc" "src/retrieval/CMakeFiles/duo_retrieval.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/duo_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/duo_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/duo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/duo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/duo_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/duo_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duo_retrieval.dir/ensemble.cpp.o"
+  "CMakeFiles/duo_retrieval.dir/ensemble.cpp.o.d"
+  "CMakeFiles/duo_retrieval.dir/index.cpp.o"
+  "CMakeFiles/duo_retrieval.dir/index.cpp.o.d"
+  "CMakeFiles/duo_retrieval.dir/system.cpp.o"
+  "CMakeFiles/duo_retrieval.dir/system.cpp.o.d"
+  "CMakeFiles/duo_retrieval.dir/trainer.cpp.o"
+  "CMakeFiles/duo_retrieval.dir/trainer.cpp.o.d"
+  "libduo_retrieval.a"
+  "libduo_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duo_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

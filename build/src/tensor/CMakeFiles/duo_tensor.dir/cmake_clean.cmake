@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duo_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/duo_tensor.dir/tensor.cpp.o.d"
+  "libduo_tensor.a"
+  "libduo_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duo_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/codec.cpp" "src/video/CMakeFiles/duo_video.dir/codec.cpp.o" "gcc" "src/video/CMakeFiles/duo_video.dir/codec.cpp.o.d"
+  "/root/repo/src/video/frame_sampler.cpp" "src/video/CMakeFiles/duo_video.dir/frame_sampler.cpp.o" "gcc" "src/video/CMakeFiles/duo_video.dir/frame_sampler.cpp.o.d"
+  "/root/repo/src/video/synthetic.cpp" "src/video/CMakeFiles/duo_video.dir/synthetic.cpp.o" "gcc" "src/video/CMakeFiles/duo_video.dir/synthetic.cpp.o.d"
+  "/root/repo/src/video/video.cpp" "src/video/CMakeFiles/duo_video.dir/video.cpp.o" "gcc" "src/video/CMakeFiles/duo_video.dir/video.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/duo_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/duo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duo_video.dir/codec.cpp.o"
+  "CMakeFiles/duo_video.dir/codec.cpp.o.d"
+  "CMakeFiles/duo_video.dir/frame_sampler.cpp.o"
+  "CMakeFiles/duo_video.dir/frame_sampler.cpp.o.d"
+  "CMakeFiles/duo_video.dir/synthetic.cpp.o"
+  "CMakeFiles/duo_video.dir/synthetic.cpp.o.d"
+  "CMakeFiles/duo_video.dir/video.cpp.o"
+  "CMakeFiles/duo_video.dir/video.cpp.o.d"
+  "libduo_video.a"
+  "libduo_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duo_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

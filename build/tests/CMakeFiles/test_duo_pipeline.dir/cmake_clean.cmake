@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_duo_pipeline.dir/test_duo_pipeline.cpp.o"
+  "CMakeFiles/test_duo_pipeline.dir/test_duo_pipeline.cpp.o.d"
+  "test_duo_pipeline"
+  "test_duo_pipeline.pdb"
+  "test_duo_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_duo_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lp_box_admm.dir/test_lp_box_admm.cpp.o"
+  "CMakeFiles/test_lp_box_admm.dir/test_lp_box_admm.cpp.o.d"
+  "test_lp_box_admm"
+  "test_lp_box_admm.pdb"
+  "test_lp_box_admm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lp_box_admm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

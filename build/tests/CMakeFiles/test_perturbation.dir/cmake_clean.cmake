@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perturbation.dir/test_perturbation.cpp.o"
+  "CMakeFiles/test_perturbation.dir/test_perturbation.cpp.o.d"
+  "test_perturbation"
+  "test_perturbation.pdb"
+  "test_perturbation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perturbation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

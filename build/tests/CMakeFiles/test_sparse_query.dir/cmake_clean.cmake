@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_query.dir/test_sparse_query.cpp.o"
+  "CMakeFiles/test_sparse_query.dir/test_sparse_query.cpp.o.d"
+  "test_sparse_query"
+  "test_sparse_query.pdb"
+  "test_sparse_query[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

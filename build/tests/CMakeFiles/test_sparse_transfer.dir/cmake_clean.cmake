@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_transfer.dir/test_sparse_transfer.cpp.o"
+  "CMakeFiles/test_sparse_transfer.dir/test_sparse_transfer.cpp.o.d"
+  "test_sparse_transfer"
+  "test_sparse_transfer.pdb"
+  "test_sparse_transfer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_untargeted.dir/test_untargeted.cpp.o"
+  "CMakeFiles/test_untargeted.dir/test_untargeted.cpp.o.d"
+  "test_untargeted"
+  "test_untargeted.pdb"
+  "test_untargeted[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_untargeted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_thread_pool[1]_include.cmake")
+include("/root/repo/build/tests/test_table[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_layers[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_losses[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_optim[1]_include.cmake")
+include("/root/repo/build/tests/test_lstm[1]_include.cmake")
+include("/root/repo/build/tests/test_video[1]_include.cmake")
+include("/root/repo/build/tests/test_models[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_retrieval[1]_include.cmake")
+include("/root/repo/build/tests/test_perturbation[1]_include.cmake")
+include("/root/repo/build/tests/test_lp_box_admm[1]_include.cmake")
+include("/root/repo/build/tests/test_sparse_transfer[1]_include.cmake")
+include("/root/repo/build/tests/test_sparse_query[1]_include.cmake")
+include("/root/repo/build/tests/test_surrogate[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_defense[1]_include.cmake")
+include("/root/repo/build/tests/test_duo_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_untargeted[1]_include.cmake")
+include("/root/repo/build/tests/test_ensemble[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_failure_modes[1]_include.cmake")
+include("/root/repo/build/tests/test_serialization[1]_include.cmake")
