@@ -6,14 +6,29 @@
 #include <benchmark/benchmark.h>
 
 #include "attack/lp_box_admm.hpp"
+#include "common/thread_pool.hpp"
 #include "metrics/metrics.hpp"
 #include "models/feature_extractor.hpp"
+#include "nn/conv3d.hpp"
 #include "retrieval/index.hpp"
 #include "video/synthetic.hpp"
 
 namespace {
 
 using namespace duo;
+
+// Pins the compute pool to the benchmark's thread-count argument for the
+// serial-vs-parallel comparisons below (Arg(1) = serial baseline).
+class ComputePoolGuard {
+ public:
+  explicit ComputePoolGuard(std::size_t threads) : pool_(threads) {
+    set_compute_pool(&pool_);
+  }
+  ~ComputePoolGuard() { set_compute_pool(nullptr); }
+
+ private:
+  ThreadPool pool_;
+};
 
 void BM_TensorAxpy(benchmark::State& state) {
   Rng rng(1);
@@ -38,6 +53,57 @@ void BM_TensorMatmul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_TensorMatmul)->Arg(32)->Arg(64);
+
+// Conv3d forward at a paper-relevant size, sharded over the given number of
+// threads (Arg = pool size; 0 = hardware concurrency). Outputs are bitwise
+// identical across thread counts, so the only observable difference is time.
+void BM_Conv3dForward(benchmark::State& state) {
+  ComputePoolGuard guard(static_cast<std::size_t>(state.range(0)));
+  Rng rng(21);
+  nn::Conv3dSpec spec;
+  spec.in_channels = 8;
+  spec.out_channels = 16;
+  nn::Conv3d conv(spec, rng);
+  const Tensor input = Tensor::uniform({8, 8, 28, 28}, -1.0f, 1.0f, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(input));
+  }
+  state.SetItemsProcessed(state.iterations() * input.size());
+}
+BENCHMARK(BM_Conv3dForward)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(0);
+
+void BM_Conv3dBackward(benchmark::State& state) {
+  ComputePoolGuard guard(static_cast<std::size_t>(state.range(0)));
+  Rng rng(22);
+  nn::Conv3dSpec spec;
+  spec.in_channels = 8;
+  spec.out_channels = 16;
+  nn::Conv3d conv(spec, rng);
+  const Tensor input = Tensor::uniform({8, 8, 28, 28}, -1.0f, 1.0f, rng);
+  const Tensor out = conv.forward(input);
+  const Tensor grad = Tensor::uniform(out.shape(), -1.0f, 1.0f, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.backward(grad));
+  }
+  state.SetItemsProcessed(state.iterations() * input.size());
+}
+BENCHMARK(BM_Conv3dBackward)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(0);
+
+// Whole-extractor forward pass (the victim-query hot path) at 1..N threads.
+void BM_ExtractThreads(benchmark::State& state) {
+  ComputePoolGuard guard(static_cast<std::size_t>(state.range(0)));
+  const video::VideoGeometry g{8, 16, 16, 3};
+  Rng rng(23);
+  auto model = models::make_extractor(models::ModelKind::kC3D, g, 16, rng);
+  model->set_training(false);
+  auto spec = video::DatasetSpec::hmdb51_like(3);
+  spec.geometry = g;
+  const video::Video v = video::SyntheticGenerator(spec).make_video(0, 0, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->extract(v));
+  }
+}
+BENCHMARK(BM_ExtractThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(0);
 
 void BM_ModelExtract(benchmark::State& state) {
   const video::VideoGeometry g{8, 16, 16, 3};

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_parallel_determinism.cpp" "tests/CMakeFiles/test_parallel_determinism.dir/test_parallel_determinism.cpp.o" "gcc" "tests/CMakeFiles/test_parallel_determinism.dir/test_parallel_determinism.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attack/CMakeFiles/duo_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/duo_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/duo_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/retrieval/CMakeFiles/duo_retrieval.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/duo_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/duo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/duo_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/duo_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/duo_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/duo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -317,4 +317,4 @@ tests/CMakeFiles/test_rng.dir/test_rng.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/check.hpp

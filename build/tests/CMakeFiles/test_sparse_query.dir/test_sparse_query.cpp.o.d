@@ -293,10 +293,6 @@ tests/CMakeFiles/test_sparse_query.dir/test_sparse_query.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/attack/sparse_query.hpp \
- /root/repo/src/attack/objective.hpp /root/repo/src/metrics/metrics.hpp \
- /usr/include/c++/12/span /root/repo/src/tensor/tensor.hpp \
- /root/repo/src/common/check.hpp /root/repo/src/common/rng.hpp \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -319,6 +315,10 @@ tests/CMakeFiles/test_sparse_query.dir/test_sparse_query.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/attack/sparse_query.hpp \
+ /root/repo/src/attack/objective.hpp /root/repo/src/metrics/metrics.hpp \
+ /usr/include/c++/12/span /root/repo/src/tensor/tensor.hpp \
+ /root/repo/src/common/check.hpp /root/repo/src/common/rng.hpp \
  /root/repo/src/retrieval/system.hpp \
  /root/repo/src/models/feature_extractor.hpp /root/repo/src/nn/module.hpp \
  /root/repo/src/video/video.hpp /root/repo/src/retrieval/index.hpp \

@@ -7,6 +7,7 @@
 include("/root/repo/build/tests/test_rng[1]_include.cmake")
 include("/root/repo/build/tests/test_tensor[1]_include.cmake")
 include("/root/repo/build/tests/test_thread_pool[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel_determinism[1]_include.cmake")
 include("/root/repo/build/tests/test_table[1]_include.cmake")
 include("/root/repo/build/tests/test_nn_layers[1]_include.cmake")
 include("/root/repo/build/tests/test_nn_losses[1]_include.cmake")

@@ -48,8 +48,12 @@ SparseQueryResult sparse_query(const video::Video& v,
   // Line 1: v_adv⁰ = v + φ (the paper's Alg. 2 writes v; the pipeline passes
   // the SparseTransfer output by handing us φ).
   video::Video v_adv = perturbation.apply_to(v);
+  // Quantized shadow of v_adv, kept in sync per touched coordinate: every
+  // victim query sees round(v_adv) without re-rounding the whole tensor
+  // (the full copy used to dominate each step at paper-scale geometry).
+  video::Video q_adv = quantized(v_adv);
   // Line 2: T⁰.
-  double t_current = t_loss(victim, quantized(v_adv), ctx);
+  double t_current = t_loss(victim, q_adv, ctx);
   result.t_history.push_back(t_current);
 
   if (support.empty()) {
@@ -106,14 +110,16 @@ SparseQueryResult sparse_query(const video::Video& v,
         const float after = clip_pixel(prev + xi, v.data()[coord], config.tau);
         if (after != prev) changed = true;
         v_adv.data()[coord] = after;
+        q_adv.data()[coord] = std::round(after);
       }
       if (!changed) {
         for (std::size_t c = 0; c < coords.size(); ++c) {
           v_adv.data()[coords[c]] = before[c];
+          q_adv.data()[coords[c]] = std::round(before[c]);
         }
         continue;
       }
-      const double t_candidate = t_loss(victim, quantized(v_adv), ctx);
+      const double t_candidate = t_loss(victim, q_adv, ctx);
       if (t_candidate < t_current) {
         t_current = t_candidate;
         accepted = true;
@@ -121,6 +127,7 @@ SparseQueryResult sparse_query(const video::Video& v,
       }
       for (std::size_t c = 0; c < coords.size(); ++c) {
         v_adv.data()[coords[c]] = before[c];  // revert the group
+        q_adv.data()[coords[c]] = std::round(before[c]);
       }
     }
     result.t_history.push_back(t_current);
@@ -128,7 +135,7 @@ SparseQueryResult sparse_query(const video::Video& v,
     if (config.patience > 0 && stall >= config.patience) break;
   }
 
-  result.v_adv = quantized(v_adv);
+  result.v_adv = std::move(q_adv);
   result.final_t = t_current;
   result.queries_spent = victim.query_count() - queries_before;
   return result;

@@ -11,6 +11,8 @@
 #include <cmath>
 #include <limits>
 
+#include "common/check.hpp"
+
 namespace duo {
 
 // SplitMix64: tiny, fast, high-quality 64-bit PRNG. Used both directly and
@@ -41,8 +43,10 @@ class Rng {
     return static_cast<float>(uniform(lo, hi));
   }
 
-  // Uniform integer in [0, n). Requires n > 0.
-  std::uint64_t uniform_index(std::uint64_t n) noexcept {
+  // Uniform integer in [0, n). Requires n > 0 (raises via DUO_CHECK — an
+  // empty range has no valid draw, and `% 0` is undefined behaviour).
+  std::uint64_t uniform_index(std::uint64_t n) {
+    DUO_CHECK_MSG(n > 0, "uniform_index requires a non-empty range");
     // Lemire's unbiased bounded generation would be overkill here; simple
     // modulo bias is < 2^-40 for the sizes we use, but use rejection anyway
     // since it is cheap.
@@ -53,7 +57,8 @@ class Rng {
     }
   }
 
-  int uniform_int(int lo, int hi_inclusive) noexcept {
+  // Requires lo <= hi_inclusive (checked via uniform_index's guard).
+  int uniform_int(int lo, int hi_inclusive) {
     return lo + static_cast<int>(uniform_index(
                     static_cast<std::uint64_t>(hi_inclusive - lo + 1)));
   }

@@ -1,11 +1,36 @@
 #include "common/thread_pool.hpp"
 
-#include <atomic>
+#include <cstdlib>
 #include <exception>
-
-#include "common/check.hpp"
+#include <memory>
 
 namespace duo {
+
+namespace {
+
+// The pool whose worker_loop the current thread is running, if any. Lets
+// parallel_for detect re-entrant calls on the same pool and degrade to
+// inline execution instead of enqueueing against a saturated queue.
+thread_local const ThreadPool* t_worker_pool = nullptr;
+
+std::atomic<ThreadPool*> g_compute_pool{nullptr};
+
+}  // namespace
+
+// Shared between the caller and the helper tasks of one parallel_for call.
+// Held via shared_ptr so a straggler task that starts after the caller has
+// returned can still safely observe next >= count and exit.
+struct ThreadPool::ParallelState {
+  explicit ParallelState(std::size_t count) : remaining(count) {}
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> remaining;
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+};
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -18,31 +43,44 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    stop_ = true;
+    if (stop_.exchange(true, std::memory_order_acq_rel)) return;
   }
   cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
 }
 
-void ThreadPool::enqueue(std::function<void()> task) {
+bool ThreadPool::enqueue(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    DUO_CHECK_MSG(!stop_, "enqueue on stopped pool");
-    tasks_.push(std::move(task));
+    if (!stop_.load(std::memory_order_relaxed)) {
+      tasks_.push(std::move(task));
+      cv_.notify_one();
+      return true;
+    }
   }
-  cv_.notify_one();
+  // Stopped pool (e.g. a static being destroyed after the shared pool):
+  // run the task synchronously rather than crashing or dropping it.
+  task();
+  return false;
 }
 
 void ThreadPool::worker_loop() {
+  t_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
-      if (stop_ && tasks_.empty()) return;
+      cv_.wait(lock, [this] {
+        return stop_.load(std::memory_order_relaxed) || !tasks_.empty();
+      });
+      if (stop_.load(std::memory_order_relaxed) && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
     }
@@ -50,63 +88,87 @@ void ThreadPool::worker_loop() {
   }
 }
 
+bool ThreadPool::in_worker_context() const noexcept {
+  return t_worker_pool == this;
+}
+
+void ThreadPool::drain(ParallelState& state, std::size_t count,
+                       const std::function<void(std::size_t)>& fn) {
+  for (;;) {
+    const std::size_t i = state.next.fetch_add(1);
+    if (i >= count) return;
+    if (!state.failed.load(std::memory_order_relaxed)) {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state.error_mutex);
+        if (!state.failed.exchange(true)) {
+          state.error = std::current_exception();
+        }
+      }
+    }
+    if (state.remaining.fetch_sub(1) == 1) {
+      // Lock so the notify cannot slip between the caller's predicate check
+      // and its wait.
+      std::lock_guard<std::mutex> lock(state.done_mutex);
+      state.done_cv.notify_all();
+    }
+  }
+}
+
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
-  if (count == 1 || workers_.size() == 1) {
+  // Inline paths: trivial loops, single-worker pools, re-entrant calls from
+  // one of our own workers, and stopped pools (static destruction).
+  if (count == 1 || workers_.size() <= 1 || in_worker_context() || stopped()) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
 
-  // Dynamic index dispatch: workers grab the next index atomically, which
-  // load-balances uneven per-item cost (e.g. attacks that converge early).
-  auto next = std::make_shared<std::atomic<std::size_t>>(0);
-  auto remaining = std::make_shared<std::atomic<std::size_t>>(count);
-  auto first_error = std::make_shared<std::atomic<bool>>(false);
-  auto error = std::make_shared<std::exception_ptr>();
-  auto error_mutex = std::make_shared<std::mutex>();
-
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-  bool done = false;
-
-  const std::size_t shards = std::min(workers_.size(), count);
-  for (std::size_t s = 0; s < shards; ++s) {
-    // `count` is captured by value: a straggler shard can observe
-    // i >= count after the caller has already returned. `fn`, `done_mutex`,
-    // `done_cv`, and `done` are only touched before the final fetch_sub,
-    // which happens-before the caller's wait() returns.
-    enqueue([&, count, next, remaining, first_error, error, error_mutex] {
-      for (;;) {
-        const std::size_t i = next->fetch_add(1);
-        if (i >= count) break;
-        if (!first_error->load(std::memory_order_relaxed)) {
-          try {
-            fn(i);
-          } catch (...) {
-            std::lock_guard<std::mutex> lock(*error_mutex);
-            if (!first_error->exchange(true)) {
-              *error = std::current_exception();
-            }
-          }
-        }
-        if (remaining->fetch_sub(1) == 1) {
-          std::lock_guard<std::mutex> lock(done_mutex);
-          done = true;
-          done_cv.notify_one();
-        }
-      }
-    });
+  // Dynamic index dispatch: participants grab the next index atomically,
+  // which load-balances uneven per-item cost (e.g. attacks that converge
+  // early). The caller is always a participant, so completion never depends
+  // on a worker being free — helper tasks only speed things up.
+  auto state = std::make_shared<ParallelState>(count);
+  const std::size_t helpers = std::min(workers_.size(), count - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    // `fn` is captured by reference: a straggler task that runs after the
+    // caller returned observes next >= count and exits without touching it.
+    enqueue([state, count, &fn] { drain(*state, count, fn); });
   }
+  drain(*state, count, fn);
 
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return done; });
-  if (first_error->load() && *error) std::rethrow_exception(*error);
+  {
+    std::unique_lock<std::mutex> lock(state->done_mutex);
+    state->done_cv.wait(
+        lock, [&] { return state->remaining.load(std::memory_order_acquire) == 0; });
+  }
+  if (state->failed.load() && state->error) {
+    std::rethrow_exception(state->error);
+  }
+}
+
+std::size_t ThreadPool::threads_from_env(const char* value) noexcept {
+  if (value == nullptr || *value == '\0') return 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed < 0) return 0;
+  return static_cast<std::size_t>(parsed);
 }
 
 ThreadPool& ThreadPool::shared() {
-  static ThreadPool pool;
+  static ThreadPool pool(threads_from_env(std::getenv("DUO_THREADS")));
   return pool;
+}
+
+ThreadPool& compute_pool() noexcept {
+  ThreadPool* override_pool = g_compute_pool.load(std::memory_order_acquire);
+  return override_pool != nullptr ? *override_pool : ThreadPool::shared();
+}
+
+void set_compute_pool(ThreadPool* pool) noexcept {
+  g_compute_pool.store(pool, std::memory_order_release);
 }
 
 }  // namespace duo

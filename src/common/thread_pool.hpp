@@ -1,9 +1,18 @@
 #pragma once
 
-// Fixed-size thread pool with a blocking parallel_for. Used to parallelize
-// embarrassingly parallel work: per-video feature extraction, per-pair attack
-// evaluation, and the distributed retrieval scatter phase.
+// Fixed-size thread pool with a blocking, nesting-safe parallel_for. Used to
+// parallelize embarrassingly parallel work: the Conv3d/pooling kernels,
+// per-video feature extraction, per-pair attack evaluation, and the
+// distributed retrieval scatter phase.
+//
+// parallel_for is safe to call from anywhere, including from inside a task
+// already running on the same pool: the calling thread always participates in
+// draining its own work (caller-runs), and a call made from a worker of the
+// same pool degrades to inline execution instead of enqueueing against a
+// saturated pool. Without both properties, nested calls deadlock — the outer
+// task blocks a worker slot while its shards starve behind it.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -26,24 +35,68 @@ class ThreadPool {
   std::size_t size() const noexcept { return workers_.size(); }
 
   // Enqueue a task; fire-and-forget. Use parallel_for for joined work.
-  void enqueue(std::function<void()> task);
+  // Returns true if the task was queued. On a stopped pool the task runs
+  // inline on the calling thread and false is returned — this keeps
+  // late callers safe during static destruction (see shared()).
+  bool enqueue(std::function<void()> task);
 
   // Run fn(i) for i in [0, count), blocking until all complete. Exceptions
   // from fn propagate: the first one thrown is rethrown on the caller.
+  //
+  // Re-entrant: when called from a worker thread of this same pool the
+  // indices run inline on that worker (the pool is already saturated with
+  // the outer loop's shards, so queueing would only add latency — or, if
+  // the caller merely waited, deadlock). From any other thread the caller
+  // drains indices alongside the workers, so forward progress never
+  // depends on a free worker slot.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
+  // True when the calling thread is one of this pool's workers.
+  bool in_worker_context() const noexcept;
+
+  // Stop accepting queued work and join all workers. Idempotent, but must
+  // not be called concurrently with itself. Called by the destructor;
+  // exposed so the shutdown path is testable. After shutdown, enqueue runs
+  // tasks inline and parallel_for runs serially.
+  void shutdown();
+  bool stopped() const noexcept { return stop_.load(std::memory_order_acquire); }
+
   // Process-wide shared pool for library internals that want parallelism
-  // without plumbing a pool through every call.
+  // without plumbing a pool through every call. Sized once, at first use,
+  // from the DUO_THREADS environment variable (see threads_from_env).
+  //
+  // Static destruction: the pool is a function-local static, so objects
+  // destroyed after it may still call into it. Both enqueue and
+  // parallel_for degrade to inline/serial execution on a stopped pool
+  // instead of crashing, which makes those destruction-order races benign.
   static ThreadPool& shared();
 
+  // Parse a DUO_THREADS-style value: "0", empty, or invalid selects
+  // hardware concurrency (returns 0); "1" means serial; "N" means N workers.
+  static std::size_t threads_from_env(const char* value) noexcept;
+
  private:
+  struct ParallelState;
+
   void worker_loop();
+  static void drain(ParallelState& state, std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;
-  bool stop_ = false;
+  std::atomic<bool> stop_{false};
 };
+
+// Pool used by the compute kernels (Conv3d, pooling, feature extraction,
+// gallery construction). Defaults to ThreadPool::shared(); tests and benches
+// can interpose their own pool to measure or pin a specific thread count.
+ThreadPool& compute_pool() noexcept;
+
+// Override the compute pool (nullptr restores the shared pool). The pointer
+// must outlive all kernel launches made while it is set; not synchronized
+// against concurrently running kernels.
+void set_compute_pool(ThreadPool* pool) noexcept;
 
 }  // namespace duo

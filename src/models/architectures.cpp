@@ -37,6 +37,12 @@ class SequentialExtractor final : public FeatureExtractor {
     return net_->parameters();
   }
   void set_training(bool training) override { net_->set_training(training); }
+
+  std::unique_ptr<FeatureExtractor> clone() const override {
+    auto net = net_->clone();
+    if (!net) return nullptr;
+    return std::make_unique<SequentialExtractor>(name_, dim_, std::move(net));
+  }
   std::int64_t feature_dim() const override { return dim_; }
   std::string name() const override { return name_; }
 

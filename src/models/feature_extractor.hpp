@@ -42,6 +42,12 @@ class FeatureExtractor {
   virtual std::vector<nn::Parameter*> parameters() = 0;
   virtual void set_training(bool training) = 0;
 
+  // Deep copy with identical parameters and fresh layer caches, for
+  // thread-private replicas in parallel inference (extractors are stateful,
+  // see above). Default: nullptr, meaning "not cloneable" — callers must
+  // fall back to serial use of the original instance.
+  virtual std::unique_ptr<FeatureExtractor> clone() const { return nullptr; }
+
   virtual std::int64_t feature_dim() const = 0;
   virtual std::string name() const = 0;
 

@@ -11,6 +11,9 @@ class ReLU final : public Module {
  public:
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  std::unique_ptr<Module> clone() const override {
+    return std::make_unique<ReLU>();
+  }
   std::string name() const override { return "ReLU"; }
 
  private:
@@ -22,6 +25,9 @@ class Tanh final : public Module {
  public:
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  std::unique_ptr<Module> clone() const override {
+    return std::make_unique<Tanh>();
+  }
   std::string name() const override { return "Tanh"; }
 
  private:
@@ -33,6 +39,9 @@ class Sigmoid final : public Module {
  public:
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  std::unique_ptr<Module> clone() const override {
+    return std::make_unique<Sigmoid>();
+  }
   std::string name() const override { return "Sigmoid"; }
 
  private:
@@ -48,6 +57,9 @@ class Flatten final : public Module {
  public:
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  std::unique_ptr<Module> clone() const override {
+    return std::make_unique<Flatten>();
+  }
   std::string name() const override { return "Flatten"; }
 
  private:

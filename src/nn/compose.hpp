@@ -28,6 +28,16 @@ class Parallel final : public Module {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override;
   void set_training(bool training) override;
+  std::unique_ptr<Module> clone() const override {
+    auto copy = std::make_unique<Parallel>();
+    for (const auto& child : children_) {
+      auto c = child->clone();
+      if (!c) return nullptr;
+      copy->add(std::move(c));
+    }
+    copy->set_training(training());
+    return copy;
+  }
   std::string name() const override { return "Parallel"; }
 
  private:
@@ -41,6 +51,9 @@ class SpatialAvgPool final : public Module {
  public:
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  std::unique_ptr<Module> clone() const override {
+    return std::make_unique<SpatialAvgPool>();
+  }
   std::string name() const override { return "SpatialAvgPool"; }
 
  private:
@@ -52,6 +65,9 @@ class TemporalMean final : public Module {
  public:
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  std::unique_ptr<Module> clone() const override {
+    return std::make_unique<TemporalMean>();
+  }
   std::string name() const override { return "TemporalMean"; }
 
  private:

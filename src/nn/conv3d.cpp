@@ -1,5 +1,6 @@
 #include "nn/conv3d.hpp"
 
+#include "common/thread_pool.hpp"
 #include "nn/init.hpp"
 
 namespace duo::nn {
@@ -53,7 +54,12 @@ Tensor Conv3d::forward(const Tensor& input) {
   const float* w = weight_.value.data();
   float* y = out.data();
 
-  for (std::int64_t co = 0; co < cout; ++co) {
+  // Each output channel owns a disjoint slice of y and is computed in the
+  // same inner order regardless of which thread runs it, so the result is
+  // bitwise identical across thread counts (including serial).
+  compute_pool().parallel_for(
+      static_cast<std::size_t>(cout), [&](std::size_t co_idx) {
+    const auto co = static_cast<std::int64_t>(co_idx);
     const float b = spec_.bias ? bias_.value[co] : 0.0f;
     for (std::int64_t ot = 0; ot < to; ++ot) {
       for (std::int64_t oh = 0; oh < ho; ++oh) {
@@ -82,7 +88,7 @@ Tensor Conv3d::forward(const Tensor& input) {
         }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -109,7 +115,14 @@ Tensor Conv3d::backward(const Tensor& grad_output) {
   float* gb = bias_.grad.data();
   float* gx = grad_input.data();
 
-  for (std::int64_t co = 0; co < cout; ++co) {
+  // Two passes, each sharded so that every accumulated address is owned by
+  // exactly one shard and accumulated in the same order as the serial loop:
+  // weight/bias grads are disjoint per output channel, input grads are
+  // disjoint per input channel. Results are therefore bitwise identical
+  // across thread counts.
+  compute_pool().parallel_for(
+      static_cast<std::size_t>(cout), [&](std::size_t co_idx) {
+    const auto co = static_cast<std::int64_t>(co_idx);
     for (std::int64_t ot = 0; ot < to; ++ot) {
       for (std::int64_t oh = 0; oh < ho; ++oh) {
         for (std::int64_t ow = 0; ow < wo; ++ow) {
@@ -117,10 +130,8 @@ Tensor Conv3d::backward(const Tensor& grad_output) {
           if (g == 0.0f) continue;
           if (spec_.bias) gb[co] += g;
           for (std::int64_t ci = 0; ci < cin; ++ci) {
-            const float* wc = w + (((co * cin + ci) * kt) * kh * kw);
             float* gwc = gw + (((co * cin + ci) * kt) * kh * kw);
             const float* xc = x + ci * ti * hi * wi;
-            float* gxc = gx + ci * ti * hi * wi;
             for (std::int64_t dt = 0; dt < kt; ++dt) {
               const std::int64_t it = ot * st - pt + dt;
               if (it < 0 || it >= ti) continue;
@@ -128,13 +139,42 @@ Tensor Conv3d::backward(const Tensor& grad_output) {
                 const std::int64_t ih = oh * sh - ph + dh;
                 if (ih < 0 || ih >= hi) continue;
                 const float* xrow = xc + (it * hi + ih) * wi;
-                float* gxrow = gxc + (it * hi + ih) * wi;
-                const float* wrow = wc + (dt * kh + dh) * kw;
                 float* gwrow = gwc + (dt * kh + dh) * kw;
                 for (std::int64_t dw = 0; dw < kw; ++dw) {
                   const std::int64_t iw = ow * sw - pw + dw;
                   if (iw < 0 || iw >= wi) continue;
                   gwrow[dw] += g * xrow[iw];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+
+  compute_pool().parallel_for(
+      static_cast<std::size_t>(cin), [&](std::size_t ci_idx) {
+    const auto ci = static_cast<std::int64_t>(ci_idx);
+    float* gxc = gx + ci * ti * hi * wi;
+    for (std::int64_t co = 0; co < cout; ++co) {
+      const float* wc = w + (((co * cin + ci) * kt) * kh * kw);
+      for (std::int64_t ot = 0; ot < to; ++ot) {
+        for (std::int64_t oh = 0; oh < ho; ++oh) {
+          for (std::int64_t ow = 0; ow < wo; ++ow) {
+            const float g = gy[((co * to + ot) * ho + oh) * wo + ow];
+            if (g == 0.0f) continue;
+            for (std::int64_t dt = 0; dt < kt; ++dt) {
+              const std::int64_t it = ot * st - pt + dt;
+              if (it < 0 || it >= ti) continue;
+              for (std::int64_t dh = 0; dh < kh; ++dh) {
+                const std::int64_t ih = oh * sh - ph + dh;
+                if (ih < 0 || ih >= hi) continue;
+                float* gxrow = gxc + (it * hi + ih) * wi;
+                const float* wrow = wc + (dt * kh + dh) * kw;
+                for (std::int64_t dw = 0; dw < kw; ++dw) {
+                  const std::int64_t iw = ow * sw - pw + dw;
+                  if (iw < 0 || iw >= wi) continue;
                   gxrow[iw] += g * wrow[dw];
                 }
               }
@@ -143,13 +183,22 @@ Tensor Conv3d::backward(const Tensor& grad_output) {
         }
       }
     }
-  }
+  });
   return grad_input;
 }
 
 std::vector<Parameter*> Conv3d::parameters() {
   if (spec_.bias) return {&weight_, &bias_};
   return {&weight_};
+}
+
+std::unique_ptr<Module> Conv3d::clone() const {
+  Rng rng(0);  // the freshly initialized weights are overwritten below
+  auto copy = std::make_unique<Conv3d>(spec_, rng);
+  copy->weight_.value = weight_.value;
+  copy->bias_.value = bias_.value;
+  copy->set_training(training());
+  return copy;
 }
 
 }  // namespace duo::nn

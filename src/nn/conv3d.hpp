@@ -28,6 +28,7 @@ class Conv3d final : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override;
+  std::unique_ptr<Module> clone() const override;
   std::string name() const override { return "Conv3d"; }
 
   const Conv3dSpec& spec() const noexcept { return spec_; }

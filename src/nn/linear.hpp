@@ -15,6 +15,14 @@ class Linear final : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  std::unique_ptr<Module> clone() const override {
+    Rng rng(0);  // the freshly initialized weights are overwritten below
+    auto copy = std::make_unique<Linear>(in_, out_, rng);
+    copy->weight_.value = weight_.value;
+    copy->bias_.value = bias_.value;
+    copy->set_training(training());
+    return copy;
+  }
   std::string name() const override { return "Linear"; }
 
   std::int64_t in_features() const noexcept { return in_; }

@@ -21,6 +21,15 @@ class Lstm final : public Module {
   std::vector<Parameter*> parameters() override {
     return {&wx_, &wh_, &bias_};
   }
+  std::unique_ptr<Module> clone() const override {
+    Rng rng(0);  // the freshly initialized weights are overwritten below
+    auto copy = std::make_unique<Lstm>(input_, hidden_, rng);
+    copy->wx_.value = wx_.value;
+    copy->wh_.value = wh_.value;
+    copy->bias_.value = bias_.value;
+    copy->set_training(training());
+    return copy;
+  }
   std::string name() const override { return "Lstm"; }
 
   std::int64_t hidden_size() const noexcept { return hidden_; }

@@ -44,6 +44,13 @@ class Module {
   virtual Tensor forward(const Tensor& input) = 0;
   virtual Tensor backward(const Tensor& grad_output) = 0;
 
+  // Deep copy: same architecture and parameter values, fresh (empty)
+  // forward caches and zeroed gradients. Enables thread-private replicas of
+  // a model for parallel inference (modules are stateful across
+  // forward/backward, so a single instance is not usable from two threads).
+  // Returns nullptr when the module (or any child) is not cloneable.
+  virtual std::unique_ptr<Module> clone() const { return nullptr; }
+
   // All trainable parameters, recursively. Default: none.
   virtual std::vector<Parameter*> parameters() { return {}; }
 
@@ -110,6 +117,17 @@ class Sequential final : public Module {
   void set_training(bool training) override {
     Module::set_training(training);
     for (auto& child : children_) child->set_training(training);
+  }
+
+  std::unique_ptr<Module> clone() const override {
+    auto copy = std::make_unique<Sequential>();
+    for (const auto& child : children_) {
+      auto c = child->clone();
+      if (!c) return nullptr;
+      copy->add(std::move(c));
+    }
+    copy->set_training(training());
+    return copy;
   }
 
   std::string name() const override { return "Sequential"; }

@@ -17,6 +17,13 @@ class InstanceNorm3d final : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override { return {&gamma_, &beta_}; }
+  std::unique_ptr<Module> clone() const override {
+    auto copy = std::make_unique<InstanceNorm3d>(channels_, eps_);
+    copy->gamma_.value = gamma_.value;
+    copy->beta_.value = beta_.value;
+    copy->set_training(training());
+    return copy;
+  }
   std::string name() const override { return "InstanceNorm3d"; }
 
  private:

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "common/thread_pool.hpp"
+
 namespace duo::nn {
 
 namespace {
@@ -31,9 +33,12 @@ Tensor MaxPool3d::forward(const Tensor& input) {
   const float* x = input.data();
   float* y = out.data();
 
-  std::int64_t oi = 0;
-  for (std::int64_t cc = 0; cc < c; ++cc) {
+  // Channels own disjoint slices of y and argmax_, so the channel loop is
+  // safe to shard across threads with bitwise-identical results.
+  compute_pool().parallel_for(static_cast<std::size_t>(c), [&](std::size_t ci) {
+    const auto cc = static_cast<std::int64_t>(ci);
     const float* xc = x + cc * ti * hi * wi;
+    std::int64_t oi = cc * to * ho * wo;
     for (std::int64_t ot = 0; ot < to; ++ot) {
       for (std::int64_t oh = 0; oh < ho; ++oh) {
         for (std::int64_t ow = 0; ow < wo; ++ow, ++oi) {
@@ -58,7 +63,7 @@ Tensor MaxPool3d::forward(const Tensor& input) {
         }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -68,9 +73,16 @@ Tensor MaxPool3d::backward(const Tensor& grad_output) {
   Tensor grad_input(cached_input_shape_);
   float* gx = grad_input.data();
   const float* gy = grad_output.data();
-  for (std::size_t i = 0; i < argmax_.size(); ++i) {
-    gx[argmax_[i]] += gy[i];
-  }
+  // An argmax index always lands inside its own channel's input slice, so
+  // sharding the scatter per channel keeps writes disjoint.
+  const std::int64_t c = cached_input_shape_[0];
+  const std::size_t per_channel = argmax_.size() / static_cast<std::size_t>(c);
+  compute_pool().parallel_for(static_cast<std::size_t>(c), [&](std::size_t cc) {
+    const std::size_t begin = cc * per_channel;
+    for (std::size_t i = begin; i < begin + per_channel; ++i) {
+      gx[argmax_[i]] += gy[i];
+    }
+  });
   return grad_input;
 }
 
@@ -94,9 +106,10 @@ Tensor AvgPool3d::forward(const Tensor& input) {
   Tensor out({c, to, ho, wo});
   const float* x = input.data();
   float* y = out.data();
-  std::int64_t oi = 0;
-  for (std::int64_t cc = 0; cc < c; ++cc) {
+  compute_pool().parallel_for(static_cast<std::size_t>(c), [&](std::size_t ci) {
+    const auto cc = static_cast<std::int64_t>(ci);
     const float* xc = x + cc * ti * hi * wi;
+    std::int64_t oi = cc * to * ho * wo;
     for (std::int64_t ot = 0; ot < to; ++ot) {
       for (std::int64_t oh = 0; oh < ho; ++oh) {
         for (std::int64_t ow = 0; ow < wo; ++ow, ++oi) {
@@ -115,7 +128,7 @@ Tensor AvgPool3d::forward(const Tensor& input) {
         }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -134,9 +147,10 @@ Tensor AvgPool3d::backward(const Tensor& grad_output) {
   Tensor grad_input(cached_input_shape_);
   float* gx = grad_input.data();
   const float* gy = grad_output.data();
-  std::int64_t oi = 0;
-  for (std::int64_t cc = 0; cc < c; ++cc) {
+  compute_pool().parallel_for(static_cast<std::size_t>(c), [&](std::size_t ci) {
+    const auto cc = static_cast<std::int64_t>(ci);
     float* gxc = gx + cc * ti * hi * wi;
+    std::int64_t oi = cc * to * ho * wo;
     for (std::int64_t ot = 0; ot < to; ++ot) {
       for (std::int64_t oh = 0; oh < ho; ++oh) {
         for (std::int64_t ow = 0; ow < wo; ++ow, ++oi) {
@@ -154,7 +168,7 @@ Tensor AvgPool3d::backward(const Tensor& grad_output) {
         }
       }
     }
-  }
+  });
   return grad_input;
 }
 

@@ -18,6 +18,9 @@ class MaxPool3d final : public Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  std::unique_ptr<Module> clone() const override {
+    return std::make_unique<MaxPool3d>(kernel_, stride_);
+  }
   std::string name() const override { return "MaxPool3d"; }
 
  private:
@@ -37,6 +40,9 @@ class AvgPool3d final : public Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  std::unique_ptr<Module> clone() const override {
+    return std::make_unique<AvgPool3d>(kernel_, stride_);
+  }
   std::string name() const override { return "AvgPool3d"; }
 
  private:
@@ -50,6 +56,9 @@ class GlobalAvgPool final : public Module {
  public:
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  std::unique_ptr<Module> clone() const override {
+    return std::make_unique<GlobalAvgPool>();
+  }
   std::string name() const override { return "GlobalAvgPool"; }
 
  private:

@@ -22,6 +22,18 @@ class Residual final : public Module {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override;
   void set_training(bool training) override;
+  std::unique_ptr<Module> clone() const override {
+    auto body = body_->clone();
+    if (!body) return nullptr;
+    std::unique_ptr<Module> shortcut;
+    if (shortcut_) {
+      shortcut = shortcut_->clone();
+      if (!shortcut) return nullptr;
+    }
+    auto copy = std::make_unique<Residual>(std::move(body), std::move(shortcut));
+    copy->set_training(training());
+    return copy;
+  }
   std::string name() const override { return "Residual"; }
 
  private:

@@ -63,7 +63,7 @@ std::vector<Neighbor> RetrievalIndex::query(const Tensor& feature,
                                             bool parallel) const {
   std::vector<std::vector<Neighbor>> partials(nodes_.size());
   if (parallel && nodes_.size() > 1) {
-    ThreadPool::shared().parallel_for(nodes_.size(), [&](std::size_t i) {
+    compute_pool().parallel_for(nodes_.size(), [&](std::size_t i) {
       partials[i] = nodes_[i].query(feature, m);
     });
   } else {

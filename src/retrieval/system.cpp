@@ -1,6 +1,7 @@
 #include "retrieval/system.hpp"
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 
 namespace duo::retrieval {
 
@@ -24,7 +25,56 @@ void RetrievalSystem::add_to_gallery(const video::Video& v) {
 }
 
 void RetrievalSystem::add_all(const std::vector<video::Video>& videos) {
-  for (const auto& v : videos) add_to_gallery(v);
+  const std::vector<Tensor> features = extract_features(videos);
+  for (std::size_t i = 0; i < videos.size(); ++i) {
+    const auto& v = videos[i];
+    GalleryEntry entry;
+    entry.id = v.id();
+    entry.label = v.label();
+    entry.feature = features[i];
+    index_.add(entry);
+    DUO_CHECK_MSG(labels_.emplace(v.id(), v.label()).second,
+                  "duplicate gallery id");
+    ++label_counts_[v.label()];
+  }
+}
+
+std::vector<Tensor> RetrievalSystem::extract_features(
+    const std::vector<video::Video>& videos) {
+  std::vector<Tensor> features(videos.size());
+  ThreadPool& pool = compute_pool();
+  const std::size_t shards = std::min(pool.size(), videos.size());
+
+  // One extractor per shard: shard 0 reuses the member extractor, the rest
+  // are clones. Extractors are stateful across forward passes, so sharing
+  // one instance across threads is not an option.
+  std::vector<std::unique_ptr<models::FeatureExtractor>> clones;
+  if (shards >= 2) {
+    clones.reserve(shards - 1);
+    for (std::size_t s = 1; s < shards; ++s) {
+      auto c = extractor_->clone();
+      if (!c) {
+        clones.clear();
+        break;
+      }
+      clones.push_back(std::move(c));
+    }
+  }
+
+  if (clones.empty()) {
+    for (std::size_t i = 0; i < videos.size(); ++i) {
+      features[i] = extractor_->extract(videos[i]);
+    }
+    return features;
+  }
+
+  pool.parallel_for(clones.size() + 1, [&](std::size_t s) {
+    models::FeatureExtractor& ex = s == 0 ? *extractor_ : *clones[s - 1];
+    for (std::size_t i = s; i < videos.size(); i += clones.size() + 1) {
+      features[i] = ex.extract(videos[i]);
+    }
+  });
+  return features;
 }
 
 metrics::RetrievalList RetrievalSystem::retrieve(const video::Video& v,
@@ -61,16 +111,23 @@ std::int64_t RetrievalSystem::relevant_count(int label) const {
 double evaluate_map(RetrievalSystem& system,
                     const std::vector<video::Video>& queries, std::size_t m) {
   if (queries.empty()) return 0.0;
-  double acc = 0.0;
-  for (const auto& q : queries) {
-    const auto result = system.retrieve_detailed(q, m);
+  // Extraction is parallelized over extractor replicas; the per-query index
+  // scan and AP are independent, so they shard freely. The final sum runs in
+  // query order, keeping the result bitwise stable across thread counts.
+  const std::vector<Tensor> features = system.extract_features(queries);
+  std::vector<double> ap(queries.size(), 0.0);
+  compute_pool().parallel_for(queries.size(), [&](std::size_t qi) {
+    const auto& q = queries[qi];
+    const auto result = system.retrieve_feature(features[qi], m);
     std::vector<bool> relevant(result.size());
     for (std::size_t i = 0; i < result.size(); ++i) {
       relevant[i] = result[i].label == q.label();
     }
-    acc += metrics::average_precision(relevant,
-                                      system.relevant_count(q.label()));
-  }
+    ap[qi] = metrics::average_precision(relevant,
+                                        system.relevant_count(q.label()));
+  });
+  double acc = 0.0;
+  for (const double a : ap) acc += a;
   return acc / static_cast<double>(queries.size());
 }
 

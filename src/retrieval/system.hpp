@@ -25,7 +25,15 @@ class RetrievalSystem {
 
   // Featurize and index a gallery video.
   void add_to_gallery(const video::Video& v);
+  // Bulk ingestion: features are extracted in parallel (over thread-private
+  // extractor replicas) and then indexed in input order, so the resulting
+  // gallery is identical to sequential add_to_gallery calls.
   void add_all(const std::vector<video::Video>& videos);
+
+  // Features for a batch of videos, in order. Parallelized across the
+  // compute pool when the extractor is cloneable; bitwise identical to a
+  // serial extraction loop either way.
+  std::vector<Tensor> extract_features(const std::vector<video::Video>& videos);
 
   // Top-m retrieval R^m(v): gallery ids in descending similarity.
   metrics::RetrievalList retrieve(const video::Video& v, std::size_t m);

@@ -1,0 +1,185 @@
+// Bitwise determinism of the parallelized compute kernels across thread
+// counts. The Conv3d/pooling shards are constructed so every accumulated
+// address is owned by exactly one shard and accumulated in the serial loop's
+// order; these tests catch any regression of that property (e.g. a future
+// "optimization" that reduces per-thread partials in completion order).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "models/feature_extractor.hpp"
+#include "nn/conv3d.hpp"
+#include "nn/pool3d.hpp"
+#include "retrieval/system.hpp"
+#include "video/synthetic.hpp"
+
+namespace duo {
+namespace {
+
+// Runs fn with the compute pool pinned to `threads` workers, restoring the
+// shared pool afterwards even on exceptions.
+template <typename Fn>
+auto with_compute_threads(std::size_t threads, Fn&& fn) {
+  ThreadPool pool(threads);
+  struct Restore {
+    ~Restore() { set_compute_pool(nullptr); }
+  } restore;
+  set_compute_pool(&pool);
+  return fn();
+}
+
+void expect_bitwise_equal(const Tensor& a, const Tensor& b, const char* what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(pa[i], pb[i]) << what << " diverges at flat index " << i;
+  }
+}
+
+struct ConvResult {
+  Tensor output;
+  Tensor grad_input;
+  std::vector<Tensor> param_grads;
+};
+
+ConvResult run_conv(std::size_t threads) {
+  return with_compute_threads(threads, [] {
+    Rng rng(42);
+    nn::Conv3dSpec spec;
+    spec.in_channels = 3;
+    spec.out_channels = 8;
+    nn::Conv3d conv(spec, rng);
+    const Tensor input = Tensor::uniform({3, 6, 10, 10}, -1.0f, 1.0f, rng);
+    ConvResult r;
+    r.output = conv.forward(input);
+    Tensor grad_out = Tensor::uniform(r.output.shape(), -1.0f, 1.0f, rng);
+    r.grad_input = conv.backward(grad_out);
+    for (auto* p : conv.parameters()) r.param_grads.push_back(p->grad);
+    return r;
+  });
+}
+
+TEST(ParallelDeterminism, Conv3dForwardBackwardBitwiseAcrossThreadCounts) {
+  const ConvResult serial = run_conv(1);
+  for (const std::size_t threads : {2u, 8u}) {
+    const ConvResult parallel = run_conv(threads);
+    expect_bitwise_equal(serial.output, parallel.output, "conv3d output");
+    expect_bitwise_equal(serial.grad_input, parallel.grad_input,
+                         "conv3d grad_input");
+    ASSERT_EQ(serial.param_grads.size(), parallel.param_grads.size());
+    for (std::size_t i = 0; i < serial.param_grads.size(); ++i) {
+      expect_bitwise_equal(serial.param_grads[i], parallel.param_grads[i],
+                           "conv3d param grad");
+    }
+  }
+}
+
+struct PoolResult {
+  Tensor max_out, max_grad, avg_out, avg_grad;
+};
+
+PoolResult run_pools(std::size_t threads) {
+  return with_compute_threads(threads, [] {
+    Rng rng(43);
+    const Tensor input = Tensor::uniform({6, 8, 12, 12}, -1.0f, 1.0f, rng);
+    PoolResult r;
+    nn::MaxPool3d max_pool({2, 2, 2});
+    r.max_out = max_pool.forward(input);
+    r.max_grad =
+        max_pool.backward(Tensor::uniform(r.max_out.shape(), -1.f, 1.f, rng));
+    Rng rng2(43);  // identical grad stream for the avg pool
+    nn::AvgPool3d avg_pool({2, 3, 3}, {2, 2, 2});
+    r.avg_out = avg_pool.forward(input);
+    r.avg_grad =
+        avg_pool.backward(Tensor::uniform(r.avg_out.shape(), -1.f, 1.f, rng2));
+    return r;
+  });
+}
+
+TEST(ParallelDeterminism, PoolingBitwiseAcrossThreadCounts) {
+  const PoolResult serial = run_pools(1);
+  const PoolResult parallel = run_pools(8);
+  expect_bitwise_equal(serial.max_out, parallel.max_out, "maxpool output");
+  expect_bitwise_equal(serial.max_grad, parallel.max_grad, "maxpool grad");
+  expect_bitwise_equal(serial.avg_out, parallel.avg_out, "avgpool output");
+  expect_bitwise_equal(serial.avg_grad, parallel.avg_grad, "avgpool grad");
+}
+
+video::Video make_test_video(std::uint64_t seed) {
+  auto spec = video::DatasetSpec::hmdb51_like(3);
+  spec.geometry = {8, 16, 16, 3};
+  return video::SyntheticGenerator(spec).make_video(0, 0, seed);
+}
+
+Tensor run_extract(models::ModelKind kind, std::size_t threads) {
+  return with_compute_threads(threads, [kind] {
+    Rng rng(7);
+    auto model =
+        models::make_extractor(kind, video::VideoGeometry{8, 16, 16, 3}, 16, rng);
+    model->set_training(false);
+    return model->extract(make_test_video(11));
+  });
+}
+
+TEST(ParallelDeterminism, ExtractorFeaturesBitwiseAcrossThreadCounts) {
+  for (const auto kind : {models::ModelKind::kC3D, models::ModelKind::kI3D,
+                          models::ModelKind::kResNet18}) {
+    const Tensor serial = run_extract(kind, 1);
+    const Tensor parallel = run_extract(kind, 8);
+    expect_bitwise_equal(serial, parallel, models::model_kind_name(kind));
+  }
+}
+
+TEST(ParallelDeterminism, ClonedExtractorMatchesOriginalBitwise) {
+  Rng rng(9);
+  auto model = models::make_extractor(models::ModelKind::kC3D,
+                                      video::VideoGeometry{8, 16, 16, 3}, 16,
+                                      rng);
+  model->set_training(false);
+  auto copy = model->clone();
+  ASSERT_NE(copy, nullptr);
+  EXPECT_EQ(copy->feature_dim(), model->feature_dim());
+  EXPECT_EQ(copy->name(), model->name());
+  EXPECT_EQ(copy->parameter_count(), model->parameter_count());
+  const video::Video v = make_test_video(21);
+  expect_bitwise_equal(model->extract(v), copy->extract(v), "clone features");
+}
+
+struct GalleryResult {
+  double map;
+  std::vector<std::int64_t> top;
+};
+
+GalleryResult run_gallery(std::size_t threads) {
+  return with_compute_threads(threads, [] {
+    auto spec = video::DatasetSpec::hmdb51_like(55);
+    spec.num_classes = 3;
+    spec.train_per_class = 5;
+    spec.test_per_class = 2;
+    spec.geometry = {8, 16, 16, 3};
+    auto dataset = video::SyntheticGenerator(spec).generate();
+    Rng rng(31);
+    auto extractor = models::make_extractor(models::ModelKind::kC3D,
+                                            spec.geometry, 16, rng);
+    retrieval::RetrievalSystem system(std::move(extractor), 2);
+    system.add_all(dataset.train);
+    GalleryResult r;
+    r.map = retrieval::evaluate_map(system, dataset.test, 5);
+    r.top = system.retrieve(dataset.test[0], 5);
+    return r;
+  });
+}
+
+TEST(ParallelDeterminism, GalleryAndMapBitwiseAcrossThreadCounts) {
+  const GalleryResult serial = run_gallery(1);
+  const GalleryResult parallel = run_gallery(8);
+  EXPECT_EQ(serial.map, parallel.map);
+  EXPECT_EQ(serial.top, parallel.top);
+}
+
+}  // namespace
+}  // namespace duo

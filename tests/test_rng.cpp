@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -47,6 +48,19 @@ TEST(Rng, UniformIndexCoversRange) {
   for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(5));
   EXPECT_EQ(seen.size(), 5u);
   EXPECT_EQ(*seen.rbegin(), 4u);
+}
+
+TEST(Rng, UniformIndexZeroRangeRaises) {
+  Rng rng(16);
+  // n == 0 used to hit `% 0` (undefined behaviour); it must now fail loudly.
+  EXPECT_THROW(rng.uniform_index(0), std::logic_error);
+  // The generator stays usable after the failed draw.
+  EXPECT_LT(rng.uniform_index(10), 10u);
+}
+
+TEST(Rng, UniformIntEmptyRangeRaises) {
+  Rng rng(17);
+  EXPECT_THROW(rng.uniform_int(3, 2), std::logic_error);
 }
 
 TEST(Rng, UniformIntInclusiveBounds) {

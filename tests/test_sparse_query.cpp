@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "attack/sparse_query.hpp"
 #include "baselines/vanilla.hpp"
 #include "fixtures.hpp"
@@ -130,6 +132,60 @@ TEST(SparseQuery, PatienceStopsEarly) {
   stop_cfg.m = 8;
   const auto result = sparse_query(v, small_support(v, 7), handle, ctx, stop_cfg);
   EXPECT_LT(static_cast<int>(result.t_history.size()), stop_cfg.iter_numQ);
+}
+
+// The incremental quantized working copy must behave exactly like the old
+// full `quantized(v_adv)` per query: every candidate the victim sees is
+// integral, re-quantizing the final video is a no-op, and the trajectory is
+// reproducible run-to-run.
+TEST(SparseQuery, EveryVictimQueryIsQuantized) {
+  auto& w = TinyWorld::mutable_instance();
+  const auto& v = w.dataset.train[8];
+  const auto& vt = w.dataset.train[18];
+
+  std::int64_t checked = 0;
+  retrieval::BlackBoxHandle handle(
+      [&](const video::Video& q, std::size_t m) {
+        for (const float x : q.data().flat()) {
+          EXPECT_EQ(x, std::round(x)) << "victim saw a non-integral pixel";
+        }
+        ++checked;
+        return w.victim->retrieve(q, m);
+      });
+  const auto ctx = make_objective_context(handle, v, vt, 8);
+
+  SparseQueryConfig cfg;
+  cfg.iter_numQ = 25;
+  cfg.tau = 30.0f;
+  cfg.m = 8;
+  const auto result = sparse_query(v, small_support(v, 9), handle, ctx, cfg);
+  EXPECT_GT(checked, 2);  // context fetches + per-step candidates
+
+  // The returned video is already quantized: re-rounding changes nothing.
+  for (const float x : result.v_adv.data().flat()) {
+    EXPECT_EQ(x, std::round(x));
+  }
+}
+
+TEST(SparseQuery, TrajectoryIsReproducible) {
+  auto& w = TinyWorld::mutable_instance();
+  const auto& v = w.dataset.train[9];
+  const auto& vt = w.dataset.train[20];
+  retrieval::BlackBoxHandle handle(*w.victim);
+  const auto ctx = make_objective_context(handle, v, vt, 8);
+
+  SparseQueryConfig cfg;
+  cfg.iter_numQ = 30;
+  cfg.tau = 20.0f;
+  cfg.m = 8;
+  const auto a = sparse_query(v, small_support(v, 10), handle, ctx, cfg);
+  const auto b = sparse_query(v, small_support(v, 10), handle, ctx, cfg);
+  ASSERT_EQ(a.t_history.size(), b.t_history.size());
+  for (std::size_t i = 0; i < a.t_history.size(); ++i) {
+    EXPECT_EQ(a.t_history[i], b.t_history[i]) << "step " << i;
+  }
+  EXPECT_TRUE(a.v_adv.data().allclose(b.v_adv.data(), 0.0f));
+  EXPECT_EQ(a.queries_spent, b.queries_spent);
 }
 
 TEST(ObjectiveContext, TLossUsesMarginAndSimilarity) {

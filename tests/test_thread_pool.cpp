@@ -1,14 +1,39 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.hpp"
 
 namespace duo {
 namespace {
+
+// Runs `fn` on a helper thread and aborts the whole process if it does not
+// finish within `deadline`. A deadlocked pool cannot be torn down, so on
+// timeout the only way to surface the failure to ctest is a hard exit.
+void run_with_deadline(const std::function<void()>& fn,
+                       std::chrono::seconds deadline) {
+  std::packaged_task<void()> task(fn);
+  auto future = task.get_future();
+  std::thread runner(std::move(task));
+  if (future.wait_for(deadline) == std::future_status::timeout) {
+    std::fprintf(stderr, "FATAL: parallel_for deadlocked (exceeded %llds)\n",
+                 static_cast<long long>(deadline.count()));
+    std::fflush(stderr);
+    std::_Exit(2);
+  }
+  runner.join();
+  future.get();
+}
 
 TEST(ThreadPool, RunsAllIndicesExactlyOnce) {
   ThreadPool pool(4);
@@ -69,6 +94,135 @@ TEST(ThreadPool, SizeReflectsRequestedThreads) {
 
 TEST(ThreadPool, SharedPoolIsSingleton) {
   EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+}
+
+// Regression test for the re-entrancy deadlock: an outer parallel_for at
+// full pool width whose items issue further parallel_for calls on the same
+// pool used to park every worker on done_cv with their shards starved
+// behind them in the queue.
+TEST(ThreadPool, NestedParallelForTwoLevelsDeepDoesNotDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> innermost{0};
+  run_with_deadline(
+      [&] {
+        pool.parallel_for(4, [&](std::size_t) {
+          pool.parallel_for(4, [&](std::size_t) {
+            pool.parallel_for(4, [&](std::size_t) { innermost.fetch_add(1); });
+          });
+        });
+      },
+      std::chrono::seconds(10));
+  EXPECT_EQ(innermost.load(), 64);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineOnWorkers) {
+  ThreadPool pool(3);
+  std::atomic<int> nested_items{0};
+  std::atomic<int> escaped{0};  // nested items that hopped to another thread
+  std::atomic<int> started{0};
+  run_with_deadline(
+      [&] {
+        pool.parallel_for(3, [&](std::size_t) {
+          // Hold every outer item until all three run concurrently: with a
+          // single caller thread, at least two must be on pool workers.
+          started.fetch_add(1);
+          while (started.load() < 3) std::this_thread::yield();
+          const bool on_worker = pool.in_worker_context();
+          const std::thread::id outer_thread = std::this_thread::get_id();
+          pool.parallel_for(5, [&](std::size_t) {
+            if (on_worker) {
+              nested_items.fetch_add(1);
+              if (std::this_thread::get_id() != outer_thread) {
+                escaped.fetch_add(1);
+              }
+            }
+          });
+        });
+      },
+      std::chrono::seconds(10));
+  // Worker-context nesting must degrade to inline execution: every nested
+  // item of a worker-executed outer item stays on that worker's thread.
+  EXPECT_GT(nested_items.load(), 0);
+  EXPECT_EQ(escaped.load(), 0);
+}
+
+TEST(ThreadPool, CallerRunsEvenWhenAllWorkersAreBusy) {
+  ThreadPool pool(2);
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  // Park every worker on a gate so the queue cannot make progress; the
+  // caller must finish the loop entirely on its own.
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    pool.enqueue([&] {
+      std::unique_lock<std::mutex> lock(m);
+      cv.wait(lock, [&] { return release; });
+    });
+  }
+  std::atomic<int> count{0};
+  run_with_deadline(
+      [&] { pool.parallel_for(64, [&](std::size_t) { count.fetch_add(1); }); },
+      std::chrono::seconds(10));
+  EXPECT_EQ(count.load(), 64);
+  {
+    std::lock_guard<std::mutex> lock(m);
+    release = true;
+  }
+  cv.notify_all();
+}
+
+TEST(ThreadPool, NestedPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(4,
+                                 [&](std::size_t) {
+                                   pool.parallel_for(4, [&](std::size_t j) {
+                                     if (j == 2) {
+                                       throw std::runtime_error("inner");
+                                     }
+                                   });
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ShutdownDegradesToInlineExecution) {
+  ThreadPool pool(3);
+  pool.shutdown();
+  EXPECT_TRUE(pool.stopped());
+
+  // enqueue on a stopped pool runs the task synchronously and reports it
+  // was not queued (the static-destruction-order safety net).
+  bool ran = false;
+  EXPECT_FALSE(pool.enqueue([&] { ran = true; }));
+  EXPECT_TRUE(ran);
+
+  std::atomic<int> count{0};
+  pool.parallel_for(16, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 16);
+
+  pool.shutdown();  // idempotent
+  EXPECT_TRUE(pool.stopped());
+}
+
+TEST(ThreadPool, ThreadsFromEnvParsing) {
+  EXPECT_EQ(ThreadPool::threads_from_env(nullptr), 0u);
+  EXPECT_EQ(ThreadPool::threads_from_env(""), 0u);
+  EXPECT_EQ(ThreadPool::threads_from_env("0"), 0u);
+  EXPECT_EQ(ThreadPool::threads_from_env("1"), 1u);
+  EXPECT_EQ(ThreadPool::threads_from_env("8"), 8u);
+  EXPECT_EQ(ThreadPool::threads_from_env("-3"), 0u);
+  EXPECT_EQ(ThreadPool::threads_from_env("junk"), 0u);
+  EXPECT_EQ(ThreadPool::threads_from_env("4x"), 0u);
+}
+
+TEST(ThreadPool, ComputePoolOverride) {
+  EXPECT_EQ(&compute_pool(), &ThreadPool::shared());
+  {
+    ThreadPool pool(2);
+    set_compute_pool(&pool);
+    EXPECT_EQ(&compute_pool(), &pool);
+    set_compute_pool(nullptr);
+  }
+  EXPECT_EQ(&compute_pool(), &ThreadPool::shared());
 }
 
 }  // namespace
