@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "attack/lp_box_admm.hpp"
+#include "attack/surrogate.hpp"
 #include "common/thread_pool.hpp"
 #include "metrics/metrics.hpp"
 #include "models/feature_extractor.hpp"
@@ -140,6 +141,52 @@ void BM_ModelBackwardToInput(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ModelBackwardToInput);
+
+// Data-parallel surrogate training (SparseTransfer Alg. 1 step 1) at 1..N
+// threads, default SurrogateTrainConfig (batch accumulated across replica
+// groups). Results are bitwise identical across thread counts, so time is
+// the only observable difference.
+void BM_TrainSurrogateThreads(benchmark::State& state) {
+  ComputePoolGuard guard(static_cast<std::size_t>(state.range(0)));
+  const video::VideoGeometry g{8, 16, 16, 3};
+  auto spec = video::DatasetSpec::hmdb51_like(3);
+  spec.geometry = g;
+  video::SyntheticGenerator gen(spec);
+  attack::VideoStore store;
+  std::vector<std::int64_t> ids;
+  attack::SurrogateDataset ds;
+  for (int i = 0; i < 16; ++i) {
+    const video::Video v = gen.make_video(i % 4, i, 500 + i);
+    store.add(v);
+    ids.push_back(v.id());
+    ds.video_ids.push_back(v.id());
+  }
+  Rng trng(11);
+  for (int i = 0; i < 128; ++i) {
+    const std::int64_t a = ids[trng.uniform_index(ids.size())];
+    std::int64_t c = ids[trng.uniform_index(ids.size())];
+    while (c == a) c = ids[trng.uniform_index(ids.size())];
+    std::int64_t f = ids[trng.uniform_index(ids.size())];
+    while (f == a || f == c) f = ids[trng.uniform_index(ids.size())];
+    ds.triplets.push_back({a, c, f});
+  }
+  Rng mrng(12);
+  auto model = models::make_extractor(models::ModelKind::kC3D, g, 16, mrng);
+  attack::SurrogateTrainConfig cfg;  // default batch_size: the paper config
+  cfg.epochs = 1;
+  cfg.triplets_per_epoch = 32;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attack::train_surrogate(*model, ds, store, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * cfg.triplets_per_epoch);
+}
+BENCHMARK(BM_TrainSurrogateThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_RetrievalQuery(benchmark::State& state) {
   const std::int64_t dim = 32;

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verify from a clean checkout: configure, build, run the full test
+# suite, then re-run the bitwise-determinism suite with the compute pool
+# forced to 8 workers (DUO_THREADS oversubscribes harmlessly on small
+# machines; the determinism tests additionally pin their own pools, so this
+# exercises both the env-sized shared pool and the pinned ones).
+#
+# The build tree is untracked (see .gitignore), so this script also proves
+# the repo builds without any checked-in CMake state.
+#
+# Usage: scripts/ci.sh [build-dir]   (default: build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j "$(nproc)"
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+
+DUO_THREADS=8 ctest --test-dir "$build_dir" -R 'ParallelDeterminism' \
+  --output-on-failure

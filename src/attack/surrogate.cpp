@@ -1,9 +1,11 @@
 #include "attack/surrogate.hpp"
 
 #include <algorithm>
+#include <array>
 #include <unordered_set>
 
 #include "common/logging.hpp"
+#include "common/thread_pool.hpp"
 #include "nn/losses.hpp"
 #include "nn/optimizer.hpp"
 
@@ -38,6 +40,10 @@ SurrogateDataset harvest_surrogate_dataset(
 
   const std::int64_t queries_before = victim.query_count();
   std::vector<std::int64_t> frontier = seed_ids;
+  // Ids already spent as anchors (or reserved for the next round's frontier).
+  // Re-querying one would burn victim budget on a list we already harvested
+  // and push duplicate triplets.
+  std::unordered_set<std::int64_t> queried(seed_ids.begin(), seed_ids.end());
   for (const auto id : seed_ids) {
     DUO_CHECK_MSG(store.contains(id), "harvest: seed not in store");
     held.insert(id);
@@ -84,14 +90,18 @@ SurrogateDataset harvest_surrogate_dataset(
     for (const auto anchor : frontier) {
       if (targets_met()) break;
       const auto list = harvest_list(anchor);  // Step 1
-      // Step 2: uniformly select M videos from the list and requery them
-      // next round.
+      // Step 2: uniformly select M not-yet-queried videos from the list and
+      // requery them next round. Skipping ids already used as anchors keeps
+      // every victim query buying a new retrieval list.
       std::vector<std::int64_t> pool(list.begin(), list.end());
       rng.shuffle(pool);
-      const int take =
-          std::min<int>(config.expand_per_query, static_cast<int>(pool.size()));
-      next_frontier.insert(next_frontier.end(), pool.begin(),
-                           pool.begin() + take);
+      int taken = 0;
+      for (const auto id : pool) {
+        if (taken >= config.expand_per_query) break;
+        if (!queried.insert(id).second) continue;
+        next_frontier.push_back(id);
+        ++taken;
+      }
     }
     if (next_frontier.empty()) break;
     frontier = std::move(next_frontier);
@@ -120,45 +130,160 @@ SurrogateDataset harvest_surrogate_dataset(
   return out;
 }
 
+namespace {
+
+// Role replicas for one batch shard: anchor/closer/farther each get their own
+// extractor, so every sample of a triplet is forwarded exactly once and its
+// layer caches are still intact when the loss gradient is pushed back through
+// it. The primary surrogate doubles as shard 0's anchor role.
+struct ReplicaGroup {
+  std::array<models::FeatureExtractor*, 3> roles = {nullptr, nullptr, nullptr};
+};
+
+// One group per shard (same protocol as RetrievalSystem::add_all: shard 0
+// reuses the primary, the rest are clones). Returns empty when the extractor
+// is not cloneable; callers fall back to the serial re-forward path.
+std::vector<ReplicaGroup> make_replica_groups(
+    models::FeatureExtractor& primary, std::size_t shards,
+    std::vector<std::unique_ptr<models::FeatureExtractor>>& owned) {
+  std::vector<ReplicaGroup> groups(shards);
+  groups[0].roles[0] = &primary;
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (std::size_t r = 0; r < groups[s].roles.size(); ++r) {
+      if (groups[s].roles[r] != nullptr) continue;
+      auto clone = primary.clone();
+      if (!clone) return {};
+      groups[s].roles[r] = clone.get();
+      owned.push_back(std::move(clone));
+    }
+  }
+  return groups;
+}
+
+}  // namespace
+
 SurrogateTrainStats train_surrogate(models::FeatureExtractor& surrogate,
                                     const SurrogateDataset& dataset,
                                     const VideoStore& store,
                                     const SurrogateTrainConfig& config) {
   DUO_CHECK_MSG(!dataset.triplets.empty(), "train_surrogate: no triplets");
+  DUO_CHECK_MSG(config.batch_size > 0, "train_surrogate: batch_size < 1");
   surrogate.set_training(true);
   nn::Adam optimizer(surrogate.parameters(), config.learning_rate);
   Rng rng(config.seed);
+
+  const std::size_t batch = static_cast<std::size_t>(config.batch_size);
+  ThreadPool& pool = compute_pool();
+  const std::size_t shards =
+      std::min(std::max<std::size_t>(pool.size(), 1), batch);
+  std::vector<std::unique_ptr<models::FeatureExtractor>> owned;
+  std::vector<ReplicaGroup> groups =
+      make_replica_groups(surrogate, shards, owned);
+
+  // Per-sample slots for the current batch. Triplets are sampled serially on
+  // the caller (one rng stream, independent of thread count); replicas fill
+  // the slots in parallel; the reduction walks them serially in sample order.
+  std::vector<const RankTriplet*> chosen(batch);
+  std::vector<double> losses(batch);
+  std::vector<std::vector<Tensor>> sample_grads(batch);
 
   SurrogateTrainStats stats;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     double epoch_loss = 0.0;
     int contributing = 0;
-    for (int step = 0; step < config.triplets_per_epoch; ++step) {
-      const RankTriplet& t =
-          dataset.triplets[rng.uniform_index(dataset.triplets.size())];
-      const video::Video& va = store.get(t.anchor);
-      const video::Video& vc = store.get(t.closer);
-      const video::Video& vf = store.get(t.farther);
+    for (int sampled = 0; sampled < config.triplets_per_epoch;) {
+      const std::size_t b_count = std::min<std::size_t>(
+          batch, static_cast<std::size_t>(config.triplets_per_epoch - sampled));
+      sampled += static_cast<int>(b_count);
+      for (std::size_t b = 0; b < b_count; ++b) {
+        chosen[b] = &dataset.triplets[rng.uniform_index(dataset.triplets.size())];
+        losses[b] = 0.0;
+        sample_grads[b].clear();
+      }
 
-      const Tensor fa = surrogate.extract(va);
-      const Tensor fc = surrogate.extract(vc);
-      const Tensor ff = surrogate.extract(vf);
-      const auto grads = nn::ranked_triplet_loss(fa, fc, ff, config.gamma);
-      // Epoch loss averages over *all* sampled triplets (satisfied ones
-      // contribute zero) so the metric is comparable across epochs.
-      epoch_loss += grads.loss;
-      if (grads.loss <= 0.0) continue;
-      ++contributing;
+      if (!groups.empty()) {
+        // Data-parallel forward/backward: each shard owns samples
+        // b ≡ s (mod active_shards). All groups hold bitwise-identical
+        // parameters, so the shard→sample assignment cannot affect results.
+        const std::size_t active_shards = std::min(shards, b_count);
+        pool.parallel_for(active_shards, [&](std::size_t s) {
+          const ReplicaGroup& g = groups[s];
+          for (std::size_t b = s; b < b_count; b += active_shards) {
+            const RankTriplet& t = *chosen[b];
+            const Tensor fa = g.roles[0]->extract(store.get(t.anchor));
+            const Tensor fc = g.roles[1]->extract(store.get(t.closer));
+            const Tensor ff = g.roles[2]->extract(store.get(t.farther));
+            const auto grads =
+                nn::ranked_triplet_loss(fa, fc, ff, config.gamma);
+            losses[b] = grads.loss;
+            if (grads.loss <= 0.0) continue;
+            for (auto* role : g.roles) role->zero_grad();
+            (void)g.roles[0]->backward_to_input(grads.anchor_grad);
+            (void)g.roles[1]->backward_to_input(grads.closer_grad);
+            (void)g.roles[2]->backward_to_input(grads.farther_grad);
+            // Per-sample gradient: role grads summed in fixed
+            // (anchor, closer, farther) order — the serial loop's order.
+            auto acc = g.roles[0]->parameter_grads();
+            const auto gc = g.roles[1]->parameter_grads();
+            const auto gf = g.roles[2]->parameter_grads();
+            for (std::size_t i = 0; i < acc.size(); ++i) {
+              acc[i] += gc[i];
+              acc[i] += gf[i];
+            }
+            sample_grads[b] = std::move(acc);
+          }
+        });
+      } else {
+        // Non-cloneable extractor: serial fallback. A single instance holds
+        // one cache set, so each contributing sample is re-forwarded
+        // immediately before its backward.
+        for (std::size_t b = 0; b < b_count; ++b) {
+          const RankTriplet& t = *chosen[b];
+          const video::Video& va = store.get(t.anchor);
+          const video::Video& vc = store.get(t.closer);
+          const video::Video& vf = store.get(t.farther);
+          const Tensor fa = surrogate.extract(va);
+          const Tensor fc = surrogate.extract(vc);
+          const Tensor ff = surrogate.extract(vf);
+          const auto grads = nn::ranked_triplet_loss(fa, fc, ff, config.gamma);
+          losses[b] = grads.loss;
+          if (grads.loss <= 0.0) continue;
+          surrogate.zero_grad();
+          (void)surrogate.extract(va);
+          (void)surrogate.backward_to_input(grads.anchor_grad);
+          (void)surrogate.extract(vc);
+          (void)surrogate.backward_to_input(grads.closer_grad);
+          (void)surrogate.extract(vf);
+          (void)surrogate.backward_to_input(grads.farther_grad);
+          sample_grads[b] = surrogate.parameter_grads();
+        }
+      }
 
+      // Serial reduction in sample order, then one optimizer step over the
+      // batch mean of the contributing triplets' gradients.
+      int batch_active = 0;
+      for (std::size_t b = 0; b < b_count; ++b) {
+        // Epoch loss averages over *all* sampled triplets (satisfied ones
+        // contribute zero) so the metric is comparable across epochs.
+        epoch_loss += losses[b];
+        if (!sample_grads[b].empty()) ++batch_active;
+      }
+      if (batch_active == 0) continue;
+      contributing += batch_active;
       optimizer.zero_grad();
-      // Re-forward before each backward so layer caches match the sample.
-      (void)surrogate.extract(va);
-      (void)surrogate.backward_to_input(grads.anchor_grad);
-      (void)surrogate.extract(vc);
-      (void)surrogate.backward_to_input(grads.closer_grad);
-      (void)surrogate.extract(vf);
-      (void)surrogate.backward_to_input(grads.farther_grad);
+      const float scale = 1.0f / static_cast<float>(batch_active);
+      for (std::size_t b = 0; b < b_count; ++b) {
+        if (!sample_grads[b].empty()) {
+          optimizer.accumulate_grad(sample_grads[b], scale);
+        }
+      }
       optimizer.step();
+      // Push the updated weights to every replica before the next batch.
+      for (auto& g : groups) {
+        for (auto* role : g.roles) {
+          if (role != &surrogate) role->copy_parameters_from(surrogate);
+        }
+      }
     }
     stats.epoch_losses.push_back(epoch_loss / config.triplets_per_epoch);
     if (config.verbose) {

@@ -77,6 +77,13 @@ SurrogateDataset harvest_surrogate_dataset(
 struct SurrogateTrainConfig {
   int epochs = 4;
   int triplets_per_epoch = 64;
+  // Triplets accumulated per Adam step. The batch is evaluated data-parallel
+  // across Module::clone() replicas on the shared compute pool (one shard per
+  // thread, capped at batch_size); per-sample gradients are reduced serially
+  // in sample order and averaged over the contributing triplets, so the
+  // result is bitwise identical for any DUO_THREADS. batch_size = 1
+  // reproduces the legacy one-triplet-per-step schedule exactly.
+  int batch_size = 8;
   float learning_rate = 2e-3f;
   float gamma = 0.2f;  // ranking margin (paper §IV-B1)
   std::uint64_t seed = 13;

@@ -56,6 +56,37 @@ class FeatureExtractor {
     for (auto* p : parameters()) n += p->size();
     return n;
   }
+
+  // -- data-parallel training support --------------------------------------
+  // Replicas made with clone() accumulate parameter gradients locally during
+  // backward_to_input; the training loop pulls them off with
+  // parameter_grads(), reduces them serially in fixed sample order, and
+  // pushes updated weights back with copy_parameters_from().
+
+  void zero_grad() {
+    for (auto* p : parameters()) p->zero_grad();
+  }
+
+  // Copy of the current parameter gradients, in parameters() order.
+  std::vector<Tensor> parameter_grads() {
+    std::vector<Tensor> out;
+    auto params = parameters();
+    out.reserve(params.size());
+    for (auto* p : params) out.push_back(p->grad);
+    return out;
+  }
+
+  // Overwrite this extractor's parameter values with `src`'s. Both must be
+  // clones of the same architecture (same parameters() order and shapes).
+  void copy_parameters_from(FeatureExtractor& src) {
+    auto dst_params = parameters();
+    auto src_params = src.parameters();
+    DUO_CHECK_MSG(dst_params.size() == src_params.size(),
+                  "copy_parameters_from: parameter count mismatch");
+    for (std::size_t i = 0; i < dst_params.size(); ++i) {
+      dst_params[i]->value = src_params[i]->value;
+    }
+  }
 };
 
 // The architectures of the paper's evaluation (§V-B): four victims

@@ -30,6 +30,15 @@ struct Parameter {
   Tensor grad;
 
   void zero_grad() noexcept { grad.fill(0.0f); }
+
+  // grad += scale * g. The reduction primitive of data-parallel training:
+  // per-sample gradients pulled off replicas are summed into the primary's
+  // grad serially, in a caller-fixed order, so the reduced gradient is
+  // bitwise identical for any number of replicas.
+  void accumulate_grad(const Tensor& g, float scale = 1.0f) {
+    grad.axpy(scale, g);
+  }
+
   std::int64_t size() const noexcept { return value.size(); }
 };
 

@@ -4,6 +4,14 @@
 
 namespace duo::nn {
 
+void Optimizer::accumulate_grad(const std::vector<Tensor>& grads, float scale) {
+  DUO_CHECK_MSG(grads.size() == params_.size(),
+                "accumulate_grad: gradient count != parameter count");
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    params_[i]->accumulate_grad(grads[i], scale);
+  }
+}
+
 Sgd::Sgd(std::vector<Parameter*> params, float lr, float momentum)
     : Optimizer(std::move(params), lr), momentum_(momentum) {
   velocity_.reserve(params_.size());

@@ -23,6 +23,15 @@ class Optimizer {
     for (auto* p : params_) p->zero_grad();
   }
 
+  // Gradient-accumulation path for data-parallel training: add one sample's
+  // externally computed parameter gradients into this optimizer's parameter
+  // set (params_[i].grad += scale * grads[i]). `grads` must match the
+  // parameter set in count and shapes — e.g. Module::clone() replicas expose
+  // parameters() in the same order as the original. Callers reduce samples
+  // serially in a fixed order, then issue a single step(); the accumulation
+  // order (not the replica count) determines the result bit for bit.
+  void accumulate_grad(const std::vector<Tensor>& grads, float scale = 1.0f);
+
   float lr() const noexcept { return lr_; }
   void set_lr(float lr) noexcept { lr_ = lr; }
 

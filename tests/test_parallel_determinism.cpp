@@ -6,9 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "attack/surrogate.hpp"
 #include "common/thread_pool.hpp"
 #include "models/feature_extractor.hpp"
 #include "nn/conv3d.hpp"
@@ -179,6 +181,83 @@ TEST(ParallelDeterminism, GalleryAndMapBitwiseAcrossThreadCounts) {
   const GalleryResult parallel = run_gallery(8);
   EXPECT_EQ(serial.map, parallel.map);
   EXPECT_EQ(serial.top, parallel.top);
+}
+
+// Synthetic surrogate-training inputs: a handful of videos and random (but
+// fixed) ranking triplets over them — no victim needed to exercise the
+// data-parallel training loop.
+struct TrainSetup {
+  attack::VideoStore store;
+  attack::SurrogateDataset dataset;
+};
+
+TrainSetup make_train_setup() {
+  auto spec = video::DatasetSpec::hmdb51_like(5);
+  spec.geometry = {8, 16, 16, 3};
+  video::SyntheticGenerator gen(spec);
+  TrainSetup s;
+  std::vector<std::int64_t> ids;
+  for (int i = 0; i < 10; ++i) {
+    const video::Video v = gen.make_video(i % 3, i, 1000 + i);
+    s.store.add(v);
+    ids.push_back(v.id());
+    s.dataset.video_ids.push_back(v.id());
+  }
+  Rng rng(99);
+  for (int i = 0; i < 40; ++i) {
+    const std::int64_t a = ids[rng.uniform_index(ids.size())];
+    std::int64_t c = ids[rng.uniform_index(ids.size())];
+    while (c == a) c = ids[rng.uniform_index(ids.size())];
+    std::int64_t f = ids[rng.uniform_index(ids.size())];
+    while (f == a || f == c) f = ids[rng.uniform_index(ids.size())];
+    s.dataset.triplets.push_back({a, c, f});
+  }
+  return s;
+}
+
+struct TrainResult {
+  std::vector<double> losses;
+  std::vector<Tensor> params;
+};
+
+TrainResult run_train(std::size_t threads, int batch_size) {
+  return with_compute_threads(threads, [batch_size] {
+    TrainSetup s = make_train_setup();
+    Rng rng(77);
+    auto model = models::make_extractor(models::ModelKind::kC3D,
+                                        video::VideoGeometry{8, 16, 16, 3}, 16,
+                                        rng);
+    attack::SurrogateTrainConfig cfg;
+    cfg.epochs = 2;
+    cfg.triplets_per_epoch = 24;
+    cfg.batch_size = batch_size;
+    const auto stats = attack::train_surrogate(*model, s.dataset, s.store, cfg);
+    TrainResult r;
+    r.losses = stats.epoch_losses;
+    for (auto* p : model->parameters()) r.params.push_back(p->value);
+    return r;
+  });
+}
+
+TEST(ParallelDeterminism, TrainSurrogateBitwiseAcrossThreadCounts) {
+  // Covers batch_size 1 (legacy one-triplet-per-step schedule) and a batch
+  // larger than the shard count (8 threads → 8 replica groups < 12 samples),
+  // where shards process multiple samples and the serial reduction order is
+  // the only thing keeping the result stable.
+  for (const int batch : {1, 12}) {
+    const TrainResult serial = run_train(1, batch);
+    const TrainResult parallel = run_train(8, batch);
+    ASSERT_EQ(serial.losses.size(), parallel.losses.size()) << "batch " << batch;
+    for (std::size_t i = 0; i < serial.losses.size(); ++i) {
+      EXPECT_EQ(serial.losses[i], parallel.losses[i])
+          << "epoch loss " << i << " diverges at batch_size " << batch;
+    }
+    ASSERT_EQ(serial.params.size(), parallel.params.size());
+    for (std::size_t i = 0; i < serial.params.size(); ++i) {
+      expect_bitwise_equal(serial.params[i], parallel.params[i],
+                           "trained surrogate parameter");
+    }
+  }
 }
 
 }  // namespace

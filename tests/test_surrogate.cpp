@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <tuple>
 #include <unordered_set>
+#include <vector>
 
 #include "attack/surrogate.hpp"
 #include "fixtures.hpp"
@@ -76,6 +79,44 @@ TEST(Harvest, AllHarvestedIdsAreFetchable) {
   std::unordered_set<std::int64_t> unique(ds.video_ids.begin(),
                                           ds.video_ids.end());
   EXPECT_EQ(unique.size(), ds.video_ids.size());
+}
+
+TEST(Harvest, ExhaustedGalleryStopsSpendingQueries) {
+  // Regression test for the query-budget leak: when the gallery is smaller
+  // than the frontier fan-out, every video is used as an anchor within a few
+  // rounds. Extra rounds must then spend zero additional victim queries and
+  // harvest zero additional triplets — re-querying an already-harvested
+  // anchor only buys a duplicate list.
+  auto& w = TinyWorld::mutable_instance();
+  SurrogateHarvestConfig cfg;
+  cfg.m = w.dataset.train.size();  // full-gallery retrieval lists
+  cfg.expand_per_query = 8;        // fan-out larger than what remains
+  cfg.target_video_count = 10 * w.dataset.train.size();  // never met
+  cfg.target_triplets = 0;         // disable the triplet stopping rule
+
+  auto run = [&](int rounds) {
+    retrieval::BlackBoxHandle handle(*w.victim);
+    auto c = cfg;
+    c.rounds = rounds;
+    return harvest_surrogate_dataset(handle, *w.store,
+                                     {w.dataset.train[0].id()}, c);
+  };
+  const auto base = run(4);
+  const auto extra = run(12);
+
+  // Every gallery video is queried at most once, ever.
+  EXPECT_LE(base.queries_spent,
+            static_cast<std::int64_t>(w.dataset.train.size()));
+  EXPECT_EQ(base.queries_spent, extra.queries_spent);
+
+  auto canon = [](const SurrogateDataset& d) {
+    std::vector<std::tuple<std::int64_t, std::int64_t, std::int64_t>> v;
+    v.reserve(d.triplets.size());
+    for (const auto& t : d.triplets) v.emplace_back(t.anchor, t.closer, t.farther);
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(canon(base), canon(extra));
 }
 
 TEST(Harvest, EmptySeedsThrow) {
