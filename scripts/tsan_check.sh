@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Build and run the concurrency-sensitive tests under ThreadSanitizer.
 #
-# The thread pool's caller-runs parallel_for and the parallel Conv3d /
-# pooling / extraction kernels are the code most likely to regress into a
-# data race; this script configures a dedicated build tree with
-# -DDUO_SANITIZE=thread and runs the thread-pool and parallel-determinism
+# The thread pool's caller-runs parallel_for, the parallel Conv3d / pooling /
+# extraction kernels, and the serve layer's MPMC queue + micro-batching
+# scheduler are the code most likely to regress into a data race; this
+# script configures a dedicated build tree with -DDUO_SANITIZE=thread and
+# runs the thread-pool, parallel-determinism, serve, and pipelined-attack
 # suites under TSan.
 #
 # Usage: scripts/tsan_check.sh [build-dir]   (default: build-tsan)
@@ -16,10 +17,10 @@ build_dir="${1:-$repo_root/build-tsan}"
 cmake -B "$build_dir" -S "$repo_root" -DDUO_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" -j "$(nproc)" \
-  --target test_thread_pool test_parallel_determinism
+  --target test_thread_pool test_parallel_determinism test_serve test_sparse_query
 
 # TSan multiplies runtime ~5-15x; give the suites generous slack but keep
 # the halt-on-first-race behaviour so CI fails loudly.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
-ctest --test-dir "$build_dir" -R 'ThreadPool|ParallelDeterminism|Conv3d|Pooling|Extractor|Gallery' \
+ctest --test-dir "$build_dir" -R 'ThreadPool|ParallelDeterminism|Conv3d|Pooling|Extractor|Gallery|Serve|SparseQueryPipelined' \
   --output-on-failure --timeout 1800

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <future>
+#include <utility>
 
 namespace duo::attack {
 
@@ -20,6 +22,50 @@ video::Video quantized(const video::Video& v) {
   return video::Video(std::move(data), v.geometry(), v.label(), v.id());
 }
 
+// Shared Alg. 2 step plan for the serial and pipelined drivers: the support
+// of φ (Eq. 4), the step magnitude ε (line 3), and the coordinate group
+// size. Pure computation — no Rng draws — so both drivers start from
+// identical plans and identical Rng streams; that, plus replaying the serial
+// acceptance order, is what makes the pipelined accepted-perturbation
+// sequence bitwise equal to the serial one.
+struct StepPlan {
+  std::vector<std::int64_t> support;
+  float eps = 0.0f;
+  std::size_t group = 1;
+};
+
+StepPlan make_step_plan(const Perturbation& perturbation,
+                        const SparseQueryConfig& config) {
+  StepPlan plan;
+  // Support of φ (Eq. 4): only these coordinates may be perturbed further.
+  // The mask product I⊙F defines the support; θ supplies the step magnitude
+  // (a coordinate with θ = 0 is still selectable — Vanilla starts that way).
+  const Tensor phi = perturbation.combined();
+  const Tensor support_mask =
+      perturbation.pixel_mask() * perturbation.frame_mask();
+  for (std::int64_t i = 0; i < support_mask.size(); ++i) {
+    if (support_mask[i] > 0.5f) plan.support.push_back(i);
+  }
+  if (plan.support.empty()) return plan;
+
+  // Line 3: ε from θ — the step magnitude is the mean |θ| over the support.
+  // When θ carries no signal (e.g. Vanilla's random support starts at θ = 0)
+  // fall back to τ/4, and always floor at 1 pixel level so quantization
+  // cannot swallow accepted steps.
+  double theta_mass = 0.0;
+  for (const auto i : plan.support) theta_mass += std::fabs(phi[i]);
+  const float theta_mean = static_cast<float>(
+      theta_mass / static_cast<double>(plan.support.size()));
+  plan.eps =
+      std::max(1.0f, theta_mean >= 1.0f ? theta_mean : config.tau * 0.25f);
+
+  plan.group =
+      config.coords_per_step > 0
+          ? static_cast<std::size_t>(config.coords_per_step)
+          : std::clamp<std::size_t>(plan.support.size() / 12, 1, 64);
+  return plan;
+}
+
 }  // namespace
 
 SparseQueryResult sparse_query(const video::Video& v,
@@ -30,17 +76,7 @@ SparseQueryResult sparse_query(const video::Video& v,
   const video::VideoGeometry& g = v.geometry();
   DUO_CHECK_MSG(perturbation.geometry() == g, "perturbation geometry mismatch");
   Rng rng(config.seed);
-
-  // Support of φ (Eq. 4): only these coordinates may be perturbed further.
-  // The mask product I⊙F defines the support; θ supplies the step magnitude
-  // (a coordinate with θ = 0 is still selectable — Vanilla starts that way).
-  const Tensor phi = perturbation.combined();
-  const Tensor support_mask =
-      perturbation.pixel_mask() * perturbation.frame_mask();
-  std::vector<std::int64_t> support;
-  for (std::int64_t i = 0; i < support_mask.size(); ++i) {
-    if (support_mask[i] > 0.5f) support.push_back(i);
-  }
+  const StepPlan plan = make_step_plan(perturbation, config);
 
   SparseQueryResult result;
   const std::int64_t queries_before = victim.query_count();
@@ -56,43 +92,27 @@ SparseQueryResult sparse_query(const video::Video& v,
   double t_current = t_loss(victim, q_adv, ctx);
   result.t_history.push_back(t_current);
 
-  if (support.empty()) {
+  if (plan.support.empty()) {
     result.v_adv = std::move(v_adv);
     result.final_t = t_current;
     result.queries_spent = victim.query_count() - queries_before;
     return result;
   }
 
-  // Line 3: ε from θ — the step magnitude is the mean |θ| over the support.
-  // When θ carries no signal (e.g. Vanilla's random support starts at θ = 0)
-  // fall back to τ/4, and always floor at 1 pixel level so quantization
-  // cannot swallow accepted steps.
-  double theta_mass = 0.0;
-  for (const auto i : support) theta_mass += std::fabs(phi[i]);
-  const float theta_mean =
-      static_cast<float>(theta_mass / static_cast<double>(support.size()));
-  const float eps =
-      std::max(1.0f, theta_mean >= 1.0f ? theta_mean : config.tau * 0.25f);
-
   // Without-replacement sampling: shuffled support, reshuffled when drained.
-  std::vector<std::int64_t> deck = support;
+  std::vector<std::int64_t> deck = plan.support;
   rng.shuffle(deck);
   std::size_t deck_pos = 0;
   int stall = 0;
 
-  const std::size_t group =
-      config.coords_per_step > 0
-          ? static_cast<std::size_t>(config.coords_per_step)
-          : std::clamp<std::size_t>(support.size() / 12, 1, 64);
-
   std::vector<std::int64_t> coords;
   std::vector<float> before;
-  coords.reserve(group);
-  before.reserve(group);
+  coords.reserve(plan.group);
+  before.reserve(plan.group);
 
   for (int kappa = 1; kappa < config.iter_numQ; ++kappa) {
     coords.clear();
-    for (std::size_t c = 0; c < group; ++c) {
+    for (std::size_t c = 0; c < plan.group; ++c) {
       if (deck_pos >= deck.size()) {
         rng.shuffle(deck);
         deck_pos = 0;
@@ -101,7 +121,7 @@ SparseQueryResult sparse_query(const video::Video& v,
     }
 
     bool accepted = false;
-    for (const float xi : {+eps, -eps}) {
+    for (const float xi : {+plan.eps, -plan.eps}) {
       before.clear();
       bool changed = false;
       for (const auto coord : coords) {
@@ -139,6 +159,140 @@ SparseQueryResult sparse_query(const video::Video& v,
   result.final_t = t_current;
   result.queries_spent = victim.query_count() - queries_before;
   return result;
+}
+
+SparseQueryResult sparse_query_pipelined(const video::Video& v,
+                                         const Perturbation& perturbation,
+                                         serve::AsyncBlackBoxHandle& victim,
+                                         const ObjectiveContext& ctx,
+                                         const SparseQueryConfig& config) {
+  const video::VideoGeometry& g = v.geometry();
+  DUO_CHECK_MSG(perturbation.geometry() == g, "perturbation geometry mismatch");
+  Rng rng(config.seed);
+  const StepPlan plan = make_step_plan(perturbation, config);
+
+  SparseQueryResult result;
+  const std::int64_t queries_before = victim.query_count();
+
+  video::Video v_adv = perturbation.apply_to(v);
+  video::Video q_adv = quantized(v_adv);
+  double t_current = t_loss_from_list(victim.submit(q_adv, ctx.m).get(), ctx);
+  result.t_history.push_back(t_current);
+
+  if (plan.support.empty()) {
+    result.v_adv = std::move(v_adv);
+    result.final_t = t_current;
+    result.queries_spent = victim.query_count() - queries_before;
+    return result;
+  }
+
+  std::vector<std::int64_t> deck = plan.support;
+  rng.shuffle(deck);
+  std::size_t deck_pos = 0;
+  int stall = 0;
+
+  std::vector<std::int64_t> coords;
+  std::vector<float> plus_vals;
+  std::vector<float> minus_vals;
+  coords.reserve(plan.group);
+  plus_vals.reserve(plan.group);
+  minus_vals.reserve(plan.group);
+
+  for (int kappa = 1; kappa < config.iter_numQ; ++kappa) {
+    coords.clear();
+    for (std::size_t c = 0; c < plan.group; ++c) {
+      if (deck_pos >= deck.size()) {
+        rng.shuffle(deck);
+        deck_pos = 0;
+      }
+      coords.push_back(deck[deck_pos++]);
+    }
+
+    // Both sign candidates from the same base values. (The serial path
+    // computes the −ε candidate only after reverting +ε, i.e. from these
+    // exact values, so the candidates — and the "changed" skips — match.)
+    plus_vals.clear();
+    minus_vals.clear();
+    bool changed_plus = false;
+    bool changed_minus = false;
+    for (const auto coord : coords) {
+      const float prev = v_adv.data()[coord];
+      const float up = clip_pixel(prev + plan.eps, v.data()[coord], config.tau);
+      const float dn = clip_pixel(prev - plan.eps, v.data()[coord], config.tau);
+      if (up != prev) changed_plus = true;
+      if (dn != prev) changed_minus = true;
+      plus_vals.push_back(up);
+      minus_vals.push_back(dn);
+    }
+
+    // Launch +ε, then build and launch −ε while the first forward is in
+    // flight: candidate evaluation overlaps the perturbation bookkeeping.
+    std::future<metrics::RetrievalList> f_plus;
+    std::future<metrics::RetrievalList> f_minus;
+    if (changed_plus) {
+      video::Video cand = q_adv;
+      for (std::size_t c = 0; c < coords.size(); ++c) {
+        cand.data()[coords[c]] = std::round(plus_vals[c]);
+      }
+      f_plus = victim.submit(std::move(cand), ctx.m);
+    }
+    if (changed_minus) {
+      video::Video cand = q_adv;
+      for (std::size_t c = 0; c < coords.size(); ++c) {
+        cand.data()[coords[c]] = std::round(minus_vals[c]);
+      }
+      f_minus = victim.submit(std::move(cand), ctx.m);
+    }
+
+    // Replay the serial acceptance order: +ε wins if it improves, −ε is
+    // consulted only otherwise. A speculative −ε forward whose answer goes
+    // unused already cost the victim a query and stays counted.
+    bool accepted = false;
+    if (changed_plus) {
+      const double t_candidate = t_loss_from_list(f_plus.get(), ctx);
+      if (t_candidate < t_current) {
+        t_current = t_candidate;
+        for (std::size_t c = 0; c < coords.size(); ++c) {
+          v_adv.data()[coords[c]] = plus_vals[c];
+          q_adv.data()[coords[c]] = std::round(plus_vals[c]);
+        }
+        accepted = true;
+      }
+    }
+    if (!accepted && changed_minus) {
+      const double t_candidate = t_loss_from_list(f_minus.get(), ctx);
+      if (t_candidate < t_current) {
+        t_current = t_candidate;
+        for (std::size_t c = 0; c < coords.size(); ++c) {
+          v_adv.data()[coords[c]] = minus_vals[c];
+          q_adv.data()[coords[c]] = std::round(minus_vals[c]);
+        }
+        accepted = true;
+      }
+    }
+    result.t_history.push_back(t_current);
+    stall = accepted ? 0 : stall + 1;
+    if (config.patience > 0 && stall >= config.patience) break;
+  }
+
+  result.v_adv = std::move(q_adv);
+  result.final_t = t_current;
+  result.queries_spent = victim.query_count() - queries_before;
+  return result;
+}
+
+ObjectiveContext make_objective_context(serve::AsyncBlackBoxHandle& victim,
+                                        const video::Video& v,
+                                        const video::Video& v_t, std::size_t m,
+                                        double eta) {
+  ObjectiveContext ctx;
+  ctx.m = m;
+  ctx.eta = eta;
+  auto list_v = victim.submit(v, m);
+  auto list_vt = victim.submit(v_t, m);
+  ctx.list_v = list_v.get();
+  ctx.list_vt = list_vt.get();
+  return ctx;
 }
 
 }  // namespace duo::attack

@@ -12,6 +12,7 @@
 #include "attack/objective.hpp"
 #include "attack/perturbation.hpp"
 #include "retrieval/system.hpp"
+#include "serve/async_handle.hpp"
 #include "video/video.hpp"
 
 namespace duo::attack {
@@ -47,5 +48,27 @@ SparseQueryResult sparse_query(const video::Video& v,
                                retrieval::BlackBoxHandle& victim,
                                const ObjectiveContext& ctx,
                                const SparseQueryConfig& config);
+
+// Opt-in pipelined Algorithm 2 against an asynchronously served victim:
+// each step launches the +ε and −ε candidate forwards concurrently and does
+// its perturbation bookkeeping (candidate construction, commit/revert) while
+// they are in flight, hiding victim latency. Acceptance decisions replay the
+// serial order (+ε first, then −ε), so for the same seed and config the
+// accepted-perturbation sequence — and therefore t_history and the final
+// v_adv — is bitwise identical to sparse_query. Query accounting is honest:
+// a speculative −ε forward counts even when the +ε candidate is accepted and
+// its answer goes unused, so queries_spent is ≥ the serial count.
+SparseQueryResult sparse_query_pipelined(const video::Video& v,
+                                         const Perturbation& perturbation,
+                                         serve::AsyncBlackBoxHandle& victim,
+                                         const ObjectiveContext& ctx,
+                                         const SparseQueryConfig& config);
+
+// Async twin of make_objective_context (attack/objective.hpp): fetches
+// R^m(v) and R^m(v_t) with both queries in flight at once.
+ObjectiveContext make_objective_context(serve::AsyncBlackBoxHandle& victim,
+                                        const video::Video& v,
+                                        const video::Video& v_t, std::size_t m,
+                                        double eta = 1.0);
 
 }  // namespace duo::attack

@@ -1,0 +1,47 @@
+#include "models/feature_extractor.hpp"
+
+#include <algorithm>
+
+#include "common/thread_pool.hpp"
+
+namespace duo::models {
+
+std::vector<Tensor> FeatureExtractor::extract_batch(
+    std::span<const video::Video> videos) {
+  std::vector<Tensor> features(videos.size());
+  ThreadPool& pool = compute_pool();
+  const std::size_t shards = std::min(pool.size(), videos.size());
+
+  // One extractor per shard: shard 0 reuses this instance, the rest are
+  // clones. Extractors are stateful across forward passes, so sharing one
+  // instance across threads is not an option.
+  std::vector<std::unique_ptr<FeatureExtractor>> clones;
+  if (shards >= 2) {
+    clones.reserve(shards - 1);
+    for (std::size_t s = 1; s < shards; ++s) {
+      auto c = clone();
+      if (!c) {
+        clones.clear();
+        break;
+      }
+      clones.push_back(std::move(c));
+    }
+  }
+
+  if (clones.empty()) {
+    for (std::size_t i = 0; i < videos.size(); ++i) {
+      features[i] = extract(videos[i]);
+    }
+    return features;
+  }
+
+  pool.parallel_for(clones.size() + 1, [&](std::size_t s) {
+    FeatureExtractor& ex = s == 0 ? *this : *clones[s - 1];
+    for (std::size_t i = s; i < videos.size(); i += clones.size() + 1) {
+      features[i] = ex.extract(videos[i]);
+    }
+  });
+  return features;
+}
+
+}  // namespace duo::models

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,17 @@ class FeatureExtractor {
 
   // Feature for a model-space input [C, T, H, W] in [0, 1].
   virtual Tensor extract_model_input(const Tensor& input) = 0;
+
+  // Features for a batch of videos, in input order — the batched entry point
+  // used by gallery ingestion and the serve layer's micro-batching scheduler.
+  // The default implementation shards the batch over clone() replicas on the
+  // compute pool (one clone per worker, amortized across the whole batch);
+  // a non-cloneable extractor degrades to a serial extract() loop. Either
+  // way the result is bitwise identical to calling extract() serially on
+  // this instance, and overrides must preserve that contract — retrieval
+  // answers may not depend on how requests were batched.
+  virtual std::vector<Tensor> extract_batch(
+      std::span<const video::Video> videos);
 
   // Gradient of a scalar loss w.r.t. the *model-space input* of the most
   // recent extract call, given d(loss)/d(feature). Also accumulates parameter

@@ -1,5 +1,7 @@
 #include "retrieval/system.hpp"
 
+#include <unordered_set>
+
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
 
@@ -14,17 +16,29 @@ RetrievalSystem::RetrievalSystem(
 }
 
 void RetrievalSystem::add_to_gallery(const video::Video& v) {
+  // Validate before mutating: a rejected video must leave the index and the
+  // label maps exactly as they were.
+  DUO_CHECK_MSG(labels_.find(v.id()) == labels_.end(), "duplicate gallery id");
   GalleryEntry entry;
   entry.id = v.id();
   entry.label = v.label();
   entry.feature = extractor_->extract(v);
   index_.add(entry);
-  DUO_CHECK_MSG(labels_.emplace(v.id(), v.label()).second,
-                "duplicate gallery id");
+  labels_.emplace(v.id(), v.label());
   ++label_counts_[v.label()];
 }
 
 void RetrievalSystem::add_all(const std::vector<video::Video>& videos) {
+  // Validate the whole batch (against the gallery and within the batch)
+  // before touching anything, so a duplicate anywhere rejects atomically.
+  std::unordered_set<std::int64_t> batch_ids;
+  batch_ids.reserve(videos.size());
+  for (const auto& v : videos) {
+    DUO_CHECK_MSG(labels_.find(v.id()) == labels_.end(),
+                  "duplicate gallery id");
+    DUO_CHECK_MSG(batch_ids.insert(v.id()).second,
+                  "duplicate gallery id within batch");
+  }
   const std::vector<Tensor> features = extract_features(videos);
   for (std::size_t i = 0; i < videos.size(); ++i) {
     const auto& v = videos[i];
@@ -33,48 +47,14 @@ void RetrievalSystem::add_all(const std::vector<video::Video>& videos) {
     entry.label = v.label();
     entry.feature = features[i];
     index_.add(entry);
-    DUO_CHECK_MSG(labels_.emplace(v.id(), v.label()).second,
-                  "duplicate gallery id");
+    labels_.emplace(v.id(), v.label());
     ++label_counts_[v.label()];
   }
 }
 
 std::vector<Tensor> RetrievalSystem::extract_features(
     const std::vector<video::Video>& videos) {
-  std::vector<Tensor> features(videos.size());
-  ThreadPool& pool = compute_pool();
-  const std::size_t shards = std::min(pool.size(), videos.size());
-
-  // One extractor per shard: shard 0 reuses the member extractor, the rest
-  // are clones. Extractors are stateful across forward passes, so sharing
-  // one instance across threads is not an option.
-  std::vector<std::unique_ptr<models::FeatureExtractor>> clones;
-  if (shards >= 2) {
-    clones.reserve(shards - 1);
-    for (std::size_t s = 1; s < shards; ++s) {
-      auto c = extractor_->clone();
-      if (!c) {
-        clones.clear();
-        break;
-      }
-      clones.push_back(std::move(c));
-    }
-  }
-
-  if (clones.empty()) {
-    for (std::size_t i = 0; i < videos.size(); ++i) {
-      features[i] = extractor_->extract(videos[i]);
-    }
-    return features;
-  }
-
-  pool.parallel_for(clones.size() + 1, [&](std::size_t s) {
-    models::FeatureExtractor& ex = s == 0 ? *extractor_ : *clones[s - 1];
-    for (std::size_t i = s; i < videos.size(); i += clones.size() + 1) {
-      features[i] = ex.extract(videos[i]);
-    }
-  });
-  return features;
+  return extractor_->extract_batch(videos);
 }
 
 metrics::RetrievalList RetrievalSystem::retrieve(const video::Video& v,

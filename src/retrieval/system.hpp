@@ -5,6 +5,8 @@
 // facade: it only exposes retrieve(v, m) and counts queries, enforcing the
 // black-box threat model in the type system.
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -23,16 +25,20 @@ class RetrievalSystem {
   RetrievalSystem(std::unique_ptr<models::FeatureExtractor> extractor,
                   std::size_t num_nodes = 4);
 
-  // Featurize and index a gallery video.
+  // Featurize and index a gallery video. Rejects duplicate ids (throws
+  // std::logic_error) *before* mutating any internal state.
   void add_to_gallery(const video::Video& v);
   // Bulk ingestion: features are extracted in parallel (over thread-private
   // extractor replicas) and then indexed in input order, so the resulting
-  // gallery is identical to sequential add_to_gallery calls.
+  // gallery is identical to sequential add_to_gallery calls. The whole batch
+  // is validated for duplicate ids up front; a rejected batch leaves the
+  // system untouched.
   void add_all(const std::vector<video::Video>& videos);
 
-  // Features for a batch of videos, in order. Parallelized across the
-  // compute pool when the extractor is cloneable; bitwise identical to a
-  // serial extraction loop either way.
+  // Features for a batch of videos, in order. Delegates to
+  // FeatureExtractor::extract_batch: parallelized across the compute pool
+  // when the extractor is cloneable; bitwise identical to a serial
+  // extraction loop either way.
   std::vector<Tensor> extract_features(const std::vector<video::Video>& videos);
 
   // Top-m retrieval R^m(v): gallery ids in descending similarity.
@@ -60,6 +66,11 @@ class RetrievalSystem {
 // Attacker's view of the victim: retrieval lists only, with query accounting.
 // Wraps any queryable backend (single system, ensemble, instrumented fake in
 // tests) behind a type-erased retrieve function.
+//
+// The query counter is atomic, so concurrent clients sharing one handle
+// account correctly (routine once queries go through the serve layer). The
+// wrapped backend itself must be thread-safe for concurrent retrieve calls —
+// a raw RetrievalSystem is not (stateful extractor); a RetrievalServer is.
 class BlackBoxHandle {
  public:
   using RetrieveFn =
@@ -74,16 +85,20 @@ class BlackBoxHandle {
       : retrieve_(std::move(retrieve)) {}
 
   metrics::RetrievalList retrieve(const video::Video& v, std::size_t m) {
-    ++query_count_;
+    query_count_.fetch_add(1, std::memory_order_relaxed);
     return retrieve_(v, m);
   }
 
-  std::int64_t query_count() const noexcept { return query_count_; }
-  void reset_query_count() noexcept { query_count_ = 0; }
+  std::int64_t query_count() const noexcept {
+    return query_count_.load(std::memory_order_relaxed);
+  }
+  void reset_query_count() noexcept {
+    query_count_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   RetrieveFn retrieve_;
-  std::int64_t query_count_ = 0;
+  std::atomic<std::int64_t> query_count_{0};
 };
 
 // mAP of the system over labeled queries (paper Fig. 3/4): relevance = label

@@ -1,0 +1,58 @@
+#pragma once
+
+// AsyncBlackBoxHandle: the attacker's asynchronous view of a served victim.
+// Like BlackBoxHandle it exposes only retrieval lists plus query accounting,
+// but submission returns a future, so an attacker (or many concurrent
+// clients) can keep several victim forwards in flight — exactly the handle
+// SparseQuery's pipelined mode drives.
+//
+// Accounting is honest and thread-safe: every submit() counts as one victim
+// query at submission time, whether or not the caller ends up using the
+// answer (a speculative candidate the attacker discards still cost the
+// victim a forward pass).
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <utility>
+
+#include "metrics/metrics.hpp"
+#include "serve/server.hpp"
+#include "video/video.hpp"
+
+namespace duo::serve {
+
+class AsyncBlackBoxHandle {
+ public:
+  explicit AsyncBlackBoxHandle(RetrievalServer& server) : server_(server) {}
+
+  AsyncBlackBoxHandle(const AsyncBlackBoxHandle&) = delete;
+  AsyncBlackBoxHandle& operator=(const AsyncBlackBoxHandle&) = delete;
+
+  // Asynchronous R^m(v): counts one query, returns a future for the list.
+  std::future<metrics::RetrievalList> submit(video::Video v, std::size_t m) {
+    query_count_.fetch_add(1, std::memory_order_relaxed);
+    return server_.submit(std::move(v), m);
+  }
+
+  // Synchronous convenience wrapper (submit + wait).
+  metrics::RetrievalList retrieve(const video::Video& v, std::size_t m) {
+    return submit(v, m).get();
+  }
+
+  std::int64_t query_count() const noexcept {
+    return query_count_.load(std::memory_order_relaxed);
+  }
+  void reset_query_count() noexcept {
+    query_count_.store(0, std::memory_order_relaxed);
+  }
+
+  // Server-side accounting snapshot (batch histogram, latency percentiles).
+  ServerStats server_stats() const { return server_.stats(); }
+
+ private:
+  RetrievalServer& server_;
+  std::atomic<std::int64_t> query_count_{0};
+};
+
+}  // namespace duo::serve

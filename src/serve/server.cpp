@@ -1,0 +1,183 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace duo::serve {
+
+namespace {
+
+// q-th percentile (nearest-rank on the sorted order) of `xs`; mutates `xs`.
+double percentile(std::vector<double>& xs, double q) {
+  if (xs.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      std::llround(q * static_cast<double>(xs.size() - 1)));
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(idx),
+                   xs.end());
+  return xs[idx];
+}
+
+std::unique_ptr<retrieval::RetrievalSystem> checked_nonnull(
+    std::unique_ptr<retrieval::RetrievalSystem> system) {
+  DUO_CHECK_MSG(system != nullptr, "RetrievalServer: null system");
+  return system;
+}
+
+}  // namespace
+
+RetrievalServer::RetrievalServer(retrieval::RetrievalSystem& system,
+                                 ServerConfig config)
+    : system_(system), config_(config) {
+  DUO_CHECK_MSG(config_.max_batch >= 1, "RetrievalServer: max_batch < 1");
+  DUO_CHECK_MSG(config_.queue_capacity >= 1,
+                "RetrievalServer: queue_capacity < 1");
+  batch_size_counts_.assign(config_.max_batch + 1, 0);
+  scheduler_ = std::thread([this] { scheduler_loop(); });
+}
+
+RetrievalServer::RetrievalServer(
+    std::unique_ptr<retrieval::RetrievalSystem> system, ServerConfig config)
+    : owned_(checked_nonnull(std::move(system))),
+      system_(*owned_),
+      config_(config) {
+  DUO_CHECK_MSG(config_.max_batch >= 1, "RetrievalServer: max_batch < 1");
+  DUO_CHECK_MSG(config_.queue_capacity >= 1,
+                "RetrievalServer: queue_capacity < 1");
+  batch_size_counts_.assign(config_.max_batch + 1, 0);
+  scheduler_ = std::thread([this] { scheduler_loop(); });
+}
+
+RetrievalServer::~RetrievalServer() { shutdown(); }
+
+std::future<metrics::RetrievalList> RetrievalServer::submit(video::Video v,
+                                                            std::size_t m) {
+  Request req;
+  req.video = std::move(v);
+  req.m = m;
+  auto future = req.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [this] {
+      return stop_ || queue_.size() < config_.queue_capacity;
+    });
+    if (stop_) {
+      lock.unlock();
+      req.promise.set_exception(std::make_exception_ptr(std::runtime_error(
+          "RetrievalServer: submit after shutdown")));
+      return future;
+    }
+    req.queued.reset();  // latency clock starts at enqueue
+    queue_.push_back(std::move(req));
+  }
+  not_empty_.notify_one();
+  return future;
+}
+
+void RetrievalServer::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  if (scheduler_.joinable()) scheduler_.join();
+}
+
+bool RetrievalServer::stopped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stop_;
+}
+
+void RetrievalServer::scheduler_loop() {
+  std::vector<Request> batch;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and everything drained
+      const std::size_t n = std::min(config_.max_batch, queue_.size());
+      batch.clear();
+      batch.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    not_full_.notify_all();
+    process_batch(batch);
+  }
+}
+
+void RetrievalServer::process_batch(std::vector<Request>& batch) {
+  // Featurize the whole tick in one extract_batch call. A failure here (bad
+  // geometry, extractor misuse) poisons the batch, not the scheduler: every
+  // affected future gets the exception and the loop keeps serving.
+  std::vector<video::Video> videos;
+  videos.reserve(batch.size());
+  for (auto& r : batch) videos.push_back(std::move(r.video));
+
+  std::vector<Tensor> features;
+  try {
+    features = system_.extractor().extract_batch(videos);
+  } catch (...) {
+    const auto error = std::current_exception();
+    for (auto& r : batch) r.promise.set_exception(error);
+    return;
+  }
+
+  std::vector<double> latencies;
+  latencies.reserve(batch.size());
+  std::int64_t served = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    try {
+      const auto neighbors = system_.retrieve_feature(features[i], batch[i].m);
+      metrics::RetrievalList list;
+      list.reserve(neighbors.size());
+      for (const auto& n : neighbors) list.push_back(n.id);
+      latencies.push_back(batch[i].queued.elapsed_ms());
+      batch[i].promise.set_value(std::move(list));
+      ++served;
+    } catch (...) {
+      batch[i].promise.set_exception(std::current_exception());
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  queries_served_ += served;
+  ++batches_;
+  ++batch_size_counts_[batch.size()];
+  latencies_ms_.insert(latencies_ms_.end(), latencies.begin(),
+                       latencies.end());
+}
+
+ServerStats RetrievalServer::stats() const {
+  ServerStats out;
+  std::vector<double> latencies;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    out.queries_served = queries_served_;
+    out.batches = batches_;
+    out.batch_size_counts = batch_size_counts_;
+    latencies = latencies_ms_;
+  }
+  out.p50_latency_ms = percentile(latencies, 0.50);
+  out.p95_latency_ms = percentile(latencies, 0.95);
+  out.max_latency_ms =
+      latencies.empty() ? 0.0
+                        : *std::max_element(latencies.begin(), latencies.end());
+  return out;
+}
+
+void RetrievalServer::reset_stats() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  queries_served_ = 0;
+  batches_ = 0;
+  std::fill(batch_size_counts_.begin(), batch_size_counts_.end(), 0);
+  latencies_ms_.clear();
+}
+
+}  // namespace duo::serve

@@ -1,0 +1,133 @@
+#pragma once
+
+// RetrievalServer: the victim R(·) as a deployed, latency-bound service
+// rather than a synchronous in-process call. Clients submit(video, m) from
+// any thread and get a std::future for the retrieval list; a dedicated
+// scheduler thread drains up to `max_batch` queued requests per tick,
+// featurizes them with one FeatureExtractor::extract_batch call (amortizing
+// extractor-replica setup across the batch), answers each against the index,
+// and fulfills the futures.
+//
+// Correctness contract: answers are bitwise identical to direct
+// RetrievalSystem::retrieve calls regardless of client count, arrival order,
+// or max_batch — batching amortizes cost, it never changes results
+// (extract_batch guarantees bitwise equality with serial extraction).
+//
+// Concurrency contract: submit is MPMC-safe and applies backpressure — it
+// blocks while the bounded queue is full. The server has exclusive use of
+// the RetrievalSystem's extractor while running; do not call
+// system.retrieve()/extract_features() directly between construction and
+// shutdown(). shutdown() is graceful: it stops accepting new requests,
+// drains every queued request, and joins the scheduler, so no fulfilled-
+// before-shutdown future is ever abandoned. A submit that arrives after
+// (or loses the race with) shutdown gets its exception set instead.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.hpp"
+#include "metrics/metrics.hpp"
+#include "retrieval/system.hpp"
+#include "video/video.hpp"
+
+namespace duo::serve {
+
+struct ServerConfig {
+  // Maximum requests drained into one extract_batch call per scheduler tick.
+  std::size_t max_batch = 8;
+  // Bounded request queue; submit blocks while the queue holds this many.
+  std::size_t queue_capacity = 64;
+};
+
+// Snapshot of server-side accounting (see RetrievalServer::stats).
+struct ServerStats {
+  std::int64_t queries_served = 0;  // futures fulfilled with a value
+  std::int64_t batches = 0;         // scheduler ticks that processed work
+  // batch_size_counts[s] = number of ticks that drained exactly s requests;
+  // index 0 is unused, size() == max_batch + 1.
+  std::vector<std::int64_t> batch_size_counts;
+  // Per-request submit→fulfill wall latency percentiles (ms).
+  double p50_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+
+  double mean_batch_size() const noexcept {
+    return batches == 0
+               ? 0.0
+               : static_cast<double>(queries_served) /
+                     static_cast<double>(batches);
+  }
+};
+
+class RetrievalServer {
+ public:
+  // Borrow an externally owned system (must outlive the server).
+  explicit RetrievalServer(retrieval::RetrievalSystem& system,
+                           ServerConfig config = {});
+  // Own the system outright.
+  explicit RetrievalServer(
+      std::unique_ptr<retrieval::RetrievalSystem> system,
+      ServerConfig config = {});
+  ~RetrievalServer();
+
+  RetrievalServer(const RetrievalServer&) = delete;
+  RetrievalServer& operator=(const RetrievalServer&) = delete;
+
+  // Enqueue one retrieval request; thread-safe. Blocks while the queue is
+  // full. On a stopped server the returned future holds std::runtime_error.
+  std::future<metrics::RetrievalList> submit(video::Video v, std::size_t m);
+
+  // Stop accepting requests, drain every queued request, join the scheduler.
+  // Idempotent (but, like ThreadPool::shutdown, must not race itself from
+  // two threads). Called by the destructor.
+  void shutdown();
+  bool stopped() const;
+
+  // Consistent snapshot of the accounting counters. Percentiles are computed
+  // over all latencies observed so far (memory grows with queries served —
+  // fine at test/bench scale, reset via reset_stats for long runs).
+  ServerStats stats() const;
+  void reset_stats();
+
+  const ServerConfig& config() const noexcept { return config_; }
+  // The served system. Only safe to touch directly once stopped().
+  retrieval::RetrievalSystem& system() noexcept { return system_; }
+
+ private:
+  struct Request {
+    video::Video video;
+    std::size_t m = 0;
+    std::promise<metrics::RetrievalList> promise;
+    Stopwatch queued;  // reset at enqueue; read at fulfillment
+  };
+
+  void scheduler_loop();
+  void process_batch(std::vector<Request>& batch);
+
+  std::unique_ptr<retrieval::RetrievalSystem> owned_;  // empty when borrowed
+  retrieval::RetrievalSystem& system_;
+  ServerConfig config_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Request> queue_;
+  bool stop_ = false;
+
+  mutable std::mutex stats_mutex_;
+  std::int64_t queries_served_ = 0;
+  std::int64_t batches_ = 0;
+  std::vector<std::int64_t> batch_size_counts_;
+  std::vector<double> latencies_ms_;
+
+  std::thread scheduler_;  // last member: started after everything above
+};
+
+}  // namespace duo::serve

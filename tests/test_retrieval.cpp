@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
 
+#include "common/thread_pool.hpp"
 #include "retrieval/index.hpp"
 #include "retrieval/system.hpp"
 #include "retrieval/trainer.hpp"
@@ -9,6 +13,32 @@
 
 namespace duo::retrieval {
 namespace {
+
+// Forwards to an inner extractor but refuses to clone, exercising the
+// serial fallback of FeatureExtractor::extract_batch.
+class NonCloneableExtractor : public models::FeatureExtractor {
+ public:
+  explicit NonCloneableExtractor(
+      std::unique_ptr<models::FeatureExtractor> inner)
+      : inner_(std::move(inner)) {}
+
+  Tensor extract_model_input(const Tensor& input) override {
+    return inner_->extract_model_input(input);
+  }
+  Tensor backward_to_input(const Tensor& grad_feature) override {
+    return inner_->backward_to_input(grad_feature);
+  }
+  std::vector<nn::Parameter*> parameters() override {
+    return inner_->parameters();
+  }
+  void set_training(bool training) override { inner_->set_training(training); }
+  std::int64_t feature_dim() const override { return inner_->feature_dim(); }
+  std::string name() const override { return "noclone-" + inner_->name(); }
+  // clone() keeps the base-class default: nullptr ("not cloneable").
+
+ private:
+  std::unique_ptr<models::FeatureExtractor> inner_;
+};
 
 GalleryEntry entry(std::int64_t id, int label, std::vector<float> f) {
   GalleryEntry e;
@@ -132,6 +162,110 @@ TEST_F(SystemTest, LabelLookupAndCounts) {
 TEST_F(SystemTest, DuplicateGalleryIdThrows) {
   EXPECT_THROW(system_->add_to_gallery(dataset_.train.front()),
                std::logic_error);
+}
+
+TEST_F(SystemTest, RejectedDuplicateLeavesSystemConsistent) {
+  // Regression: the duplicate-id check used to fire only *after* the index
+  // was mutated, leaving an indexed entry with no label bookkeeping. A
+  // rejected add must leave index and label maps exactly as they were.
+  const auto& dup = dataset_.train.front();
+  const std::size_t size_before = system_->gallery_size();
+  const auto count_before = system_->relevant_count(dup.label());
+  const auto list_before = system_->retrieve(dup, 8);
+
+  EXPECT_THROW(system_->add_to_gallery(dup), std::logic_error);
+
+  EXPECT_EQ(system_->gallery_size(), size_before);
+  EXPECT_EQ(system_->relevant_count(dup.label()), count_before);
+  const auto list_after = system_->retrieve(dup, 8);
+  EXPECT_EQ(list_after, list_before);
+  // Every retrievable id still has label bookkeeping (the old bug left an
+  // id in the index that label_of would reject).
+  for (const auto id : list_after) {
+    EXPECT_NO_THROW((void)system_->label_of(id));
+  }
+}
+
+TEST_F(SystemTest, AddAllRejectsDuplicateBatchAtomically) {
+  const std::size_t size_before = system_->gallery_size();
+  // A batch with one fresh video and one duplicate must change nothing —
+  // not even the fresh video may land.
+  video::Video fresh(spec_.geometry, /*label=*/0, /*id=*/100000);
+  EXPECT_THROW(system_->add_all({fresh, dataset_.train.front()}),
+               std::logic_error);
+  EXPECT_EQ(system_->gallery_size(), size_before);
+  EXPECT_THROW((void)system_->label_of(fresh.id()), std::logic_error);
+
+  // Duplicates *within* the batch are rejected too.
+  video::Video twin(spec_.geometry, /*label=*/0, /*id=*/100001);
+  EXPECT_THROW(system_->add_all({twin, twin}), std::logic_error);
+  EXPECT_EQ(system_->gallery_size(), size_before);
+
+  // The fresh video is still addable afterwards.
+  system_->add_to_gallery(fresh);
+  EXPECT_EQ(system_->gallery_size(), size_before + 1);
+  EXPECT_EQ(system_->label_of(fresh.id()), fresh.label());
+}
+
+TEST_F(SystemTest, ExtractFeaturesEmptyInputReturnsEmpty) {
+  EXPECT_TRUE(system_->extract_features({}).empty());
+  EXPECT_TRUE(system_->extractor()
+                  .extract_batch(std::span<const video::Video>{})
+                  .empty());
+}
+
+TEST_F(SystemTest, NonCloneableFallbackMatchesParallelPathBitwise) {
+  // Two systems with bitwise-identical extractor weights: one cloneable
+  // (parallel extract_batch), one wrapped to refuse cloning (serial
+  // fallback). Their features must agree bitwise, even on a multi-worker
+  // pool.
+  ThreadPool pool(4);
+  set_compute_pool(&pool);
+  struct Restore {
+    ~Restore() { set_compute_pool(nullptr); }
+  } restore;
+
+  Rng rng_a(77), rng_b(77);
+  RetrievalSystem cloneable(
+      models::make_extractor(models::ModelKind::kC3D, spec_.geometry, 16,
+                             rng_a),
+      2);
+  RetrievalSystem fallback(
+      std::make_unique<NonCloneableExtractor>(models::make_extractor(
+          models::ModelKind::kC3D, spec_.geometry, 16, rng_b)),
+      2);
+
+  const auto parallel = cloneable.extract_features(dataset_.test);
+  const auto serial = fallback.extract_features(dataset_.test);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < parallel.size(); ++i) {
+    ASSERT_EQ(parallel[i].shape(), serial[i].shape()) << "video " << i;
+    for (std::int64_t j = 0; j < parallel[i].size(); ++j) {
+      ASSERT_EQ(parallel[i][j], serial[i][j])
+          << "video " << i << " flat index " << j;
+    }
+  }
+}
+
+TEST_F(SystemTest, BlackBoxHandleCountIsThreadSafe) {
+  // The counter must be exact when concurrent clients share one handle
+  // (routine once queries flow through the serve layer). A stub backend
+  // keeps the extractor out of the picture.
+  BlackBoxHandle handle(BlackBoxHandle::RetrieveFn(
+      [](const video::Video&, std::size_t) { return metrics::RetrievalList{}; }));
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 500;
+  video::Video probe(spec_.geometry, 0, 424242);
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&] {
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        (void)handle.retrieve(probe, 1);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(handle.query_count(), kThreads * kQueriesPerThread);
 }
 
 TEST_F(SystemTest, BlackBoxHandleCountsQueries) {

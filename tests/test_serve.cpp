@@ -1,0 +1,278 @@
+// RetrievalServer / AsyncBlackBoxHandle: answers must be bitwise identical
+// to direct RetrievalSystem::retrieve calls for any client count and
+// max_batch; shutdown must drain and fulfill every queued future; the
+// bounded queue must apply backpressure without deadlocking; stats must
+// account every request. These suites (together with the pipelined
+// SparseQuery tests) are the TSAN gate for the serve layer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "metrics/metrics.hpp"
+#include "serve/async_handle.hpp"
+#include "serve/server.hpp"
+#include "video/synthetic.hpp"
+
+namespace duo::serve {
+namespace {
+
+// A small untrained world: serve-layer correctness is about plumbing, not
+// retrieval quality, so random extractor weights keep the fixture fast.
+struct ServeWorld {
+  video::DatasetSpec spec;
+  video::Dataset dataset;
+  std::unique_ptr<retrieval::RetrievalSystem> system;
+  // Direct answers computed before any server touches the extractor.
+  std::vector<metrics::RetrievalList> expected;  // for dataset.test, m = 5
+
+  static const ServeWorld& instance() {
+    static ServeWorld world = build();
+    return world;
+  }
+  static ServeWorld& mutable_instance() {
+    return const_cast<ServeWorld&>(instance());
+  }
+
+ private:
+  static ServeWorld build() {
+    ServeWorld w;
+    w.spec = video::DatasetSpec::hmdb51_like(31);
+    w.spec.num_classes = 4;
+    w.spec.train_per_class = 5;
+    w.spec.test_per_class = 3;
+    w.spec.geometry = {8, 16, 16, 3};
+    w.dataset = video::SyntheticGenerator(w.spec).generate();
+
+    Rng rng(91);
+    auto extractor = models::make_extractor(models::ModelKind::kC3D,
+                                            w.spec.geometry, 16, rng);
+    w.system =
+        std::make_unique<retrieval::RetrievalSystem>(std::move(extractor), 3);
+    w.system->add_all(w.dataset.train);
+
+    w.expected.reserve(w.dataset.test.size());
+    for (const auto& v : w.dataset.test) {
+      w.expected.push_back(w.system->retrieve(v, 5));
+    }
+    return w;
+  }
+};
+
+TEST(Serve, AnswersMatchDirectRetrieveAcrossBatchSizes) {
+  auto& w = ServeWorld::mutable_instance();
+  for (const std::size_t max_batch : {1u, 3u, 8u}) {
+    ServerConfig cfg;
+    cfg.max_batch = max_batch;
+    RetrievalServer server(*w.system, cfg);
+    std::vector<std::future<metrics::RetrievalList>> futures;
+    for (const auto& v : w.dataset.test) {
+      futures.push_back(server.submit(v, 5));
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      EXPECT_EQ(futures[i].get(), w.expected[i])
+          << "max_batch=" << max_batch << " query " << i;
+    }
+    server.shutdown();
+  }
+}
+
+TEST(Serve, ConcurrentClientsGetBitwiseIdenticalAnswers) {
+  auto& w = ServeWorld::mutable_instance();
+  ServerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.queue_capacity = 16;
+  RetrievalServer server(*w.system, cfg);
+
+  constexpr int kClients = 4;
+  constexpr int kQueriesPerClient = 12;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      for (int q = 0; q < kQueriesPerClient; ++q) {
+        const std::size_t vi = static_cast<std::size_t>(t + q * kClients) %
+                               w.dataset.test.size();
+        const auto answer = server.submit(w.dataset.test[vi], 5).get();
+        if (answer != w.expected[vi]) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  server.shutdown();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.queries_served, kClients * kQueriesPerClient);
+}
+
+TEST(Serve, ShutdownDrainsAndFulfillsEveryQueuedFuture) {
+  auto& w = ServeWorld::mutable_instance();
+  ServerConfig cfg;
+  cfg.max_batch = 2;
+  cfg.queue_capacity = 64;
+  RetrievalServer server(*w.system, cfg);
+
+  std::vector<std::future<metrics::RetrievalList>> futures;
+  std::vector<std::size_t> indices;
+  for (int r = 0; r < 3; ++r) {
+    for (std::size_t i = 0; i < w.dataset.test.size(); ++i) {
+      futures.push_back(server.submit(w.dataset.test[i], 5));
+      indices.push_back(i);
+    }
+  }
+  // Shut down immediately: most requests are still queued, and all of them
+  // must still be answered (graceful drain), with correct results.
+  server.shutdown();
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get(), w.expected[indices[i]]) << "future " << i;
+  }
+}
+
+TEST(Serve, SubmitAfterShutdownFailsTheFuture) {
+  auto& w = ServeWorld::mutable_instance();
+  RetrievalServer server(*w.system);
+  server.shutdown();
+  EXPECT_TRUE(server.stopped());
+  auto future = server.submit(w.dataset.test.front(), 5);
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(Serve, ShutdownIsIdempotent) {
+  auto& w = ServeWorld::mutable_instance();
+  RetrievalServer server(*w.system);
+  (void)server.submit(w.dataset.test.front(), 5).get();
+  server.shutdown();
+  server.shutdown();  // second call is a no-op
+  EXPECT_TRUE(server.stopped());
+}
+
+TEST(Serve, BoundedQueueBackpressureDoesNotDeadlock) {
+  auto& w = ServeWorld::mutable_instance();
+  ServerConfig cfg;
+  cfg.max_batch = 1;
+  cfg.queue_capacity = 2;  // tiny: submitters must block and resume
+  RetrievalServer server(*w.system, cfg);
+
+  constexpr int kClients = 4;
+  constexpr int kQueriesPerClient = 8;
+  std::atomic<int> answered{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      for (int q = 0; q < kQueriesPerClient; ++q) {
+        const std::size_t vi =
+            static_cast<std::size_t>(t) % w.dataset.test.size();
+        if (!server.submit(w.dataset.test[vi], 5).get().empty()) {
+          answered.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  server.shutdown();
+  EXPECT_EQ(answered.load(), kClients * kQueriesPerClient);
+}
+
+TEST(Serve, StatsAccountEveryQueryAndBatch) {
+  auto& w = ServeWorld::mutable_instance();
+  ServerConfig cfg;
+  cfg.max_batch = 4;
+  RetrievalServer server(*w.system, cfg);
+
+  const int n = 10;
+  std::vector<std::future<metrics::RetrievalList>> futures;
+  for (int i = 0; i < n; ++i) {
+    futures.push_back(server.submit(
+        w.dataset.test[static_cast<std::size_t>(i) % w.dataset.test.size()],
+        5));
+  }
+  for (auto& f : futures) (void)f.get();
+  server.shutdown();
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.queries_served, n);
+  ASSERT_EQ(stats.batch_size_counts.size(), cfg.max_batch + 1);
+  std::int64_t histogram_queries = 0;
+  std::int64_t histogram_batches = 0;
+  for (std::size_t s = 1; s < stats.batch_size_counts.size(); ++s) {
+    histogram_queries +=
+        static_cast<std::int64_t>(s) * stats.batch_size_counts[s];
+    histogram_batches += stats.batch_size_counts[s];
+  }
+  EXPECT_EQ(histogram_queries, n);
+  EXPECT_EQ(histogram_batches, stats.batches);
+  EXPECT_GE(stats.p50_latency_ms, 0.0);
+  EXPECT_LE(stats.p50_latency_ms, stats.p95_latency_ms);
+  EXPECT_LE(stats.p95_latency_ms, stats.max_latency_ms);
+  EXPECT_GT(stats.mean_batch_size(), 0.0);
+
+  server.reset_stats();
+  const ServerStats zeroed = server.stats();
+  EXPECT_EQ(zeroed.queries_served, 0);
+  EXPECT_EQ(zeroed.batches, 0);
+}
+
+TEST(Serve, AsyncHandleCountsQueriesThreadSafely) {
+  auto& w = ServeWorld::mutable_instance();
+  ServerConfig cfg;
+  cfg.max_batch = 8;
+  RetrievalServer server(*w.system, cfg);
+  AsyncBlackBoxHandle handle(server);
+
+  constexpr int kClients = 4;
+  constexpr int kQueriesPerClient = 10;
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      for (int q = 0; q < kQueriesPerClient; ++q) {
+        (void)handle.retrieve(
+            w.dataset.test[static_cast<std::size_t>(t) %
+                           w.dataset.test.size()],
+            5);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  server.shutdown();
+  EXPECT_EQ(handle.query_count(), kClients * kQueriesPerClient);
+  EXPECT_EQ(handle.server_stats().queries_served,
+            kClients * kQueriesPerClient);
+  handle.reset_query_count();
+  EXPECT_EQ(handle.query_count(), 0);
+}
+
+TEST(Serve, OwningConstructorServesAndDestructs) {
+  const auto& w = ServeWorld::instance();
+  Rng rng(91);  // same seed as the fixture → same extractor weights
+  auto extractor =
+      models::make_extractor(models::ModelKind::kC3D, w.spec.geometry, 16, rng);
+  auto system =
+      std::make_unique<retrieval::RetrievalSystem>(std::move(extractor), 3);
+  system->add_all(w.dataset.train);
+
+  RetrievalServer server(std::move(system));
+  const auto answer = server.submit(w.dataset.test.front(), 5).get();
+  EXPECT_EQ(answer, w.expected.front());
+  // Destructor performs the shutdown.
+}
+
+TEST(Serve, RejectsDegenerateConfig) {
+  auto& w = ServeWorld::mutable_instance();
+  ServerConfig no_batch;
+  no_batch.max_batch = 0;
+  EXPECT_THROW(RetrievalServer(*w.system, no_batch), std::logic_error);
+  ServerConfig no_queue;
+  no_queue.queue_capacity = 0;
+  EXPECT_THROW(RetrievalServer(*w.system, no_queue), std::logic_error);
+}
+
+}  // namespace
+}  // namespace duo::serve

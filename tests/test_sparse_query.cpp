@@ -5,6 +5,8 @@
 #include "attack/sparse_query.hpp"
 #include "baselines/vanilla.hpp"
 #include "fixtures.hpp"
+#include "serve/async_handle.hpp"
+#include "serve/server.hpp"
 
 namespace duo::attack {
 namespace {
@@ -186,6 +188,77 @@ TEST(SparseQuery, TrajectoryIsReproducible) {
   }
   EXPECT_TRUE(a.v_adv.data().allclose(b.v_adv.data(), 0.0f));
   EXPECT_EQ(a.queries_spent, b.queries_spent);
+}
+
+// Pipelined mode drives the victim through the serve layer with both ±ε
+// candidates in flight, but must replay the serial acceptance sequence
+// exactly: same t_history, bitwise-identical final video. Its query count
+// may only exceed the serial one (speculative forwards are counted).
+TEST(SparseQueryPipelined, MatchesSerialBitwise) {
+  auto& w = TinyWorld::mutable_instance();
+  const auto& v = w.dataset.train[11];
+  const auto& vt = w.dataset.train[24];
+  const Perturbation p = small_support(v, 12);
+
+  SparseQueryConfig cfg;
+  cfg.iter_numQ = 30;
+  cfg.tau = 30.0f;
+  cfg.m = 8;
+
+  // Serial reference first — the server must not own the extractor yet.
+  retrieval::BlackBoxHandle handle(*w.victim);
+  const auto ctx = make_objective_context(handle, v, vt, 8);
+  const auto serial = sparse_query(v, p, handle, ctx, cfg);
+
+  for (const std::size_t max_batch : {1u, 4u}) {
+    serve::ServerConfig scfg;
+    scfg.max_batch = max_batch;
+    serve::RetrievalServer server(*w.victim, scfg);
+    serve::AsyncBlackBoxHandle async(server);
+    const auto actx = make_objective_context(async, v, vt, 8);
+    EXPECT_EQ(actx.list_v, ctx.list_v);
+    EXPECT_EQ(actx.list_vt, ctx.list_vt);
+
+    const auto piped = sparse_query_pipelined(v, p, async, actx, cfg);
+    server.shutdown();
+
+    ASSERT_EQ(piped.t_history.size(), serial.t_history.size())
+        << "max_batch=" << max_batch;
+    for (std::size_t i = 0; i < serial.t_history.size(); ++i) {
+      EXPECT_EQ(piped.t_history[i], serial.t_history[i])
+          << "max_batch=" << max_batch << " step " << i;
+    }
+    EXPECT_EQ(piped.final_t, serial.final_t);
+    ASSERT_EQ(piped.v_adv.data().size(), serial.v_adv.data().size());
+    for (std::int64_t i = 0; i < serial.v_adv.data().size(); ++i) {
+      ASSERT_EQ(piped.v_adv.data()[i], serial.v_adv.data()[i])
+          << "max_batch=" << max_batch << " flat index " << i;
+    }
+    // Honest accounting: speculation can only add queries, and the async
+    // handle's count is the ground truth for queries_spent.
+    EXPECT_GE(piped.queries_spent, serial.queries_spent);
+    EXPECT_EQ(piped.queries_spent + 2 /*context fetches*/,
+              async.query_count());
+  }
+}
+
+TEST(SparseQueryPipelined, EmptySupportSpendsOneQuery) {
+  auto& w = TinyWorld::mutable_instance();
+  const auto& v = w.dataset.train[12];
+  const auto& vt = w.dataset.train[26];
+
+  serve::RetrievalServer server(*w.victim);
+  serve::AsyncBlackBoxHandle async(server);
+  const auto ctx = make_objective_context(async, v, vt, 8);
+
+  Perturbation p(v.geometry());
+  p.pixel_mask().fill(0.0f);
+  SparseQueryConfig cfg;
+  cfg.iter_numQ = 10;
+  const auto result = sparse_query_pipelined(v, p, async, ctx, cfg);
+  server.shutdown();
+  EXPECT_TRUE(result.v_adv.data().allclose(v.data()));
+  EXPECT_EQ(result.queries_spent, 1);
 }
 
 TEST(ObjectiveContext, TLossUsesMarginAndSimilarity) {
