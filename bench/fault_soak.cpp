@@ -1,0 +1,135 @@
+// Fault soak: the resilient client policy against a faulty victim service.
+// Stands up a RetrievalServer with a 10% mixed fault schedule (transient
+// errors, delays, dropped responses), hammers it from concurrent
+// ResilientHandle clients, and verifies every answer matches the fault-free
+// retrieval — the determinism contract behind the bitwise-identical attack
+// guarantee (src/serve/resilient.hpp). Reports the cost of resilience:
+// victim-side billed queries vs. logical queries, retries, faults, and
+// latency percentiles.
+//
+//   ./build/bench/fault_soak            # quick scale
+//   ./build/bench/fault_soak --smoke    # seconds-long CI smoke pass
+//
+// Exits nonzero if any answer diverges from the fault-free reference.
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/stopwatch.hpp"
+#include "serve/async_handle.hpp"
+#include "serve/fault_injection.hpp"
+#include "serve/resilient.hpp"
+#include "serve/server.hpp"
+
+int main(int argc, char** argv) {
+  using namespace duo;
+  bool smoke = bench::scale_from_env() == bench::Scale::kSmoke;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  // An untrained victim is enough: fault handling depends on the serving
+  // path, not on how good the features are.
+  auto spec = video::DatasetSpec::hmdb51_like(37);
+  spec.num_classes = 4;
+  spec.train_per_class = smoke ? 4 : 8;
+  spec.test_per_class = 2;
+  spec.geometry = {8, 16, 16, 3};
+  const video::Dataset dataset = video::SyntheticGenerator(spec).generate();
+
+  Rng rng(53);
+  auto extractor =
+      models::make_extractor(models::ModelKind::kC3D, spec.geometry, 16, rng);
+  retrieval::RetrievalSystem system(std::move(extractor), 2);
+  system.add_all(dataset.train);
+
+  // Fault-free reference answers for every probe.
+  const std::size_t m = 10;
+  std::vector<metrics::RetrievalList> expected;
+  expected.reserve(dataset.test.size());
+  for (const auto& v : dataset.test) {
+    expected.push_back(system.retrieve(v, m));
+  }
+
+  // 10% mixed faults, deterministic schedule.
+  serve::FaultConfig faults;
+  faults.error_prob = 0.04;
+  faults.delay_prob = 0.03;
+  faults.drop_prob = 0.03;
+  faults.delay_ms = 2.0;
+  faults.seed = 31;
+
+  serve::ServerConfig scfg;
+  scfg.max_batch = 4;
+  scfg.fault_injector = std::make_shared<serve::FaultInjector>(faults);
+  serve::RetrievalServer server(system, scfg);
+  serve::AsyncBlackBoxHandle async(server);
+  serve::RetryPolicy policy;
+  policy.query_timeout = std::chrono::milliseconds(250);
+  serve::ResilientHandle handle(async, policy);
+
+  const std::size_t clients = smoke ? 2 : 4;
+  const int queries_per_client = smoke ? 25 : 200;
+
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  std::vector<int> mismatches(clients, 0);
+  threads.reserve(clients);
+  for (std::size_t t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      for (int q = 0; q < queries_per_client; ++q) {
+        const std::size_t vi =
+            (t + static_cast<std::size_t>(q) * clients) % dataset.test.size();
+        const auto got = handle.retrieve(dataset.test[vi], m);
+        if (got != expected[vi]) ++mismatches[t];
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const double wall_ms = wall.elapsed_ms();
+  server.shutdown();
+
+  const serve::ServerStats stats = server.stats();
+  const auto logical =
+      static_cast<long long>(clients) * queries_per_client;
+
+  TableWriter table("Fault soak: resilient clients vs 10% mixed faults");
+  table.set_header({"clients", "logical_q", "billed_q", "retries", "faults",
+                    "server_faults", "wall_ms", "p50_ms", "p95_ms", "max_ms"});
+  table.set_precision(2);
+  table.add_row({static_cast<long long>(clients), logical,
+                 static_cast<long long>(handle.queries_billed()),
+                 static_cast<long long>(handle.retries()),
+                 static_cast<long long>(handle.faults_seen()),
+                 static_cast<long long>(stats.faults_injected), wall_ms,
+                 stats.p50_latency_ms, stats.p95_latency_ms,
+                 stats.max_latency_ms});
+  bench::emit(table, "fault_soak.csv");
+  bench::print_paper_note(
+      "No paper counterpart: soaks the retry policy a query-budgeted "
+      "attacker needs against a flaky black-box API. Every answer must "
+      "match the fault-free retrieval bitwise; billed_q - logical_q is the "
+      "query-budget price of the faults.");
+
+  int bad = 0;
+  for (const int c : mismatches) bad += c;
+  if (bad > 0) {
+    std::fprintf(stderr, "FAULT SOAK FAILED: %d mismatched answers\n", bad);
+    return 1;
+  }
+  if (handle.queries_billed() < logical) {
+    std::fprintf(stderr, "FAULT SOAK FAILED: billed %lld < logical %lld\n",
+                 static_cast<long long>(handle.queries_billed()), logical);
+    return 1;
+  }
+  std::printf("fault soak OK: %lld logical queries, %lld billed, "
+              "%lld retries absorbed\n",
+              logical, static_cast<long long>(handle.queries_billed()),
+              static_cast<long long>(handle.retries()));
+  return 0;
+}

@@ -18,10 +18,16 @@ cmake -B "$build_dir" -S "$repo_root"
 cmake --build "$build_dir" -j "$(nproc)"
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 
-DUO_THREADS=8 ctest --test-dir "$build_dir" -R 'ParallelDeterminism|Serve|SparseQueryPipelined' \
+DUO_THREADS=8 ctest --test-dir "$build_dir" \
+  -R 'ParallelDeterminism|Serve|SparseQueryPipelined|FaultInjection|Resilient' \
   --output-on-failure
 
 # Serve-layer smoke: exercises the micro-batching scheduler end to end under
 # concurrent clients and prints the batch-size histogram + latency
 # percentiles (seconds-long at --smoke scale).
 DUO_THREADS=8 "$build_dir/bench/serve_throughput" --smoke
+
+# Fault-tolerance smoke: resilient clients against a 10% mixed-fault victim;
+# fails if any answer diverges from the fault-free retrieval or the billing
+# undercounts (seconds-long at --smoke scale).
+DUO_THREADS=8 "$build_dir/bench/fault_soak" --smoke

@@ -17,10 +17,17 @@ build_dir="${1:-$repo_root/build-tsan}"
 cmake -B "$build_dir" -S "$repo_root" -DDUO_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" -j "$(nproc)" \
-  --target test_thread_pool test_parallel_determinism test_serve test_sparse_query
+  --target test_thread_pool test_parallel_determinism test_serve \
+  test_sparse_query test_failure_modes
 
 # TSan multiplies runtime ~5-15x; give the suites generous slack but keep
-# the halt-on-first-race behaviour so CI fails loudly.
-export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
-ctest --test-dir "$build_dir" -R 'ThreadPool|ParallelDeterminism|Conv3d|Pooling|Extractor|Gallery|Serve|SparseQueryPipelined' \
+# the halt-on-first-race behaviour so CI fails loudly. The regex picks up the
+# fault-tolerance suites too: FaultInjection/Resilient (retrying clients on a
+# faulty server), Serve.ConcurrentShutdownIsSafe (the shutdown-race
+# regression), and FailureModes.ServeFaultMatrix* (fault-injected attacks).
+# scripts/tsan.supp silences the known exception_ptr refcount false positive
+# from the uninstrumented libstdc++ (see the file for details).
+export TSAN_OPTIONS="suppressions=$repo_root/scripts/tsan.supp ${TSAN_OPTIONS:-halt_on_error=1}"
+ctest --test-dir "$build_dir" \
+  -R 'ThreadPool|ParallelDeterminism|Conv3d|Pooling|Extractor|Gallery|Serve|SparseQueryPipelined|FaultInjection|Resilient' \
   --output-on-failure --timeout 1800

@@ -1,0 +1,140 @@
+#include "attack/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "models/serialization.hpp"
+
+namespace duo::attack {
+
+namespace {
+
+using models::io::read_f64;
+using models::io::read_f64_vec;
+using models::io::read_i64;
+using models::io::read_i64_vec;
+using models::io::read_tensor;
+using models::io::read_u64;
+using models::io::write_f64;
+using models::io::write_f64_vec;
+using models::io::write_i64;
+using models::io::write_i64_vec;
+using models::io::write_tensor;
+using models::io::write_u64;
+
+constexpr char kSparseQueryMagic[8] = {'D', 'U', 'O', 'A', '1', '\0', '\0',
+                                       '\0'};
+constexpr char kDuoMagic[8] = {'D', 'U', 'O', 'D', '1', '\0', '\0', '\0'};
+
+bool check_magic(std::istream& in, const char (&magic)[8]) {
+  char buf[8];
+  in.read(buf, sizeof(buf));
+  return static_cast<bool>(in) && std::memcmp(buf, magic, sizeof(buf)) == 0;
+}
+
+void write_geometry(std::ostream& out, const video::VideoGeometry& g) {
+  write_i64(out, g.frames);
+  write_i64(out, g.width);
+  write_i64(out, g.height);
+  write_i64(out, g.channels);
+}
+
+bool read_geometry(std::istream& in, video::VideoGeometry& g) {
+  return read_i64(in, g.frames) && read_i64(in, g.width) &&
+         read_i64(in, g.height) && read_i64(in, g.channels);
+}
+
+}  // namespace
+
+bool save_checkpoint(const SparseQueryCheckpoint& ck, const std::string& path) {
+  return models::io::atomic_write(path, [&](std::ostream& out) {
+    out.write(kSparseQueryMagic, sizeof(kSparseQueryMagic));
+    write_geometry(out, ck.geometry);
+    write_u64(out, ck.seed);
+    write_i64(out, ck.support_size);
+    write_u64(out, ck.source_hash);
+    write_i64(out, ck.next_iteration);
+    write_f64(out, ck.t_current);
+    write_f64_vec(out, ck.t_history);
+    write_i64(out, ck.queries);
+    write_i64(out, ck.stall);
+    write_u64(out, ck.rng_state);
+    write_i64_vec(out, ck.deck);
+    write_i64(out, ck.deck_pos);
+    write_tensor(out, ck.v_adv);
+  });
+}
+
+bool load_checkpoint(SparseQueryCheckpoint& ck, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in || !check_magic(in, kSparseQueryMagic)) return false;
+
+  SparseQueryCheckpoint staged;
+  if (!read_geometry(in, staged.geometry) || !read_u64(in, staged.seed) ||
+      !read_i64(in, staged.support_size) || !read_u64(in, staged.source_hash) ||
+      !read_i64(in, staged.next_iteration) || !read_f64(in, staged.t_current) ||
+      !read_f64_vec(in, staged.t_history) || !read_i64(in, staged.queries) ||
+      !read_i64(in, staged.stall) || !read_u64(in, staged.rng_state) ||
+      !read_i64_vec(in, staged.deck) || !read_i64(in, staged.deck_pos) ||
+      !read_tensor(in, staged.v_adv)) {
+    return false;
+  }
+  // Internal consistency: the cursor must sit inside the deck and the video
+  // payload must match the recorded geometry.
+  if (staged.deck_pos < 0 ||
+      staged.deck_pos > static_cast<std::int64_t>(staged.deck.size()) ||
+      staged.next_iteration < 1 ||
+      staged.v_adv.size() != staged.geometry.total_elements()) {
+    return false;
+  }
+  ck = std::move(staged);
+  return true;
+}
+
+bool save_checkpoint(const DuoCheckpoint& ck, const std::string& path) {
+  return models::io::atomic_write(path, [&](std::ostream& out) {
+    out.write(kDuoMagic, sizeof(kDuoMagic));
+    write_geometry(out, ck.geometry);
+    write_u64(out, ck.source_hash);
+    write_i64(out, ck.iter_numH);
+    write_i64(out, ck.next_round);
+    write_f64_vec(out, ck.t_history);
+    write_i64(out, ck.queries);
+    write_tensor(out, ck.v_cur);
+    write_u64(out, ck.has_init ? 1 : 0);
+    if (ck.has_init) {
+      write_tensor(out, ck.pixel_mask);
+      write_tensor(out, ck.frame_mask);
+    }
+  });
+}
+
+bool load_checkpoint(DuoCheckpoint& ck, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in || !check_magic(in, kDuoMagic)) return false;
+
+  DuoCheckpoint staged;
+  std::uint64_t has_init = 0;
+  if (!read_geometry(in, staged.geometry) || !read_u64(in, staged.source_hash) ||
+      !read_i64(in, staged.iter_numH) || !read_i64(in, staged.next_round) ||
+      !read_f64_vec(in, staged.t_history) || !read_i64(in, staged.queries) ||
+      !read_tensor(in, staged.v_cur) || !read_u64(in, has_init) ||
+      has_init > 1) {
+    return false;
+  }
+  staged.has_init = has_init == 1;
+  if (staged.has_init && (!read_tensor(in, staged.pixel_mask) ||
+                          !read_tensor(in, staged.frame_mask))) {
+    return false;
+  }
+  if (staged.next_round < 0 ||
+      staged.v_cur.size() != staged.geometry.total_elements()) {
+    return false;
+  }
+  ck = std::move(staged);
+  return true;
+}
+
+}  // namespace duo::attack

@@ -1,5 +1,11 @@
 #include "attack/duo.hpp"
 
+#include <string>
+#include <utility>
+
+#include "attack/checkpoint.hpp"
+#include "models/serialization.hpp"
+
 namespace duo::attack {
 
 DuoAttack::DuoAttack(models::FeatureExtractor& surrogate, DuoConfig config)
@@ -20,8 +26,56 @@ AttackOutcome DuoAttack::run(const video::Video& v, const video::Video& v_t,
   AttackOutcome out;
   video::Video v_cur = v;  // base video of the current outer iteration
   std::optional<Perturbation> init;
+  int start_h = 0;
 
-  for (int h = 0; h < config_.iter_numH; ++h) {
+  // Query accounting across processes: queries_total carries the billed
+  // count from a restored checkpoint, this process's objective-context
+  // fetches (measured off the victim counter), and each executed round's
+  // queries_spent — which itself carries the mid-round checkpointed count
+  // when the round resumed. The sum equals the true victim-side billing of
+  // every process that contributed to the attack.
+  const bool checkpointing = !config_.checkpoint_path.empty();
+  const std::uint64_t source_hash =
+      checkpointing ? models::io::fnv1a(v.data()) : 0;
+  std::int64_t queries_total = victim.query_count() - queries_before;
+
+  if (checkpointing && config_.resume) {
+    DuoCheckpoint ck;
+    if (load_checkpoint(ck, config_.checkpoint_path) &&
+        ck.geometry == v.geometry() && ck.source_hash == source_hash &&
+        ck.iter_numH == config_.iter_numH) {
+      start_h = static_cast<int>(ck.next_round);
+      out.t_history = std::move(ck.t_history);
+      queries_total += ck.queries;
+      v_cur = video::Video(std::move(ck.v_cur), v.geometry(), v.label(),
+                           v.id());
+      if (ck.has_init) {
+        Perturbation restored(v.geometry());
+        restored.pixel_mask() = std::move(ck.pixel_mask);
+        restored.frame_mask() = std::move(ck.frame_mask);
+        init = std::move(restored);
+      }
+    }
+  }
+
+  for (int h = start_h; h < config_.iter_numH; ++h) {
+    if (checkpointing) {
+      DuoCheckpoint ck;
+      ck.geometry = v.geometry();
+      ck.source_hash = source_hash;
+      ck.iter_numH = config_.iter_numH;
+      ck.next_round = h;
+      ck.t_history = out.t_history;
+      ck.queries = queries_total;
+      ck.v_cur = v_cur.data();
+      ck.has_init = init.has_value();
+      if (init) {
+        ck.pixel_mask = init->pixel_mask();
+        ck.frame_mask = init->frame_mask();
+      }
+      save_checkpoint(ck, config_.checkpoint_path);
+    }
+
     const SparseTransferResult st =
         sparse_transfer(v_cur, v_t, *surrogate_, config_.transfer, init);
 
@@ -30,8 +84,14 @@ AttackOutcome DuoAttack::run(const video::Video& v, const video::Video& v_t,
     qcfg.m = config_.m;
     qcfg.eta = config_.eta;
     qcfg.seed = config_.query.seed + static_cast<std::uint64_t>(h) * 7919;
+    if (checkpointing) {
+      qcfg.checkpoint_path =
+          config_.checkpoint_path + ".h" + std::to_string(h);
+      qcfg.resume = config_.resume;
+    }
     const SparseQueryResult sq =
         sparse_query(v_cur, st.perturbation, victim, ctx, qcfg);
+    queries_total += sq.queries_spent;
 
     out.t_history.insert(out.t_history.end(), sq.t_history.begin(),
                          sq.t_history.end());
@@ -48,7 +108,7 @@ AttackOutcome DuoAttack::run(const video::Video& v, const video::Video& v_t,
 
   out.adversarial = std::move(v_cur);
   out.perturbation = out.adversarial.data() - v.data();
-  out.queries = victim.query_count() - queries_before;
+  out.queries = queries_total;
   return out;
 }
 

@@ -5,6 +5,7 @@
 // to escape local optima (§IV-C "Summary").
 
 #include <memory>
+#include <string>
 
 #include "attack/attack.hpp"
 #include "attack/sparse_query.hpp"
@@ -22,6 +23,16 @@ struct DuoConfig {
   // kUntargeted ignores v_t throughout: SparseTransfer pushes away from
   // Fea(v) and SparseQuery minimizes H(R(v_adv), R(v)).
   AttackGoal goal = AttackGoal::kTargeted;
+  // Checkpoint/resume for the outer loop. With a non-empty path, run() saves
+  // a round-level checkpoint (attack/checkpoint.hpp) at the start of every
+  // round and gives each round's SparseQuery its own derived checkpoint path
+  // ("<path>.h<round>") for mid-round durability. With resume = true a
+  // matching checkpoint restores the loop at the recorded round; the final
+  // adversarial video is bitwise identical to an uninterrupted run, while
+  // queries may exceed it (each resuming process re-fetches the 2-query
+  // objective context).
+  std::string checkpoint_path;
+  bool resume = false;
 };
 
 class DuoAttack final : public Attack {

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <future>
+#include <optional>
 #include <utility>
+
+#include "attack/checkpoint.hpp"
+#include "models/serialization.hpp"
 
 namespace duo::attack {
 
@@ -66,6 +70,86 @@ StepPlan make_step_plan(const Perturbation& perturbation,
   return plan;
 }
 
+// Checkpoint plumbing shared by both drivers. `enabled` gates all of it;
+// periodic saves are best-effort (an unwritable path must not kill an attack
+// that is otherwise making progress), while the fatal-path save right before
+// a rethrow is also best-effort but leaves the previous checkpoint intact on
+// failure thanks to the atomic commit.
+struct CheckpointContext {
+  bool enabled = false;
+  std::string path;
+  int every = 0;
+  video::VideoGeometry geometry;
+  std::uint64_t seed = 0;
+  std::int64_t support_size = 0;
+  std::uint64_t source_hash = 0;
+
+  static CheckpointContext make(const SparseQueryConfig& config,
+                                const video::Video& v, const StepPlan& plan) {
+    CheckpointContext cc;
+    cc.enabled = !config.checkpoint_path.empty();
+    if (!cc.enabled && !config.resume) return cc;
+    cc.path = config.checkpoint_path;
+    cc.every = config.checkpoint_every;
+    cc.geometry = v.geometry();
+    cc.seed = config.seed;
+    cc.support_size = static_cast<std::int64_t>(plan.support.size());
+    cc.source_hash = models::io::fnv1a(v.data());
+    return cc;
+  }
+
+  bool matches(const SparseQueryCheckpoint& ck) const {
+    return ck.geometry == geometry && ck.seed == seed &&
+           ck.support_size == support_size && ck.source_hash == source_hash;
+  }
+
+  void save(int next_kappa, double t_current,
+            const std::vector<double>& t_history, std::int64_t queries,
+            int stall, std::uint64_t rng_state,
+            const std::vector<std::int64_t>& deck, std::int64_t deck_pos,
+            const Tensor& v_adv) const {
+    SparseQueryCheckpoint ck;
+    ck.geometry = geometry;
+    ck.seed = seed;
+    ck.support_size = support_size;
+    ck.source_hash = source_hash;
+    ck.next_iteration = next_kappa;
+    ck.t_current = t_current;
+    ck.t_history = t_history;
+    ck.queries = queries;
+    ck.stall = stall;
+    ck.rng_state = rng_state;
+    ck.deck = deck;
+    ck.deck_pos = deck_pos;
+    ck.v_adv = v_adv;
+    save_checkpoint(ck, path);
+  }
+};
+
+// Restores checkpointed driver state when resume is requested and a matching
+// checkpoint exists. Returns the iteration to continue from (1 = fresh).
+int try_resume(const SparseQueryConfig& config, const CheckpointContext& cc,
+               const StepPlan& plan, video::Video& v_adv, double& t_current,
+               std::vector<double>& t_history, std::int64_t& queries_carried,
+               int& stall, Rng& rng, std::vector<std::int64_t>& deck,
+               std::size_t& deck_pos) {
+  if (!config.resume || config.checkpoint_path.empty()) return 1;
+  SparseQueryCheckpoint ck;
+  if (!load_checkpoint(ck, config.checkpoint_path) || !cc.matches(ck)) {
+    return 1;
+  }
+  if (ck.deck.size() != plan.support.size()) return 1;
+  v_adv.data() = std::move(ck.v_adv);
+  t_current = ck.t_current;
+  t_history = std::move(ck.t_history);
+  queries_carried = ck.queries;
+  stall = static_cast<int>(ck.stall);
+  rng = Rng(ck.rng_state);
+  deck = std::move(ck.deck);
+  deck_pos = static_cast<std::size_t>(ck.deck_pos);
+  return static_cast<int>(ck.next_iteration);
+}
+
 }  // namespace
 
 SparseQueryResult sparse_query(const video::Video& v,
@@ -77,43 +161,79 @@ SparseQueryResult sparse_query(const video::Video& v,
   DUO_CHECK_MSG(perturbation.geometry() == g, "perturbation geometry mismatch");
   Rng rng(config.seed);
   const StepPlan plan = make_step_plan(perturbation, config);
+  const CheckpointContext cc = CheckpointContext::make(config, v, plan);
 
   SparseQueryResult result;
   const std::int64_t queries_before = victim.query_count();
+  std::int64_t queries_carried = 0;
+  const auto queries_total = [&] {
+    return queries_carried + victim.query_count() - queries_before;
+  };
 
   // Line 1: v_adv⁰ = v + φ (the paper's Alg. 2 writes v; the pipeline passes
   // the SparseTransfer output by handing us φ).
   video::Video v_adv = perturbation.apply_to(v);
+  double t_current = 0.0;
+  std::vector<std::int64_t> deck;
+  std::size_t deck_pos = 0;
+  int stall = 0;
+
+  const int start_kappa =
+      try_resume(config, cc, plan, v_adv, t_current, result.t_history,
+                 queries_carried, stall, rng, deck, deck_pos);
   // Quantized shadow of v_adv, kept in sync per touched coordinate: every
   // victim query sees round(v_adv) without re-rounding the whole tensor
   // (the full copy used to dominate each step at paper-scale geometry).
   video::Video q_adv = quantized(v_adv);
-  // Line 2: T⁰.
-  double t_current = t_loss(victim, q_adv, ctx);
-  result.t_history.push_back(t_current);
+  if (start_kappa == 1) {
+    // Line 2: T⁰. A resumed run restored T from the checkpoint instead —
+    // the initial query was already billed by the first process.
+    t_current = t_loss(victim, q_adv, ctx);
+    result.t_history.push_back(t_current);
+  }
 
   if (plan.support.empty()) {
     result.v_adv = std::move(v_adv);
     result.final_t = t_current;
-    result.queries_spent = victim.query_count() - queries_before;
+    result.queries_spent = queries_total();
     return result;
   }
 
-  // Without-replacement sampling: shuffled support, reshuffled when drained.
-  std::vector<std::int64_t> deck = plan.support;
-  rng.shuffle(deck);
-  std::size_t deck_pos = 0;
-  int stall = 0;
+  if (start_kappa == 1) {
+    // Without-replacement sampling: shuffled support, reshuffled on drain.
+    deck = plan.support;
+    rng.shuffle(deck);
+    deck_pos = 0;
+  }
 
   std::vector<std::int64_t> coords;
   std::vector<float> before;
+  std::vector<std::int64_t> deck_backup;
   coords.reserve(plan.group);
   before.reserve(plan.group);
 
-  for (int kappa = 1; kappa < config.iter_numQ; ++kappa) {
+  for (int kappa = start_kappa;
+       kappa < config.iter_numQ &&
+       !(config.patience > 0 && stall >= config.patience);
+       ++kappa) {
+    if (cc.enabled && cc.every > 0 && kappa % cc.every == 0) {
+      cc.save(kappa, t_current, result.t_history, queries_total(), stall,
+              rng.state(), deck, static_cast<std::int64_t>(deck_pos),
+              v_adv.data());
+    }
+    // Snapshot of the sampler state at the top of the iteration, so a fatal
+    // victim error mid-iteration checkpoints a state that re-executes this
+    // iteration exactly. The deck itself is copied lazily — only if this
+    // iteration's draws reshuffle it.
+    const std::uint64_t rng_before = rng.state();
+    const std::size_t deck_pos_before = deck_pos;
+    bool deck_reshuffled = false;
+
     coords.clear();
     for (std::size_t c = 0; c < plan.group; ++c) {
       if (deck_pos >= deck.size()) {
+        if (cc.enabled && !deck_reshuffled) deck_backup = deck;
+        deck_reshuffled = true;
         rng.shuffle(deck);
         deck_pos = 0;
       }
@@ -121,87 +241,146 @@ SparseQueryResult sparse_query(const video::Video& v,
     }
 
     bool accepted = false;
-    for (const float xi : {+plan.eps, -plan.eps}) {
-      before.clear();
-      bool changed = false;
-      for (const auto coord : coords) {
-        const float prev = v_adv.data()[coord];
-        before.push_back(prev);
-        const float after = clip_pixel(prev + xi, v.data()[coord], config.tau);
-        if (after != prev) changed = true;
-        v_adv.data()[coord] = after;
-        q_adv.data()[coord] = std::round(after);
-      }
-      if (!changed) {
+    try {
+      for (const float xi : {+plan.eps, -plan.eps}) {
+        before.clear();
+        bool changed = false;
+        for (const auto coord : coords) {
+          const float prev = v_adv.data()[coord];
+          before.push_back(prev);
+          const float after =
+              clip_pixel(prev + xi, v.data()[coord], config.tau);
+          if (after != prev) changed = true;
+          v_adv.data()[coord] = after;
+          q_adv.data()[coord] = std::round(after);
+        }
+        if (!changed) {
+          for (std::size_t c = 0; c < coords.size(); ++c) {
+            v_adv.data()[coords[c]] = before[c];
+            q_adv.data()[coords[c]] = std::round(before[c]);
+          }
+          continue;
+        }
+        const double t_candidate = t_loss(victim, q_adv, ctx);
+        if (t_candidate < t_current) {
+          t_current = t_candidate;
+          accepted = true;
+          break;  // Alg. 2 line 11
+        }
         for (std::size_t c = 0; c < coords.size(); ++c) {
-          v_adv.data()[coords[c]] = before[c];
+          v_adv.data()[coords[c]] = before[c];  // revert the group
           q_adv.data()[coords[c]] = std::round(before[c]);
         }
-        continue;
       }
-      const double t_candidate = t_loss(victim, q_adv, ctx);
-      if (t_candidate < t_current) {
-        t_current = t_candidate;
-        accepted = true;
-        break;  // Alg. 2 line 11
-      }
+    } catch (...) {
+      // Unrecoverable victim fault while a candidate was applied: revert it,
+      // then checkpoint the pre-iteration state so a resumed run replays
+      // this iteration from scratch and converges to the same final video.
       for (std::size_t c = 0; c < coords.size(); ++c) {
-        v_adv.data()[coords[c]] = before[c];  // revert the group
+        v_adv.data()[coords[c]] = before[c];
         q_adv.data()[coords[c]] = std::round(before[c]);
       }
+      if (cc.enabled) {
+        cc.save(kappa, t_current, result.t_history, queries_total(), stall,
+                rng_before, deck_reshuffled ? deck_backup : deck,
+                static_cast<std::int64_t>(deck_pos_before), v_adv.data());
+      }
+      throw;
     }
     result.t_history.push_back(t_current);
     stall = accepted ? 0 : stall + 1;
-    if (config.patience > 0 && stall >= config.patience) break;
   }
 
   result.v_adv = std::move(q_adv);
   result.final_t = t_current;
-  result.queries_spent = victim.query_count() - queries_before;
+  result.queries_spent = queries_total();
   return result;
 }
 
-SparseQueryResult sparse_query_pipelined(const video::Video& v,
-                                         const Perturbation& perturbation,
-                                         serve::AsyncBlackBoxHandle& victim,
-                                         const ObjectiveContext& ctx,
-                                         const SparseQueryConfig& config) {
+namespace {
+
+// Pipelined Algorithm 2 over any async handle exposing
+//   submit(video::Video, std::size_t) -> awaitable with .get()
+//   query_count() -> std::int64_t
+// i.e. serve::AsyncBlackBoxHandle (raw futures) and serve::ResilientHandle
+// (retrying PendingRetrievals). One body keeps the two public overloads'
+// semantics — and their bitwise-determinism contract — identical.
+template <typename Handle>
+SparseQueryResult sparse_query_pipelined_impl(const video::Video& v,
+                                              const Perturbation& perturbation,
+                                              Handle& victim,
+                                              const ObjectiveContext& ctx,
+                                              const SparseQueryConfig& config) {
   const video::VideoGeometry& g = v.geometry();
   DUO_CHECK_MSG(perturbation.geometry() == g, "perturbation geometry mismatch");
   Rng rng(config.seed);
   const StepPlan plan = make_step_plan(perturbation, config);
+  const CheckpointContext cc = CheckpointContext::make(config, v, plan);
 
   SparseQueryResult result;
   const std::int64_t queries_before = victim.query_count();
+  std::int64_t queries_carried = 0;
+  const auto queries_total = [&] {
+    return queries_carried + victim.query_count() - queries_before;
+  };
 
   video::Video v_adv = perturbation.apply_to(v);
+  double t_current = 0.0;
+  std::vector<std::int64_t> deck;
+  std::size_t deck_pos = 0;
+  int stall = 0;
+
+  const int start_kappa =
+      try_resume(config, cc, plan, v_adv, t_current, result.t_history,
+                 queries_carried, stall, rng, deck, deck_pos);
   video::Video q_adv = quantized(v_adv);
-  double t_current = t_loss_from_list(victim.submit(q_adv, ctx.m).get(), ctx);
-  result.t_history.push_back(t_current);
+  if (start_kappa == 1) {
+    t_current = t_loss_from_list(victim.submit(q_adv, ctx.m).get(), ctx);
+    result.t_history.push_back(t_current);
+  }
 
   if (plan.support.empty()) {
     result.v_adv = std::move(v_adv);
     result.final_t = t_current;
-    result.queries_spent = victim.query_count() - queries_before;
+    result.queries_spent = queries_total();
     return result;
   }
 
-  std::vector<std::int64_t> deck = plan.support;
-  rng.shuffle(deck);
-  std::size_t deck_pos = 0;
-  int stall = 0;
+  if (start_kappa == 1) {
+    deck = plan.support;
+    rng.shuffle(deck);
+    deck_pos = 0;
+  }
 
   std::vector<std::int64_t> coords;
   std::vector<float> plus_vals;
   std::vector<float> minus_vals;
+  std::vector<std::int64_t> deck_backup;
   coords.reserve(plan.group);
   plus_vals.reserve(plan.group);
   minus_vals.reserve(plan.group);
 
-  for (int kappa = 1; kappa < config.iter_numQ; ++kappa) {
+  using Awaitable = decltype(victim.submit(std::declval<video::Video>(),
+                                           std::declval<std::size_t>()));
+
+  for (int kappa = start_kappa;
+       kappa < config.iter_numQ &&
+       !(config.patience > 0 && stall >= config.patience);
+       ++kappa) {
+    if (cc.enabled && cc.every > 0 && kappa % cc.every == 0) {
+      cc.save(kappa, t_current, result.t_history, queries_total(), stall,
+              rng.state(), deck, static_cast<std::int64_t>(deck_pos),
+              v_adv.data());
+    }
+    const std::uint64_t rng_before = rng.state();
+    const std::size_t deck_pos_before = deck_pos;
+    bool deck_reshuffled = false;
+
     coords.clear();
     for (std::size_t c = 0; c < plan.group; ++c) {
       if (deck_pos >= deck.size()) {
+        if (cc.enabled && !deck_reshuffled) deck_backup = deck;
+        deck_reshuffled = true;
         rng.shuffle(deck);
         deck_pos = 0;
       }
@@ -227,8 +406,8 @@ SparseQueryResult sparse_query_pipelined(const video::Video& v,
 
     // Launch +ε, then build and launch −ε while the first forward is in
     // flight: candidate evaluation overlaps the perturbation bookkeeping.
-    std::future<metrics::RetrievalList> f_plus;
-    std::future<metrics::RetrievalList> f_minus;
+    std::optional<Awaitable> f_plus;
+    std::optional<Awaitable> f_minus;
     if (changed_plus) {
       video::Video cand = q_adv;
       for (std::size_t c = 0; c < coords.size(); ++c) {
@@ -246,42 +425,86 @@ SparseQueryResult sparse_query_pipelined(const video::Video& v,
 
     // Replay the serial acceptance order: +ε wins if it improves, −ε is
     // consulted only otherwise. A speculative −ε forward whose answer goes
-    // unused already cost the victim a query and stays counted.
+    // unused already cost the victim a query and stays counted. v_adv/q_adv
+    // are committed only after a successful get(), so a fatal fault leaves
+    // them at the pre-iteration state — exactly what gets checkpointed.
     bool accepted = false;
-    if (changed_plus) {
-      const double t_candidate = t_loss_from_list(f_plus.get(), ctx);
-      if (t_candidate < t_current) {
-        t_current = t_candidate;
-        for (std::size_t c = 0; c < coords.size(); ++c) {
-          v_adv.data()[coords[c]] = plus_vals[c];
-          q_adv.data()[coords[c]] = std::round(plus_vals[c]);
+    try {
+      if (changed_plus) {
+        const double t_candidate = t_loss_from_list(f_plus->get(), ctx);
+        if (t_candidate < t_current) {
+          t_current = t_candidate;
+          for (std::size_t c = 0; c < coords.size(); ++c) {
+            v_adv.data()[coords[c]] = plus_vals[c];
+            q_adv.data()[coords[c]] = std::round(plus_vals[c]);
+          }
+          accepted = true;
         }
-        accepted = true;
       }
-    }
-    if (!accepted && changed_minus) {
-      const double t_candidate = t_loss_from_list(f_minus.get(), ctx);
-      if (t_candidate < t_current) {
-        t_current = t_candidate;
-        for (std::size_t c = 0; c < coords.size(); ++c) {
-          v_adv.data()[coords[c]] = minus_vals[c];
-          q_adv.data()[coords[c]] = std::round(minus_vals[c]);
+      if (!accepted && changed_minus) {
+        const double t_candidate = t_loss_from_list(f_minus->get(), ctx);
+        if (t_candidate < t_current) {
+          t_current = t_candidate;
+          for (std::size_t c = 0; c < coords.size(); ++c) {
+            v_adv.data()[coords[c]] = minus_vals[c];
+            q_adv.data()[coords[c]] = std::round(minus_vals[c]);
+          }
+          accepted = true;
         }
-        accepted = true;
       }
+    } catch (...) {
+      if (cc.enabled) {
+        // Note an accepted +ε commit before a fatal −ε get() is impossible:
+        // −ε is only consulted when +ε was rejected (no commit happened).
+        cc.save(kappa, t_current, result.t_history, queries_total(), stall,
+                rng_before, deck_reshuffled ? deck_backup : deck,
+                static_cast<std::int64_t>(deck_pos_before), v_adv.data());
+      }
+      throw;
     }
     result.t_history.push_back(t_current);
     stall = accepted ? 0 : stall + 1;
-    if (config.patience > 0 && stall >= config.patience) break;
   }
 
   result.v_adv = std::move(q_adv);
   result.final_t = t_current;
-  result.queries_spent = victim.query_count() - queries_before;
+  result.queries_spent = queries_total();
   return result;
 }
 
+}  // namespace
+
+SparseQueryResult sparse_query_pipelined(const video::Video& v,
+                                         const Perturbation& perturbation,
+                                         serve::AsyncBlackBoxHandle& victim,
+                                         const ObjectiveContext& ctx,
+                                         const SparseQueryConfig& config) {
+  return sparse_query_pipelined_impl(v, perturbation, victim, ctx, config);
+}
+
+SparseQueryResult sparse_query_pipelined(const video::Video& v,
+                                         const Perturbation& perturbation,
+                                         serve::ResilientHandle& victim,
+                                         const ObjectiveContext& ctx,
+                                         const SparseQueryConfig& config) {
+  return sparse_query_pipelined_impl(v, perturbation, victim, ctx, config);
+}
+
 ObjectiveContext make_objective_context(serve::AsyncBlackBoxHandle& victim,
+                                        const video::Video& v,
+                                        const video::Video& v_t, std::size_t m,
+                                        double eta) {
+  ObjectiveContext ctx;
+  ctx.m = m;
+  ctx.eta = eta;
+  auto list_v = victim.submit(v, m);
+  auto list_vt = victim.submit(v_t, m);
+  ctx.list_v = list_v.get();
+  ctx.list_vt = list_vt.get();
+  return ctx;
+}
+
+ObjectiveContext make_objective_context(serve::ResilientHandle& victim,
                                         const video::Video& v,
                                         const video::Video& v_t, std::size_t m,
                                         double eta) {

@@ -7,12 +7,14 @@
 // ranking loss T (Eq. 2 / Eq. 3).
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "attack/objective.hpp"
 #include "attack/perturbation.hpp"
 #include "retrieval/system.hpp"
 #include "serve/async_handle.hpp"
+#include "serve/resilient.hpp"
 #include "video/video.hpp"
 
 namespace duo::attack {
@@ -32,6 +34,20 @@ struct SparseQueryConfig {
   int coords_per_step = 0;
   // Stop early after this many consecutive rejected iterations (0 = never).
   int patience = 0;
+
+  // Checkpoint/resume (attack/checkpoint.hpp). With a non-empty
+  // checkpoint_path the driver atomically saves its full state every
+  // checkpoint_every iterations and — crucially — right before rethrowing a
+  // fatal victim error, so no billed query is ever more than one iteration
+  // from a durable record. With resume = true a matching checkpoint (same
+  // geometry, seed, support size, and source-video hash) is restored and the
+  // run continues from it; a missing or mismatched checkpoint falls back to
+  // a fresh start. A resumed run finishes with the same final video and
+  // t_history as an uninterrupted one, and queries_spent counts the billed
+  // queries of every contributing process.
+  std::string checkpoint_path;
+  int checkpoint_every = 25;
+  bool resume = false;
 };
 
 struct SparseQueryResult {
@@ -64,9 +80,27 @@ SparseQueryResult sparse_query_pipelined(const video::Video& v,
                                          const ObjectiveContext& ctx,
                                          const SparseQueryConfig& config);
 
+// Pipelined Algorithm 2 through the retrying client policy
+// (serve/resilient.hpp): transient victim faults are absorbed by retries —
+// against a deterministic victim the answers, and therefore the final video,
+// stay bitwise identical to a fault-free run; only queries_spent (victim-side
+// billing, retries included) and wall time grow. Fatal faults propagate as
+// serve::ServeError after a best-effort checkpoint (when configured).
+SparseQueryResult sparse_query_pipelined(const video::Video& v,
+                                         const Perturbation& perturbation,
+                                         serve::ResilientHandle& victim,
+                                         const ObjectiveContext& ctx,
+                                         const SparseQueryConfig& config);
+
 // Async twin of make_objective_context (attack/objective.hpp): fetches
 // R^m(v) and R^m(v_t) with both queries in flight at once.
 ObjectiveContext make_objective_context(serve::AsyncBlackBoxHandle& victim,
+                                        const video::Video& v,
+                                        const video::Video& v_t, std::size_t m,
+                                        double eta = 1.0);
+
+// Same, through the retry policy.
+ObjectiveContext make_objective_context(serve::ResilientHandle& victim,
                                         const video::Video& v,
                                         const video::Video& v_t, std::size_t m,
                                         double eta = 1.0);

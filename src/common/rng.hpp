@@ -83,6 +83,10 @@ class Rng {
   // parent in practice because the fork consumes parent state.
   Rng fork() noexcept { return Rng(next_u64() ^ 0xA5A5A5A5DEADBEEFULL); }
 
+  // Raw generator state, for checkpointing: Rng(state()) resumes the stream
+  // exactly where this generator left off.
+  std::uint64_t state() const noexcept { return state_; }
+
   // Fisher-Yates shuffle of an indexable container.
   template <typename Container>
   void shuffle(Container& c) noexcept {

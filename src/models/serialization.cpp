@@ -1,32 +1,168 @@
 #include "models/serialization.hpp"
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
+#include <ostream>
 #include <vector>
 
 namespace duo::models {
+
+namespace io {
+
+void write_u64(std::ostream& out, std::uint64_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+bool read_u64(std::istream& in, std::uint64_t& value) {
+  std::uint64_t buf = 0;
+  in.read(reinterpret_cast<char*>(&buf), sizeof(buf));
+  if (!in) return false;
+  value = buf;
+  return true;
+}
+
+void write_i64(std::ostream& out, std::int64_t value) {
+  write_u64(out, static_cast<std::uint64_t>(value));
+}
+
+bool read_i64(std::istream& in, std::int64_t& value) {
+  std::uint64_t buf = 0;
+  if (!read_u64(in, buf)) return false;
+  value = static_cast<std::int64_t>(buf);
+  return true;
+}
+
+void write_f64(std::ostream& out, double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  write_u64(out, bits);
+}
+
+bool read_f64(std::istream& in, double& value) {
+  std::uint64_t bits = 0;
+  if (!read_u64(in, bits)) return false;
+  std::memcpy(&value, &bits, sizeof(value));
+  return true;
+}
+
+void write_tensor(std::ostream& out, const Tensor& t) {
+  write_i64(out, static_cast<std::int64_t>(t.rank()));
+  for (std::size_t d = 0; d < t.rank(); ++d) write_i64(out, t.dim(d));
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.size() * sizeof(float)));
+}
+
+bool read_tensor(std::istream& in, Tensor& t) {
+  std::int64_t rank = 0;
+  if (!read_i64(in, rank) || rank < 0 || rank > 8) return false;
+  Tensor::Shape shape(static_cast<std::size_t>(rank));
+  std::int64_t elements = 1;
+  for (auto& dim : shape) {
+    if (!read_i64(in, dim) || dim < 0) return false;
+    elements *= dim;
+    if (elements > std::numeric_limits<std::int32_t>::max()) return false;
+  }
+  Tensor staged(std::move(shape));
+  in.read(reinterpret_cast<char*>(staged.data()),
+          static_cast<std::streamsize>(staged.size() * sizeof(float)));
+  if (!in) return false;
+  t = std::move(staged);
+  return true;
+}
+
+void write_i64_vec(std::ostream& out, const std::vector<std::int64_t>& v) {
+  write_i64(out, static_cast<std::int64_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(std::int64_t)));
+}
+
+bool read_i64_vec(std::istream& in, std::vector<std::int64_t>& v) {
+  std::int64_t size = 0;
+  if (!read_i64(in, size) || size < 0 ||
+      size > std::numeric_limits<std::int32_t>::max()) {
+    return false;
+  }
+  std::vector<std::int64_t> staged(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(staged.data()),
+          static_cast<std::streamsize>(staged.size() * sizeof(std::int64_t)));
+  if (!in) return false;
+  v = std::move(staged);
+  return true;
+}
+
+void write_f64_vec(std::ostream& out, const std::vector<double>& v) {
+  write_i64(out, static_cast<std::int64_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+bool read_f64_vec(std::istream& in, std::vector<double>& v) {
+  std::int64_t size = 0;
+  if (!read_i64(in, size) || size < 0 ||
+      size > std::numeric_limits<std::int32_t>::max()) {
+    return false;
+  }
+  std::vector<double> staged(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(staged.data()),
+          static_cast<std::streamsize>(staged.size() * sizeof(double)));
+  if (!in) return false;
+  v = std::move(staged);
+  return true;
+}
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a(const Tensor& t) {
+  return fnv1a(t.data(), static_cast<std::size_t>(t.size()) * sizeof(float));
+}
+
+bool atomic_write(const std::string& path,
+                  const std::function<void(std::ostream&)>& write) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    write(out);
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace io
 
 namespace {
 constexpr char kMagic[8] = {'D', 'U', 'O', 'W', '1', '\0', '\0', '\0'};
 }
 
 bool save_parameters(FeatureExtractor& extractor, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
-
   const auto params = extractor.parameters();
-  out.write(kMagic, sizeof(kMagic));
-  const std::int64_t count = static_cast<std::int64_t>(params.size());
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  for (const auto* p : params) {
-    const std::int64_t size = p->size();
-    out.write(reinterpret_cast<const char*>(&size), sizeof(size));
-  }
-  for (const auto* p : params) {
-    out.write(reinterpret_cast<const char*>(p->value.data()),
-              static_cast<std::streamsize>(p->size() * sizeof(float)));
-  }
-  return static_cast<bool>(out);
+  return io::atomic_write(path, [&](std::ostream& out) {
+    out.write(kMagic, sizeof(kMagic));
+    io::write_i64(out, static_cast<std::int64_t>(params.size()));
+    for (const auto* p : params) io::write_i64(out, p->size());
+    for (const auto* p : params) {
+      out.write(reinterpret_cast<const char*>(p->value.data()),
+                static_cast<std::streamsize>(p->size() * sizeof(float)));
+    }
+  });
 }
 
 bool load_parameters(FeatureExtractor& extractor, const std::string& path) {
@@ -39,14 +175,15 @@ bool load_parameters(FeatureExtractor& extractor, const std::string& path) {
 
   const auto params = extractor.parameters();
   std::int64_t count = 0;
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in || count != static_cast<std::int64_t>(params.size())) return false;
+  if (!io::read_i64(in, count) ||
+      count != static_cast<std::int64_t>(params.size())) {
+    return false;
+  }
 
   std::vector<std::int64_t> sizes(static_cast<std::size_t>(count));
   for (auto& s : sizes) {
-    in.read(reinterpret_cast<char*>(&s), sizeof(s));
+    if (!io::read_i64(in, s)) return false;
   }
-  if (!in) return false;
   for (std::size_t i = 0; i < params.size(); ++i) {
     if (sizes[i] != params[i]->size()) return false;
   }

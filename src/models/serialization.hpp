@@ -1,16 +1,69 @@
 #pragma once
 
-// Model-weight serialization: flat binary checkpoint of all parameters of a
-// FeatureExtractor, in parameter-iteration order. A checkpoint only loads
-// back into the identical architecture/feature-dim/geometry (validated via a
-// layout fingerprint), which is exactly the deployment story the library
-// needs: train a victim once, attack it across bench runs.
+// Binary serialization. Two layers:
+//
+//  - models::io — small primitives (integers, doubles, tensors, vectors,
+//    FNV-1a fingerprints, atomic file commit) shared by every checkpoint
+//    format in the library. All multi-byte values are written in the host's
+//    native byte order; checkpoints are a single-machine resume/deploy
+//    mechanism, not an interchange format.
+//  - save_parameters / load_parameters — flat checkpoint of all parameters
+//    of a FeatureExtractor, in parameter-iteration order. A checkpoint only
+//    loads back into the identical architecture/feature-dim/geometry
+//    (validated via a layout fingerprint), which is exactly the deployment
+//    story the library needs: train a victim once, attack it across bench
+//    runs.
+//
+// Attack-state checkpoints (src/attack/checkpoint.hpp) build on models::io.
 
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "models/feature_extractor.hpp"
+#include "tensor/tensor.hpp"
 
 namespace duo::models {
+
+namespace io {
+
+// Primitive writes never fail by themselves; check the stream after a batch
+// of writes (ofstream reports failure at flush/close). Reads return false on
+// EOF/short reads and leave the output untouched on failure.
+void write_u64(std::ostream& out, std::uint64_t value);
+bool read_u64(std::istream& in, std::uint64_t& value);
+void write_i64(std::ostream& out, std::int64_t value);
+bool read_i64(std::istream& in, std::int64_t& value);
+void write_f64(std::ostream& out, double value);
+bool read_f64(std::istream& in, double& value);
+
+// Tensor: rank, dims, then the float payload. read_tensor validates the
+// header (rank <= 8, non-negative dims, element count < 2^31) before
+// allocating, so a corrupt file cannot trigger a huge allocation.
+void write_tensor(std::ostream& out, const Tensor& t);
+bool read_tensor(std::istream& in, Tensor& t);
+
+// Length-prefixed vectors.
+void write_i64_vec(std::ostream& out, const std::vector<std::int64_t>& v);
+bool read_i64_vec(std::istream& in, std::vector<std::int64_t>& v);
+void write_f64_vec(std::ostream& out, const std::vector<double>& v);
+bool read_f64_vec(std::istream& in, std::vector<double>& v);
+
+// FNV-1a over raw bytes — the fingerprint used to bind an attack checkpoint
+// to the exact inputs it was taken against.
+std::uint64_t fnv1a(const void* data, std::size_t bytes);
+std::uint64_t fnv1a(const Tensor& t);
+
+// Write-then-rename commit: `write` streams into `path + ".tmp"`, which is
+// renamed over `path` only if every write succeeded. A reader therefore
+// never observes a torn checkpoint, and a crash mid-write leaves any
+// previous checkpoint intact.
+bool atomic_write(const std::string& path,
+                  const std::function<void(std::ostream&)>& write);
+
+}  // namespace io
 
 // Save every parameter tensor of `extractor` to `path`. Returns false on
 // I/O failure.

@@ -9,14 +9,22 @@
 // Accounting is honest and thread-safe: every submit() counts as one victim
 // query at submission time, whether or not the caller ends up using the
 // answer (a speculative candidate the attacker discards still cost the
-// victim a forward pass).
+// victim a forward pass). submit_with_deadline bills only accepted
+// submissions — a request rejected at the queue never reached the victim.
+//
+// Failures surface as typed serve::ServeError (serve/errors.hpp) so callers
+// can tell retryable hiccups from fatal conditions and know whether the
+// failed query was billed; a dropped response (abandoned promise) is
+// translated from std::future_error into ServeError{kDropped, billed}.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <utility>
 
 #include "metrics/metrics.hpp"
+#include "serve/errors.hpp"
 #include "serve/server.hpp"
 #include "video/video.hpp"
 
@@ -30,14 +38,36 @@ class AsyncBlackBoxHandle {
   AsyncBlackBoxHandle& operator=(const AsyncBlackBoxHandle&) = delete;
 
   // Asynchronous R^m(v): counts one query, returns a future for the list.
+  // (A submission that loses the race with shutdown is still counted here;
+  // use submit_with_deadline for billing that tracks acceptance.)
   std::future<metrics::RetrievalList> submit(video::Video v, std::size_t m) {
     query_count_.fetch_add(1, std::memory_order_relaxed);
     return server_.submit(std::move(v), m);
   }
 
-  // Synchronous convenience wrapper (submit + wait).
+  // Bounded-wait submission: bills one victim query iff the request was
+  // accepted into the queue. Rejections come back unbilled with the
+  // ServeError already set on the future (see RetrievalServer).
+  SubmitOutcome submit_with_deadline(video::Video v, std::size_t m,
+                                     std::chrono::milliseconds deadline) {
+    SubmitOutcome out =
+        server_.submit_with_deadline(std::move(v), m, deadline);
+    if (out.accepted) query_count_.fetch_add(1, std::memory_order_relaxed);
+    return out;
+  }
+
+  // Synchronous convenience wrapper (submit + wait). Throws ServeError on
+  // failure — typed, so callers can branch on retryable()/billed().
   metrics::RetrievalList retrieve(const video::Video& v, std::size_t m) {
-    return submit(v, m).get();
+    auto future = submit(v, m);
+    try {
+      return future.get();
+    } catch (const ServeError&) {
+      throw;  // already typed (injected faults, shutdown, backend failure)
+    } catch (const std::future_error&) {
+      throw ServeError(ServeErrorCode::kDropped, /*billed=*/true,
+                       "AsyncBlackBoxHandle: response dropped by the server");
+    }
   }
 
   std::int64_t query_count() const noexcept {

@@ -1,0 +1,52 @@
+#pragma once
+
+// Typed serve-layer failures. Everything that can go wrong between an
+// attacker's submit() and the victim's answer is surfaced as a ServeError so
+// callers can tell a retryable hiccup (transient backend error, dropped
+// response, backpressure timeout) from a fatal condition (server shut down,
+// retry budget exhausted, extractor blew up) — and whether the failed
+// attempt billed a victim query, which a query-budgeted attack must account
+// for even when the answer never arrived.
+//
+// ServeError derives from std::runtime_error, so pre-existing callers that
+// caught the old untyped exceptions keep working.
+
+#include <stdexcept>
+#include <string>
+
+namespace duo::serve {
+
+enum class ServeErrorCode {
+  kTransient,       // backend answered with a transient failure; retry
+  kOverloaded,      // bounded submit deadline expired with the queue full
+  kDropped,         // response lost (promise abandoned / per-query timeout)
+  kShutdown,        // server stopped; no retry will ever succeed
+  kRetryExhausted,  // resilient client ran out of attempts or retry budget
+  kFatal,           // unrecoverable backend error (extractor failure, ...)
+};
+
+class ServeError : public std::runtime_error {
+ public:
+  ServeError(ServeErrorCode code, bool billed, const std::string& what)
+      : std::runtime_error(what), code_(code), billed_(billed) {}
+
+  ServeErrorCode code() const noexcept { return code_; }
+
+  // True when the victim (is believed to have) spent a forward pass on the
+  // failed attempt — honest query accounting must count it.
+  bool billed() const noexcept { return billed_; }
+
+  // Retryable failures are transient by construction: a later identical
+  // submission can succeed. Fatal codes never clear on retry.
+  bool retryable() const noexcept {
+    return code_ == ServeErrorCode::kTransient ||
+           code_ == ServeErrorCode::kOverloaded ||
+           code_ == ServeErrorCode::kDropped;
+  }
+
+ private:
+  ServeErrorCode code_;
+  bool billed_;
+};
+
+}  // namespace duo::serve

@@ -1,0 +1,90 @@
+#include "serve/fault_injection.hpp"
+
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace duo::serve {
+
+FaultInjector::FaultInjector(FaultConfig config)
+    : config_(config), rng_(config.seed) {
+  DUO_CHECK_MSG(config_.error_prob >= 0.0 && config_.delay_prob >= 0.0 &&
+                    config_.drop_prob >= 0.0,
+                "FaultInjector: negative fault probability");
+  DUO_CHECK_MSG(
+      config_.error_prob + config_.delay_prob + config_.drop_prob <= 1.0,
+      "FaultInjector: fault probabilities sum past 1");
+  DUO_CHECK_MSG(config_.delay_ms >= 0.0, "FaultInjector: negative delay");
+}
+
+FaultKind FaultInjector::draw() {
+  // One uniform draw per request keeps the schedule a pure function of the
+  // seed and the request index, whatever mix of fault kinds is enabled.
+  if (decisions_ == config_.fatal_at) {
+    ++decisions_;
+    ++injected_;
+    return FaultKind::kFatalError;
+  }
+  ++decisions_;
+  const double u = rng_.uniform();
+  FaultKind kind = FaultKind::kNone;
+  if (u < config_.error_prob) {
+    kind = FaultKind::kTransientError;
+  } else if (u < config_.error_prob + config_.delay_prob) {
+    kind = FaultKind::kDelay;
+  } else if (u < config_.error_prob + config_.delay_prob + config_.drop_prob) {
+    kind = FaultKind::kDrop;
+  }
+  if (kind != FaultKind::kNone) ++injected_;
+  return kind;
+}
+
+FaultKind FaultInjector::next() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draw();
+}
+
+std::int64_t FaultInjector::decisions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return decisions_;
+}
+
+std::int64_t FaultInjector::injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return injected_;
+}
+
+std::vector<FaultKind> FaultInjector::schedule(const FaultConfig& config,
+                                               std::size_t n) {
+  FaultInjector preview(config);
+  std::vector<FaultKind> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(preview.next());
+  return out;
+}
+
+metrics::RetrievalList FaultySystem::retrieve(const video::Video& v,
+                                              std::size_t m) {
+  switch (injector_.next()) {
+    case FaultKind::kTransientError:
+      throw ServeError(ServeErrorCode::kTransient, /*billed=*/true,
+                       "FaultySystem: injected transient error");
+    case FaultKind::kDrop:
+      // In the synchronous world a dropped response surfaces as the client's
+      // own timeout; the backend still did the work.
+      throw ServeError(ServeErrorCode::kDropped, /*billed=*/true,
+                       "FaultySystem: injected dropped response");
+    case FaultKind::kFatalError:
+      throw ServeError(ServeErrorCode::kFatal, /*billed=*/true,
+                       "FaultySystem: injected fatal victim error");
+    case FaultKind::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(injector_.config().delay_ms));
+      break;
+    case FaultKind::kNone:
+      break;
+  }
+  return system_.retrieve(v, m);
+}
+
+}  // namespace duo::serve

@@ -1,0 +1,108 @@
+#pragma once
+
+// Deterministic fault injection for the victim service. A FaultInjector
+// draws one fault decision per request from a seeded Rng, so a given seed
+// always yields the same fault schedule over the same arrival order — every
+// fault-tolerance test is bit-for-bit reproducible. Faults model the ways a
+// deployed black-box API misbehaves under load (the operating conditions
+// SimBA-style query attacks meet in practice): transient errors, fixed-delay
+// slowdowns, and dropped responses, plus an optional fatal fault at a fixed
+// request index for kill-and-resume tests.
+//
+// Two injection points share the schedule engine:
+//  - RetrievalServer consults a FaultInjector (ServerConfig::fault_injector)
+//    when fulfilling each request, in arrival order.
+//  - FaultySystem wraps a RetrievalSystem for the synchronous, non-served
+//    path: retrieve() throws / sleeps per the same schedule. Like the raw
+//    system it wraps, it is NOT safe for concurrent retrieve calls.
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "metrics/metrics.hpp"
+#include "retrieval/system.hpp"
+#include "serve/errors.hpp"
+#include "video/video.hpp"
+
+namespace duo::serve {
+
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kTransientError,  // answer replaced by a retryable ServeError
+  kDelay,           // answer delayed by FaultConfig::delay_ms
+  kDrop,            // answer never delivered (promise abandoned)
+  kFatalError,      // unrecoverable ServeError (kill-and-resume tests)
+};
+
+struct FaultConfig {
+  // Per-request probabilities; must sum to <= 1. The remainder is kNone.
+  double error_prob = 0.0;
+  double delay_prob = 0.0;
+  double drop_prob = 0.0;
+  // Fixed slowdown applied to kDelay requests.
+  double delay_ms = 5.0;
+  // Request index (0-based, in arrival order) that fails fatally; -1 = never.
+  std::int64_t fatal_at = -1;
+  // Seed of the fault schedule. Same seed + same arrival order = same faults.
+  std::uint64_t seed = 1;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig config);
+
+  // Fault decision for the next request, consuming the schedule. Thread-safe;
+  // decisions are deterministic in consumption order.
+  FaultKind next();
+
+  // Requests decided so far / faults (anything but kNone) injected so far.
+  std::int64_t decisions() const;
+  std::int64_t injected() const;
+
+  const FaultConfig& config() const noexcept { return config_; }
+
+  // Pure preview of the schedule a fresh injector with `config` would
+  // produce for its first `n` requests (tests assert determinism with this).
+  static std::vector<FaultKind> schedule(const FaultConfig& config,
+                                         std::size_t n);
+
+ private:
+  FaultKind draw();  // requires mutex_ held
+
+  FaultConfig config_;
+  mutable std::mutex mutex_;
+  Rng rng_;
+  std::int64_t decisions_ = 0;
+  std::int64_t injected_ = 0;
+};
+
+// The synchronous victim with faults: wraps a RetrievalSystem and applies a
+// FaultInjector schedule to direct retrieve() calls. Injected faults throw
+// ServeError with billed=true — the backend did (or would have done) the
+// forward pass; only the answer is lost. kDelay sleeps, then answers.
+class FaultySystem {
+ public:
+  FaultySystem(retrieval::RetrievalSystem& system, FaultConfig config)
+      : system_(system), injector_(config) {}
+
+  metrics::RetrievalList retrieve(const video::Video& v, std::size_t m);
+
+  // Adapter for retrieval::BlackBoxHandle's type-erased constructor.
+  retrieval::BlackBoxHandle::RetrieveFn retrieve_fn() {
+    return [this](const video::Video& v, std::size_t m) {
+      return retrieve(v, m);
+    };
+  }
+
+  FaultInjector& injector() noexcept { return injector_; }
+
+ private:
+  retrieval::RetrievalSystem& system_;
+  FaultInjector injector_;
+};
+
+}  // namespace duo::serve

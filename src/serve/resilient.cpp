@@ -1,0 +1,141 @@
+#include "serve/resilient.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace duo::serve {
+
+metrics::RetrievalList PendingRetrieval::get() {
+  return handle_->await_with_retry(std::move(future_), accepted_, video_, m_);
+}
+
+ResilientHandle::ResilientHandle(AsyncBlackBoxHandle& inner,
+                                 RetryPolicy policy)
+    : inner_(inner),
+      policy_(policy),
+      jitter_rng_(policy.seed),
+      budget_left_(policy.retry_budget) {
+  DUO_CHECK_MSG(policy_.max_attempts >= 1,
+                "ResilientHandle: max_attempts < 1");
+  DUO_CHECK_MSG(policy_.jitter >= 0.0, "ResilientHandle: negative jitter");
+}
+
+metrics::RetrievalList ResilientHandle::retrieve(const video::Video& v,
+                                                 std::size_t m) {
+  SubmitOutcome first =
+      inner_.submit_with_deadline(v, m, policy_.submit_deadline);
+  return await_with_retry(std::move(first.future), first.accepted, v, m);
+}
+
+PendingRetrieval ResilientHandle::submit(video::Video v, std::size_t m) {
+  SubmitOutcome first =
+      inner_.submit_with_deadline(v, m, policy_.submit_deadline);
+  return PendingRetrieval(*this, std::move(v), m, std::move(first));
+}
+
+void ResilientHandle::classify_failure(
+    std::future<metrics::RetrievalList>& future) {
+  try {
+    (void)future.get();
+    DUO_CHECK_MSG(false, "ResilientHandle: classify_failure on a success");
+  } catch (const ServeError& e) {
+    if (!e.retryable()) throw;
+    note_fault();
+  } catch (const std::future_error&) {
+    note_fault();  // dropped response: promise abandoned server-side
+  }
+}
+
+metrics::RetrievalList ResilientHandle::await_with_retry(
+    std::future<metrics::RetrievalList> future, bool accepted,
+    const video::Video& v, std::size_t m) {
+  bool any_billed = accepted;
+  int attempt = 1;
+  if (!accepted) classify_failure(future);  // throws when non-retryable
+  for (;;) {
+    if (accepted) {
+      if (future.wait_for(policy_.query_timeout) ==
+          std::future_status::ready) {
+        bool retryable_failure = false;
+        try {
+          return future.get();
+        } catch (const ServeError& e) {
+          if (!e.retryable()) throw;
+          retryable_failure = true;
+        } catch (const std::future_error&) {
+          retryable_failure = true;  // dropped response
+        }
+        if (retryable_failure) note_fault();
+      } else {
+        // Answer overdue: declare it lost and resubmit. The abandoned future
+        // may still be fulfilled later; that forward stays billed.
+        note_fault();
+      }
+    }
+    if (attempt >= policy_.max_attempts) {
+      throw ServeError(ServeErrorCode::kRetryExhausted, any_billed,
+                       "ResilientHandle: attempts exhausted for this query");
+    }
+    consume_budget(any_billed);
+    const auto backoff = next_backoff(attempt);
+    if (backoff.count() > 0.0) std::this_thread::sleep_for(backoff);
+    ++attempt;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++retries_;
+    }
+    SubmitOutcome retry =
+        inner_.submit_with_deadline(v, m, policy_.submit_deadline);
+    accepted = retry.accepted;
+    any_billed = any_billed || retry.accepted;
+    future = std::move(retry.future);
+    if (!accepted) classify_failure(future);
+  }
+}
+
+void ResilientHandle::note_fault() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++faults_seen_;
+}
+
+void ResilientHandle::consume_budget(bool any_billed) {
+  if (policy_.retry_budget < 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (budget_left_ <= 0) {
+    throw ServeError(ServeErrorCode::kRetryExhausted, any_billed,
+                     "ResilientHandle: total retry budget exhausted");
+  }
+  --budget_left_;
+}
+
+std::chrono::duration<double, std::milli> ResilientHandle::next_backoff(
+    int attempt) {
+  // min(cap, base * 2^(attempt-1)), scaled by deterministic jitter. The
+  // shift is clamped so pathological attempt counts cannot overflow.
+  const int shift = std::min(attempt - 1, 20);
+  const double base = static_cast<double>(policy_.backoff_base.count()) *
+                      static_cast<double>(1 << shift);
+  const double capped =
+      std::min(base, static_cast<double>(policy_.backoff_cap.count()));
+  double u = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    u = jitter_rng_.uniform();
+  }
+  return std::chrono::duration<double, std::milli>(
+      capped * (1.0 + policy_.jitter * u));
+}
+
+std::int64_t ResilientHandle::retries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return retries_;
+}
+
+std::int64_t ResilientHandle::faults_seen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return faults_seen_;
+}
+
+}  // namespace duo::serve

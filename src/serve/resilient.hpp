@@ -1,0 +1,149 @@
+#pragma once
+
+// ResilientHandle: the retry policy a query-budgeted attacker runs against a
+// victim that times out, errors, and drops responses. It wraps an
+// AsyncBlackBoxHandle with
+//   - a bounded submit deadline (no infinite backpressure block),
+//   - a per-query timeout on the answer,
+//   - capped exponential backoff with deterministic (seeded) jitter,
+//   - a per-query attempt cap and a handle-wide total retry budget,
+// and keeps the accounting honest: every *accepted* submission bills one
+// victim query (queries_billed()), including retries whose answers replace a
+// lost one — exactly like a real black-box API charges per request, not per
+// useful answer.
+//
+// Determinism contract: against a deterministic victim, every attempt for
+// the same video returns the same list, so retries change only query counts
+// and wall time — never the sequence of answers an attack observes. That is
+// what keeps fault-injected attack runs bitwise identical to fault-free
+// ones (tests/test_failure_modes.cpp).
+//
+// Thread-safe: multiple client threads may share one handle (the jitter
+// stream, retry counters, and budget are lock-protected).
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "metrics/metrics.hpp"
+#include "serve/async_handle.hpp"
+#include "serve/errors.hpp"
+#include "video/video.hpp"
+
+namespace duo::serve {
+
+struct RetryPolicy {
+  // Maximum wait for queue space per submission attempt.
+  std::chrono::milliseconds submit_deadline{250};
+  // Maximum wait for the answer per attempt; past it the response is
+  // declared lost and the query is resubmitted (the late answer, if any, is
+  // discarded — the victim was still billed for it).
+  std::chrono::milliseconds query_timeout{250};
+  // Submission attempts per logical query (first try + retries).
+  int max_attempts = 10;
+  // Handle-wide retry budget across all queries; <0 = unlimited.
+  std::int64_t retry_budget = -1;
+  // Backoff before attempt k+1: min(cap, base * 2^(k-1)) * (1 + jitter * u),
+  // u ~ U[0,1) from the seeded stream.
+  std::chrono::milliseconds backoff_base{1};
+  std::chrono::milliseconds backoff_cap{32};
+  double jitter = 0.25;
+  std::uint64_t seed = 71;
+};
+
+class ResilientHandle;
+
+// A query in flight through the resilient policy. submit() launches the
+// first attempt immediately (so callers can pipeline several); get() waits,
+// retrying through the policy until an answer lands or the policy gives up
+// with ServeError{kRetryExhausted} (or a fatal error surfaces).
+class PendingRetrieval {
+ public:
+  metrics::RetrievalList get();
+
+ private:
+  friend class ResilientHandle;
+  PendingRetrieval(ResilientHandle& handle, video::Video video, std::size_t m,
+                   SubmitOutcome first)
+      : handle_(&handle),
+        video_(std::move(video)),
+        m_(m),
+        future_(std::move(first.future)),
+        accepted_(first.accepted) {}
+
+  ResilientHandle* handle_;
+  video::Video video_;  // kept for resubmission
+  std::size_t m_;
+  std::future<metrics::RetrievalList> future_;
+  bool accepted_;
+};
+
+class ResilientHandle {
+ public:
+  explicit ResilientHandle(AsyncBlackBoxHandle& inner, RetryPolicy policy = {});
+
+  ResilientHandle(const ResilientHandle&) = delete;
+  ResilientHandle& operator=(const ResilientHandle&) = delete;
+
+  // Synchronous R^m(v) with retries. Throws ServeError only when the policy
+  // is out of road (fatal error, shutdown, retry budget exhausted).
+  metrics::RetrievalList retrieve(const video::Video& v, std::size_t m);
+
+  // Asynchronous variant for pipelined attacks: the first attempt is
+  // submitted before returning; retries happen inside get().
+  PendingRetrieval submit(video::Video v, std::size_t m);
+
+  // Adapter for retrieval::BlackBoxHandle's type-erased constructor, so the
+  // serial attack drivers run unchanged over a faulty victim. Note the
+  // BlackBoxHandle built on this counts *logical* queries (one per
+  // retrieve); queries_billed() stays the honest victim-side count.
+  std::function<metrics::RetrievalList(const video::Video&, std::size_t)>
+  retrieve_fn() {
+    return [this](const video::Video& v, std::size_t m) {
+      return retrieve(v, m);
+    };
+  }
+
+  // Victim-side billing: accepted submissions, retries included.
+  std::int64_t queries_billed() const noexcept { return inner_.query_count(); }
+  // Alias so ResilientHandle satisfies the same handle concept as
+  // AsyncBlackBoxHandle (attack drivers template over query_count()).
+  std::int64_t query_count() const noexcept { return queries_billed(); }
+  // Retry attempts performed / retryable failures observed so far.
+  std::int64_t retries() const;
+  std::int64_t faults_seen() const;
+
+  const RetryPolicy& policy() const noexcept { return policy_; }
+  AsyncBlackBoxHandle& inner() noexcept { return inner_; }
+
+ private:
+  friend class PendingRetrieval;
+
+  // Waits out `future` (first attempt already submitted iff `accepted`),
+  // retrying per the policy. `v` is the request payload for resubmission.
+  metrics::RetrievalList await_with_retry(
+      std::future<metrics::RetrievalList> future, bool accepted,
+      const video::Video& v, std::size_t m);
+
+  // Classifies the error in a ready future: returns normally when the
+  // failure is retryable (counting it), rethrows otherwise.
+  void classify_failure(std::future<metrics::RetrievalList>& future);
+
+  void note_fault();
+  // Consumes one unit of retry budget; throws kRetryExhausted when dry.
+  void consume_budget(bool any_billed);
+  std::chrono::duration<double, std::milli> next_backoff(int attempt);
+
+  AsyncBlackBoxHandle& inner_;
+  RetryPolicy policy_;
+  mutable std::mutex mutex_;
+  Rng jitter_rng_;
+  std::int64_t retries_ = 0;
+  std::int64_t faults_seen_ = 0;
+  std::int64_t budget_left_ = 0;  // ignored when policy_.retry_budget < 0
+};
+
+}  // namespace duo::serve

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "common/check.hpp"
+#include "serve/errors.hpp"
+#include "serve/fault_injection.hpp"
 
 namespace duo::serve {
 
@@ -31,27 +33,60 @@ std::unique_ptr<retrieval::RetrievalSystem> checked_nonnull(
 
 RetrievalServer::RetrievalServer(retrieval::RetrievalSystem& system,
                                  ServerConfig config)
-    : system_(system), config_(config) {
-  DUO_CHECK_MSG(config_.max_batch >= 1, "RetrievalServer: max_batch < 1");
-  DUO_CHECK_MSG(config_.queue_capacity >= 1,
-                "RetrievalServer: queue_capacity < 1");
-  batch_size_counts_.assign(config_.max_batch + 1, 0);
-  scheduler_ = std::thread([this] { scheduler_loop(); });
+    : system_(system), config_(std::move(config)) {
+  start();
 }
 
 RetrievalServer::RetrievalServer(
     std::unique_ptr<retrieval::RetrievalSystem> system, ServerConfig config)
     : owned_(checked_nonnull(std::move(system))),
       system_(*owned_),
-      config_(config) {
+      config_(std::move(config)) {
+  start();
+}
+
+void RetrievalServer::start() {
   DUO_CHECK_MSG(config_.max_batch >= 1, "RetrievalServer: max_batch < 1");
   DUO_CHECK_MSG(config_.queue_capacity >= 1,
                 "RetrievalServer: queue_capacity < 1");
+  DUO_CHECK_MSG(config_.latency_reservoir >= 1,
+                "RetrievalServer: latency_reservoir < 1");
   batch_size_counts_.assign(config_.max_batch + 1, 0);
+  latency_reservoir_.reserve(config_.latency_reservoir);
   scheduler_ = std::thread([this] { scheduler_loop(); });
 }
 
 RetrievalServer::~RetrievalServer() { shutdown(); }
+
+bool RetrievalServer::enqueue(Request& req,
+                              const std::chrono::milliseconds* deadline) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto have_room = [this] {
+      return stop_ || queue_.size() < config_.queue_capacity;
+    };
+    if (deadline == nullptr) {
+      not_full_.wait(lock, have_room);
+    } else if (!not_full_.wait_for(lock, *deadline, have_room)) {
+      lock.unlock();
+      req.promise.set_exception(std::make_exception_ptr(ServeError(
+          ServeErrorCode::kOverloaded, /*billed=*/false,
+          "RetrievalServer: queue full past the submit deadline")));
+      return false;
+    }
+    if (stop_) {
+      lock.unlock();
+      req.promise.set_exception(std::make_exception_ptr(
+          ServeError(ServeErrorCode::kShutdown, /*billed=*/false,
+                     "RetrievalServer: submit after shutdown")));
+      return false;
+    }
+    req.queued.reset();  // latency clock starts at enqueue
+    queue_.push_back(std::move(req));
+  }
+  not_empty_.notify_one();
+  return true;
+}
 
 std::future<metrics::RetrievalList> RetrievalServer::submit(video::Video v,
                                                             std::size_t m) {
@@ -59,22 +94,19 @@ std::future<metrics::RetrievalList> RetrievalServer::submit(video::Video v,
   req.video = std::move(v);
   req.m = m;
   auto future = req.promise.get_future();
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock, [this] {
-      return stop_ || queue_.size() < config_.queue_capacity;
-    });
-    if (stop_) {
-      lock.unlock();
-      req.promise.set_exception(std::make_exception_ptr(std::runtime_error(
-          "RetrievalServer: submit after shutdown")));
-      return future;
-    }
-    req.queued.reset();  // latency clock starts at enqueue
-    queue_.push_back(std::move(req));
-  }
-  not_empty_.notify_one();
+  enqueue(req, nullptr);
   return future;
+}
+
+SubmitOutcome RetrievalServer::submit_with_deadline(
+    video::Video v, std::size_t m, std::chrono::milliseconds deadline) {
+  Request req;
+  req.video = std::move(v);
+  req.m = m;
+  SubmitOutcome out;
+  out.future = req.promise.get_future();
+  out.accepted = enqueue(req, &deadline);
+  return out;
 }
 
 void RetrievalServer::shutdown() {
@@ -84,7 +116,12 @@ void RetrievalServer::shutdown() {
   }
   not_empty_.notify_all();
   not_full_.notify_all();
-  if (scheduler_.joinable()) scheduler_.join();
+  // The join itself must happen exactly once, but every racer has to block
+  // until draining finishes — std::call_once gives both (concurrent callers
+  // wait for the active execution).
+  std::call_once(join_once_, [this] {
+    if (scheduler_.joinable()) scheduler_.join();
+  });
 }
 
 bool RetrievalServer::stopped() const {
@@ -113,9 +150,17 @@ void RetrievalServer::scheduler_loop() {
 }
 
 void RetrievalServer::process_batch(std::vector<Request>& batch) {
+  // Fault decisions are drawn up front, one per request in arrival order, so
+  // the injected schedule is a pure function of the injector seed and the
+  // request sequence — independent of batching.
+  std::vector<FaultKind> faults(batch.size(), FaultKind::kNone);
+  if (config_.fault_injector != nullptr) {
+    for (auto& f : faults) f = config_.fault_injector->next();
+  }
+
   // Featurize the whole tick in one extract_batch call. A failure here (bad
   // geometry, extractor misuse) poisons the batch, not the scheduler: every
-  // affected future gets the exception and the loop keeps serving.
+  // affected future gets a fatal ServeError and the loop keeps serving.
   std::vector<video::Video> videos;
   videos.reserve(batch.size());
   for (auto& r : batch) videos.push_back(std::move(r.video));
@@ -123,8 +168,11 @@ void RetrievalServer::process_batch(std::vector<Request>& batch) {
   std::vector<Tensor> features;
   try {
     features = system_.extractor().extract_batch(videos);
-  } catch (...) {
-    const auto error = std::current_exception();
+  } catch (const std::exception& e) {
+    const auto error = std::make_exception_ptr(
+        ServeError(ServeErrorCode::kFatal, /*billed=*/true,
+                   std::string("RetrievalServer: backend failure: ") +
+                       e.what()));
     for (auto& r : batch) r.promise.set_exception(error);
     return;
   }
@@ -132,7 +180,34 @@ void RetrievalServer::process_batch(std::vector<Request>& batch) {
   std::vector<double> latencies;
   latencies.reserve(batch.size());
   std::int64_t served = 0;
+  std::int64_t faulted = 0;
   for (std::size_t i = 0; i < batch.size(); ++i) {
+    switch (faults[i]) {
+      case FaultKind::kTransientError:
+        batch[i].promise.set_exception(std::make_exception_ptr(
+            ServeError(ServeErrorCode::kTransient, /*billed=*/true,
+                       "RetrievalServer: injected transient error")));
+        ++faulted;
+        continue;
+      case FaultKind::kFatalError:
+        batch[i].promise.set_exception(std::make_exception_ptr(
+            ServeError(ServeErrorCode::kFatal, /*billed=*/true,
+                       "RetrievalServer: injected fatal victim error")));
+        ++faulted;
+        continue;
+      case FaultKind::kDrop:
+        // Abandoning the promise makes the future ready with
+        // std::future_error{broken_promise} — the lost-response signal.
+        batch[i].promise = std::promise<metrics::RetrievalList>();
+        ++faulted;
+        continue;
+      case FaultKind::kDelay:
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            config_.fault_injector->config().delay_ms));
+        break;
+      case FaultKind::kNone:
+        break;
+    }
     try {
       const auto neighbors = system_.retrieve_feature(features[i], batch[i].m);
       metrics::RetrievalList list;
@@ -141,17 +216,34 @@ void RetrievalServer::process_batch(std::vector<Request>& batch) {
       latencies.push_back(batch[i].queued.elapsed_ms());
       batch[i].promise.set_value(std::move(list));
       ++served;
-    } catch (...) {
-      batch[i].promise.set_exception(std::current_exception());
+    } catch (const std::exception& e) {
+      batch[i].promise.set_exception(std::make_exception_ptr(
+          ServeError(ServeErrorCode::kFatal, /*billed=*/true,
+                     std::string("RetrievalServer: backend failure: ") +
+                         e.what())));
     }
   }
 
   std::lock_guard<std::mutex> lock(stats_mutex_);
   queries_served_ += served;
+  faults_injected_ += faulted;
   ++batches_;
   ++batch_size_counts_[batch.size()];
-  latencies_ms_.insert(latencies_ms_.end(), latencies.begin(),
-                       latencies.end());
+  for (const double ms : latencies) record_latency(ms);
+}
+
+void RetrievalServer::record_latency(double ms) {
+  max_latency_ms_ = std::max(max_latency_ms_, ms);
+  if (latency_reservoir_.size() < config_.latency_reservoir) {
+    latency_reservoir_.push_back(ms);
+  } else {
+    // Algorithm R: sample i replaces a reservoir slot with probability R/i,
+    // keeping a uniform sample of everything observed so far.
+    const auto j = reservoir_rng_.uniform_index(
+        static_cast<std::uint64_t>(latency_count_) + 1);
+    if (j < latency_reservoir_.size()) latency_reservoir_[j] = ms;
+  }
+  ++latency_count_;
 }
 
 ServerStats RetrievalServer::stats() const {
@@ -161,14 +253,16 @@ ServerStats RetrievalServer::stats() const {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     out.queries_served = queries_served_;
     out.batches = batches_;
+    out.faults_injected = faults_injected_;
     out.batch_size_counts = batch_size_counts_;
-    latencies = latencies_ms_;
+    out.latency_count = latency_count_;
+    out.latency_samples_retained =
+        static_cast<std::int64_t>(latency_reservoir_.size());
+    out.max_latency_ms = max_latency_ms_;
+    latencies = latency_reservoir_;
   }
   out.p50_latency_ms = percentile(latencies, 0.50);
   out.p95_latency_ms = percentile(latencies, 0.95);
-  out.max_latency_ms =
-      latencies.empty() ? 0.0
-                        : *std::max_element(latencies.begin(), latencies.end());
   return out;
 }
 
@@ -176,8 +270,12 @@ void RetrievalServer::reset_stats() {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   queries_served_ = 0;
   batches_ = 0;
+  faults_injected_ = 0;
   std::fill(batch_size_counts_.begin(), batch_size_counts_.end(), 0);
-  latencies_ms_.clear();
+  latency_reservoir_.clear();
+  latency_count_ = 0;
+  max_latency_ms_ = 0.0;
+  reservoir_rng_ = Rng(kReservoirSeed);
 }
 
 }  // namespace duo::serve

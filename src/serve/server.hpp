@@ -14,14 +14,25 @@
 // (extract_batch guarantees bitwise equality with serial extraction).
 //
 // Concurrency contract: submit is MPMC-safe and applies backpressure — it
-// blocks while the bounded queue is full. The server has exclusive use of
-// the RetrievalSystem's extractor while running; do not call
-// system.retrieve()/extract_features() directly between construction and
-// shutdown(). shutdown() is graceful: it stops accepting new requests,
-// drains every queued request, and joins the scheduler, so no fulfilled-
-// before-shutdown future is ever abandoned. A submit that arrives after
-// (or loses the race with) shutdown gets its exception set instead.
+// blocks while the bounded queue is full (submit_with_deadline bounds the
+// wait instead). The server has exclusive use of the RetrievalSystem's
+// extractor while running; do not call system.retrieve()/extract_features()
+// directly between construction and shutdown(). shutdown() is graceful: it
+// stops accepting new requests, drains every queued request, and joins the
+// scheduler, so no fulfilled-before-shutdown future is ever abandoned; it is
+// idempotent AND safe to race from multiple threads (late callers block
+// until the draining join completes). A submit that arrives after (or loses
+// the race with) shutdown gets a ServeError{kShutdown} set instead.
+//
+// Fault model: when ServerConfig::fault_injector is set, the scheduler
+// consults it once per request in arrival order while fulfilling — injected
+// transient errors fail the future with a retryable ServeError, delays
+// stall the answer, drops abandon the promise (the future surfaces
+// std::future_error{broken_promise}), and fatal faults fail it with a
+// non-retryable ServeError. The backend work still happens, so every
+// injected fault is billed; see serve/fault_injection.hpp.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -32,6 +43,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "common/stopwatch.hpp"
 #include "metrics/metrics.hpp"
 #include "retrieval/system.hpp"
@@ -39,21 +51,34 @@
 
 namespace duo::serve {
 
+class FaultInjector;  // serve/fault_injection.hpp
+
 struct ServerConfig {
   // Maximum requests drained into one extract_batch call per scheduler tick.
   std::size_t max_batch = 8;
   // Bounded request queue; submit blocks while the queue holds this many.
   std::size_t queue_capacity = 64;
+  // Bounded reservoir for latency percentiles (exact max is kept
+  // separately); memory stays O(latency_reservoir) however long the server
+  // lives.
+  std::size_t latency_reservoir = 512;
+  // Optional fault schedule applied per request at fulfillment time.
+  std::shared_ptr<FaultInjector> fault_injector;
 };
 
 // Snapshot of server-side accounting (see RetrievalServer::stats).
 struct ServerStats {
-  std::int64_t queries_served = 0;  // futures fulfilled with a value
-  std::int64_t batches = 0;         // scheduler ticks that processed work
+  std::int64_t queries_served = 0;   // futures fulfilled with a value
+  std::int64_t batches = 0;          // scheduler ticks that processed work
+  std::int64_t faults_injected = 0;  // requests failed/dropped by injection
   // batch_size_counts[s] = number of ticks that drained exactly s requests;
   // index 0 is unused, size() == max_batch + 1.
   std::vector<std::int64_t> batch_size_counts;
-  // Per-request submit→fulfill wall latency percentiles (ms).
+  // Per-request submit→fulfill wall latency. Percentiles are estimated over
+  // a bounded uniform reservoir of `latency_samples_retained` samples out of
+  // `latency_count` observed; the max is exact over all samples.
+  std::int64_t latency_count = 0;
+  std::int64_t latency_samples_retained = 0;
   double p50_latency_ms = 0.0;
   double p95_latency_ms = 0.0;
   double max_latency_ms = 0.0;
@@ -66,8 +91,21 @@ struct ServerStats {
   }
 };
 
+// Result of a bounded-deadline submission. When `accepted` is false the
+// request was never enqueued (queue stayed full past the deadline, or the
+// server is stopped) and the victim was NOT billed; `future` then already
+// holds the ServeError explaining why.
+struct SubmitOutcome {
+  std::future<metrics::RetrievalList> future;
+  bool accepted = false;
+};
+
 class RetrievalServer {
  public:
+  // Seed of the latency reservoir's replacement stream: fixed, so reservoir
+  // contents are a pure function of the observed latency sequence.
+  static constexpr std::uint64_t kReservoirSeed = 0x5EEDBA5EDB0BA7E5ULL;
+
   // Borrow an externally owned system (must outlive the server).
   explicit RetrievalServer(retrieval::RetrievalSystem& system,
                            ServerConfig config = {});
@@ -81,18 +119,26 @@ class RetrievalServer {
   RetrievalServer& operator=(const RetrievalServer&) = delete;
 
   // Enqueue one retrieval request; thread-safe. Blocks while the queue is
-  // full. On a stopped server the returned future holds std::runtime_error.
+  // full. On a stopped server the returned future holds
+  // ServeError{kShutdown}.
   std::future<metrics::RetrievalList> submit(video::Video v, std::size_t m);
 
+  // Like submit, but waits at most `deadline` for queue space instead of
+  // blocking indefinitely. Rejections (deadline expired → kOverloaded,
+  // stopped server → kShutdown) come back with accepted=false and are not
+  // billed — the request never reached the backend.
+  SubmitOutcome submit_with_deadline(video::Video v, std::size_t m,
+                                     std::chrono::milliseconds deadline);
+
   // Stop accepting requests, drain every queued request, join the scheduler.
-  // Idempotent (but, like ThreadPool::shutdown, must not race itself from
-  // two threads). Called by the destructor.
+  // Idempotent and safe to call concurrently from multiple threads; every
+  // caller returns only once draining has completed. Called by the
+  // destructor.
   void shutdown();
   bool stopped() const;
 
-  // Consistent snapshot of the accounting counters. Percentiles are computed
-  // over all latencies observed so far (memory grows with queries served —
-  // fine at test/bench scale, reset via reset_stats for long runs).
+  // Consistent snapshot of the accounting counters. Percentiles come from a
+  // bounded reservoir (see ServerStats); reset_stats restarts the reservoir.
   ServerStats stats() const;
   void reset_stats();
 
@@ -108,8 +154,13 @@ class RetrievalServer {
     Stopwatch queued;  // reset at enqueue; read at fulfillment
   };
 
+  void start();
+  // Shared enqueue path: nullptr deadline = wait forever. Returns false
+  // (with the rejection ServeError set on the promise) when not enqueued.
+  bool enqueue(Request& req, const std::chrono::milliseconds* deadline);
   void scheduler_loop();
   void process_batch(std::vector<Request>& batch);
+  void record_latency(double ms);  // requires stats_mutex_ held
 
   std::unique_ptr<retrieval::RetrievalSystem> owned_;  // empty when borrowed
   retrieval::RetrievalSystem& system_;
@@ -120,12 +171,18 @@ class RetrievalServer {
   std::condition_variable not_full_;
   std::deque<Request> queue_;
   bool stop_ = false;
+  std::once_flag join_once_;  // serializes the draining join across racers
 
   mutable std::mutex stats_mutex_;
   std::int64_t queries_served_ = 0;
   std::int64_t batches_ = 0;
+  std::int64_t faults_injected_ = 0;
   std::vector<std::int64_t> batch_size_counts_;
-  std::vector<double> latencies_ms_;
+  // Algorithm-R reservoir over latencies + exact running max and count.
+  std::vector<double> latency_reservoir_;
+  std::int64_t latency_count_ = 0;
+  double max_latency_ms_ = 0.0;
+  Rng reservoir_rng_{kReservoirSeed};
 
   std::thread scheduler_;  // last member: started after everything above
 };

@@ -3,21 +3,50 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+
 #include "attack/duo.hpp"
 #include "attack/evaluation.hpp"
 #include "attack/sparse_query.hpp"
 #include "attack/sparse_transfer.hpp"
 #include "baselines/timi.hpp"
+#include "baselines/vanilla.hpp"
+#include "common/stopwatch.hpp"
 #include "fixtures.hpp"
 #include "metrics/metrics.hpp"
 #include "nn/conv3d.hpp"
 #include "nn/linear.hpp"
 #include "retrieval/index.hpp"
+#include "serve/async_handle.hpp"
+#include "serve/fault_injection.hpp"
+#include "serve/resilient.hpp"
+#include "serve/server.hpp"
 
 namespace duo {
 namespace {
 
 using duo::testing::TinyWorld;
+
+attack::Perturbation noisy_support(const video::Video& v, std::uint64_t seed) {
+  Rng rng(seed);
+  attack::Perturbation p = baselines::random_support(v.geometry(), 150, 3, rng);
+  Tensor noise =
+      Tensor::uniform(v.geometry().tensor_shape(), -10.0f, 10.0f, rng);
+  p.magnitude() = noise * p.pixel_mask() * p.frame_mask();
+  return p;
+}
+
+void expect_bitwise_equal(const Tensor& got, const Tensor& want,
+                          const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::int64_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << label << " diverges at element " << i;
+  }
+}
 
 TEST(FailureModes, ConvRejectsTooSmallInput) {
   Rng rng(1);
@@ -156,6 +185,304 @@ TEST(FailureModes, QuantizationNeverCreatesOutOfRangePixels) {
   for (std::int64_t i = 0; i < adv.data().size(); ++i) {
     EXPECT_FLOAT_EQ(adv.data()[i], std::round(adv.data()[i]));
   }
+}
+
+// ISSUE satellite: the serve-layer fault matrix. Against a deterministic
+// victim, every retryable fault class — response timeouts, transient errors,
+// dropped responses, and a mix — leaves the attack's trajectory and final
+// video bitwise identical to the fault-free reference; only the victim-side
+// billing (retries included) may grow.
+TEST(FailureModes, ServeFaultMatrixKeepsAttacksBitwiseIdentical) {
+  auto& w = TinyWorld::mutable_instance();
+  const auto& v = w.dataset.train[1];
+  const auto& vt = w.dataset.train[9];
+  retrieval::BlackBoxHandle direct(*w.victim);
+  const auto ctx = attack::make_objective_context(direct, v, vt, 8);
+  const attack::Perturbation pert = noisy_support(v, 11);
+
+  attack::SparseQueryConfig cfg;
+  cfg.iter_numQ = 16;
+  cfg.m = 8;
+  const auto ref = attack::sparse_query(v, pert, direct, ctx, cfg);
+
+  // Calibrate the client's answer timeout to this machine: fault-free
+  // service (an in-flight ±ε pair, like the pipelined attack submits) must
+  // finish comfortably inside it — under TSan a single forward can take
+  // hundreds of ms. Injected delays aim decisively past the timeout so the
+  // lost-answer retry path fires, but are capped to bound the test's wall
+  // time; on a machine so slow that the cap lands inside the timeout,
+  // delays degrade into slow-but-correct answers and the mode still
+  // verifies the bitwise contract.
+  double baseline_ms = 1.0;
+  {
+    serve::RetrievalServer server(*w.victim);
+    serve::AsyncBlackBoxHandle async(server);
+    (void)async.retrieve(v, 8);  // warm-up
+    for (int rep = 0; rep < 3; ++rep) {
+      Stopwatch sw;
+      auto plus = async.submit(v, 8);
+      auto minus = async.submit(v, 8);
+      (void)plus.get();
+      (void)minus.get();
+      baseline_ms = std::max(baseline_ms, sw.elapsed_ms());
+    }
+    server.shutdown();
+  }
+  const double timeout_ms = std::max(50.0, 8.0 * baseline_ms);
+  const double injected_delay_ms = std::min(2.5 * timeout_ms, 1000.0);
+
+  struct FaultMode {
+    const char* name;
+    serve::FaultConfig faults;
+  };
+  serve::FaultConfig timeouts;  // delays past the client's answer timeout
+  timeouts.delay_prob = 0.25;
+  timeouts.delay_ms = injected_delay_ms;
+  serve::FaultConfig errors;
+  errors.error_prob = 0.3;
+  serve::FaultConfig drops;
+  drops.drop_prob = 0.3;
+  serve::FaultConfig mixed;
+  mixed.error_prob = 0.15;
+  mixed.delay_prob = 0.1;
+  mixed.drop_prob = 0.15;
+  mixed.delay_ms = injected_delay_ms;
+  const FaultMode kModes[] = {
+      {"timeout-only", timeouts},
+      {"error-only", errors},
+      {"drop-only", drops},
+      {"mixed", mixed},
+  };
+
+  for (const FaultMode& mode : kModes) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      SCOPED_TRACE(std::string(mode.name) + " seed " + std::to_string(seed));
+      serve::FaultConfig faults = mode.faults;
+      faults.seed = seed;
+      serve::ServerConfig scfg;
+      scfg.fault_injector = std::make_shared<serve::FaultInjector>(faults);
+      serve::RetrievalServer server(*w.victim, scfg);
+      serve::AsyncBlackBoxHandle async(server);
+      serve::RetryPolicy policy;
+      policy.query_timeout =
+          std::chrono::milliseconds(static_cast<int>(timeout_ms));
+      policy.max_attempts = 40;
+      policy.seed = 100 + seed;
+      serve::ResilientHandle resilient(async, policy);
+
+      std::optional<attack::SparseQueryResult> got;
+      try {
+        got = attack::sparse_query_pipelined(v, pert, resilient, ctx, cfg);
+      } catch (const std::exception& e) {
+        server.shutdown();
+        FAIL() << "retryable faults must never surface: " << e.what();
+      }
+      server.shutdown();
+
+      EXPECT_EQ(got->t_history, ref.t_history);
+      expect_bitwise_equal(got->v_adv.data(), ref.v_adv.data(), "v_adv");
+      // Honest accounting: the pipelined run's speculative −ε forwards and
+      // every fault-replacing retry billed real victim queries.
+      EXPECT_GE(got->queries_spent, ref.queries_spent);
+      if (resilient.faults_seen() > 0) {
+        EXPECT_GT(resilient.retries(), 0);
+      }
+    }
+  }
+
+  // The serial driver runs unchanged over the same faulty victim through
+  // ResilientHandle::retrieve_fn(), with the same bitwise guarantee.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    SCOPED_TRACE("serial mixed seed " + std::to_string(seed));
+    serve::FaultConfig faults = mixed;
+    faults.seed = seed;
+    serve::ServerConfig scfg;
+    scfg.fault_injector = std::make_shared<serve::FaultInjector>(faults);
+    serve::RetrievalServer server(*w.victim, scfg);
+    serve::AsyncBlackBoxHandle async(server);
+    serve::RetryPolicy policy;
+    policy.query_timeout =
+        std::chrono::milliseconds(static_cast<int>(timeout_ms));
+    policy.max_attempts = 40;
+    policy.seed = 200 + seed;
+    serve::ResilientHandle resilient(async, policy);
+    retrieval::BlackBoxHandle faulty_handle(resilient.retrieve_fn());
+
+    std::optional<attack::SparseQueryResult> got;
+    try {
+      got = attack::sparse_query(v, pert, faulty_handle, ctx, cfg);
+    } catch (const std::exception& e) {
+      server.shutdown();
+      FAIL() << "retryable faults must never surface: " << e.what();
+    }
+    server.shutdown();
+
+    EXPECT_EQ(got->t_history, ref.t_history);
+    expect_bitwise_equal(got->v_adv.data(), ref.v_adv.data(), "serial v_adv");
+    EXPECT_EQ(got->queries_spent, faulty_handle.query_count());
+    EXPECT_GE(resilient.queries_billed(), got->queries_spent);
+  }
+}
+
+// ISSUE acceptance: a fatally killed SparseQuery — serial and pipelined —
+// resumes from its checkpoint and finishes with the trajectory and final
+// video of an uninterrupted run, while the billed-query total stays honest
+// across both processes.
+TEST(FailureModes, CheckpointResumeReproducesUninterruptedRun) {
+  auto& w = TinyWorld::mutable_instance();
+  const auto& v = w.dataset.train[1];
+  const auto& vt = w.dataset.train[9];
+  retrieval::BlackBoxHandle direct(*w.victim);
+  const auto ctx = attack::make_objective_context(direct, v, vt, 8);
+  const attack::Perturbation pert = noisy_support(v, 12);
+
+  attack::SparseQueryConfig cfg;
+  cfg.iter_numQ = 16;
+  cfg.m = 8;
+  const auto ref = attack::sparse_query(v, pert, direct, ctx, cfg);
+
+  // --- Serial: kill at the 13th billed request, then resume. ---
+  const std::string serial_path = ::testing::TempDir() + "duo_sq_ck.bin";
+  std::remove(serial_path.c_str());
+  {
+    serve::FaultConfig faults;
+    faults.fatal_at = 12;
+    serve::FaultySystem faulty(*w.victim, faults);
+    retrieval::BlackBoxHandle handle(faulty.retrieve_fn());
+    attack::SparseQueryConfig killed = cfg;
+    killed.checkpoint_path = serial_path;
+    killed.checkpoint_every = 4;
+    EXPECT_THROW((void)attack::sparse_query(v, pert, handle, ctx, killed),
+                 serve::ServeError);
+  }
+  {
+    attack::SparseQueryConfig resumed_cfg = cfg;
+    resumed_cfg.checkpoint_path = serial_path;
+    resumed_cfg.resume = true;
+    const auto resumed =
+        attack::sparse_query(v, pert, direct, ctx, resumed_cfg);
+    EXPECT_EQ(resumed.t_history, ref.t_history);
+    expect_bitwise_equal(resumed.v_adv.data(), ref.v_adv.data(),
+                         "serial resumed v_adv");
+    // The killed process billed the fatal attempt plus at most one extra
+    // query of the replayed iteration — never fewer queries than fault-free.
+    EXPECT_GT(resumed.queries_spent, ref.queries_spent);
+    EXPECT_LE(resumed.queries_spent, ref.queries_spent + 2);
+  }
+  std::remove(serial_path.c_str());
+
+  // --- Pipelined: fatal on an always-consumed +ε request, then resume. ---
+  const std::string piped_path = ::testing::TempDir() + "duo_sqp_ck.bin";
+  std::remove(piped_path.c_str());
+  {
+    serve::FaultConfig faults;
+    faults.fatal_at = 9;  // +ε request of iteration 5 (odd arrival index)
+    serve::ServerConfig scfg;
+    scfg.fault_injector = std::make_shared<serve::FaultInjector>(faults);
+    serve::RetrievalServer server(*w.victim, scfg);
+    serve::AsyncBlackBoxHandle async(server);
+    serve::ResilientHandle resilient(async);
+    attack::SparseQueryConfig killed = cfg;
+    killed.checkpoint_path = piped_path;
+    killed.checkpoint_every = 2;
+    EXPECT_THROW(
+        (void)attack::sparse_query_pipelined(v, pert, resilient, ctx, killed),
+        serve::ServeError);
+    server.shutdown();
+  }
+  {
+    serve::RetrievalServer server(*w.victim);
+    serve::AsyncBlackBoxHandle async(server);
+    serve::ResilientHandle resilient(async);
+    attack::SparseQueryConfig resumed_cfg = cfg;
+    resumed_cfg.checkpoint_path = piped_path;
+    resumed_cfg.resume = true;
+    const auto resumed =
+        attack::sparse_query_pipelined(v, pert, resilient, ctx, resumed_cfg);
+    server.shutdown();
+    EXPECT_EQ(resumed.t_history, ref.t_history);
+    expect_bitwise_equal(resumed.v_adv.data(), ref.v_adv.data(),
+                         "pipelined resumed v_adv");
+    EXPECT_GE(resumed.queries_spent, ref.queries_spent);
+  }
+  std::remove(piped_path.c_str());
+}
+
+// ISSUE acceptance, full pipeline: DuoAttack::run is bitwise stable under
+// retryable faults, and a fatal kill mid-attack resumes through the
+// round-level checkpoint (plus the killed round's inner checkpoint) to the
+// exact fault-free result.
+TEST(FailureModes, DuoSurvivesFaultsAndKillResume) {
+  auto& w = TinyWorld::mutable_instance();
+  const auto& v = w.dataset.train[1];
+  const auto& vt = w.dataset.train[9];
+
+  attack::DuoConfig cfg;
+  cfg.transfer.k = 100;
+  cfg.transfer.n = 2;
+  cfg.transfer.outer_iterations = 1;
+  cfg.transfer.theta_steps = 3;
+  cfg.query.iter_numQ = 10;
+  cfg.query.checkpoint_every = 4;
+  cfg.iter_numH = 2;
+  cfg.m = 8;
+
+  retrieval::BlackBoxHandle direct(*w.victim);
+  attack::DuoAttack reference_attack(*w.surrogate, cfg);
+  const auto ref = reference_attack.run(v, vt, direct);
+
+  // Retryable faults only: same videos, same logical query count; the extra
+  // cost shows up in the resilient client's victim-side billing.
+  {
+    serve::FaultConfig faults;
+    faults.error_prob = 0.2;
+    faults.drop_prob = 0.1;
+    faults.seed = 5;
+    serve::ServerConfig scfg;
+    scfg.fault_injector = std::make_shared<serve::FaultInjector>(faults);
+    serve::RetrievalServer server(*w.victim, scfg);
+    serve::AsyncBlackBoxHandle async(server);
+    serve::ResilientHandle resilient(async);
+    retrieval::BlackBoxHandle faulty_handle(resilient.retrieve_fn());
+
+    attack::DuoAttack faulted_attack(*w.surrogate, cfg);
+    const auto faulted = faulted_attack.run(v, vt, faulty_handle);
+    server.shutdown();
+
+    EXPECT_EQ(faulted.t_history, ref.t_history);
+    expect_bitwise_equal(faulted.adversarial.data(), ref.adversarial.data(),
+                         "faulted adversarial");
+    EXPECT_EQ(faulted.queries, ref.queries);
+    EXPECT_GE(resilient.queries_billed(), ref.queries);
+  }
+
+  // Kill three quarters of the way through, then resume to the same video.
+  const std::string duo_path = ::testing::TempDir() + "duo_full_ck.bin";
+  const std::string round_paths[] = {duo_path + ".h0", duo_path + ".h1"};
+  std::remove(duo_path.c_str());
+  for (const auto& p : round_paths) std::remove(p.c_str());
+  attack::DuoConfig ck_cfg = cfg;
+  ck_cfg.checkpoint_path = duo_path;
+  {
+    serve::FaultConfig faults;
+    faults.fatal_at = ref.queries * 3 / 4;
+    serve::FaultySystem faulty(*w.victim, faults);
+    retrieval::BlackBoxHandle handle(faulty.retrieve_fn());
+    attack::DuoAttack killed_attack(*w.surrogate, ck_cfg);
+    EXPECT_THROW((void)killed_attack.run(v, vt, handle), serve::ServeError);
+  }
+  {
+    attack::DuoConfig resumed_cfg = ck_cfg;
+    resumed_cfg.resume = true;
+    attack::DuoAttack resumed_attack(*w.surrogate, resumed_cfg);
+    const auto resumed = resumed_attack.run(v, vt, direct);
+    EXPECT_EQ(resumed.t_history, ref.t_history);
+    expect_bitwise_equal(resumed.adversarial.data(), ref.adversarial.data(),
+                         "resumed adversarial");
+    EXPECT_GE(resumed.queries, ref.queries);
+  }
+  std::remove(duo_path.c_str());
+  for (const auto& p : round_paths) std::remove(p.c_str());
 }
 
 }  // namespace

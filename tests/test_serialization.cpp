@@ -2,7 +2,10 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
+#include <sstream>
 
+#include "attack/checkpoint.hpp"
 #include "models/feature_extractor.hpp"
 #include "models/serialization.hpp"
 #include "video/synthetic.hpp"
@@ -104,6 +107,251 @@ TEST(Serialization, TruncatedFileRejectedWithoutPartialLoad) {
   EXPECT_FALSE(load_parameters(*other, path));
   // All-or-nothing: the failed load must not have modified any parameter.
   EXPECT_TRUE(other->extract(v).allclose(before));
+  std::remove(path.c_str());
+}
+
+TEST(SerializationIo, PrimitivesRoundTripExactly) {
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  io::write_u64(buf, 0);
+  io::write_u64(buf, std::numeric_limits<std::uint64_t>::max());
+  io::write_i64(buf, -123456789);
+  io::write_f64(buf, -0.0);
+  io::write_f64(buf, 1.0 / 3.0);
+  io::write_i64_vec(buf, {5, -7, 0});
+  io::write_f64_vec(buf, {0.25, -1e300});
+  Tensor t({2, 3});
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(i) * 0.5f - 1.0f;
+  }
+  io::write_tensor(buf, t);
+
+  std::uint64_t u = 1;
+  std::int64_t i64 = 0;
+  double d = 0.0;
+  std::vector<std::int64_t> iv;
+  std::vector<double> dv;
+  Tensor back;
+  ASSERT_TRUE(io::read_u64(buf, u));
+  EXPECT_EQ(u, 0u);
+  ASSERT_TRUE(io::read_u64(buf, u));
+  EXPECT_EQ(u, std::numeric_limits<std::uint64_t>::max());
+  ASSERT_TRUE(io::read_i64(buf, i64));
+  EXPECT_EQ(i64, -123456789);
+  ASSERT_TRUE(io::read_f64(buf, d));
+  EXPECT_EQ(d, 0.0);
+  EXPECT_TRUE(std::signbit(d));
+  ASSERT_TRUE(io::read_f64(buf, d));
+  EXPECT_EQ(d, 1.0 / 3.0);  // bit-exact, not allclose
+  ASSERT_TRUE(io::read_i64_vec(buf, iv));
+  EXPECT_EQ(iv, (std::vector<std::int64_t>{5, -7, 0}));
+  ASSERT_TRUE(io::read_f64_vec(buf, dv));
+  EXPECT_EQ(dv, (std::vector<double>{0.25, -1e300}));
+  ASSERT_TRUE(io::read_tensor(buf, back));
+  ASSERT_EQ(back.shape(), t.shape());
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(back[i], t[i]) << "element " << i;
+  }
+  // The stream is fully consumed: another read reports failure.
+  EXPECT_FALSE(io::read_u64(buf, u));
+}
+
+TEST(SerializationIo, CorruptTensorHeadersRejectedBeforeAllocation) {
+  // Absurd rank.
+  {
+    std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+    io::write_i64(buf, 9);  // rank > 8
+    Tensor t;
+    EXPECT_FALSE(io::read_tensor(buf, t));
+  }
+  // Element count that would demand a multi-terabyte allocation.
+  {
+    std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+    io::write_i64(buf, 2);
+    io::write_i64(buf, 1 << 30);
+    io::write_i64(buf, 1 << 30);
+    Tensor t;
+    EXPECT_FALSE(io::read_tensor(buf, t));
+  }
+  // Negative vector length.
+  {
+    std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+    io::write_i64(buf, -4);
+    std::vector<double> v;
+    EXPECT_FALSE(io::read_f64_vec(buf, v));
+  }
+  // Truncated payload: header promises more floats than the stream holds.
+  {
+    std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+    io::write_i64(buf, 1);
+    io::write_i64(buf, 100);
+    io::write_f64(buf, 1.0);
+    Tensor t;
+    EXPECT_FALSE(io::read_tensor(buf, t));
+  }
+}
+
+TEST(SerializationIo, Fnv1aFingerprintsDiscriminate) {
+  // Offset basis of 64-bit FNV-1a: hash of zero bytes.
+  EXPECT_EQ(io::fnv1a(nullptr, 0), 0xCBF29CE484222325ULL);
+  Tensor a({4});
+  a.fill(1.0f);
+  Tensor b = a;
+  EXPECT_EQ(io::fnv1a(a), io::fnv1a(b));
+  b[3] = 1.0000001f;
+  EXPECT_NE(io::fnv1a(a), io::fnv1a(b));
+}
+
+TEST(SerializationIo, AtomicWriteCommitsOrLeavesNothing) {
+  const std::string path = "/tmp/duo_test_atomic.bin";
+  const std::string tmp = path + ".tmp";
+  std::remove(path.c_str());
+  std::remove(tmp.c_str());
+
+  ASSERT_TRUE(io::atomic_write(path, [](std::ostream& out) {
+    io::write_u64(out, 42);
+  }));
+  EXPECT_TRUE(std::ifstream(path).good());
+  EXPECT_FALSE(std::ifstream(tmp).good());  // no staging residue
+
+  // A writer that poisons the stream must not replace the committed file.
+  EXPECT_FALSE(io::atomic_write(
+      path, [](std::ostream& out) { out.setstate(std::ios::badbit); }));
+  EXPECT_FALSE(std::ifstream(tmp).good());
+  std::ifstream check(path, std::ios::binary);
+  std::uint64_t value = 0;
+  ASSERT_TRUE(io::read_u64(check, value));
+  EXPECT_EQ(value, 42u);
+  std::remove(path.c_str());
+}
+
+attack::SparseQueryCheckpoint sample_sq_checkpoint() {
+  attack::SparseQueryCheckpoint ck;
+  ck.geometry = geo();
+  ck.seed = 99;
+  ck.support_size = 150;
+  ck.source_hash = 0xDEADBEEFCAFEF00DULL;
+  ck.next_iteration = 7;
+  ck.t_current = 0.625;
+  ck.t_history = {1.0, 0.875, 0.625};
+  ck.queries = 13;
+  ck.stall = 2;
+  ck.rng_state = 0x1234567890ABCDEFULL;
+  ck.deck = {3, 1, 4, 1, 5};
+  ck.deck_pos = 2;
+  ck.v_adv = Tensor(geo().tensor_shape());
+  for (std::int64_t i = 0; i < ck.v_adv.size(); ++i) {
+    ck.v_adv[i] = static_cast<float>(i % 256);
+  }
+  return ck;
+}
+
+TEST(SerializationIo, SparseQueryCheckpointRoundTrips) {
+  const attack::SparseQueryCheckpoint ck = sample_sq_checkpoint();
+  const std::string path = "/tmp/duo_test_sq_ck.bin";
+  ASSERT_TRUE(attack::save_checkpoint(ck, path));
+
+  attack::SparseQueryCheckpoint back;
+  ASSERT_TRUE(attack::load_checkpoint(back, path));
+  EXPECT_EQ(back.geometry, ck.geometry);
+  EXPECT_EQ(back.seed, ck.seed);
+  EXPECT_EQ(back.support_size, ck.support_size);
+  EXPECT_EQ(back.source_hash, ck.source_hash);
+  EXPECT_EQ(back.next_iteration, ck.next_iteration);
+  EXPECT_EQ(back.t_current, ck.t_current);
+  EXPECT_EQ(back.t_history, ck.t_history);
+  EXPECT_EQ(back.queries, ck.queries);
+  EXPECT_EQ(back.stall, ck.stall);
+  EXPECT_EQ(back.rng_state, ck.rng_state);
+  EXPECT_EQ(back.deck, ck.deck);
+  EXPECT_EQ(back.deck_pos, ck.deck_pos);
+  ASSERT_EQ(back.v_adv.size(), ck.v_adv.size());
+  for (std::int64_t i = 0; i < ck.v_adv.size(); ++i) {
+    EXPECT_EQ(back.v_adv[i], ck.v_adv[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationIo, DuoCheckpointRoundTrips) {
+  attack::DuoCheckpoint ck;
+  ck.geometry = geo();
+  ck.source_hash = 77;
+  ck.iter_numH = 2;
+  ck.next_round = 1;
+  ck.t_history = {0.5, 0.25};
+  ck.queries = 31;
+  ck.v_cur = Tensor(geo().tensor_shape());
+  ck.v_cur.fill(17.0f);
+  ck.has_init = true;
+  ck.pixel_mask = Tensor(geo().tensor_shape());
+  ck.pixel_mask.fill(1.0f);
+  ck.frame_mask = Tensor(geo().tensor_shape());
+  ck.frame_mask.fill(0.0f);
+
+  const std::string path = "/tmp/duo_test_duo_ck.bin";
+  ASSERT_TRUE(attack::save_checkpoint(ck, path));
+  attack::DuoCheckpoint back;
+  ASSERT_TRUE(attack::load_checkpoint(back, path));
+  EXPECT_EQ(back.geometry, ck.geometry);
+  EXPECT_EQ(back.source_hash, ck.source_hash);
+  EXPECT_EQ(back.iter_numH, ck.iter_numH);
+  EXPECT_EQ(back.next_round, ck.next_round);
+  EXPECT_EQ(back.t_history, ck.t_history);
+  EXPECT_EQ(back.queries, ck.queries);
+  EXPECT_TRUE(back.has_init);
+  ASSERT_EQ(back.v_cur.size(), ck.v_cur.size());
+  for (std::int64_t i = 0; i < ck.v_cur.size(); ++i) {
+    EXPECT_EQ(back.v_cur[i], ck.v_cur[i]);
+    EXPECT_EQ(back.pixel_mask[i], ck.pixel_mask[i]);
+    EXPECT_EQ(back.frame_mask[i], ck.frame_mask[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationIo, CheckpointLoadRejectsCorruption) {
+  const std::string path = "/tmp/duo_test_bad_ck.bin";
+  attack::SparseQueryCheckpoint sq;
+  attack::DuoCheckpoint duo;
+
+  // Missing file.
+  std::remove(path.c_str());
+  EXPECT_FALSE(attack::load_checkpoint(sq, path));
+  EXPECT_FALSE(attack::load_checkpoint(duo, path));
+
+  // Garbage bytes.
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a checkpoint at all, sorry";
+  }
+  EXPECT_FALSE(attack::load_checkpoint(sq, path));
+  EXPECT_FALSE(attack::load_checkpoint(duo, path));
+
+  // Wrong magic: a valid Duo checkpoint is not a SparseQuery checkpoint and
+  // vice versa.
+  attack::DuoCheckpoint valid_duo;
+  valid_duo.geometry = geo();
+  valid_duo.v_cur = Tensor(geo().tensor_shape());
+  ASSERT_TRUE(attack::save_checkpoint(valid_duo, path));
+  EXPECT_FALSE(attack::load_checkpoint(sq, path));
+  const attack::SparseQueryCheckpoint valid_sq = sample_sq_checkpoint();
+  ASSERT_TRUE(attack::save_checkpoint(valid_sq, path));
+  EXPECT_FALSE(attack::load_checkpoint(duo, path));
+
+  // Truncation: every prefix of a valid checkpoint must be rejected, and the
+  // failed load must leave the output untouched.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const auto full = in.tellg();
+  in.seekg(0);
+  std::vector<char> bytes(static_cast<std::size_t>(full));
+  in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()) / 2);
+  }
+  attack::SparseQueryCheckpoint untouched;
+  untouched.queries = -55;  // sentinel
+  EXPECT_FALSE(attack::load_checkpoint(untouched, path));
+  EXPECT_EQ(untouched.queries, -55);
   std::remove(path.c_str());
 }
 

@@ -17,6 +17,8 @@
 #include "common/thread_pool.hpp"
 #include "metrics/metrics.hpp"
 #include "serve/async_handle.hpp"
+#include "serve/fault_injection.hpp"
+#include "serve/resilient.hpp"
 #include "serve/server.hpp"
 #include "video/synthetic.hpp"
 
@@ -272,6 +274,329 @@ TEST(Serve, RejectsDegenerateConfig) {
   ServerConfig no_queue;
   no_queue.queue_capacity = 0;
   EXPECT_THROW(RetrievalServer(*w.system, no_queue), std::logic_error);
+  ServerConfig no_reservoir;
+  no_reservoir.latency_reservoir = 0;
+  EXPECT_THROW(RetrievalServer(*w.system, no_reservoir), std::logic_error);
+}
+
+// Satellite regression: shutdown() raced from several threads used to be a
+// double-join hazard; every racer must block until the drain completes and
+// queued futures must still be answered. Run under TSan by tsan_check.sh.
+TEST(Serve, ConcurrentShutdownIsSafe) {
+  auto& w = ServeWorld::mutable_instance();
+  ServerConfig cfg;
+  cfg.max_batch = 2;
+  RetrievalServer server(*w.system, cfg);
+
+  std::vector<std::future<metrics::RetrievalList>> futures;
+  std::vector<std::size_t> indices;
+  for (int r = 0; r < 2; ++r) {
+    for (std::size_t i = 0; i < w.dataset.test.size(); ++i) {
+      futures.push_back(server.submit(w.dataset.test[i], 5));
+      indices.push_back(i);
+    }
+  }
+
+  constexpr int kRacers = 4;
+  std::vector<std::thread> racers;
+  racers.reserve(kRacers);
+  for (int t = 0; t < kRacers; ++t) {
+    racers.emplace_back([&server] { server.shutdown(); });
+  }
+  for (auto& r : racers) r.join();
+  EXPECT_TRUE(server.stopped());
+  // Every racer returned only after the drain: all futures are answered.
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get(), w.expected[indices[i]]) << "future " << i;
+  }
+  server.shutdown();  // still idempotent afterwards
+}
+
+// Satellite regression: latency stats must stay O(latency_reservoir) however
+// many queries the server lives through, with an exact max and count.
+TEST(Serve, LatencyStatsUseBoundedReservoir) {
+  auto& w = ServeWorld::mutable_instance();
+  ServerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.latency_reservoir = 16;
+  RetrievalServer server(*w.system, cfg);
+
+  const int n = 60;
+  for (int i = 0; i < n; ++i) {
+    (void)server
+        .submit(w.dataset.test[static_cast<std::size_t>(i) %
+                               w.dataset.test.size()],
+                5)
+        .get();
+  }
+  server.shutdown();
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.latency_count, n);
+  EXPECT_EQ(stats.latency_samples_retained, 16);
+  EXPECT_GE(stats.p50_latency_ms, 0.0);
+  EXPECT_LE(stats.p50_latency_ms, stats.p95_latency_ms);
+  EXPECT_LE(stats.p95_latency_ms, stats.max_latency_ms);
+
+  server.reset_stats();
+  const ServerStats zeroed = server.stats();
+  EXPECT_EQ(zeroed.latency_count, 0);
+  EXPECT_EQ(zeroed.latency_samples_retained, 0);
+  EXPECT_DOUBLE_EQ(zeroed.max_latency_ms, 0.0);
+}
+
+TEST(Serve, SubmitWithDeadlineTimesOutUnderBackpressure) {
+  auto& w = ServeWorld::mutable_instance();
+  ServerConfig cfg;
+  cfg.max_batch = 1;
+  cfg.queue_capacity = 1;
+  // Every request is slowed down, so the scheduler is predictably busy while
+  // the bounded-deadline submission waits on a full queue.
+  FaultConfig fc;
+  fc.delay_prob = 1.0;
+  fc.delay_ms = 150.0;
+  cfg.fault_injector = std::make_shared<FaultInjector>(fc);
+  RetrievalServer server(*w.system, cfg);
+  AsyncBlackBoxHandle handle(server);
+
+  auto first = handle.submit(w.dataset.test[0], 5);   // drained, sleeping
+  auto second = handle.submit(w.dataset.test[1], 5);  // occupies the queue
+  EXPECT_EQ(handle.query_count(), 2);
+
+  SubmitOutcome rejected = handle.submit_with_deadline(
+      w.dataset.test[2], 5, std::chrono::milliseconds(10));
+  EXPECT_FALSE(rejected.accepted);
+  EXPECT_EQ(handle.query_count(), 2);  // rejection is not billed
+  try {
+    (void)rejected.future.get();
+    FAIL() << "rejected submission should not hold a value";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ServeErrorCode::kOverloaded);
+    EXPECT_TRUE(e.retryable());
+    EXPECT_FALSE(e.billed());
+  }
+
+  // The delayed requests are answered correctly despite the slowdown.
+  EXPECT_EQ(first.get(), w.expected[0]);
+  EXPECT_EQ(second.get(), w.expected[1]);
+  server.shutdown();
+
+  // With room in the queue, the bounded submission is accepted and billed.
+  RetrievalServer idle(*w.system);
+  AsyncBlackBoxHandle idle_handle(idle);
+  SubmitOutcome accepted = idle_handle.submit_with_deadline(
+      w.dataset.test[0], 5, std::chrono::milliseconds(250));
+  EXPECT_TRUE(accepted.accepted);
+  EXPECT_EQ(idle_handle.query_count(), 1);
+  EXPECT_EQ(accepted.future.get(), w.expected[0]);
+  idle.shutdown();
+}
+
+TEST(Serve, SubmitAfterShutdownIsTypedAndUnbilled) {
+  auto& w = ServeWorld::mutable_instance();
+  RetrievalServer server(*w.system);
+  server.shutdown();
+  AsyncBlackBoxHandle handle(server);
+
+  auto future = server.submit(w.dataset.test.front(), 5);
+  try {
+    (void)future.get();
+    FAIL() << "submit after shutdown should fail the future";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ServeErrorCode::kShutdown);
+    EXPECT_FALSE(e.retryable());
+    EXPECT_FALSE(e.billed());
+  }
+
+  SubmitOutcome out = handle.submit_with_deadline(
+      w.dataset.test.front(), 5, std::chrono::milliseconds(50));
+  EXPECT_FALSE(out.accepted);
+  EXPECT_EQ(handle.query_count(), 0);
+  EXPECT_THROW((void)out.future.get(), ServeError);
+}
+
+TEST(FaultInjection, ScheduleIsDeterministicPerSeed) {
+  FaultConfig fc;
+  fc.error_prob = 0.2;
+  fc.delay_prob = 0.1;
+  fc.drop_prob = 0.2;
+  fc.seed = 42;
+
+  const auto a = FaultInjector::schedule(fc, 300);
+  const auto b = FaultInjector::schedule(fc, 300);
+  EXPECT_EQ(a, b);
+
+  FaultConfig other = fc;
+  other.seed = 43;
+  EXPECT_NE(FaultInjector::schedule(other, 300), a);
+
+  // A live injector consumes exactly the previewed schedule, and counts.
+  FaultInjector injector(fc);
+  std::int64_t injected = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const FaultKind k = injector.next();
+    EXPECT_EQ(k, a[i]) << "request " << i;
+    if (k != FaultKind::kNone) ++injected;
+  }
+  EXPECT_EQ(injector.decisions(), static_cast<std::int64_t>(a.size()));
+  EXPECT_EQ(injector.injected(), injected);
+  EXPECT_GT(injected, 0);  // 50% fault rate over 300 draws
+
+  // fatal_at fires at exactly the configured arrival index.
+  FaultConfig fatal_only;
+  fatal_only.fatal_at = 7;
+  const auto fatal_schedule = FaultInjector::schedule(fatal_only, 12);
+  for (std::size_t i = 0; i < fatal_schedule.size(); ++i) {
+    EXPECT_EQ(fatal_schedule[i],
+              i == 7 ? FaultKind::kFatalError : FaultKind::kNone);
+  }
+
+  FaultConfig invalid;
+  invalid.error_prob = 0.8;
+  invalid.drop_prob = 0.5;  // sums past 1
+  EXPECT_THROW(FaultInjector{invalid}, std::logic_error);
+}
+
+TEST(FaultInjection, ServerSurfacesTypedFaultsAndCountsThem) {
+  auto& w = ServeWorld::mutable_instance();
+
+  // Transient-error injection: every future fails retryable-and-billed.
+  {
+    ServerConfig cfg;
+    FaultConfig fc;
+    fc.error_prob = 1.0;
+    cfg.fault_injector = std::make_shared<FaultInjector>(fc);
+    RetrievalServer server(*w.system, cfg);
+    const int n = 6;
+    for (int i = 0; i < n; ++i) {
+      auto future = server.submit(w.dataset.test[0], 5);
+      try {
+        (void)future.get();
+        FAIL() << "injected error should fail the future";
+      } catch (const ServeError& e) {
+        EXPECT_EQ(e.code(), ServeErrorCode::kTransient);
+        EXPECT_TRUE(e.retryable());
+        EXPECT_TRUE(e.billed());
+      }
+    }
+    server.shutdown();
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.faults_injected, n);
+    EXPECT_EQ(stats.queries_served, 0);
+  }
+
+  // Drop injection: the raw future reports a broken promise; the handle
+  // translates it into a typed, billed, retryable kDropped.
+  {
+    ServerConfig cfg;
+    FaultConfig fc;
+    fc.drop_prob = 1.0;
+    cfg.fault_injector = std::make_shared<FaultInjector>(fc);
+    RetrievalServer server(*w.system, cfg);
+    AsyncBlackBoxHandle handle(server);
+
+    auto raw = server.submit(w.dataset.test[0], 5);
+    EXPECT_THROW((void)raw.get(), std::future_error);
+    try {
+      (void)handle.retrieve(w.dataset.test[0], 5);
+      FAIL() << "dropped response should throw";
+    } catch (const ServeError& e) {
+      EXPECT_EQ(e.code(), ServeErrorCode::kDropped);
+      EXPECT_TRUE(e.retryable());
+      EXPECT_TRUE(e.billed());
+    }
+    server.shutdown();
+    EXPECT_EQ(server.stats().faults_injected, 2);
+  }
+
+  // Delay injection: answers slow down but stay correct and are not faults.
+  {
+    ServerConfig cfg;
+    FaultConfig fc;
+    fc.delay_prob = 1.0;
+    fc.delay_ms = 2.0;
+    cfg.fault_injector = std::make_shared<FaultInjector>(fc);
+    RetrievalServer server(*w.system, cfg);
+    EXPECT_EQ(server.submit(w.dataset.test[0], 5).get(), w.expected[0]);
+    server.shutdown();
+    EXPECT_EQ(server.stats().faults_injected, 0);
+    EXPECT_EQ(server.stats().queries_served, 1);
+  }
+}
+
+TEST(Resilient, RetriesThroughMixedFaultsToCorrectAnswers) {
+  auto& w = ServeWorld::mutable_instance();
+  ServerConfig cfg;
+  FaultConfig fc;
+  fc.error_prob = 0.3;
+  fc.drop_prob = 0.2;
+  fc.seed = 7;
+  cfg.fault_injector = std::make_shared<FaultInjector>(fc);
+  RetrievalServer server(*w.system, cfg);
+  AsyncBlackBoxHandle async(server);
+  ResilientHandle resilient(async);
+
+  const int rounds = 3;
+  std::int64_t logical = 0;
+  for (int r = 0; r < rounds; ++r) {
+    for (std::size_t i = 0; i < w.dataset.test.size(); ++i) {
+      EXPECT_EQ(resilient.retrieve(w.dataset.test[i], 5), w.expected[i])
+          << "round " << r << " query " << i;
+      ++logical;
+    }
+  }
+  server.shutdown();
+
+  // Half the requests fault, so retries must have happened — and every retry
+  // billed the victim: billed count strictly exceeds the logical count.
+  EXPECT_GT(resilient.faults_seen(), 0);
+  EXPECT_EQ(resilient.retries(), resilient.faults_seen());
+  EXPECT_EQ(resilient.queries_billed(), logical + resilient.retries());
+  EXPECT_EQ(resilient.query_count(), resilient.queries_billed());
+}
+
+TEST(Resilient, GivesUpOnceAttemptsOrBudgetExhaust) {
+  auto& w = ServeWorld::mutable_instance();
+  ServerConfig cfg;
+  FaultConfig fc;
+  fc.error_prob = 1.0;  // nothing ever succeeds
+  cfg.fault_injector = std::make_shared<FaultInjector>(fc);
+  RetrievalServer server(*w.system, cfg);
+  AsyncBlackBoxHandle async(server);
+
+  {
+    RetryPolicy policy;
+    policy.max_attempts = 3;
+    policy.backoff_base = std::chrono::milliseconds(0);
+    ResilientHandle resilient(async, policy);
+    try {
+      (void)resilient.retrieve(w.dataset.test[0], 5);
+      FAIL() << "per-query attempts should exhaust";
+    } catch (const ServeError& e) {
+      EXPECT_EQ(e.code(), ServeErrorCode::kRetryExhausted);
+      EXPECT_FALSE(e.retryable());
+      EXPECT_TRUE(e.billed());  // the failed attempts still billed queries
+    }
+    EXPECT_EQ(resilient.faults_seen(), 3);
+    EXPECT_EQ(resilient.retries(), 2);
+    EXPECT_EQ(resilient.queries_billed(), 3);
+  }
+
+  {
+    RetryPolicy policy;
+    policy.max_attempts = 100;
+    policy.retry_budget = 2;  // handle-wide, tighter than max_attempts
+    policy.backoff_base = std::chrono::milliseconds(0);
+    ResilientHandle budgeted(async, policy);
+    try {
+      (void)budgeted.retrieve(w.dataset.test[0], 5);
+      FAIL() << "handle-wide retry budget should exhaust";
+    } catch (const ServeError& e) {
+      EXPECT_EQ(e.code(), ServeErrorCode::kRetryExhausted);
+    }
+    EXPECT_EQ(budgeted.retries(), 2);  // first try + exactly two retries
+  }
+  server.shutdown();
 }
 
 }  // namespace
