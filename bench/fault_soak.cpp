@@ -15,9 +15,6 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
-#include <string>
-#include <thread>
-#include <vector>
 
 #include "bench_common.hpp"
 #include "common/stopwatch.hpp"
@@ -35,26 +32,7 @@ int main(int argc, char** argv) {
 
   // An untrained victim is enough: fault handling depends on the serving
   // path, not on how good the features are.
-  auto spec = video::DatasetSpec::hmdb51_like(37);
-  spec.num_classes = 4;
-  spec.train_per_class = smoke ? 4 : 8;
-  spec.test_per_class = 2;
-  spec.geometry = {8, 16, 16, 3};
-  const video::Dataset dataset = video::SyntheticGenerator(spec).generate();
-
-  Rng rng(53);
-  auto extractor =
-      models::make_extractor(models::ModelKind::kC3D, spec.geometry, 16, rng);
-  retrieval::RetrievalSystem system(std::move(extractor), 2);
-  system.add_all(dataset.train);
-
-  // Fault-free reference answers for every probe.
-  const std::size_t m = 10;
-  std::vector<metrics::RetrievalList> expected;
-  expected.reserve(dataset.test.size());
-  for (const auto& v : dataset.test) {
-    expected.push_back(system.retrieve(v, m));
-  }
+  bench::SoakWorld world = bench::make_soak_world(smoke, 53);
 
   // 10% mixed faults, deterministic schedule.
   serve::FaultConfig faults;
@@ -67,7 +45,7 @@ int main(int argc, char** argv) {
   serve::ServerConfig scfg;
   scfg.max_batch = 4;
   scfg.fault_injector = std::make_shared<serve::FaultInjector>(faults);
-  serve::RetrievalServer server(system, scfg);
+  serve::RetrievalServer server(*world.system, scfg);
   serve::AsyncBlackBoxHandle async(server);
   serve::RetryPolicy policy;
   policy.query_timeout = std::chrono::milliseconds(250);
@@ -77,20 +55,11 @@ int main(int argc, char** argv) {
   const int queries_per_client = smoke ? 25 : 200;
 
   Stopwatch wall;
-  std::vector<std::thread> threads;
-  std::vector<int> mismatches(clients, 0);
-  threads.reserve(clients);
-  for (std::size_t t = 0; t < clients; ++t) {
-    threads.emplace_back([&, t] {
-      for (int q = 0; q < queries_per_client; ++q) {
-        const std::size_t vi =
-            (t + static_cast<std::size_t>(q) * clients) % dataset.test.size();
-        const auto got = handle.retrieve(dataset.test[vi], m);
-        if (got != expected[vi]) ++mismatches[t];
-      }
-    });
-  }
-  for (auto& th : threads) th.join();
+  const std::int64_t bad = bench::run_soak_clients(
+      world, clients, queries_per_client,
+      [&](std::size_t, const video::Video& v, std::size_t m) {
+        return handle.retrieve(v, m);
+      });
   const double wall_ms = wall.elapsed_ms();
   server.shutdown();
 
@@ -116,10 +85,9 @@ int main(int argc, char** argv) {
       "match the fault-free retrieval bitwise; billed_q - logical_q is the "
       "query-budget price of the faults.");
 
-  int bad = 0;
-  for (const int c : mismatches) bad += c;
   if (bad > 0) {
-    std::fprintf(stderr, "FAULT SOAK FAILED: %d mismatched answers\n", bad);
+    std::fprintf(stderr, "FAULT SOAK FAILED: %lld mismatched answers\n",
+                 static_cast<long long>(bad));
     return 1;
   }
   if (handle.queries_billed() < logical) {

@@ -1,0 +1,149 @@
+// Overload soak: paced resilient clients against a server that actively
+// pushes back — per-client token-bucket rate limiting, kShed admission on a
+// small queue, per-request deadlines, and a sprinkle of injected transient
+// errors, all at once. Every client answer must still match the fault-free
+// retrieval bitwise (throttles, sheds, and expiries are retryable; the
+// resilient policy absorbs them), and the server/client ledgers must
+// reconcile: accepted (billed) requests terminate exactly one way, so
+//
+//   billed == served + faults_injected + expired + shed.
+//
+// Reports the overload mix (throttled / rejected / shed / expired rates),
+// the pacing the shared client-side bucket imposed, and latency percentiles.
+//
+//   ./build/bench/overload_soak            # quick scale
+//   ./build/bench/overload_soak --smoke    # seconds-long CI smoke pass
+//
+// Exits nonzero on any mismatched answer or accounting violation.
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/stopwatch.hpp"
+#include "serve/admission.hpp"
+#include "serve/async_handle.hpp"
+#include "serve/fault_injection.hpp"
+#include "serve/resilient.hpp"
+#include "serve/server.hpp"
+
+int main(int argc, char** argv) {
+  using namespace duo;
+  bool smoke = bench::scale_from_env() == bench::Scale::kSmoke;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  bench::SoakWorld world = bench::make_soak_world(smoke, 59);
+
+  // Transient errors plus injected processing delays: a delayed batch makes
+  // requests age in the queue past their deadline, so the expiry path gets
+  // exercised too, not just configured.
+  serve::FaultConfig faults;
+  faults.error_prob = 0.1;
+  faults.delay_prob = 0.2;
+  faults.delay_ms = 60.0;
+  faults.seed = 41;
+
+  serve::ServerConfig scfg;
+  scfg.max_batch = 4;
+  scfg.queue_capacity = 4;  // small queue: admission pressure is real
+  scfg.admission = serve::AdmissionPolicy::kShed;
+  scfg.fault_injector = std::make_shared<serve::FaultInjector>(faults);
+  scfg.client_rate = 50.0;  // per client_id, requests/sec — below the
+  scfg.client_burst = 2.0;  // unthrottled service rate, so throttles fire
+  serve::RetrievalServer server(*world.system, scfg);
+
+  const std::size_t clients = smoke ? 2 : 4;
+  const int queries_per_client = smoke ? 20 : 150;
+
+  // One shared pacer across every client — "one API key, many attack
+  // processes" — deliberately faster than the server's per-client limit so
+  // the server-side throttle path does real work too, but tight enough that
+  // retry bursts queue up behind the shared bucket.
+  serve::PacerConfig pcfg;
+  pcfg.rate_per_sec = 80.0 * static_cast<double>(clients);
+  pcfg.burst = 2.0;
+  auto pacer = std::make_shared<serve::Pacer>(pcfg, nullptr);
+
+  serve::RetryPolicy policy;
+  policy.max_attempts = 60;
+  policy.query_timeout = std::chrono::milliseconds(2000);
+  std::vector<std::unique_ptr<serve::AsyncBlackBoxHandle>> asyncs;
+  std::vector<std::unique_ptr<serve::ResilientHandle>> handles;
+  for (std::size_t t = 0; t < clients; ++t) {
+    serve::RequestOptions opts;
+    opts.client_id = "soak-" + std::to_string(t);
+    // Tight enough that a request queued behind a 60 ms delayed batch
+    // expires, loose enough that an ordinary queue wait never does.
+    opts.ttl_ms = 25.0;
+    asyncs.push_back(
+        std::make_unique<serve::AsyncBlackBoxHandle>(server, opts));
+    handles.push_back(
+        std::make_unique<serve::ResilientHandle>(*asyncs.back(), policy, pacer));
+  }
+
+  Stopwatch wall;
+  const std::int64_t bad = bench::run_soak_clients(
+      world, clients, queries_per_client,
+      [&](std::size_t t, const video::Video& v, std::size_t m) {
+        return handles[t]->retrieve(v, m);
+      });
+  const double wall_ms = wall.elapsed_ms();
+  server.shutdown();
+
+  const serve::ServerStats stats = server.stats();
+  const auto logical = static_cast<long long>(clients) * queries_per_client;
+  long long billed = 0;
+  long long overloads = 0;
+  for (const auto& h : handles) {
+    billed += h->queries_billed();
+    overloads += h->overloads_seen();
+  }
+
+  TableWriter table("Overload soak: paced clients vs throttling kShed server");
+  table.set_header({"clients", "logical_q", "billed_q", "throttled", "shed",
+                    "expired", "served", "pacer_waits", "wall_ms", "p95_ms"});
+  table.set_precision(2);
+  table.add_row({static_cast<long long>(clients), logical, billed,
+                 static_cast<long long>(stats.requests_throttled),
+                 static_cast<long long>(stats.requests_shed),
+                 static_cast<long long>(stats.requests_expired),
+                 static_cast<long long>(stats.queries_served),
+                 static_cast<long long>(pacer->waits()), wall_ms,
+                 stats.p95_latency_ms});
+  bench::emit(table, "overload_soak.csv");
+  bench::print_paper_note(
+      "No paper counterpart: soaks the overload policies a deployed victim "
+      "runs (rate limits, load shedding, deadlines) against the paced "
+      "retrying client an attacker needs. Every answer must match the "
+      "unthrottled retrieval bitwise; the billing ledger must reconcile.");
+
+  if (bad > 0) {
+    std::fprintf(stderr, "OVERLOAD SOAK FAILED: %lld mismatched answers\n",
+                 static_cast<long long>(bad));
+    return 1;
+  }
+  const long long terminated = stats.queries_served + stats.faults_injected +
+                               stats.requests_expired + stats.requests_shed;
+  if (billed != terminated) {
+    std::fprintf(stderr,
+                 "OVERLOAD SOAK FAILED: billed %lld != served+faulted+"
+                 "expired+shed %lld\n",
+                 billed, terminated);
+    return 1;
+  }
+  if (billed < logical) {
+    std::fprintf(stderr, "OVERLOAD SOAK FAILED: billed %lld < logical %lld\n",
+                 billed, logical);
+    return 1;
+  }
+  std::printf(
+      "overload soak OK: %lld logical queries, %lld billed, %lld overload "
+      "pushbacks absorbed, %lld pacer waits\n",
+      logical, billed, overloads, static_cast<long long>(pacer->waits()));
+  return 0;
+}

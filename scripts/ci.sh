@@ -19,7 +19,7 @@ cmake --build "$build_dir" -j "$(nproc)"
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 
 DUO_THREADS=8 ctest --test-dir "$build_dir" \
-  -R 'ParallelDeterminism|Serve|SparseQueryPipelined|FaultInjection|Resilient' \
+  -R 'ParallelDeterminism|Serve|SparseQueryPipelined|FaultInjection|Resilient|Admission|Pacer|Circuit' \
   --output-on-failure
 
 # Serve-layer smoke: exercises the micro-batching scheduler end to end under
@@ -31,3 +31,9 @@ DUO_THREADS=8 "$build_dir/bench/serve_throughput" --smoke
 # fails if any answer diverges from the fault-free retrieval or the billing
 # undercounts (seconds-long at --smoke scale).
 DUO_THREADS=8 "$build_dir/bench/fault_soak" --smoke
+
+# Overload smoke: paced clients against a throttling, load-shedding,
+# deadline-enforcing, fault-injecting victim; fails on any mismatched answer
+# or if the billing ledger stops reconciling (billed == served + faulted +
+# expired + shed).
+DUO_THREADS=8 "$build_dir/bench/overload_soak" --smoke

@@ -24,10 +24,18 @@ cmake --build "$build_dir" -j "$(nproc)" \
 # the halt-on-first-race behaviour so CI fails loudly. The regex picks up the
 # fault-tolerance suites too: FaultInjection/Resilient (retrying clients on a
 # faulty server), Serve.ConcurrentShutdownIsSafe (the shutdown-race
-# regression), and FailureModes.ServeFaultMatrix* (fault-injected attacks).
+# regression), FailureModes.ServeFaultMatrix* (fault-injected attacks), and
+# the overload suites: Admission (rate limiting + reject/shed policies),
+# Pacer (shared client-side token bucket), Circuit (breaker state machine).
 # scripts/tsan.supp silences the known exception_ptr refcount false positive
 # from the uninstrumented libstdc++ (see the file for details).
 export TSAN_OPTIONS="suppressions=$repo_root/scripts/tsan.supp ${TSAN_OPTIONS:-halt_on_error=1}"
 ctest --test-dir "$build_dir" \
-  -R 'ThreadPool|ParallelDeterminism|Conv3d|Pooling|Extractor|Gallery|Serve|SparseQueryPipelined|FaultInjection|Resilient' \
+  -R 'ThreadPool|ParallelDeterminism|Conv3d|Pooling|Extractor|Gallery|Serve|SparseQueryPipelined|FaultInjection|Resilient|Admission|Pacer|Circuit' \
   --output-on-failure --timeout 1800
+
+# The overload soak stresses the admission controller, rate limiter, pacer,
+# and expiry shedding from concurrent client threads — the exact surfaces a
+# race would corrupt — so run its smoke pass under TSan too.
+cmake --build "$build_dir" -j "$(nproc)" --target overload_soak
+DUO_THREADS=8 "$build_dir/bench/overload_soak" --smoke

@@ -26,7 +26,9 @@ using models::io::write_u64;
 
 constexpr char kSparseQueryMagic[8] = {'D', 'U', 'O', 'A', '1', '\0', '\0',
                                        '\0'};
-constexpr char kDuoMagic[8] = {'D', 'U', 'O', 'D', '1', '\0', '\0', '\0'};
+// 'DUOD2' added the objective-context lists; 'DUOD1' checkpoints are
+// rejected by the magic check and resumed runs fall back to a fresh start.
+constexpr char kDuoMagic[8] = {'D', 'U', 'O', 'D', '2', '\0', '\0', '\0'};
 
 bool check_magic(std::istream& in, const char (&magic)[8]) {
   char buf[8];
@@ -102,6 +104,11 @@ bool save_checkpoint(const DuoCheckpoint& ck, const std::string& path) {
     write_i64(out, ck.next_round);
     write_f64_vec(out, ck.t_history);
     write_i64(out, ck.queries);
+    write_u64(out, ck.has_ctx ? 1 : 0);
+    if (ck.has_ctx) {
+      write_i64_vec(out, ck.list_v);
+      write_i64_vec(out, ck.list_vt);
+    }
     write_tensor(out, ck.v_cur);
     write_u64(out, ck.has_init ? 1 : 0);
     if (ck.has_init) {
@@ -116,11 +123,20 @@ bool load_checkpoint(DuoCheckpoint& ck, const std::string& path) {
   if (!in || !check_magic(in, kDuoMagic)) return false;
 
   DuoCheckpoint staged;
+  std::uint64_t has_ctx = 0;
   std::uint64_t has_init = 0;
   if (!read_geometry(in, staged.geometry) || !read_u64(in, staged.source_hash) ||
       !read_i64(in, staged.iter_numH) || !read_i64(in, staged.next_round) ||
       !read_f64_vec(in, staged.t_history) || !read_i64(in, staged.queries) ||
-      !read_tensor(in, staged.v_cur) || !read_u64(in, has_init) ||
+      !read_u64(in, has_ctx) || has_ctx > 1) {
+    return false;
+  }
+  staged.has_ctx = has_ctx == 1;
+  if (staged.has_ctx && (!read_i64_vec(in, staged.list_v) ||
+                         !read_i64_vec(in, staged.list_vt))) {
+    return false;
+  }
+  if (!read_tensor(in, staged.v_cur) || !read_u64(in, has_init) ||
       has_init > 1) {
     return false;
   }

@@ -60,8 +60,10 @@ bool load_checkpoint(SparseQueryCheckpoint& ck, const std::string& path);
 // input v_cur, the {I, F} masks seeding the round's SparseTransfer (absent
 // for round 0), the t_history accumulated over completed rounds, and the
 // queries billed for completed rounds plus every process's objective-context
-// fetches. Mid-round progress lives in the round's own SparseQueryCheckpoint
-// (DuoAttack derives a per-round path).
+// fetches. The checkpoint also carries the objective context's reference
+// lists R^m(v) / R^m(v_t), so a resumed process restores them instead of
+// re-billing the 2-query fetch. Mid-round progress lives in the round's own
+// SparseQueryCheckpoint (DuoAttack derives a per-round path).
 struct DuoCheckpoint {
   video::VideoGeometry geometry;
   std::uint64_t source_hash = 0;
@@ -70,6 +72,12 @@ struct DuoCheckpoint {
   std::int64_t next_round = 0;
   std::vector<double> t_history;
   std::int64_t queries = 0;
+
+  // Objective context (attack/objective.hpp): the two reference retrieval
+  // lists, already paid for by the process that fetched them.
+  bool has_ctx = false;
+  std::vector<std::int64_t> list_v;   // valid when has_ctx
+  std::vector<std::int64_t> list_vt;  // valid when has_ctx
 
   Tensor v_cur;
   bool has_init = false;

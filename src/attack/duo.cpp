@@ -1,5 +1,6 @@
 #include "attack/duo.hpp"
 
+#include <cstdio>
 #include <string>
 #include <utility>
 
@@ -19,9 +20,6 @@ DuoAttack::DuoAttack(models::FeatureExtractor& surrogate, DuoConfig config)
 AttackOutcome DuoAttack::run(const video::Video& v, const video::Video& v_t,
                              retrieval::BlackBoxHandle& victim) {
   const std::int64_t queries_before = victim.query_count();
-  ObjectiveContext ctx =
-      make_objective_context(victim, v, v_t, config_.m, config_.eta);
-  ctx.untargeted = config_.goal == AttackGoal::kUntargeted;
 
   AttackOutcome out;
   video::Video v_cur = v;  // base video of the current outer iteration
@@ -37,8 +35,13 @@ AttackOutcome DuoAttack::run(const video::Video& v, const video::Video& v_t,
   const bool checkpointing = !config_.checkpoint_path.empty();
   const std::uint64_t source_hash =
       checkpointing ? models::io::fnv1a(v.data()) : 0;
-  std::int64_t queries_total = victim.query_count() - queries_before;
+  std::int64_t queries_restored = 0;
 
+  // The checkpoint is consulted BEFORE the objective-context fetch: a
+  // matching one restores R^m(v) / R^m(v_t) directly, so resuming after a
+  // fatal (even one during round 0's sparse_transfer, before any query
+  // attack progress) costs zero context re-fetch queries.
+  std::optional<ObjectiveContext> restored_ctx;
   if (checkpointing && config_.resume) {
     DuoCheckpoint ck;
     if (load_checkpoint(ck, config_.checkpoint_path) &&
@@ -46,7 +49,7 @@ AttackOutcome DuoAttack::run(const video::Video& v, const video::Video& v_t,
         ck.iter_numH == config_.iter_numH) {
       start_h = static_cast<int>(ck.next_round);
       out.t_history = std::move(ck.t_history);
-      queries_total += ck.queries;
+      queries_restored = ck.queries;
       v_cur = video::Video(std::move(ck.v_cur), v.geometry(), v.label(),
                            v.id());
       if (ck.has_init) {
@@ -55,8 +58,24 @@ AttackOutcome DuoAttack::run(const video::Video& v, const video::Video& v_t,
         restored.frame_mask() = std::move(ck.frame_mask);
         init = std::move(restored);
       }
+      if (ck.has_ctx) {
+        ObjectiveContext ctx;
+        ctx.list_v = std::move(ck.list_v);
+        ctx.list_vt = std::move(ck.list_vt);
+        ctx.m = config_.m;
+        ctx.eta = config_.eta;
+        restored_ctx = std::move(ctx);
+      }
     }
   }
+
+  ObjectiveContext ctx =
+      restored_ctx.has_value()
+          ? std::move(*restored_ctx)
+          : make_objective_context(victim, v, v_t, config_.m, config_.eta);
+  ctx.untargeted = config_.goal == AttackGoal::kUntargeted;
+  std::int64_t queries_total =
+      queries_restored + (victim.query_count() - queries_before);
 
   for (int h = start_h; h < config_.iter_numH; ++h) {
     if (checkpointing) {
@@ -67,6 +86,9 @@ AttackOutcome DuoAttack::run(const video::Video& v, const video::Video& v_t,
       ck.next_round = h;
       ck.t_history = out.t_history;
       ck.queries = queries_total;
+      ck.has_ctx = true;
+      ck.list_v = ctx.list_v;
+      ck.list_vt = ctx.list_vt;
       ck.v_cur = v_cur.data();
       ck.has_init = init.has_value();
       if (init) {
@@ -88,6 +110,9 @@ AttackOutcome DuoAttack::run(const video::Video& v, const video::Video& v_t,
       qcfg.checkpoint_path =
           config_.checkpoint_path + ".h" + std::to_string(h);
       qcfg.resume = config_.resume;
+      // Each round's file is garbage-collected as soon as that round
+      // finishes cleanly; the outer file below covers the loop itself.
+      qcfg.remove_on_success = config_.remove_on_success;
     }
     const SparseQueryResult sq =
         sparse_query(v_cur, st.perturbation, victim, ctx, qcfg);
@@ -104,6 +129,17 @@ AttackOutcome DuoAttack::run(const video::Video& v, const video::Video& v_t,
     next.pixel_mask() = st.perturbation.pixel_mask();
     next.frame_mask() = st.perturbation.frame_mask();
     init = std::move(next);
+  }
+
+  if (checkpointing && config_.remove_on_success) {
+    // Clean finish: drop the outer checkpoint and (defensively — a crashed
+    // earlier process may have left files this run resumed past) every
+    // per-round file. Interrupted runs never reach this point.
+    std::remove(config_.checkpoint_path.c_str());
+    for (int h = 0; h < config_.iter_numH; ++h) {
+      std::remove(
+          (config_.checkpoint_path + ".h" + std::to_string(h)).c_str());
+    }
   }
 
   out.adversarial = std::move(v_cur);

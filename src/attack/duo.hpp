@@ -27,12 +27,16 @@ struct DuoConfig {
   // a round-level checkpoint (attack/checkpoint.hpp) at the start of every
   // round and gives each round's SparseQuery its own derived checkpoint path
   // ("<path>.h<round>") for mid-round durability. With resume = true a
-  // matching checkpoint restores the loop at the recorded round; the final
-  // adversarial video is bitwise identical to an uninterrupted run, while
-  // queries may exceed it (each resuming process re-fetches the 2-query
-  // objective context).
+  // matching checkpoint restores the loop at the recorded round — including
+  // the objective context's reference lists, so a resumed process does NOT
+  // re-bill the 2-query context fetch; the final adversarial video is
+  // bitwise identical to an uninterrupted run.
   std::string checkpoint_path;
   bool resume = false;
+  // Checkpoint GC: after a clean finish, delete the outer checkpoint and
+  // every per-round file. Interrupted runs keep all of theirs. Also
+  // propagated to each round's SparseQueryConfig.
+  bool remove_on_success = false;
 };
 
 class DuoAttack final : public Attack {

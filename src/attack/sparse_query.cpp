@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <future>
 #include <optional>
 #include <utility>
@@ -77,6 +78,7 @@ StepPlan make_step_plan(const Perturbation& perturbation,
 // failure thanks to the atomic commit.
 struct CheckpointContext {
   bool enabled = false;
+  bool remove_on_success = false;
   std::string path;
   int every = 0;
   video::VideoGeometry geometry;
@@ -89,6 +91,7 @@ struct CheckpointContext {
     CheckpointContext cc;
     cc.enabled = !config.checkpoint_path.empty();
     if (!cc.enabled && !config.resume) return cc;
+    cc.remove_on_success = config.remove_on_success;
     cc.path = config.checkpoint_path;
     cc.every = config.checkpoint_every;
     cc.geometry = v.geometry();
@@ -123,6 +126,12 @@ struct CheckpointContext {
     ck.deck_pos = deck_pos;
     ck.v_adv = v_adv;
     save_checkpoint(ck, path);
+  }
+
+  // GC on the successful-return path only: an interrupted run keeps its
+  // checkpoint. Best-effort, like the saves.
+  void finished() const {
+    if (enabled && remove_on_success) std::remove(path.c_str());
   }
 };
 
@@ -196,6 +205,7 @@ SparseQueryResult sparse_query(const video::Video& v,
     result.v_adv = std::move(v_adv);
     result.final_t = t_current;
     result.queries_spent = queries_total();
+    cc.finished();
     return result;
   }
 
@@ -294,6 +304,7 @@ SparseQueryResult sparse_query(const video::Video& v,
   result.v_adv = std::move(q_adv);
   result.final_t = t_current;
   result.queries_spent = queries_total();
+  cc.finished();
   return result;
 }
 
@@ -343,6 +354,7 @@ SparseQueryResult sparse_query_pipelined_impl(const video::Video& v,
     result.v_adv = std::move(v_adv);
     result.final_t = t_current;
     result.queries_spent = queries_total();
+    cc.finished();
     return result;
   }
 
@@ -469,6 +481,7 @@ SparseQueryResult sparse_query_pipelined_impl(const video::Video& v,
   result.v_adv = std::move(q_adv);
   result.final_t = t_current;
   result.queries_spent = queries_total();
+  cc.finished();
   return result;
 }
 

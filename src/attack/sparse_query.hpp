@@ -48,6 +48,11 @@ struct SparseQueryConfig {
   std::string checkpoint_path;
   int checkpoint_every = 25;
   bool resume = false;
+  // Checkpoint GC: delete the checkpoint file after a clean finish, so long
+  // campaigns do not accumulate stale state. Interrupted runs (fatal victim
+  // error, process kill) always keep theirs — the file is removed only on
+  // the successful-return path.
+  bool remove_on_success = false;
 };
 
 struct SparseQueryResult {

@@ -1,0 +1,110 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace duo::serve {
+
+namespace {
+
+double validated_rate(double rate) {
+  if (rate <= 0.0) throw std::invalid_argument("token bucket rate must be > 0");
+  return rate;
+}
+
+double validated_burst(double burst) {
+  if (burst < 1.0) throw std::invalid_argument("token bucket burst must be >= 1");
+  return burst;
+}
+
+}  // namespace
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst)
+    : rate_(validated_rate(rate_per_sec)),
+      burst_(validated_burst(burst)),
+      tokens_(burst) {}
+
+double TokenBucket::try_acquire(double now_ms) {
+  // A caller that sleeps exactly the returned wait refills by exactly the
+  // deficit — up to floating-point rounding, which can strand tokens_ a few
+  // ulps under 1.0. Granting within this epsilon keeps such callers from
+  // looping on waits too small for the clock to even represent.
+  constexpr double kEpsilon = 1e-9;
+  if (!primed_) {
+    // Anchor the refill timeline at the first call instead of at
+    // construction, so two identically configured buckets driven by the same
+    // virtual timestamps decide identically regardless of when each was
+    // built.
+    primed_ = true;
+    last_ms_ = now_ms;
+  }
+  const double elapsed_ms = std::max(0.0, now_ms - last_ms_);
+  tokens_ = std::min(burst_, tokens_ + elapsed_ms * rate_ / 1000.0);
+  last_ms_ = now_ms;
+  if (tokens_ >= 1.0 - kEpsilon) {
+    tokens_ = std::max(0.0, tokens_ - 1.0);
+    return 0.0;
+  }
+  return (1.0 - tokens_) * 1000.0 / rate_;
+}
+
+RateLimiter::RateLimiter(double rate_per_sec, double burst)
+    : rate_(validated_rate(rate_per_sec)), burst_(validated_burst(burst)) {}
+
+double RateLimiter::try_acquire(const std::string& client_id, double now_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = buckets_.find(client_id);
+  if (it == buckets_.end()) {
+    it = buckets_.emplace(client_id, TokenBucket(rate_, burst_)).first;
+  }
+  return it->second.try_acquire(now_ms);
+}
+
+std::int64_t RateLimiter::clients_seen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::int64_t>(buckets_.size());
+}
+
+Pacer::Pacer(PacerConfig config, std::shared_ptr<Clock> clock)
+    : config_(config),
+      clock_(ensure_clock(std::move(clock))),
+      bucket_(config.rate_per_sec, config.burst) {}
+
+void Pacer::acquire() {
+  for (;;) {
+    double wait_ms = 0.0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      wait_ms = bucket_.try_acquire(clock_->now_ms());
+      if (wait_ms <= 0.0) {
+        ++granted_;
+        return;
+      }
+      // Floor the sleep so progress survives even a wait too small for the
+      // clock's resolution at large timestamps (guaranteed termination).
+      wait_ms = std::max(wait_ms, 0.01);
+      ++waits_;
+      waited_ms_ += wait_ms;
+    }
+    // Sleep outside the lock: with a VirtualClock several pacing threads can
+    // advance time concurrently without serializing on the bucket.
+    clock_->sleep_ms(wait_ms);
+  }
+}
+
+std::int64_t Pacer::granted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return granted_;
+}
+
+std::int64_t Pacer::waits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return waits_;
+}
+
+double Pacer::waited_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return waited_ms_;
+}
+
+}  // namespace duo::serve

@@ -1,0 +1,118 @@
+#pragma once
+
+// Overload-control primitives shared by the server's admission path and the
+// attacker's client policy:
+//
+//  - TokenBucket: the deterministic leaky-bucket core. Given the same
+//    sequence of (timestamp, acquire) calls it makes the same sequence of
+//    grant/deny decisions — all state is explicit, no hidden clock reads.
+//  - RateLimiter: per-client TokenBuckets keyed by client id; the server's
+//    "one API key, one sustained rate" model (QAIR frames the realistic
+//    victim as exactly this kind of rate-limited service).
+//  - AdmissionPolicy: what RetrievalServer::submit does when the queue is
+//    at the configured load threshold — block (legacy backpressure),
+//    reject-with-retry-after, or shed the oldest queued request.
+//  - Pacer: the client-side counterpart — one shared token bucket across
+//    any number of ResilientHandle instances, modeling concurrent attack
+//    processes pacing themselves under a single API key instead of
+//    hammering the victim and eating throttles.
+//
+// TokenBucket is not thread-safe (callers lock); RateLimiter and Pacer are.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "serve/clock.hpp"
+
+namespace duo::serve {
+
+// What RetrievalServer::submit does once queue occupancy reaches the
+// admission threshold (ServerConfig::admission_threshold × queue_capacity).
+enum class AdmissionPolicy {
+  kBlock,   // wait for room (bounded by the caller's submit deadline)
+  kReject,  // fail immediately with ServeError{kOverloaded} + retry_after
+  kShed,    // accept, dropping the oldest queued request (its future fails
+            // with ServeError{kShed}) — freshest-first under overload
+};
+
+// Deterministic token bucket: `rate` tokens/sec refill up to `burst`.
+// Decisions depend only on the constructor arguments and the sequence of
+// try_acquire(now_ms) calls, so a virtual clock makes them reproducible.
+class TokenBucket {
+ public:
+  TokenBucket(double rate_per_sec, double burst);
+
+  // Takes one token at time `now_ms` if available. Returns 0.0 on success,
+  // otherwise the milliseconds until a token will exist (the retry_after
+  // hint) without consuming anything. `now_ms` must be monotone.
+  double try_acquire(double now_ms);
+
+  double rate() const noexcept { return rate_; }
+  double burst() const noexcept { return burst_; }
+
+ private:
+  double rate_;
+  double burst_;
+  double tokens_;
+  double last_ms_ = 0.0;
+  bool primed_ = false;  // first acquire anchors the refill timeline
+};
+
+// One TokenBucket per client id, created lazily on first sight. All buckets
+// share the same (rate, burst) configuration.
+class RateLimiter {
+ public:
+  RateLimiter(double rate_per_sec, double burst);
+
+  // Grant/deny for `client_id` at `now_ms`; same contract as
+  // TokenBucket::try_acquire. Thread-safe.
+  double try_acquire(const std::string& client_id, double now_ms);
+
+  std::int64_t clients_seen() const;
+
+ private:
+  double rate_;
+  double burst_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, TokenBucket> buckets_;
+};
+
+struct PacerConfig {
+  // Sustained submissions/sec shared by every handle on this pacer, and the
+  // burst the bucket tolerates. rate must be > 0.
+  double rate_per_sec = 50.0;
+  double burst = 4.0;
+};
+
+// Shared client-side pacer: acquire() blocks (through the clock, so a
+// VirtualClock pacer never wall-waits) until the shared bucket grants a
+// token. Hand one shared_ptr<Pacer> to every ResilientHandle that shares an
+// API key; their combined submission rate then respects the bucket.
+class Pacer {
+ public:
+  explicit Pacer(PacerConfig config, std::shared_ptr<Clock> clock = nullptr);
+
+  // Blocks until a token is granted. Thread-safe.
+  void acquire();
+
+  std::int64_t granted() const;    // tokens handed out
+  std::int64_t waits() const;      // sleep rounds taken while pacing
+  double waited_ms() const;        // total clock time spent pacing
+
+  const PacerConfig& config() const noexcept { return config_; }
+  Clock& clock() noexcept { return *clock_; }
+
+ private:
+  PacerConfig config_;
+  std::shared_ptr<Clock> clock_;
+  mutable std::mutex mutex_;
+  TokenBucket bucket_;
+  std::int64_t granted_ = 0;
+  std::int64_t waits_ = 0;
+  double waited_ms_ = 0.0;
+};
+
+}  // namespace duo::serve

@@ -32,7 +32,11 @@ namespace duo::serve {
 
 class AsyncBlackBoxHandle {
  public:
-  explicit AsyncBlackBoxHandle(RetrievalServer& server) : server_(server) {}
+  // `options` travels with every request from this handle: the rate-limit
+  // client_id (the attacker's API key) and the per-request freshness ttl.
+  explicit AsyncBlackBoxHandle(RetrievalServer& server,
+                               RequestOptions options = {})
+      : server_(server), options_(std::move(options)) {}
 
   AsyncBlackBoxHandle(const AsyncBlackBoxHandle&) = delete;
   AsyncBlackBoxHandle& operator=(const AsyncBlackBoxHandle&) = delete;
@@ -42,16 +46,17 @@ class AsyncBlackBoxHandle {
   // use submit_with_deadline for billing that tracks acceptance.)
   std::future<metrics::RetrievalList> submit(video::Video v, std::size_t m) {
     query_count_.fetch_add(1, std::memory_order_relaxed);
-    return server_.submit(std::move(v), m);
+    return server_.submit(std::move(v), m, options_);
   }
 
   // Bounded-wait submission: bills one victim query iff the request was
-  // accepted into the queue. Rejections come back unbilled with the
-  // ServeError already set on the future (see RetrievalServer).
+  // accepted into the queue. Rejections — queue-full timeouts, admission
+  // kReject, rate-limit throttles — come back unbilled with the ServeError
+  // already set on the future (see RetrievalServer).
   SubmitOutcome submit_with_deadline(video::Video v, std::size_t m,
                                      std::chrono::milliseconds deadline) {
     SubmitOutcome out =
-        server_.submit_with_deadline(std::move(v), m, deadline);
+        server_.submit_with_deadline(std::move(v), m, deadline, options_);
     if (out.accepted) query_count_.fetch_add(1, std::memory_order_relaxed);
     return out;
   }
@@ -80,8 +85,11 @@ class AsyncBlackBoxHandle {
   // Server-side accounting snapshot (batch histogram, latency percentiles).
   ServerStats server_stats() const { return server_.stats(); }
 
+  const RequestOptions& options() const noexcept { return options_; }
+
  private:
   RetrievalServer& server_;
+  RequestOptions options_;
   std::atomic<std::int64_t> query_count_{0};
 };
 

@@ -1,0 +1,75 @@
+#pragma once
+
+// Time as a dependency, not an ambient global. Every overload-robustness
+// policy in the serve layer — per-request deadlines, token-bucket rate
+// limiting, client-side pacing, circuit-breaker cooldowns — reads time
+// through a Clock so the policy's decisions are a pure function of its
+// inputs:
+//
+//  - SystemClock is the production clock (steady wall time, real sleeps).
+//  - VirtualClock is the test clock: time stands still until someone
+//    advances it, and sleep_ms *is* an advance, so a policy driven by a
+//    VirtualClock runs instantly and makes bit-for-bit reproducible
+//    decisions. That is what extends the serve layer's
+//    bitwise-identical-under-retry guarantee to
+//    bitwise-identical-under-throttling (tests/test_failure_modes.cpp).
+//
+// Both clocks are thread-safe.
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/stopwatch.hpp"
+
+namespace duo::serve {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  // Monotone milliseconds since an arbitrary epoch.
+  virtual double now_ms() = 0;
+  // Blocks the caller for `ms` of this clock's time. Non-positive = no-op.
+  virtual void sleep_ms(double ms) = 0;
+};
+
+class SystemClock final : public Clock {
+ public:
+  double now_ms() override { return epoch_.elapsed_ms(); }
+  void sleep_ms(double ms) override {
+    if (ms <= 0.0) return;
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  }
+
+ private:
+  Stopwatch epoch_;  // steady_clock underneath; never goes backwards
+};
+
+// Manually advanced clock. sleep_ms advances the clock instead of blocking,
+// so virtual-clocked policies (pacers, backoffs, cooldowns) never wall-wait.
+class VirtualClock final : public Clock {
+ public:
+  double now_ms() override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return now_ms_;
+  }
+  void sleep_ms(double ms) override { advance_ms(ms); }
+  void advance_ms(double ms) {
+    if (ms <= 0.0) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    now_ms_ += ms;
+  }
+
+ private:
+  std::mutex mutex_;
+  double now_ms_ = 0.0;
+};
+
+// Config plumbing: a null clock means "wall time".
+inline std::shared_ptr<Clock> ensure_clock(std::shared_ptr<Clock> clock) {
+  return clock != nullptr ? std::move(clock)
+                          : std::make_shared<SystemClock>();
+}
+
+}  // namespace duo::serve

@@ -3,10 +3,10 @@
 // Typed serve-layer failures. Everything that can go wrong between an
 // attacker's submit() and the victim's answer is surfaced as a ServeError so
 // callers can tell a retryable hiccup (transient backend error, dropped
-// response, backpressure timeout) from a fatal condition (server shut down,
-// retry budget exhausted, extractor blew up) — and whether the failed
-// attempt billed a victim query, which a query-budgeted attack must account
-// for even when the answer never arrived.
+// response, backpressure timeout, throttle) from a fatal condition (server
+// shut down, retry budget exhausted, circuit open, extractor blew up) — and
+// whether the failed attempt billed a victim query, which a query-budgeted
+// attack must account for even when the answer never arrived.
 //
 // ServeError derives from std::runtime_error, so pre-existing callers that
 // caught the old untyped exceptions keep working.
@@ -18,17 +18,30 @@ namespace duo::serve {
 
 enum class ServeErrorCode {
   kTransient,       // backend answered with a transient failure; retry
-  kOverloaded,      // bounded submit deadline expired with the queue full
+  kOverloaded,      // bounded submit deadline expired with the queue full,
+                    // or admission policy kReject turned the request away
   kDropped,         // response lost (promise abandoned / per-query timeout)
   kShutdown,        // server stopped; no retry will ever succeed
   kRetryExhausted,  // resilient client ran out of attempts or retry budget
   kFatal,           // unrecoverable backend error (extractor failure, ...)
+  kThrottled,       // per-client rate limit denied the request (unbilled)
+  kExpired,         // request's deadline passed while queued; shed before
+                    // extraction (billed: it was accepted)
+  kShed,            // admission policy kShed evicted it to admit fresher
+                    // work (billed: it was accepted)
+  kUnavailable,     // client-side circuit breaker is open; nothing was sent
+                    // to the victim (unbilled, not retryable — checkpoint
+                    // and surface instead of burning the retry budget)
 };
 
 class ServeError : public std::runtime_error {
  public:
-  ServeError(ServeErrorCode code, bool billed, const std::string& what)
-      : std::runtime_error(what), code_(code), billed_(billed) {}
+  ServeError(ServeErrorCode code, bool billed, const std::string& what,
+             double retry_after_ms = 0.0)
+      : std::runtime_error(what),
+        code_(code),
+        billed_(billed),
+        retry_after_ms_(retry_after_ms) {}
 
   ServeErrorCode code() const noexcept { return code_; }
 
@@ -36,17 +49,37 @@ class ServeError : public std::runtime_error {
   // failed attempt — honest query accounting must count it.
   bool billed() const noexcept { return billed_; }
 
+  // Server hint (throttle / admission rejection): milliseconds until a retry
+  // has a chance. 0 = no hint. A well-behaved client waits at least this
+  // long instead of its own backoff guess.
+  double retry_after_ms() const noexcept { return retry_after_ms_; }
+
   // Retryable failures are transient by construction: a later identical
-  // submission can succeed. Fatal codes never clear on retry.
+  // submission can succeed. Fatal codes never clear on retry; kUnavailable
+  // is the circuit breaker telling the caller to *stop* retrying.
   bool retryable() const noexcept {
     return code_ == ServeErrorCode::kTransient ||
            code_ == ServeErrorCode::kOverloaded ||
-           code_ == ServeErrorCode::kDropped;
+           code_ == ServeErrorCode::kDropped ||
+           code_ == ServeErrorCode::kThrottled ||
+           code_ == ServeErrorCode::kExpired ||
+           code_ == ServeErrorCode::kShed;
+  }
+
+  // Overload-family failures: the victim pushed back on load rather than
+  // malfunctioning. The circuit breaker ignores these (a throttled victim is
+  // up, just busy), and the resilient client honors retry_after for them.
+  bool overload() const noexcept {
+    return code_ == ServeErrorCode::kOverloaded ||
+           code_ == ServeErrorCode::kThrottled ||
+           code_ == ServeErrorCode::kExpired ||
+           code_ == ServeErrorCode::kShed;
   }
 
  private:
   ServeErrorCode code_;
   bool billed_;
+  double retry_after_ms_;
 };
 
 }  // namespace duo::serve

@@ -15,6 +15,10 @@ FaultInjector::FaultInjector(FaultConfig config)
       config_.error_prob + config_.delay_prob + config_.drop_prob <= 1.0,
       "FaultInjector: fault probabilities sum past 1");
   DUO_CHECK_MSG(config_.delay_ms >= 0.0, "FaultInjector: negative delay");
+  DUO_CHECK_MSG(config_.error_until >= 0,
+                "FaultInjector: negative error_until");
+  DUO_CHECK_MSG(config_.error_from >= -1,
+                "FaultInjector: error_from must be -1 or a request index");
 }
 
 FaultKind FaultInjector::draw() {
@@ -25,8 +29,13 @@ FaultKind FaultInjector::draw() {
     ++injected_;
     return FaultKind::kFatalError;
   }
-  ++decisions_;
+  const std::int64_t index = decisions_++;
   const double u = rng_.uniform();
+  if (index < config_.error_until ||
+      (config_.error_from >= 0 && index >= config_.error_from)) {
+    ++injected_;
+    return FaultKind::kTransientError;
+  }
   FaultKind kind = FaultKind::kNone;
   if (u < config_.error_prob) {
     kind = FaultKind::kTransientError;

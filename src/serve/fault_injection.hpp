@@ -47,6 +47,18 @@ struct FaultConfig {
   double delay_ms = 5.0;
   // Request index (0-based, in arrival order) that fails fatally; -1 = never.
   std::int64_t fatal_at = -1;
+  // Every request with index < error_until fails transiently, before any
+  // probability draw — models an outage that heals ("down for the first N
+  // requests"), the deterministic shape circuit-breaker tests need. The
+  // probabilistic schedule still consumes one uniform per such request, so
+  // enabling error_until shifts nothing for later indices.
+  std::int64_t error_until = 0;
+  // Mirror image of error_until: every request with index >= error_from
+  // fails transiently — models a victim that goes down mid-attack and stays
+  // down (the shape that trips a client circuit breaker after real
+  // progress). -1 disables. Also consumes one uniform per request, so the
+  // probabilistic schedule below the cutover is unshifted.
+  std::int64_t error_from = -1;
   // Seed of the fault schedule. Same seed + same arrival order = same faults.
   std::uint64_t seed = 1;
 };

@@ -1,77 +1,153 @@
 #include "serve/resilient.hpp"
 
 #include <algorithm>
-#include <thread>
 
 #include "common/check.hpp"
 
 namespace duo::serve {
 
 metrics::RetrievalList PendingRetrieval::get() {
-  return handle_->await_with_retry(std::move(future_), accepted_, video_, m_);
+  return handle_->await_with_retry(std::move(future_), accepted_, probe_,
+                                   video_, m_);
 }
 
 ResilientHandle::ResilientHandle(AsyncBlackBoxHandle& inner,
-                                 RetryPolicy policy)
+                                 RetryPolicy policy,
+                                 std::shared_ptr<Pacer> pacer,
+                                 std::shared_ptr<Clock> clock)
     : inner_(inner),
       policy_(policy),
+      pacer_(std::move(pacer)),
+      clock_(ensure_clock(std::move(clock))),
       jitter_rng_(policy.seed),
       budget_left_(policy.retry_budget) {
   DUO_CHECK_MSG(policy_.max_attempts >= 1,
                 "ResilientHandle: max_attempts < 1");
   DUO_CHECK_MSG(policy_.jitter >= 0.0, "ResilientHandle: negative jitter");
+  DUO_CHECK_MSG(policy_.circuit_threshold >= 0,
+                "ResilientHandle: negative circuit_threshold");
+  DUO_CHECK_MSG(policy_.circuit_cooldown_ms >= 0.0,
+                "ResilientHandle: negative circuit_cooldown_ms");
+}
+
+ResilientHandle::Gate ResilientHandle::circuit_gate() {
+  if (policy_.circuit_threshold <= 0) return Gate::kAllow;
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (circuit_) {
+    case CircuitState::kClosed:
+      return Gate::kAllow;
+    case CircuitState::kOpen:
+      if (clock_->now_ms() - opened_at_ms_ >= cooldown_ms_) {
+        circuit_ = CircuitState::kHalfOpen;
+        probe_in_flight_ = true;
+        return Gate::kAllowProbe;
+      }
+      ++fast_failures_;
+      return Gate::kFailFast;
+    case CircuitState::kHalfOpen:
+      if (!probe_in_flight_) {
+        probe_in_flight_ = true;
+        return Gate::kAllowProbe;
+      }
+      ++fast_failures_;
+      return Gate::kFailFast;
+  }
+  return Gate::kAllow;  // unreachable
+}
+
+ResilientHandle::GuardedSubmit ResilientHandle::guarded_submit(
+    const video::Video& v, std::size_t m) {
+  const Gate gate = circuit_gate();
+  GuardedSubmit g;
+  if (gate == Gate::kFailFast) {
+    // Nothing is sent to the victim: surface kUnavailable through the
+    // future so pipelined callers hit it inside get(), where their
+    // checkpoint-on-fatal path runs.
+    std::promise<metrics::RetrievalList> rejected;
+    g.out.future = rejected.get_future();
+    g.out.accepted = false;
+    rejected.set_exception(std::make_exception_ptr(ServeError(
+        ServeErrorCode::kUnavailable, /*billed=*/false,
+        "ResilientHandle: circuit open, victim presumed unavailable")));
+    return g;
+  }
+  if (pacer_ != nullptr) pacer_->acquire();
+  g.out = inner_.submit_with_deadline(v, m, policy_.submit_deadline);
+  g.probe = (gate == Gate::kAllowProbe);
+  return g;
 }
 
 metrics::RetrievalList ResilientHandle::retrieve(const video::Video& v,
                                                  std::size_t m) {
-  SubmitOutcome first =
-      inner_.submit_with_deadline(v, m, policy_.submit_deadline);
-  return await_with_retry(std::move(first.future), first.accepted, v, m);
+  GuardedSubmit first = guarded_submit(v, m);
+  return await_with_retry(std::move(first.out.future), first.out.accepted,
+                          first.probe, v, m);
 }
 
 PendingRetrieval ResilientHandle::submit(video::Video v, std::size_t m) {
-  SubmitOutcome first =
-      inner_.submit_with_deadline(v, m, policy_.submit_deadline);
-  return PendingRetrieval(*this, std::move(v), m, std::move(first));
+  GuardedSubmit first = guarded_submit(v, m);
+  const bool probe = first.probe;
+  return PendingRetrieval(*this, std::move(v), m, std::move(first.out), probe);
 }
 
-void ResilientHandle::classify_failure(
-    std::future<metrics::RetrievalList>& future) {
+double ResilientHandle::classify_failure(
+    std::future<metrics::RetrievalList>& future, bool was_probe) {
   try {
     (void)future.get();
     DUO_CHECK_MSG(false, "ResilientHandle: classify_failure on a success");
   } catch (const ServeError& e) {
-    if (!e.retryable()) throw;
-    note_fault();
+    if (!e.retryable()) {
+      // A probe dying on a non-retryable error leaves via throw; release
+      // the half-open slot so later queries can re-probe.
+      if (was_probe) release_probe();
+      throw;
+    }
+    note_retryable(e.overload(), was_probe);
+    return e.retry_after_ms();
   } catch (const std::future_error&) {
-    note_fault();  // dropped response: promise abandoned server-side
+    // Dropped response: promise abandoned server-side. Breaker-relevant.
+    note_retryable(/*overload=*/false, was_probe);
   }
+  return 0.0;
 }
 
 metrics::RetrievalList ResilientHandle::await_with_retry(
-    std::future<metrics::RetrievalList> future, bool accepted,
+    std::future<metrics::RetrievalList> future, bool accepted, bool probe,
     const video::Video& v, std::size_t m) {
   bool any_billed = accepted;
   int attempt = 1;
-  if (!accepted) classify_failure(future);  // throws when non-retryable
+  double retry_after_ms = 0.0;
+  if (!accepted) {
+    retry_after_ms = classify_failure(future, probe);  // throws if fatal
+  }
   for (;;) {
     if (accepted) {
       if (future.wait_for(policy_.query_timeout) ==
           std::future_status::ready) {
         bool retryable_failure = false;
         try {
-          return future.get();
+          auto list = future.get();
+          note_success(probe);
+          return list;
         } catch (const ServeError& e) {
-          if (!e.retryable()) throw;
+          if (!e.retryable()) {
+            if (probe) release_probe();
+            throw;
+          }
           retryable_failure = true;
+          note_retryable(e.overload(), probe);
+          retry_after_ms = e.retry_after_ms();
         } catch (const std::future_error&) {
           retryable_failure = true;  // dropped response
+          note_retryable(/*overload=*/false, probe);
         }
-        if (retryable_failure) note_fault();
+        (void)retryable_failure;
       } else {
         // Answer overdue: declare it lost and resubmit. The abandoned future
-        // may still be fulfilled later; that forward stays billed.
-        note_fault();
+        // may still be fulfilled later; that forward stays billed. A victim
+        // that stops answering is breaker-relevant.
+        note_retryable(/*overload=*/false, probe);
+        retry_after_ms = 0.0;
       }
     }
     if (attempt >= policy_.max_attempts) {
@@ -80,24 +156,77 @@ metrics::RetrievalList ResilientHandle::await_with_retry(
     }
     consume_budget(any_billed);
     const auto backoff = next_backoff(attempt);
-    if (backoff.count() > 0.0) std::this_thread::sleep_for(backoff);
+    // A server retry_after hint is a floor on the wait, not a replacement
+    // for backoff: the client never retries sooner than the victim asked.
+    const double wait_ms = std::max(backoff.count(), retry_after_ms);
+    if (wait_ms > 0.0) clock_->sleep_ms(wait_ms);
+    retry_after_ms = 0.0;
     ++attempt;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       ++retries_;
     }
-    SubmitOutcome retry =
-        inner_.submit_with_deadline(v, m, policy_.submit_deadline);
-    accepted = retry.accepted;
-    any_billed = any_billed || retry.accepted;
-    future = std::move(retry.future);
-    if (!accepted) classify_failure(future);
+    GuardedSubmit retry = guarded_submit(v, m);
+    accepted = retry.out.accepted;
+    probe = retry.probe;
+    any_billed = any_billed || accepted;
+    future = std::move(retry.out.future);
+    if (!accepted) {
+      retry_after_ms = classify_failure(future, probe);
+      probe = false;  // the failed probe already released its slot
+    }
   }
 }
 
-void ResilientHandle::note_fault() {
+void ResilientHandle::open_circuit_locked() {
+  circuit_ = CircuitState::kOpen;
+  opened_at_ms_ = clock_->now_ms();
+  // Jittered cooldown from the same seeded stream as backoff, so the
+  // open → half-open schedule is deterministic under a fixed seed.
+  cooldown_ms_ =
+      policy_.circuit_cooldown_ms * (1.0 + policy_.jitter * jitter_rng_.uniform());
+  probe_in_flight_ = false;
+  consecutive_failures_ = 0;
+  ++circuit_opens_;
+}
+
+void ResilientHandle::note_retryable(bool overload, bool was_probe) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++faults_seen_;
+  if (overload) {
+    ++overloads_seen_;
+    // Overload pushback proves the victim is alive: never advances the
+    // breaker. A throttled probe just releases its half-open slot so the
+    // next attempt can re-probe.
+    if (was_probe && circuit_ == CircuitState::kHalfOpen) {
+      probe_in_flight_ = false;
+    }
+    return;
+  }
+  if (policy_.circuit_threshold <= 0) return;
+  if (was_probe && circuit_ == CircuitState::kHalfOpen) {
+    open_circuit_locked();  // probe failed: back to open, fresh cooldown
+    return;
+  }
+  if (circuit_ == CircuitState::kClosed) {
+    if (++consecutive_failures_ >= policy_.circuit_threshold) {
+      open_circuit_locked();
+    }
+  }
+}
+
+void ResilientHandle::release_probe() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (circuit_ == CircuitState::kHalfOpen) probe_in_flight_ = false;
+}
+
+void ResilientHandle::note_success(bool was_probe) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  consecutive_failures_ = 0;
+  if (was_probe || circuit_ == CircuitState::kHalfOpen) {
+    circuit_ = CircuitState::kClosed;
+    probe_in_flight_ = false;
+  }
 }
 
 void ResilientHandle::consume_budget(bool any_billed) {
@@ -136,6 +265,26 @@ std::int64_t ResilientHandle::retries() const {
 std::int64_t ResilientHandle::faults_seen() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return faults_seen_;
+}
+
+std::int64_t ResilientHandle::overloads_seen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return overloads_seen_;
+}
+
+std::int64_t ResilientHandle::circuit_opens() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return circuit_opens_;
+}
+
+std::int64_t ResilientHandle::fast_failures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fast_failures_;
+}
+
+CircuitState ResilientHandle::circuit_state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return circuit_;
 }
 
 }  // namespace duo::serve

@@ -51,6 +51,17 @@ void RetrievalServer::start() {
                 "RetrievalServer: queue_capacity < 1");
   DUO_CHECK_MSG(config_.latency_reservoir >= 1,
                 "RetrievalServer: latency_reservoir < 1");
+  DUO_CHECK_MSG(
+      config_.admission_threshold > 0.0 && config_.admission_threshold <= 1.0,
+      "RetrievalServer: admission_threshold must be in (0, 1]");
+  clock_ = ensure_clock(config_.clock);
+  if (config_.client_rate > 0.0) {
+    limiter_ = std::make_unique<RateLimiter>(config_.client_rate,
+                                             config_.client_burst);
+  }
+  admit_limit_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config_.admission_threshold *
+                                  static_cast<double>(config_.queue_capacity)));
   batch_size_counts_.assign(config_.max_batch + 1, 0);
   latency_reservoir_.reserve(config_.latency_reservoir);
   scheduler_ = std::thread([this] { scheduler_loop(); });
@@ -59,20 +70,41 @@ void RetrievalServer::start() {
 RetrievalServer::~RetrievalServer() { shutdown(); }
 
 bool RetrievalServer::enqueue(Request& req,
-                              const std::chrono::milliseconds* deadline) {
+                              const std::chrono::milliseconds* deadline,
+                              const RequestOptions& opts) {
+  // Rate limiting first: a throttled request must not even contend for queue
+  // space, and the decision needs no queue lock.
+  if (limiter_ != nullptr) {
+    const double wait_ms = limiter_->try_acquire(opts.client_id,
+                                                 clock_->now_ms());
+    if (wait_ms > 0.0) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++requests_throttled_;
+      }
+      req.promise.set_exception(std::make_exception_ptr(ServeError(
+          ServeErrorCode::kThrottled, /*billed=*/false,
+          "RetrievalServer: per-client rate limit exceeded", wait_ms)));
+      return false;
+    }
+  }
+
+  std::vector<Request> shed_victims;
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    const auto have_room = [this] {
-      return stop_ || queue_.size() < config_.queue_capacity;
-    };
-    if (deadline == nullptr) {
-      not_full_.wait(lock, have_room);
-    } else if (!not_full_.wait_for(lock, *deadline, have_room)) {
-      lock.unlock();
-      req.promise.set_exception(std::make_exception_ptr(ServeError(
-          ServeErrorCode::kOverloaded, /*billed=*/false,
-          "RetrievalServer: queue full past the submit deadline")));
-      return false;
+    if (config_.admission == AdmissionPolicy::kBlock) {
+      const auto have_room = [this] {
+        return stop_ || queue_.size() < config_.queue_capacity;
+      };
+      if (deadline == nullptr) {
+        not_full_.wait(lock, have_room);
+      } else if (!not_full_.wait_for(lock, *deadline, have_room)) {
+        lock.unlock();
+        req.promise.set_exception(std::make_exception_ptr(ServeError(
+            ServeErrorCode::kOverloaded, /*billed=*/false,
+            "RetrievalServer: queue full past the submit deadline")));
+        return false;
+      }
     }
     if (stop_) {
       lock.unlock();
@@ -81,31 +113,71 @@ bool RetrievalServer::enqueue(Request& req,
                      "RetrievalServer: submit after shutdown")));
       return false;
     }
+    if (config_.admission == AdmissionPolicy::kReject &&
+        queue_.size() >= admit_limit_) {
+      lock.unlock();
+      {
+        std::lock_guard<std::mutex> slock(stats_mutex_);
+        ++requests_rejected_;
+      }
+      req.promise.set_exception(std::make_exception_ptr(ServeError(
+          ServeErrorCode::kOverloaded, /*billed=*/false,
+          "RetrievalServer: admission rejected under load",
+          config_.reject_retry_after_ms)));
+      return false;
+    }
+    if (config_.admission == AdmissionPolicy::kShed) {
+      // Freshest-first under overload: evict from the front (oldest) until
+      // the newcomer fits under the admit limit.
+      while (queue_.size() >= admit_limit_) {
+        shed_victims.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    if (opts.has_deadline()) {
+      req.has_deadline = true;
+      req.deadline_ms = clock_->now_ms() + opts.ttl_ms;
+    }
     req.queued.reset();  // latency clock starts at enqueue
     queue_.push_back(std::move(req));
   }
   not_empty_.notify_one();
+  if (config_.admission == AdmissionPolicy::kShed) not_full_.notify_all();
+
+  if (!shed_victims.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      requests_shed_ += static_cast<std::int64_t>(shed_victims.size());
+    }
+    // Shed requests were accepted (and billed at acceptance); fail them with
+    // the typed eviction error so retrying clients can resubmit.
+    const auto error = std::make_exception_ptr(
+        ServeError(ServeErrorCode::kShed, /*billed=*/true,
+                   "RetrievalServer: shed to admit fresher work"));
+    for (auto& victim : shed_victims) victim.promise.set_exception(error);
+  }
   return true;
 }
 
-std::future<metrics::RetrievalList> RetrievalServer::submit(video::Video v,
-                                                            std::size_t m) {
+std::future<metrics::RetrievalList> RetrievalServer::submit(
+    video::Video v, std::size_t m, const RequestOptions& opts) {
   Request req;
   req.video = std::move(v);
   req.m = m;
   auto future = req.promise.get_future();
-  enqueue(req, nullptr);
+  enqueue(req, nullptr, opts);
   return future;
 }
 
 SubmitOutcome RetrievalServer::submit_with_deadline(
-    video::Video v, std::size_t m, std::chrono::milliseconds deadline) {
+    video::Video v, std::size_t m, std::chrono::milliseconds deadline,
+    const RequestOptions& opts) {
   Request req;
   req.video = std::move(v);
   req.m = m;
   SubmitOutcome out;
   out.future = req.promise.get_future();
-  out.accepted = enqueue(req, &deadline);
+  out.accepted = enqueue(req, &deadline, opts);
   return out;
 }
 
@@ -131,21 +203,39 @@ bool RetrievalServer::stopped() const {
 
 void RetrievalServer::scheduler_loop() {
   std::vector<Request> batch;
+  std::vector<Request> expired;
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(mutex_);
       not_empty_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and everything drained
-      const std::size_t n = std::min(config_.max_batch, queue_.size());
       batch.clear();
-      batch.reserve(n);
-      for (std::size_t i = 0; i < n; ++i) {
-        batch.push_back(std::move(queue_.front()));
+      expired.clear();
+      // Shed expired requests before they cost a batch slot (and before the
+      // backend pays for extraction): only live requests fill the batch.
+      const double now_ms = clock_->now_ms();
+      while (batch.size() < config_.max_batch && !queue_.empty()) {
+        Request r = std::move(queue_.front());
         queue_.pop_front();
+        if (r.has_deadline && now_ms > r.deadline_ms) {
+          expired.push_back(std::move(r));
+        } else {
+          batch.push_back(std::move(r));
+        }
       }
     }
     not_full_.notify_all();
-    process_batch(batch);
+    if (!expired.empty()) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        requests_expired_ += static_cast<std::int64_t>(expired.size());
+      }
+      const auto error = std::make_exception_ptr(
+          ServeError(ServeErrorCode::kExpired, /*billed=*/true,
+                     "RetrievalServer: deadline expired while queued"));
+      for (auto& r : expired) r.promise.set_exception(error);
+    }
+    if (!batch.empty()) process_batch(batch);
   }
 }
 
@@ -254,6 +344,10 @@ ServerStats RetrievalServer::stats() const {
     out.queries_served = queries_served_;
     out.batches = batches_;
     out.faults_injected = faults_injected_;
+    out.requests_throttled = requests_throttled_;
+    out.requests_rejected = requests_rejected_;
+    out.requests_shed = requests_shed_;
+    out.requests_expired = requests_expired_;
     out.batch_size_counts = batch_size_counts_;
     out.latency_count = latency_count_;
     out.latency_samples_retained =
@@ -271,6 +365,10 @@ void RetrievalServer::reset_stats() {
   queries_served_ = 0;
   batches_ = 0;
   faults_injected_ = 0;
+  requests_throttled_ = 0;
+  requests_rejected_ = 0;
+  requests_shed_ = 0;
+  requests_expired_ = 0;
   std::fill(batch_size_counts_.begin(), batch_size_counts_.end(), 0);
   latency_reservoir_.clear();
   latency_count_ = 0;

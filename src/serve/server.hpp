@@ -24,6 +24,23 @@
 // until the draining join completes). A submit that arrives after (or loses
 // the race with) shutdown gets a ServeError{kShutdown} set instead.
 //
+// Overload model (all decisions read time through ServerConfig::clock, so a
+// VirtualClock makes them deterministic):
+//  - Per-client rate limiting: when client_rate > 0, a token bucket per
+//    RequestOptions::client_id gates admission; a denied request fails with
+//    ServeError{kThrottled} carrying a retry_after_ms hint. Throttled
+//    requests never touch the queue and are NOT billed.
+//  - Admission policy: once queue occupancy reaches admission_threshold ×
+//    queue_capacity, kReject fails new submits with ServeError{kOverloaded}
+//    (+ retry_after hint, not billed), kShed admits them by evicting the
+//    oldest queued request (the victim's future fails with
+//    ServeError{kShed}; the evictee WAS accepted, so it stays billed).
+//    kBlock is the legacy backpressure behaviour.
+//  - Deadline propagation: RequestOptions::ttl_ms attaches a deadline at
+//    enqueue; the scheduler sheds expired requests *before* paying for
+//    extraction (ServeError{kExpired}, billed — they were accepted) and they
+//    never consume batch slots.
+//
 // Fault model: when ServerConfig::fault_injector is set, the scheduler
 // consults it once per request in arrival order while fulfilling — injected
 // transient errors fail the future with a retryable ServeError, delays
@@ -40,6 +57,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -47,6 +65,8 @@
 #include "common/stopwatch.hpp"
 #include "metrics/metrics.hpp"
 #include "retrieval/system.hpp"
+#include "serve/admission.hpp"
+#include "serve/clock.hpp"
 #include "video/video.hpp"
 
 namespace duo::serve {
@@ -64,6 +84,34 @@ struct ServerConfig {
   std::size_t latency_reservoir = 512;
   // Optional fault schedule applied per request at fulfillment time.
   std::shared_ptr<FaultInjector> fault_injector;
+
+  // Overload policy. All time reads go through `clock` (null = wall time).
+  std::shared_ptr<Clock> clock;
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
+  // Queue-occupancy fraction at which kReject/kShed kick in; the admit limit
+  // is max(1, floor(admission_threshold × queue_capacity)). Ignored under
+  // kBlock.
+  double admission_threshold = 1.0;
+  // retry_after hint attached to admission kReject failures.
+  double reject_retry_after_ms = 5.0;
+  // Per-client token bucket: sustained requests/sec and burst per
+  // RequestOptions::client_id. 0 disables rate limiting.
+  double client_rate = 0.0;
+  double client_burst = 4.0;
+};
+
+// Per-request metadata carried alongside (video, m).
+struct RequestOptions {
+  // Rate-limiting key — "one API key, one bucket". Empty is itself a valid
+  // key (the anonymous client).
+  std::string client_id;
+  // Freshness budget: > 0 attaches deadline = now + ttl_ms at enqueue; the
+  // scheduler sheds the request unextracted once the deadline passes. 0
+  // means no deadline. Negative means already expired — deterministically
+  // shed on the next scheduler tick (useful in tests).
+  double ttl_ms = 0.0;
+
+  bool has_deadline() const noexcept { return ttl_ms != 0.0; }
 };
 
 // Snapshot of server-side accounting (see RetrievalServer::stats).
@@ -71,6 +119,12 @@ struct ServerStats {
   std::int64_t queries_served = 0;   // futures fulfilled with a value
   std::int64_t batches = 0;          // scheduler ticks that processed work
   std::int64_t faults_injected = 0;  // requests failed/dropped by injection
+  // Overload accounting. throttled/rejected were never accepted (unbilled);
+  // expired/shed were accepted and then discarded (billed).
+  std::int64_t requests_throttled = 0;  // per-client rate limit denials
+  std::int64_t requests_rejected = 0;   // admission kReject turn-aways
+  std::int64_t requests_shed = 0;       // evicted by admission kShed
+  std::int64_t requests_expired = 0;    // deadline passed while queued
   // batch_size_counts[s] = number of ticks that drained exactly s requests;
   // index 0 is unused, size() == max_batch + 1.
   std::vector<std::int64_t> batch_size_counts;
@@ -92,9 +146,10 @@ struct ServerStats {
 };
 
 // Result of a bounded-deadline submission. When `accepted` is false the
-// request was never enqueued (queue stayed full past the deadline, or the
-// server is stopped) and the victim was NOT billed; `future` then already
-// holds the ServeError explaining why.
+// request was never enqueued (queue stayed full past the deadline, admission
+// rejected it, the rate limiter throttled it, or the server is stopped) and
+// the victim was NOT billed; `future` then already holds the ServeError
+// explaining why.
 struct SubmitOutcome {
   std::future<metrics::RetrievalList> future;
   bool accepted = false;
@@ -119,16 +174,20 @@ class RetrievalServer {
   RetrievalServer& operator=(const RetrievalServer&) = delete;
 
   // Enqueue one retrieval request; thread-safe. Blocks while the queue is
-  // full. On a stopped server the returned future holds
-  // ServeError{kShutdown}.
-  std::future<metrics::RetrievalList> submit(video::Video v, std::size_t m);
+  // full (under kBlock). On a stopped server the returned future holds
+  // ServeError{kShutdown}; throttle/admission rejections likewise come back
+  // as a ready future holding the typed error.
+  std::future<metrics::RetrievalList> submit(video::Video v, std::size_t m,
+                                             const RequestOptions& opts = {});
 
   // Like submit, but waits at most `deadline` for queue space instead of
   // blocking indefinitely. Rejections (deadline expired → kOverloaded,
-  // stopped server → kShutdown) come back with accepted=false and are not
-  // billed — the request never reached the backend.
+  // admission kReject → kOverloaded, rate limit → kThrottled, stopped
+  // server → kShutdown) come back with accepted=false and are not billed —
+  // the request never reached the backend.
   SubmitOutcome submit_with_deadline(video::Video v, std::size_t m,
-                                     std::chrono::milliseconds deadline);
+                                     std::chrono::milliseconds deadline,
+                                     const RequestOptions& opts = {});
 
   // Stop accepting requests, drain every queued request, join the scheduler.
   // Idempotent and safe to call concurrently from multiple threads; every
@@ -143,6 +202,7 @@ class RetrievalServer {
   void reset_stats();
 
   const ServerConfig& config() const noexcept { return config_; }
+  Clock& clock() noexcept { return *clock_; }
   // The served system. Only safe to touch directly once stopped().
   retrieval::RetrievalSystem& system() noexcept { return system_; }
 
@@ -151,13 +211,16 @@ class RetrievalServer {
     video::Video video;
     std::size_t m = 0;
     std::promise<metrics::RetrievalList> promise;
-    Stopwatch queued;  // reset at enqueue; read at fulfillment
+    Stopwatch queued;       // reset at enqueue; read at fulfillment
+    bool has_deadline = false;
+    double deadline_ms = 0.0;  // absolute, in clock_->now_ms() terms
   };
 
   void start();
   // Shared enqueue path: nullptr deadline = wait forever. Returns false
   // (with the rejection ServeError set on the promise) when not enqueued.
-  bool enqueue(Request& req, const std::chrono::milliseconds* deadline);
+  bool enqueue(Request& req, const std::chrono::milliseconds* deadline,
+               const RequestOptions& opts);
   void scheduler_loop();
   void process_batch(std::vector<Request>& batch);
   void record_latency(double ms);  // requires stats_mutex_ held
@@ -165,6 +228,9 @@ class RetrievalServer {
   std::unique_ptr<retrieval::RetrievalSystem> owned_;  // empty when borrowed
   retrieval::RetrievalSystem& system_;
   ServerConfig config_;
+  std::shared_ptr<Clock> clock_;
+  std::unique_ptr<RateLimiter> limiter_;  // null when client_rate == 0
+  std::size_t admit_limit_ = 0;
 
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
@@ -177,6 +243,10 @@ class RetrievalServer {
   std::int64_t queries_served_ = 0;
   std::int64_t batches_ = 0;
   std::int64_t faults_injected_ = 0;
+  std::int64_t requests_throttled_ = 0;
+  std::int64_t requests_rejected_ = 0;
+  std::int64_t requests_shed_ = 0;
+  std::int64_t requests_expired_ = 0;
   std::vector<std::int64_t> batch_size_counts_;
   // Algorithm-R reservoir over latencies + exact running max and count.
   std::vector<double> latency_reservoir_;

@@ -5,9 +5,11 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "attack/duo.hpp"
 #include "attack/evaluation.hpp"
@@ -21,7 +23,9 @@
 #include "nn/conv3d.hpp"
 #include "nn/linear.hpp"
 #include "retrieval/index.hpp"
+#include "serve/admission.hpp"
 #include "serve/async_handle.hpp"
+#include "serve/clock.hpp"
 #include "serve/fault_injection.hpp"
 #include "serve/resilient.hpp"
 #include "serve/server.hpp"
@@ -46,6 +50,10 @@ void expect_bitwise_equal(const Tensor& got, const Tensor& want,
   for (std::int64_t i = 0; i < got.size(); ++i) {
     ASSERT_EQ(got[i], want[i]) << label << " diverges at element " << i;
   }
+}
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path).good();
 }
 
 TEST(FailureModes, ConvRejectsTooSmallInput) {
@@ -483,6 +491,366 @@ TEST(FailureModes, DuoSurvivesFaultsAndKillResume) {
   }
   std::remove(duo_path.c_str());
   for (const auto& p : round_paths) std::remove(p.c_str());
+}
+
+// ISSUE acceptance: against a server that both rate-limits the attacker's
+// client_id and injects transient errors, a paced sparse_query_pipelined run
+// — every submission first through a shared Pacer token, every throttle
+// honored via its retry_after hint — finishes bitwise identical to the
+// unthrottled fault-free reference. All policy decisions read a shared
+// VirtualClock, so the throttling schedule itself is deterministic, and the
+// server/client accounting reconciles exactly against the documented billing
+// policy (throttles unbilled; injected faults billed).
+TEST(FailureModes, OverloadMatrixKeepsPacedAttackBitwiseIdentical) {
+  auto& w = TinyWorld::mutable_instance();
+  const auto& v = w.dataset.train[1];
+  const auto& vt = w.dataset.train[9];
+  retrieval::BlackBoxHandle direct(*w.victim);
+  const auto ctx = attack::make_objective_context(direct, v, vt, 8);
+  const attack::Perturbation pert = noisy_support(v, 14);
+
+  attack::SparseQueryConfig cfg;
+  cfg.iter_numQ = 16;
+  cfg.m = 8;
+  const auto ref = attack::sparse_query(v, pert, direct, ctx, cfg);
+
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    SCOPED_TRACE("overload seed " + std::to_string(seed));
+    auto clock = std::make_shared<serve::VirtualClock>();
+
+    serve::FaultConfig faults;
+    faults.error_prob = 0.2;
+    faults.seed = seed;
+    serve::ServerConfig scfg;
+    scfg.fault_injector = std::make_shared<serve::FaultInjector>(faults);
+    scfg.clock = clock;
+    scfg.client_rate = 1000.0;  // 1 request/ms sustained per client
+    scfg.client_burst = 2.0;
+    serve::RetrievalServer server(*w.victim, scfg);
+
+    serve::RequestOptions opts;
+    opts.client_id = "attacker";
+    serve::AsyncBlackBoxHandle async(server, opts);
+
+    // The pacer is deliberately faster than the server's per-client limit,
+    // so the server pushes back and the client's retry_after handling does
+    // real work in this test.
+    serve::PacerConfig pcfg;
+    pcfg.rate_per_sec = 2000.0;
+    pcfg.burst = 2.0;
+    auto pacer = std::make_shared<serve::Pacer>(pcfg, clock);
+
+    serve::RetryPolicy policy;
+    policy.max_attempts = 10;
+    policy.query_timeout = std::chrono::milliseconds(10000);
+    policy.seed = 300 + seed;
+    serve::ResilientHandle resilient(async, policy, pacer, clock);
+
+    std::optional<attack::SparseQueryResult> got;
+    try {
+      got = attack::sparse_query_pipelined(v, pert, resilient, ctx, cfg);
+    } catch (const std::exception& e) {
+      server.shutdown();
+      FAIL() << "throttling and transient faults must never surface: "
+             << e.what();
+    }
+    server.shutdown();
+
+    EXPECT_EQ(got->t_history, ref.t_history);
+    expect_bitwise_equal(got->v_adv.data(), ref.v_adv.data(), "paced v_adv");
+
+    const serve::ServerStats stats = server.stats();
+    // The overload machinery actually engaged.
+    EXPECT_GT(stats.requests_throttled, 0);
+    EXPECT_GT(pacer->waits(), 0);
+    // Billing policy: every accepted (billed) request terminated exactly one
+    // way — served, failed by injection, expired, or shed.
+    EXPECT_EQ(resilient.queries_billed(),
+              stats.queries_served + stats.faults_injected +
+                  stats.requests_expired + stats.requests_shed);
+    // The client saw every throttle denial exactly once, and every injected
+    // fault exactly once; the two families are accounted separately.
+    EXPECT_EQ(resilient.overloads_seen(), stats.requests_throttled);
+    EXPECT_EQ(resilient.faults_seen() - resilient.overloads_seen(),
+              stats.faults_injected);
+    // Every gate pass took one pacer token: accepted submissions plus the
+    // ones the server then throttled.
+    EXPECT_EQ(pacer->granted(),
+              resilient.queries_billed() + stats.requests_throttled);
+  }
+}
+
+// ISSUE satellite (overload matrix): admission kReject turn-aways carry a
+// retry_after hint that ResilientHandle honors — rejected submissions are
+// retried until the queue drains and are never billed, so the victim-side
+// bill equals the logical query count exactly.
+TEST(FailureModes, AdmissionRejectionsAreRetriedUnbilled) {
+  auto& w = TinyWorld::mutable_instance();
+  const auto& v = w.dataset.train[1];
+  retrieval::BlackBoxHandle direct(*w.victim);
+  const auto expected = direct.retrieve(v, 8);
+
+  serve::FaultConfig faults;  // slow service keeps the queue occupied
+  faults.delay_prob = 1.0;
+  faults.delay_ms = 150.0;
+  serve::ServerConfig scfg;
+  scfg.max_batch = 1;
+  scfg.queue_capacity = 2;
+  scfg.admission = serve::AdmissionPolicy::kReject;
+  scfg.fault_injector = std::make_shared<serve::FaultInjector>(faults);
+  serve::RetrievalServer server(*w.victim, scfg);
+  serve::AsyncBlackBoxHandle async(server);
+
+  serve::RetryPolicy policy;
+  policy.max_attempts = 100;  // rejections are cheap; let the queue drain
+  policy.backoff_base = std::chrono::milliseconds(8);
+  policy.query_timeout = std::chrono::milliseconds(10000);
+  serve::ResilientHandle resilient(async, policy);
+
+  // Four rapid pipelined submissions against capacity 1-in-service + 2
+  // queued: at least one is rejected at the door.
+  std::vector<serve::PendingRetrieval> pending;
+  for (int i = 0; i < 4; ++i) pending.push_back(resilient.submit(v, 8));
+  for (auto& p : pending) EXPECT_EQ(p.get(), expected);
+  server.shutdown();
+
+  const serve::ServerStats stats = server.stats();
+  EXPECT_GE(stats.requests_rejected, 1);
+  EXPECT_EQ(resilient.overloads_seen(), stats.requests_rejected);
+  // Rejections never reached the victim: the bill is the logical count.
+  EXPECT_EQ(resilient.queries_billed(), 4);
+  EXPECT_EQ(stats.queries_served, 4);
+}
+
+// ISSUE satellites (circuit breaker + checkpoint GC): when the victim goes
+// down mid-attack and stays down, the circuit opens after the configured
+// number of consecutive failures and the attack surfaces a typed
+// ServeError{kUnavailable} instead of burning its whole retry budget — after
+// writing a checkpoint. remove_on_success never deletes the checkpoint of an
+// interrupted run; the resumed run reproduces the fault-free result and only
+// then garbage-collects the file.
+TEST(FailureModes, CircuitBreakerSurfacesUnavailableAndCheckpoints) {
+  auto& w = TinyWorld::mutable_instance();
+  const auto& v = w.dataset.train[1];
+  const auto& vt = w.dataset.train[9];
+  retrieval::BlackBoxHandle direct(*w.victim);
+  const auto ctx = attack::make_objective_context(direct, v, vt, 8);
+  const attack::Perturbation pert = noisy_support(v, 13);
+
+  attack::SparseQueryConfig cfg;
+  cfg.iter_numQ = 16;
+  cfg.m = 8;
+  const auto ref = attack::sparse_query(v, pert, direct, ctx, cfg);
+
+  const std::string ck_path = ::testing::TempDir() + "duo_circuit_ck.bin";
+  std::remove(ck_path.c_str());
+  {
+    serve::FaultConfig faults;
+    faults.error_from = 10;  // victim dies at request 10 and stays dead
+    serve::ServerConfig scfg;
+    scfg.fault_injector = std::make_shared<serve::FaultInjector>(faults);
+    serve::RetrievalServer server(*w.victim, scfg);
+    serve::AsyncBlackBoxHandle async(server);
+
+    auto clock = std::make_shared<serve::VirtualClock>();
+    serve::RetryPolicy policy;
+    policy.max_attempts = 5;
+    policy.backoff_base = std::chrono::milliseconds(0);
+    policy.query_timeout = std::chrono::milliseconds(10000);
+    policy.circuit_threshold = 3;
+    policy.circuit_cooldown_ms = 1e9;  // no probe: stays open once tripped
+    serve::ResilientHandle resilient(async, policy, nullptr, clock);
+
+    attack::SparseQueryConfig killed = cfg;
+    killed.checkpoint_path = ck_path;
+    killed.checkpoint_every = 3;
+    killed.remove_on_success = true;  // must NOT fire on the fatal path
+
+    bool surfaced = false;
+    try {
+      (void)attack::sparse_query_pipelined(v, pert, resilient, ctx, killed);
+    } catch (const serve::ServeError& e) {
+      surfaced = true;
+      EXPECT_EQ(e.code(), serve::ServeErrorCode::kUnavailable);
+      EXPECT_FALSE(e.retryable());
+      EXPECT_FALSE(e.billed());
+    }
+    server.shutdown();
+    EXPECT_TRUE(surfaced) << "a dead victim must surface as kUnavailable";
+    EXPECT_EQ(resilient.circuit_state(), serve::CircuitState::kOpen);
+    EXPECT_EQ(resilient.circuit_opens(), 1);
+    EXPECT_GE(resilient.fast_failures(), 1);
+    // The breaker cut the loss early: far fewer billed queries than the
+    // retry budget (5 attempts per query) could have burned.
+    EXPECT_LT(resilient.queries_billed(), 20);
+    // Interrupted runs keep their checkpoint, remove_on_success or not.
+    EXPECT_TRUE(file_exists(ck_path));
+  }
+  {
+    serve::RetrievalServer server(*w.victim);  // the victim came back
+    serve::AsyncBlackBoxHandle async(server);
+    serve::ResilientHandle resilient(async);
+    attack::SparseQueryConfig resumed_cfg = cfg;
+    resumed_cfg.checkpoint_path = ck_path;
+    resumed_cfg.resume = true;
+    resumed_cfg.remove_on_success = true;
+    const auto resumed =
+        attack::sparse_query_pipelined(v, pert, resilient, ctx, resumed_cfg);
+    server.shutdown();
+    EXPECT_EQ(resumed.t_history, ref.t_history);
+    expect_bitwise_equal(resumed.v_adv.data(), ref.v_adv.data(),
+                         "circuit resumed v_adv");
+    // Clean finish: the checkpoint was garbage-collected.
+    EXPECT_FALSE(file_exists(ck_path));
+  }
+}
+
+// ISSUE satellite (pacing matrix): two attack clients sharing one API key's
+// Pacer, against a rate-limiting fault-injecting server — both finish
+// bitwise identical to the reference, the shared-bucket schedule is
+// reproducible decision-for-decision across identical runs, and the joint
+// bill reconciles with the server's accounting.
+TEST(FailureModes, PacingSharedAcrossClientsStaysDeterministic) {
+  auto& w = TinyWorld::mutable_instance();
+  const auto& v = w.dataset.train[1];
+  const auto& vt = w.dataset.train[9];
+  retrieval::BlackBoxHandle direct(*w.victim);
+  const auto ctx = attack::make_objective_context(direct, v, vt, 8);
+  const attack::Perturbation pert = noisy_support(v, 14);
+
+  attack::SparseQueryConfig cfg;
+  cfg.iter_numQ = 16;
+  cfg.m = 8;
+  const auto ref = attack::sparse_query(v, pert, direct, ctx, cfg);
+
+  struct RunTrace {
+    std::int64_t granted = 0;
+    std::int64_t waits = 0;
+    double waited_ms = 0.0;
+    std::int64_t throttled = 0;
+    std::int64_t billed_a = 0;
+    std::int64_t billed_b = 0;
+  };
+
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    std::vector<RunTrace> traces;
+    for (int rep = 0; rep < 2; ++rep) {
+      SCOPED_TRACE("seed " + std::to_string(seed) + " rep " +
+                   std::to_string(rep));
+      auto clock = std::make_shared<serve::VirtualClock>();
+
+      serve::FaultConfig faults;
+      faults.error_prob = 0.15;
+      faults.seed = seed;
+      serve::ServerConfig scfg;
+      scfg.fault_injector = std::make_shared<serve::FaultInjector>(faults);
+      scfg.clock = clock;
+      scfg.client_rate = 1000.0;
+      scfg.client_burst = 2.0;
+      serve::RetrievalServer server(*w.victim, scfg);
+
+      serve::PacerConfig pcfg;
+      pcfg.rate_per_sec = 2000.0;
+      pcfg.burst = 2.0;
+      auto pacer = std::make_shared<serve::Pacer>(pcfg, clock);
+
+      serve::RequestOptions opts_a;
+      opts_a.client_id = "proc-a";
+      serve::RequestOptions opts_b;
+      opts_b.client_id = "proc-b";
+      serve::AsyncBlackBoxHandle async_a(server, opts_a);
+      serve::AsyncBlackBoxHandle async_b(server, opts_b);
+      serve::RetryPolicy policy;
+      policy.max_attempts = 10;
+      policy.query_timeout = std::chrono::milliseconds(10000);
+      policy.seed = 400 + seed;
+      serve::ResilientHandle res_a(async_a, policy, pacer, clock);
+      serve::ResilientHandle res_b(async_b, policy, pacer, clock);
+
+      const auto got_a = attack::sparse_query_pipelined(v, pert, res_a, ctx, cfg);
+      const auto got_b = attack::sparse_query_pipelined(v, pert, res_b, ctx, cfg);
+      server.shutdown();
+
+      EXPECT_EQ(got_a.t_history, ref.t_history);
+      EXPECT_EQ(got_b.t_history, ref.t_history);
+      expect_bitwise_equal(got_a.v_adv.data(), ref.v_adv.data(), "client A");
+      expect_bitwise_equal(got_b.v_adv.data(), ref.v_adv.data(), "client B");
+
+      const serve::ServerStats stats = server.stats();
+      EXPECT_EQ(res_a.queries_billed() + res_b.queries_billed(),
+                stats.queries_served + stats.faults_injected);
+      traces.push_back({pacer->granted(), pacer->waits(), pacer->waited_ms(),
+                        stats.requests_throttled, res_a.queries_billed(),
+                        res_b.queries_billed()});
+    }
+    // Same seed, same configuration: the whole pacing/throttling schedule
+    // replays decision-for-decision.
+    EXPECT_EQ(traces[0].granted, traces[1].granted) << "seed " << seed;
+    EXPECT_EQ(traces[0].waits, traces[1].waits) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(traces[0].waited_ms, traces[1].waited_ms)
+        << "seed " << seed;
+    EXPECT_EQ(traces[0].throttled, traces[1].throttled) << "seed " << seed;
+    EXPECT_EQ(traces[0].billed_a, traces[1].billed_a) << "seed " << seed;
+    EXPECT_EQ(traces[0].billed_b, traces[1].billed_b) << "seed " << seed;
+  }
+}
+
+// ISSUE satellite (checkpoint GC at the Duo level): remove_on_success wipes
+// the outer and every per-round checkpoint after a clean finish, keeps them
+// all after an interrupt, and the resumed run both reproduces the clean
+// result and garbage-collects on its own clean exit.
+TEST(FailureModes, DuoCheckpointGcRemovesFilesOnlyOnCleanFinish) {
+  auto& w = TinyWorld::mutable_instance();
+  const auto& v = w.dataset.train[1];
+  const auto& vt = w.dataset.train[9];
+
+  attack::DuoConfig cfg;
+  cfg.transfer.k = 100;
+  cfg.transfer.n = 2;
+  cfg.transfer.outer_iterations = 1;
+  cfg.transfer.theta_steps = 3;
+  cfg.query.iter_numQ = 10;
+  cfg.query.checkpoint_every = 4;
+  cfg.iter_numH = 2;
+  cfg.m = 8;
+  const std::string duo_path = ::testing::TempDir() + "duo_gc_ck.bin";
+  const std::string round_paths[] = {duo_path + ".h0", duo_path + ".h1"};
+  std::remove(duo_path.c_str());
+  for (const auto& p : round_paths) std::remove(p.c_str());
+  cfg.checkpoint_path = duo_path;
+  cfg.remove_on_success = true;
+
+  retrieval::BlackBoxHandle direct(*w.victim);
+  attack::DuoAttack clean_attack(*w.surrogate, cfg);
+  const auto clean = clean_attack.run(v, vt, direct);
+  // Clean finish: every checkpoint file is gone.
+  EXPECT_FALSE(file_exists(duo_path));
+  for (const auto& p : round_paths) EXPECT_FALSE(file_exists(p));
+
+  // Interrupted: the kill leaves the durable state on disk even with
+  // remove_on_success set.
+  {
+    serve::FaultConfig faults;
+    faults.fatal_at = clean.queries / 2;
+    serve::FaultySystem faulty(*w.victim, faults);
+    retrieval::BlackBoxHandle handle(faulty.retrieve_fn());
+    attack::DuoAttack killed_attack(*w.surrogate, cfg);
+    EXPECT_THROW((void)killed_attack.run(v, vt, handle), serve::ServeError);
+    EXPECT_TRUE(file_exists(duo_path));
+  }
+
+  // Resume reproduces the clean result bitwise, then cleans up after itself.
+  {
+    attack::DuoConfig resumed_cfg = cfg;
+    resumed_cfg.resume = true;
+    attack::DuoAttack resumed_attack(*w.surrogate, resumed_cfg);
+    const auto resumed = resumed_attack.run(v, vt, direct);
+    EXPECT_EQ(resumed.t_history, clean.t_history);
+    expect_bitwise_equal(resumed.adversarial.data(), clean.adversarial.data(),
+                         "gc resumed adversarial");
+    EXPECT_FALSE(file_exists(duo_path));
+    for (const auto& p : round_paths) EXPECT_FALSE(file_exists(p));
+  }
 }
 
 }  // namespace

@@ -16,7 +16,9 @@
 
 #include "common/thread_pool.hpp"
 #include "metrics/metrics.hpp"
+#include "serve/admission.hpp"
 #include "serve/async_handle.hpp"
+#include "serve/clock.hpp"
 #include "serve/fault_injection.hpp"
 #include "serve/resilient.hpp"
 #include "serve/server.hpp"
@@ -413,6 +415,363 @@ TEST(Serve, SubmitAfterShutdownIsTypedAndUnbilled) {
   EXPECT_FALSE(out.accepted);
   EXPECT_EQ(handle.query_count(), 0);
   EXPECT_THROW((void)out.future.get(), ServeError);
+}
+
+// --- Overload-control unit tests (ISSUE 5 tentpole) -----------------------
+
+TEST(Admission, TokenBucketAndRateLimiterAreDeterministic) {
+  // 1 token/ms, burst 2: grants are a pure function of the timestamps.
+  TokenBucket bucket(1000.0, 2.0);
+  EXPECT_DOUBLE_EQ(bucket.try_acquire(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(bucket.try_acquire(0.0), 0.0);
+  const double wait = bucket.try_acquire(0.0);  // burst exhausted
+  EXPECT_DOUBLE_EQ(wait, 1.0);                  // one token = 1 ms away
+  EXPECT_DOUBLE_EQ(bucket.try_acquire(0.5), 0.5);  // still short
+  EXPECT_DOUBLE_EQ(bucket.try_acquire(1.0), 0.0);  // refilled
+  // Refill never exceeds burst.
+  TokenBucket capped(1000.0, 2.0);
+  (void)capped.try_acquire(0.0);
+  EXPECT_DOUBLE_EQ(capped.try_acquire(1000.0), 0.0);
+  EXPECT_DOUBLE_EQ(capped.try_acquire(1000.0), 0.0);
+  EXPECT_GT(capped.try_acquire(1000.0), 0.0);  // burst 2, not 1002
+
+  // Identically configured buckets driven by the same timestamps decide
+  // identically — the determinism the virtualized-clock tests lean on.
+  TokenBucket a(250.0, 3.0);
+  TokenBucket b(250.0, 3.0);
+  const double stamps[] = {0.0, 1.0, 2.5, 2.5, 7.0, 7.5, 30.0, 30.0, 30.0};
+  for (const double t : stamps) {
+    EXPECT_DOUBLE_EQ(a.try_acquire(t), b.try_acquire(t)) << "t=" << t;
+  }
+
+  // Per-client isolation: draining one client's bucket leaves the other's
+  // untouched.
+  RateLimiter limiter(1000.0, 1.0);
+  EXPECT_DOUBLE_EQ(limiter.try_acquire("alice", 0.0), 0.0);
+  EXPECT_GT(limiter.try_acquire("alice", 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(limiter.try_acquire("bob", 0.0), 0.0);
+  EXPECT_EQ(limiter.clients_seen(), 2);
+
+  EXPECT_THROW(TokenBucket(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(TokenBucket(10.0, 0.5), std::invalid_argument);
+}
+
+TEST(Pacer, SharedBucketPacesOnTheVirtualClock) {
+  auto clock = std::make_shared<VirtualClock>();
+  PacerConfig pcfg;
+  pcfg.rate_per_sec = 1000.0;  // 1 token/ms
+  pcfg.burst = 1.0;
+  Pacer pacer(pcfg, clock);
+
+  for (int i = 0; i < 5; ++i) pacer.acquire();
+  EXPECT_EQ(pacer.granted(), 5);
+  EXPECT_EQ(pacer.waits(), 4);  // first token from the burst, rest paced
+  // sleep_ms on a VirtualClock advances time instead of wall-waiting: the
+  // 4 paced grants consumed exactly 4 ms of virtual time.
+  EXPECT_DOUBLE_EQ(clock->now_ms(), 4.0);
+  EXPECT_DOUBLE_EQ(pacer.waited_ms(), 4.0);
+}
+
+TEST(Admission, RejectPolicyTurnsAwayUnderLoadWithRetryAfter) {
+  auto& w = ServeWorld::mutable_instance();
+  ServerConfig cfg;
+  cfg.max_batch = 1;
+  cfg.queue_capacity = 2;
+  cfg.admission = AdmissionPolicy::kReject;
+  cfg.reject_retry_after_ms = 7.0;
+  // Slow every request down so the queue stays occupied while we pile on.
+  FaultConfig fc;
+  fc.delay_prob = 1.0;
+  fc.delay_ms = 100.0;
+  cfg.fault_injector = std::make_shared<FaultInjector>(fc);
+  RetrievalServer server(*w.system, cfg);
+  AsyncBlackBoxHandle handle(server);
+
+  // Pigeonhole: at most 1 request in service plus 2 queued within the first
+  // delay window, so among 5 rapid submissions at least 2 must be rejected.
+  std::vector<SubmitOutcome> outs;
+  for (int i = 0; i < 5; ++i) {
+    outs.push_back(handle.submit_with_deadline(w.dataset.test[0], 5,
+                                               std::chrono::milliseconds(0)));
+  }
+  int rejected = 0;
+  for (auto& out : outs) {
+    if (out.accepted) continue;
+    ++rejected;
+    try {
+      (void)out.future.get();
+      FAIL() << "rejected submission should not hold a value";
+    } catch (const ServeError& e) {
+      EXPECT_EQ(e.code(), ServeErrorCode::kOverloaded);
+      EXPECT_TRUE(e.retryable());
+      EXPECT_TRUE(e.overload());
+      EXPECT_FALSE(e.billed());  // never accepted, never billed
+      EXPECT_DOUBLE_EQ(e.retry_after_ms(), 7.0);
+    }
+  }
+  EXPECT_GE(rejected, 2);
+  server.shutdown();
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests_rejected, rejected);
+  // Billing identity: accepted == billed == eventually served here.
+  EXPECT_EQ(handle.query_count(), 5 - rejected);
+  EXPECT_EQ(stats.queries_served, 5 - rejected);
+}
+
+TEST(Admission, ShedPolicyEvictsOldestAndKeepsAccountingConsistent) {
+  auto& w = ServeWorld::mutable_instance();
+  ServerConfig cfg;
+  cfg.max_batch = 1;
+  cfg.queue_capacity = 2;
+  cfg.admission = AdmissionPolicy::kShed;
+  FaultConfig fc;
+  fc.delay_prob = 1.0;
+  fc.delay_ms = 100.0;
+  cfg.fault_injector = std::make_shared<FaultInjector>(fc);
+  RetrievalServer server(*w.system, cfg);
+  AsyncBlackBoxHandle handle(server);
+
+  // Every submission is accepted (and billed); overload is paid by evicting
+  // the oldest queued request. With at most 1 in service + 2 queued early
+  // on, at least 3 of 6 rapid submissions must shed a predecessor.
+  std::vector<SubmitOutcome> outs;
+  for (int i = 0; i < 6; ++i) {
+    outs.push_back(handle.submit_with_deadline(w.dataset.test[0], 5,
+                                               std::chrono::milliseconds(0)));
+  }
+  for (const auto& out : outs) EXPECT_TRUE(out.accepted);
+  EXPECT_EQ(handle.query_count(), 6);
+  server.shutdown();
+
+  int shed = 0;
+  for (auto& out : outs) {
+    try {
+      EXPECT_EQ(out.future.get(), w.expected[0]);
+    } catch (const ServeError& e) {
+      ++shed;
+      EXPECT_EQ(e.code(), ServeErrorCode::kShed);
+      EXPECT_TRUE(e.retryable());
+      EXPECT_TRUE(e.overload());
+      EXPECT_TRUE(e.billed());  // accepted requests stay billed when evicted
+    }
+  }
+  EXPECT_GE(shed, 3);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests_shed, shed);
+  // Every accepted (billed) request ends exactly one way: served or shed.
+  EXPECT_EQ(stats.queries_served + stats.requests_shed, 6);
+}
+
+TEST(Admission, PerClientRateLimitThrottlesDeterministically) {
+  auto& w = ServeWorld::mutable_instance();
+  auto clock = std::make_shared<VirtualClock>();
+  ServerConfig cfg;
+  cfg.clock = clock;
+  cfg.client_rate = 1000.0;  // 1 request/ms sustained
+  cfg.client_burst = 2.0;
+  RetrievalServer server(*w.system, cfg);
+  RequestOptions alice;
+  alice.client_id = "alice";
+  RequestOptions bob;
+  bob.client_id = "bob";
+  AsyncBlackBoxHandle alice_handle(server, alice);
+  AsyncBlackBoxHandle bob_handle(server, bob);
+
+  // Virtual time stands still, so the decisions are exact: burst-of-2 per
+  // client, third submission throttled with a 1 ms retry_after.
+  std::vector<SubmitOutcome> outs;
+  for (int i = 0; i < 3; ++i) {
+    outs.push_back(alice_handle.submit_with_deadline(
+        w.dataset.test[0], 5, std::chrono::milliseconds(250)));
+  }
+  EXPECT_TRUE(outs[0].accepted);
+  EXPECT_TRUE(outs[1].accepted);
+  EXPECT_FALSE(outs[2].accepted);
+  try {
+    (void)outs[2].future.get();
+    FAIL() << "throttled submission should not hold a value";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ServeErrorCode::kThrottled);
+    EXPECT_TRUE(e.retryable());
+    EXPECT_TRUE(e.overload());
+    EXPECT_FALSE(e.billed());
+    EXPECT_DOUBLE_EQ(e.retry_after_ms(), 1.0);
+  }
+  EXPECT_EQ(alice_handle.query_count(), 2);  // throttle unbilled
+
+  // Bob's bucket is untouched by Alice's burst.
+  SubmitOutcome bob_out = bob_handle.submit_with_deadline(
+      w.dataset.test[1], 5, std::chrono::milliseconds(250));
+  EXPECT_TRUE(bob_out.accepted);
+
+  // Advancing virtual time refills Alice's bucket.
+  clock->advance_ms(1.0);
+  SubmitOutcome refilled = alice_handle.submit_with_deadline(
+      w.dataset.test[0], 5, std::chrono::milliseconds(250));
+  EXPECT_TRUE(refilled.accepted);
+
+  EXPECT_EQ(outs[0].future.get(), w.expected[0]);
+  EXPECT_EQ(outs[1].future.get(), w.expected[0]);
+  EXPECT_EQ(bob_out.future.get(), w.expected[1]);
+  EXPECT_EQ(refilled.future.get(), w.expected[0]);
+  server.shutdown();
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests_throttled, 1);
+  EXPECT_EQ(stats.queries_served, 4);
+}
+
+TEST(Admission, DeadlineExpiredRequestsAreShedBeforeExtraction) {
+  auto& w = ServeWorld::mutable_instance();
+  RetrievalServer server(*w.system);
+  RequestOptions expired_opts;
+  expired_opts.ttl_ms = -1.0;  // already expired: deterministically shed
+  AsyncBlackBoxHandle doomed(server, expired_opts);
+  AsyncBlackBoxHandle healthy(server);
+
+  SubmitOutcome dead = doomed.submit_with_deadline(
+      w.dataset.test[0], 5, std::chrono::milliseconds(250));
+  EXPECT_TRUE(dead.accepted);  // accepted — and therefore billed
+  EXPECT_EQ(doomed.query_count(), 1);
+  auto alive = healthy.submit(w.dataset.test[1], 5);
+
+  try {
+    (void)dead.future.get();
+    FAIL() << "expired request should not be extracted";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ServeErrorCode::kExpired);
+    EXPECT_TRUE(e.retryable());
+    EXPECT_TRUE(e.overload());
+    EXPECT_TRUE(e.billed());
+  }
+  EXPECT_EQ(alive.get(), w.expected[1]);
+  server.shutdown();
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests_expired, 1);
+  // The shed request never reached the extractor: only the live one counts.
+  EXPECT_EQ(stats.queries_served, 1);
+}
+
+TEST(Circuit, OpensAfterConsecutiveFailuresAndFailsFast) {
+  auto& w = ServeWorld::mutable_instance();
+  ServerConfig cfg;
+  FaultConfig fc;
+  fc.error_prob = 1.0;  // the victim is effectively down
+  cfg.fault_injector = std::make_shared<FaultInjector>(fc);
+  RetrievalServer server(*w.system, cfg);
+  AsyncBlackBoxHandle async(server);
+
+  auto clock = std::make_shared<VirtualClock>();
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.backoff_base = std::chrono::milliseconds(0);
+  policy.circuit_threshold = 3;
+  policy.circuit_cooldown_ms = 1e9;  // stays open for this test
+  ResilientHandle resilient(async, policy, nullptr, clock);
+
+  // Two retrieves burn 4 breaker-relevant failures; the circuit opens at the
+  // third consecutive one, mid-second-retrieve.
+  EXPECT_THROW((void)resilient.retrieve(w.dataset.test[0], 5), ServeError);
+  EXPECT_EQ(resilient.circuit_state(), CircuitState::kClosed);
+  EXPECT_THROW((void)resilient.retrieve(w.dataset.test[0], 5), ServeError);
+  EXPECT_EQ(resilient.circuit_state(), CircuitState::kOpen);
+  EXPECT_EQ(resilient.circuit_opens(), 1);
+
+  // Open circuit: fail fast with the typed unavailability error, nothing
+  // sent to the victim, nothing billed.
+  const std::int64_t billed_before = resilient.queries_billed();
+  try {
+    (void)resilient.retrieve(w.dataset.test[0], 5);
+    FAIL() << "open circuit must fail fast";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ServeErrorCode::kUnavailable);
+    EXPECT_FALSE(e.retryable());
+    EXPECT_FALSE(e.billed());
+  }
+  EXPECT_EQ(resilient.queries_billed(), billed_before);
+  EXPECT_GE(resilient.fast_failures(), 1);
+  server.shutdown();
+}
+
+TEST(Circuit, HalfOpenProbeReopensThenClosesOnRecovery) {
+  auto& w = ServeWorld::mutable_instance();
+  ServerConfig cfg;
+  FaultConfig fc;
+  fc.error_until = 3;  // down for the first 3 requests, healthy after
+  cfg.fault_injector = std::make_shared<FaultInjector>(fc);
+  RetrievalServer server(*w.system, cfg);
+  AsyncBlackBoxHandle async(server);
+
+  auto clock = std::make_shared<VirtualClock>();
+  RetryPolicy policy;
+  policy.max_attempts = 1;  // one attempt per retrieve: explicit transitions
+  policy.backoff_base = std::chrono::milliseconds(0);
+  policy.circuit_threshold = 2;
+  policy.circuit_cooldown_ms = 10.0;  // jittered to at most 12.5 ms
+  ResilientHandle resilient(async, policy, nullptr, clock);
+
+  // Failures 1 and 2 open the circuit.
+  EXPECT_THROW((void)resilient.retrieve(w.dataset.test[0], 5), ServeError);
+  EXPECT_THROW((void)resilient.retrieve(w.dataset.test[0], 5), ServeError);
+  EXPECT_EQ(resilient.circuit_state(), CircuitState::kOpen);
+  EXPECT_EQ(resilient.circuit_opens(), 1);
+
+  // Before the cooldown elapses: fail fast.
+  EXPECT_THROW((void)resilient.retrieve(w.dataset.test[0], 5), ServeError);
+  EXPECT_GE(resilient.fast_failures(), 1);
+
+  // Past the cooldown the next retrieve is the half-open probe; the victim
+  // is still down (request index 2 < error_until), so the circuit reopens
+  // with a fresh cooldown.
+  clock->advance_ms(20.0);
+  EXPECT_THROW((void)resilient.retrieve(w.dataset.test[0], 5), ServeError);
+  EXPECT_EQ(resilient.circuit_state(), CircuitState::kOpen);
+  EXPECT_EQ(resilient.circuit_opens(), 2);
+
+  // The victim healed (index 3 ≥ error_until): the probe succeeds with a
+  // correct answer and closes the circuit for good.
+  clock->advance_ms(20.0);
+  EXPECT_EQ(resilient.retrieve(w.dataset.test[0], 5), w.expected[0]);
+  EXPECT_EQ(resilient.circuit_state(), CircuitState::kClosed);
+  EXPECT_EQ(resilient.retrieve(w.dataset.test[1], 5), w.expected[1]);
+  server.shutdown();
+
+  // Honest split of the failure counters: every real failure was
+  // breaker-relevant (no overload pushback in this test).
+  EXPECT_EQ(resilient.overloads_seen(), 0);
+  EXPECT_EQ(resilient.faults_seen(), 3);
+}
+
+TEST(FaultInjection, OutageWindowsShapeTheScheduleWithoutShiftingIt) {
+  FaultConfig cfg;
+  cfg.error_until = 2;  // down for requests 0..1
+  cfg.error_from = 6;   // down again from request 6 on
+  const auto plan = FaultInjector::schedule(cfg, 9);
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const bool down = i < 2 || i >= 6;
+    EXPECT_EQ(plan[i],
+              down ? FaultKind::kTransientError : FaultKind::kNone)
+        << "request " << i;
+  }
+
+  // The outage windows consume one uniform per request like every other
+  // decision, so the probabilistic schedule between them is exactly the one
+  // the same seed produces with the windows disabled.
+  FaultConfig probabilistic;
+  probabilistic.error_prob = 0.3;
+  probabilistic.drop_prob = 0.2;
+  probabilistic.seed = 77;
+  FaultConfig windowed = probabilistic;
+  windowed.error_until = 3;
+  windowed.error_from = 12;
+  const auto base = FaultInjector::schedule(probabilistic, 12);
+  const auto got = FaultInjector::schedule(windowed, 12);
+  for (std::size_t i = 3; i < 12; ++i) {
+    EXPECT_EQ(got[i], base[i]) << "request " << i;
+  }
 }
 
 TEST(FaultInjection, ScheduleIsDeterministicPerSeed) {
