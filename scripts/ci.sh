@@ -22,6 +22,16 @@ DUO_THREADS=8 ctest --test-dir "$build_dir" \
   -R 'ParallelDeterminism|Serve|SparseQueryPipelined|FaultInjection|Resilient|Admission|Pacer|Circuit' \
   --output-on-failure
 
+# Kernel-equivalence re-run under the reference Conv3d kernel: the gradient
+# harness, NaN regressions, and direct-vs-GEMM suites must pass identically
+# when every kAuto conv resolves to the direct loops instead of im2col/GEMM.
+DUO_CONV3D_KERNEL=direct ctest --test-dir "$build_dir" \
+  -R 'CheckGrad|NanSanity|Conv3dKernels' --output-on-failure
+
+# Direct-vs-GEMM consistency smoke: both Conv3d kernels on identical
+# weights/inputs; forward and parameter gradients must match bitwise.
+"$build_dir/bench/micro_ops" --smoke
+
 # Serve-layer smoke: exercises the micro-batching scheduler end to end under
 # concurrent clients and prints the batch-size histogram + latency
 # percentiles (seconds-long at --smoke scale).

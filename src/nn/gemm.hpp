@@ -1,0 +1,27 @@
+#pragma once
+
+// Register/cache-blocked single-precision GEMM for the im2col convolution
+// path: C[m×n] += A[m×k]·B[k×n], all row-major.
+//
+// Determinism contract: every C element's accumulation chain starts from the
+// value already in C and adds the k products in strictly increasing k order,
+// regardless of tiling or thread count. Tiles partition C disjointly, so the
+// result is bitwise identical across DUO_THREADS counts — and matches any
+// scalar loop that accumulates the same chain in the same order (the direct
+// Conv3d kernel's order, by construction of the im2col row layout).
+//
+// Callers seed C with the additive term (bias rows, an existing gradient to
+// accumulate into, or zeros) before the call.
+
+#include <cstdint>
+
+namespace duo::nn {
+
+// C += A·B with the per-element ordering contract above. Parallelized over
+// row×column blocks of C on the compute pool; the inner kernel keeps a
+// register-blocked accumulator panel and streams each B row across all rows
+// of the tile, vectorizing over columns.
+void gemm_accumulate(std::int64_t m, std::int64_t k, std::int64_t n,
+                     const float* a, const float* b, float* c);
+
+}  // namespace duo::nn

@@ -20,6 +20,13 @@ Lstm::Lstm(std::int64_t input_size, std::int64_t hidden_size, Rng& rng)
   for (std::int64_t h = 0; h < hidden_; ++h) bias_.value[hidden_ + h] = 1.0f;
 }
 
+Lstm::Lstm(std::int64_t input_size, std::int64_t hidden_size, Uninitialized)
+    : input_(input_size),
+      hidden_(hidden_size),
+      wx_(Tensor({4 * hidden_size, input_size})),
+      wh_(Tensor({4 * hidden_size, hidden_size})),
+      bias_(Tensor({4 * hidden_size})) {}
+
 Tensor Lstm::forward(const Tensor& input) {
   DUO_CHECK_MSG(input.rank() == 2 && input.shape()[1] == input_,
                 "Lstm expects [T, D]");

@@ -22,8 +22,9 @@ class Lstm final : public Module {
     return {&wx_, &wh_, &bias_};
   }
   std::unique_ptr<Module> clone() const override {
-    Rng rng(0);  // the freshly initialized weights are overwritten below
-    auto copy = std::make_unique<Lstm>(input_, hidden_, rng);
+    // Uninitialized construction: no point drawing a xavier init that the
+    // copies below immediately overwrite.
+    auto copy = std::unique_ptr<Lstm>(new Lstm(input_, hidden_, Uninitialized{}));
     copy->wx_.value = wx_.value;
     copy->wh_.value = wh_.value;
     copy->bias_.value = bias_.value;
@@ -35,6 +36,10 @@ class Lstm final : public Module {
   std::int64_t hidden_size() const noexcept { return hidden_; }
 
  private:
+  // Tag ctor for clone(): allocates parameter storage without an Rng draw.
+  struct Uninitialized {};
+  Lstm(std::int64_t input_size, std::int64_t hidden_size, Uninitialized);
+
   std::int64_t input_;
   std::int64_t hidden_;
   // Gate order along the 4H axis: input (i), forget (f), cell (g), output (o).

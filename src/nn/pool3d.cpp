@@ -1,7 +1,5 @@
 #include "nn/pool3d.hpp"
 
-#include <limits>
-
 #include "common/thread_pool.hpp"
 
 namespace duo::nn {
@@ -42,8 +40,15 @@ Tensor MaxPool3d::forward(const Tensor& input) {
     for (std::int64_t ot = 0; ot < to; ++ot) {
       for (std::int64_t oh = 0; oh < ho; ++oh) {
         for (std::int64_t ow = 0; ow < wo; ++ow, ++oi) {
-          float best = -std::numeric_limits<float>::infinity();
-          std::int64_t best_idx = -1;
+          // Seed from the window's first element rather than a -inf sentinel:
+          // a window of all NaN (or all -inf) never satisfies `x > best`, and
+          // a sentinel seed would leave best_idx == -1, making backward
+          // scatter to gx[-1]. Seeding keeps the argmax deterministic (first
+          // strict maximum wins, as before) and NaN-propagating.
+          const std::int64_t first =
+              ((ot * stride_[0]) * hi + oh * stride_[1]) * wi + ow * stride_[2];
+          float best = xc[first];
+          std::int64_t best_idx = cc * ti * hi * wi + first;
           for (std::int64_t dt = 0; dt < kernel_[0]; ++dt) {
             const std::int64_t it = ot * stride_[0] + dt;
             for (std::int64_t dh = 0; dh < kernel_[1]; ++dh) {

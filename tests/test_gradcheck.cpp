@@ -1,0 +1,655 @@
+// CheckGrad sweep of every Module and full extractor architecture, NaN/Inf
+// forward-propagation sanity for the pooling/norm layers (including the
+// MaxPool3d all-NaN-window out-of-bounds regression), and the Conv3d
+// direct-vs-GEMM kernel equivalence suite, up to an end-to-end attack on the
+// seed fixtures.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "attack/sparse_query.hpp"
+#include "baselines/vanilla.hpp"
+#include "common/thread_pool.hpp"
+#include "fixtures.hpp"
+#include "models/feature_extractor.hpp"
+#include "nn/activations.hpp"
+#include "nn/compose.hpp"
+#include "nn/conv3d.hpp"
+#include "nn/gradcheck.hpp"
+#include "nn/linear.hpp"
+#include "nn/losses.hpp"
+#include "nn/lstm.hpp"
+#include "nn/norm.hpp"
+#include "nn/pool3d.hpp"
+#include "nn/residual.hpp"
+#include "video/synthetic.hpp"
+
+namespace duo::nn {
+namespace {
+
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+// RAII: pin the process-wide default Conv3d kernel, restore the env-derived
+// default on scope exit.
+struct KernelGuard {
+  explicit KernelGuard(Conv3dKernel k) { set_default_conv3d_kernel(k); }
+  ~KernelGuard() { set_default_conv3d_kernel(Conv3dKernel::kAuto); }
+};
+
+Conv3dSpec make_spec(std::int64_t cin, std::int64_t cout,
+                     std::array<std::int64_t, 3> kernel,
+                     std::array<std::int64_t, 3> stride,
+                     std::array<std::int64_t, 3> padding, bool bias = true,
+                     Conv3dKernel impl = Conv3dKernel::kAuto) {
+  Conv3dSpec spec;
+  spec.in_channels = cin;
+  spec.out_channels = cout;
+  spec.kernel = kernel;
+  spec.stride = stride;
+  spec.padding = padding;
+  spec.bias = bias;
+  spec.kernel_impl = impl;
+  return spec;
+}
+
+void expect_checkgrad_ok(Module& module, const Tensor::Shape& in_shape,
+                         CheckGradConfig cfg = {}) {
+  const auto report = CheckGrad(module, in_shape, cfg);
+  EXPECT_TRUE(report.ok) << module.name() << ": " << report.summary();
+  EXPECT_GT(report.coordinates_checked, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Harness self-tests
+// ---------------------------------------------------------------------------
+
+// A layer whose backward is wrong by a factor: the harness must flag it.
+class BrokenScale final : public Module {
+ public:
+  Tensor forward(const Tensor& input) override { return input * 2.0f; }
+  Tensor backward(const Tensor& grad_output) override {
+    return grad_output * 3.0f;  // should be 2.0f
+  }
+  std::string name() const override { return "BrokenScale"; }
+};
+
+TEST(CheckGradHarness, FlagsABrokenInputGradient) {
+  BrokenScale layer;
+  const auto report = CheckGrad(layer, {6});
+  EXPECT_FALSE(report.ok);
+  EXPECT_FALSE(report.outliers.empty());
+  EXPECT_EQ(report.outliers.front().tensor, "input");
+  EXPECT_NE(report.summary().find("FAILED"), std::string::npos);
+}
+
+// A parameter gradient off by a sign: flagged via the parameter sweep.
+class BrokenBias final : public Module {
+ public:
+  BrokenBias() : bias_(Tensor({4}, 0.1f)) {}
+  Tensor forward(const Tensor& input) override {
+    return input + bias_.value;
+  }
+  Tensor backward(const Tensor& grad_output) override {
+    bias_.grad.axpy(-1.0f, grad_output);  // should be +=
+    return grad_output;
+  }
+  std::vector<Parameter*> parameters() override { return {&bias_}; }
+  std::string name() const override { return "BrokenBias"; }
+
+ private:
+  Parameter bias_;
+};
+
+TEST(CheckGradHarness, FlagsABrokenParameterGradient) {
+  BrokenBias layer;
+  CheckGradConfig cfg;
+  cfg.check_input = false;
+  const auto report = CheckGrad(layer, {4}, cfg);
+  EXPECT_FALSE(report.ok);
+  ASSERT_FALSE(report.outliers.empty());
+  EXPECT_NE(report.outliers.front().tensor.find("param[0]"), std::string::npos);
+}
+
+TEST(CheckGradHarness, StridedSamplingStillCoversEveryTensor) {
+  Rng rng(1);
+  Sequential seq;
+  seq.emplace<Linear>(6, 8, rng);
+  seq.emplace<ReLU>();
+  seq.emplace<Linear>(8, 3, rng);
+  CheckGradConfig cfg;
+  cfg.max_probes_per_tensor = 4;
+  const auto report = CheckGrad(seq, {6}, cfg);
+  EXPECT_TRUE(report.ok) << report.summary();
+  // input + 4 parameter tensors, at most 4 probes each, at least 1 each.
+  EXPECT_GE(report.coordinates_checked, 5);
+  EXPECT_LE(report.coordinates_checked, 5 * 4);
+}
+
+// ---------------------------------------------------------------------------
+// Every-layer sweep
+// ---------------------------------------------------------------------------
+
+TEST(CheckGradLayers, Linear) {
+  Rng rng(2);
+  Linear layer(6, 4, rng);
+  expect_checkgrad_ok(layer, {6});
+}
+
+TEST(CheckGradLayers, Activations) {
+  ReLU relu;
+  // ReLU is non-differentiable at 0; uniform(-1,1) draws are a.s. away from
+  // it at eps = 1e-3 for this seed.
+  expect_checkgrad_ok(relu, {16});
+  Tanh tanh_layer;
+  expect_checkgrad_ok(tanh_layer, {16});
+  Sigmoid sigmoid;
+  expect_checkgrad_ok(sigmoid, {16});
+}
+
+TEST(CheckGradLayers, Flatten) {
+  Flatten flatten;
+  expect_checkgrad_ok(flatten, {2, 3, 4});
+}
+
+TEST(CheckGradLayers, Conv3dBothKernels) {
+  for (const auto impl : {Conv3dKernel::kDirect, Conv3dKernel::kGemm}) {
+    Rng rng(3);
+    Conv3d cube(make_spec(2, 3, {3, 3, 3}, {1, 1, 1}, {1, 1, 1}, true, impl),
+                rng);
+    expect_checkgrad_ok(cube, {2, 4, 5, 5});
+
+    Conv3d strided(
+        make_spec(2, 2, {2, 3, 3}, {1, 2, 2}, {0, 1, 1}, true, impl), rng);
+    expect_checkgrad_ok(strided, {2, 3, 5, 5});
+
+    Conv3d pointwise_nobias(
+        make_spec(3, 4, {1, 1, 1}, {1, 1, 1}, {0, 0, 0}, false, impl), rng);
+    expect_checkgrad_ok(pointwise_nobias, {3, 2, 3, 3});
+  }
+}
+
+TEST(CheckGradLayers, Pools) {
+  MaxPool3d max_pool(std::array<std::int64_t, 3>{2, 2, 2});
+  expect_checkgrad_ok(max_pool, {2, 4, 4, 4});
+  AvgPool3d avg_pool(std::array<std::int64_t, 3>{2, 2, 2});
+  expect_checkgrad_ok(avg_pool, {2, 4, 4, 4});
+  GlobalAvgPool global_pool;
+  expect_checkgrad_ok(global_pool, {3, 2, 3, 3});
+  SpatialAvgPool spatial_pool;
+  expect_checkgrad_ok(spatial_pool, {3, 2, 3, 3});
+  TemporalMean temporal_mean;
+  expect_checkgrad_ok(temporal_mean, {4, 5});
+}
+
+TEST(CheckGradLayers, InstanceNorm3d) {
+  InstanceNorm3d layer(2);
+  CheckGradConfig cfg;
+  cfg.tolerance = 3e-2;  // normalization amplifies finite-difference noise
+  expect_checkgrad_ok(layer, {2, 2, 3, 3}, cfg);
+}
+
+TEST(CheckGradLayers, Lstm) {
+  Rng rng(4);
+  Lstm layer(5, 7, rng);
+  CheckGradConfig cfg;
+  cfg.tolerance = 3e-2;  // BPTT through gate saturations
+  expect_checkgrad_ok(layer, {6, 5}, cfg);
+}
+
+TEST(CheckGradLayers, ResidualAndParallel) {
+  Rng rng(5);
+  Residual identity(std::make_unique<Conv3d>(
+      make_spec(2, 2, {1, 3, 3}, {1, 1, 1}, {0, 1, 1}), rng));
+  expect_checkgrad_ok(identity, {2, 2, 4, 4});
+
+  Residual projected(
+      std::make_unique<Conv3d>(
+          make_spec(2, 3, {1, 3, 3}, {1, 1, 1}, {0, 1, 1}), rng),
+      std::make_unique<Conv3d>(
+          make_spec(2, 3, {1, 1, 1}, {1, 1, 1}, {0, 0, 0}), rng));
+  expect_checkgrad_ok(projected, {2, 2, 4, 4});
+
+  auto parallel = std::make_unique<Parallel>();
+  parallel->add(std::make_unique<Conv3d>(
+      make_spec(2, 2, {1, 1, 1}, {1, 1, 1}, {0, 0, 0}), rng));
+  parallel->add(std::make_unique<Conv3d>(
+      make_spec(2, 3, {1, 1, 1}, {1, 1, 1}, {0, 0, 0}), rng));
+  expect_checkgrad_ok(*parallel, {2, 2, 3, 3});
+}
+
+// ---------------------------------------------------------------------------
+// Losses (BatchMetricLoss is not a Module; sweep via numerical_gradient)
+// ---------------------------------------------------------------------------
+
+void expect_loss_grads_ok(BatchMetricLoss& loss, std::uint64_t seed,
+                          double tolerance = 3e-2) {
+  Rng rng(seed);
+  const Tensor features = Tensor::uniform({6, 5}, -1.0f, 1.0f, rng);
+  const std::vector<int> labels = {0, 0, 1, 1, 2, 2};
+  const auto result = loss.compute(features, labels);
+  const Tensor numerical = numerical_gradient(
+      [&](const Tensor& probe) { return loss.compute(probe, labels).loss; },
+      features);
+  EXPECT_LT(gradient_max_relative_error(result.feature_grads, numerical),
+            tolerance)
+      << loss.name();
+
+  // Loss-owned parameters (ArcFace class weights).
+  for (auto* param : loss.parameters()) {
+    // Parameter gradients are not exposed by compute(); verify via the
+    // loss value's sensitivity instead: perturb and check the loss moves in
+    // the direction the analytic feature gradient machinery implies. A full
+    // analytic parameter gradient is not part of the BatchMetricLoss
+    // contract, so just assert the objective is smooth in the parameters.
+    Tensor& v = param->value;
+    const float orig = v[0];
+    v[0] = orig + 1e-3f;
+    const double up = loss.compute(features, labels).loss;
+    v[0] = orig - 1e-3f;
+    const double down = loss.compute(features, labels).loss;
+    v[0] = orig;
+    EXPECT_TRUE(std::isfinite(up) && std::isfinite(down)) << loss.name();
+  }
+}
+
+TEST(CheckGradLosses, AllMetricLosses) {
+  Rng rng(6);
+  TripletMarginLoss triplet;
+  expect_loss_grads_ok(triplet, 10);
+  ArcFaceLoss arcface(5, 3, rng);
+  expect_loss_grads_ok(arcface, 11);
+  LiftedStructureLoss lifted;
+  expect_loss_grads_ok(lifted, 12);
+  AngularLoss angular;
+  expect_loss_grads_ok(angular, 13);
+}
+
+TEST(CheckGradLosses, RankedTripletLoss) {
+  Rng rng(7);
+  const Tensor anchor = Tensor::uniform({6}, -1.0f, 1.0f, rng);
+  const Tensor closer = Tensor::uniform({6}, -1.0f, 1.0f, rng);
+  const Tensor farther = Tensor::uniform({6}, -1.0f, 1.0f, rng);
+  const auto result = ranked_triplet_loss(anchor, closer, farther, 0.2f);
+  const Tensor num_anchor = numerical_gradient(
+      [&](const Tensor& probe) {
+        return ranked_triplet_loss(probe, closer, farther, 0.2f).loss;
+      },
+      anchor);
+  EXPECT_LT(gradient_max_relative_error(result.anchor_grad, num_anchor), 2e-2);
+}
+
+// ---------------------------------------------------------------------------
+// Full extractor architectures (sampled sweep; both Conv3d kernels)
+// ---------------------------------------------------------------------------
+
+// Adapts a FeatureExtractor to the Module interface CheckGrad consumes.
+class ExtractorAsModule final : public Module {
+ public:
+  explicit ExtractorAsModule(models::FeatureExtractor& ex) : ex_(ex) {}
+  Tensor forward(const Tensor& input) override {
+    return ex_.extract_model_input(input);
+  }
+  Tensor backward(const Tensor& grad_output) override {
+    return ex_.backward_to_input(grad_output);
+  }
+  std::vector<Parameter*> parameters() override { return ex_.parameters(); }
+  std::string name() const override { return "Extractor:" + ex_.name(); }
+
+ private:
+  models::FeatureExtractor& ex_;
+};
+
+TEST(CheckGradArchitectures, AllExtractorsBothKernels) {
+  const video::VideoGeometry geometry{8, 16, 16, 3};
+  const std::vector<models::ModelKind> kinds = {
+      models::ModelKind::kC3D,      models::ModelKind::kResNet18,
+      models::ModelKind::kResNet34, models::ModelKind::kI3D,
+      models::ModelKind::kTPN,      models::ModelKind::kSlowFast,
+      models::ModelKind::kLstmNet};
+  for (const auto impl : {Conv3dKernel::kDirect, Conv3dKernel::kGemm}) {
+    KernelGuard guard(impl);
+    for (const auto kind : kinds) {
+      Rng rng(8);
+      auto extractor = models::make_extractor(kind, geometry, 8, rng);
+      ExtractorAsModule module(*extractor);
+      CheckGradConfig cfg;
+      cfg.max_probes_per_tensor = 6;  // full sweeps cost 2 forwards/coord
+      // Deep float32 chains: the objective's roundoff (~|f|·2⁻²³) divided by
+      // 2·eps dominates at the per-layer defaults, and it is identical for
+      // both kernels — so widen the step and the noise floor instead of
+      // weakening the per-layer sweeps.
+      cfg.eps = 1e-2f;
+      cfg.tolerance = 1e-1;
+      cfg.abs_tolerance = 2e-3;
+      // Model-input layout is [C, T, H, W] (video::Video::to_model_input).
+      const Tensor::Shape in_shape = {geometry.channels, geometry.frames,
+                                      geometry.height, geometry.width};
+      const auto report = CheckGrad(module, in_shape, cfg);
+      // Deep nets are non-smooth (ReLU/MaxPool kinks) and float32 roundoff
+      // through hundreds of layers leaves a residue of per-coordinate
+      // finite-difference artifacts no eps can eliminate — so unlike the
+      // strict per-layer sweeps, this is a structural check: a broken
+      // backward flags (nearly) every probe of its tensor, while noise
+      // scatters one or two flags across many tensors.
+      std::map<std::string, int> per_tensor;
+      for (const auto& o : report.outliers) ++per_tensor[o.tensor];
+      for (const auto& [label, count] : per_tensor) {
+        EXPECT_LE(count, 3)
+            << models::model_kind_name(kind) << " ("
+            << conv3d_kernel_name(impl) << ") " << label
+            << " flags most of its probes: " << report.summary();
+      }
+      EXPECT_LE(static_cast<double>(report.outliers.size()),
+                0.2 * static_cast<double>(report.coordinates_checked))
+          << models::model_kind_name(kind) << " ("
+          << conv3d_kernel_name(impl) << "): " << report.summary();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NaN/Inf forward propagation sanity (pooling + norm)
+// ---------------------------------------------------------------------------
+
+// Regression for the MaxPool3d out-of-bounds scatter: a window whose values
+// are all NaN never updated best/best_idx (NaN > -inf is false), so argmax_
+// kept -1 and backward wrote gx[-1]. On the fixed code the window's first
+// element seeds the argmax: forward is NaN, backward routes the gradient to
+// a valid in-window index. On the old code this test fails at the isnan
+// assertion (the output was -inf) and backward is an out-of-bounds write
+// under ASan.
+TEST(NanSanity, MaxPool3dAllNaNWindowRegression) {
+  MaxPool3d layer(std::array<std::int64_t, 3>{1, 2, 2});
+  Tensor x({1, 1, 2, 2}, std::vector<float>{kNaN, kNaN, kNaN, kNaN});
+  const Tensor out = layer.forward(x);
+  ASSERT_EQ(out.size(), 1);
+  EXPECT_TRUE(std::isnan(out[0]));
+
+  Tensor gy({1, 1, 1, 1}, std::vector<float>{2.5f});
+  const Tensor gx = layer.backward(gy);
+  ASSERT_EQ(gx.shape(), x.shape());
+  // Gradient scatters to the window's first element — an in-bounds index.
+  EXPECT_FLOAT_EQ(gx[0], 2.5f);
+  EXPECT_FLOAT_EQ(gx[1], 0.0f);
+  EXPECT_FLOAT_EQ(gx[2], 0.0f);
+  EXPECT_FLOAT_EQ(gx[3], 0.0f);
+}
+
+// Same degenerate shape with an all -inf window: also never satisfies
+// `x > best` under a -inf sentinel, so it hit the same gx[-1] scatter.
+TEST(NanSanity, MaxPool3dAllNegInfWindow) {
+  MaxPool3d layer(std::array<std::int64_t, 3>{1, 2, 2});
+  Tensor x({1, 1, 2, 2}, std::vector<float>{-kInf, -kInf, -kInf, -kInf});
+  const Tensor out = layer.forward(x);
+  EXPECT_EQ(out[0], -kInf);
+  const Tensor gx = layer.backward(Tensor::ones({1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(gx[0], 1.0f);
+}
+
+// A NaN-poisoned window must not disturb its clean neighbors.
+TEST(NanSanity, MaxPool3dNaNWindowIsolatedFromNeighbors) {
+  MaxPool3d layer(std::array<std::int64_t, 3>{1, 2, 2});
+  Tensor x({1, 1, 2, 4}, std::vector<float>{kNaN, kNaN, 1.0f, 5.0f,  //
+                                            kNaN, kNaN, -2.0f, 3.0f});
+  const Tensor out = layer.forward(x);
+  ASSERT_EQ(out.size(), 2);
+  EXPECT_TRUE(std::isnan(out[0]));
+  EXPECT_FLOAT_EQ(out[1], 5.0f);
+
+  Tensor gy({1, 1, 1, 2}, std::vector<float>{1.0f, 1.0f});
+  const Tensor gx = layer.backward(gy);
+  EXPECT_FLOAT_EQ(gx[0], 1.0f);  // first element of the NaN window
+  EXPECT_FLOAT_EQ(gx[3], 1.0f);  // argmax (5.0) of the clean window
+}
+
+TEST(NanSanity, MaxPool3dBehaviorUnchangedOnFiniteInput) {
+  // The seeded argmax must keep first-strict-maximum semantics.
+  MaxPool3d layer(std::array<std::int64_t, 3>{1, 2, 2});
+  Tensor x({1, 1, 2, 2}, std::vector<float>{3.0f, 3.0f, -2.0f, 1.0f});
+  const Tensor out = layer.forward(x);
+  EXPECT_FLOAT_EQ(out[0], 3.0f);
+  const Tensor gx = layer.backward(Tensor::ones({1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(gx[0], 1.0f);  // ties keep the first occurrence
+  EXPECT_FLOAT_EQ(gx[1], 0.0f);
+}
+
+TEST(NanSanity, AvgPool3dPropagatesNaNAndInf) {
+  AvgPool3d layer(std::array<std::int64_t, 3>{1, 2, 2});
+  Tensor x({1, 1, 2, 4}, std::vector<float>{kNaN, 1.0f, kInf, 2.0f,  //
+                                            1.0f, 1.0f, 3.0f, 4.0f});
+  const Tensor out = layer.forward(x);
+  EXPECT_TRUE(std::isnan(out[0]));
+  EXPECT_TRUE(std::isinf(out[1]));
+}
+
+TEST(NanSanity, InstanceNorm3dPropagatesNaNWithoutCrashing) {
+  InstanceNorm3d layer(1);
+  Tensor x({1, 1, 2, 2}, std::vector<float>{kNaN, 1.0f, 2.0f, 3.0f});
+  const Tensor out = layer.forward(x);
+  for (std::int64_t i = 0; i < out.size(); ++i) {
+    EXPECT_TRUE(std::isnan(out[i])) << i;  // channel stats absorb the NaN
+  }
+  const Tensor gx = layer.backward(Tensor::ones(x.shape()));
+  ASSERT_EQ(gx.shape(), x.shape());
+}
+
+// ---------------------------------------------------------------------------
+// Conv3d kernel equivalence: direct vs im2col/GEMM
+// ---------------------------------------------------------------------------
+
+void expect_bitwise_equal(const Tensor& a, const Tensor& b, const char* what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << what << " diverges at flat index " << i;
+  }
+}
+
+struct KernelRun {
+  Tensor out, gx, gw, gb;
+};
+
+KernelRun run_kernel(const Conv3dSpec& base, Conv3dKernel impl,
+                     const Tensor::Shape& in_shape, std::uint64_t seed) {
+  Conv3dSpec spec = base;
+  spec.kernel_impl = impl;
+  Rng rng(seed);
+  Conv3d conv(spec, rng);
+  Rng xrng(seed + 1);
+  const Tensor x = Tensor::uniform(in_shape, -1.0f, 1.0f, xrng);
+  KernelRun r;
+  r.out = conv.forward(x);
+  const Tensor gy = Tensor::uniform(r.out.shape(), -1.0f, 1.0f, xrng);
+  r.gx = conv.backward(gy);
+  r.gw = conv.parameters()[0]->grad;
+  if (spec.bias) r.gb = conv.parameters()[1]->grad;
+  return r;
+}
+
+TEST(Conv3dKernels, GemmMatchesDirectOnForwardAndParamGrads) {
+  struct Case {
+    Conv3dSpec spec;
+    Tensor::Shape in;
+  };
+  const std::vector<Case> cases = {
+      {make_spec(2, 3, {3, 3, 3}, {1, 1, 1}, {1, 1, 1}), {2, 4, 6, 6}},
+      {make_spec(3, 2, {2, 3, 3}, {1, 2, 2}, {0, 1, 1}), {3, 3, 7, 7}},
+      {make_spec(1, 4, {1, 3, 3}, {1, 1, 1}, {0, 1, 1}), {1, 3, 5, 5}},
+      {make_spec(4, 4, {1, 1, 1}, {1, 1, 1}, {0, 0, 0}, false), {4, 2, 4, 4}},
+      {make_spec(2, 2, {3, 3, 3}, {2, 2, 2}, {1, 1, 1}), {2, 5, 9, 9}},
+  };
+  for (std::size_t c = 0; c < cases.size(); ++c) {
+    const auto direct =
+        run_kernel(cases[c].spec, Conv3dKernel::kDirect, cases[c].in, 30 + c);
+    const auto gemm =
+        run_kernel(cases[c].spec, Conv3dKernel::kGemm, cases[c].in, 30 + c);
+    // Forward and weight/bias grads accumulate the identical chain in the
+    // identical order in both kernels — bitwise equal.
+    expect_bitwise_equal(direct.out, gemm.out, "forward");
+    expect_bitwise_equal(direct.gw, gemm.gw, "weight grad");
+    if (cases[c].spec.bias) {
+      expect_bitwise_equal(direct.gb, gemm.gb, "bias grad");
+    }
+    // The input gradient reduction is reassociated (sum over channels before
+    // the tap scatter): numerically equivalent, not bitwise.
+    ASSERT_EQ(direct.gx.shape(), gemm.gx.shape());
+    EXPECT_TRUE(direct.gx.allclose(gemm.gx, 1e-4f)) << "case " << c;
+  }
+}
+
+TEST(Conv3dKernels, GemmBitwiseAcrossThreadCounts) {
+  auto run = [](std::size_t threads) {
+    ThreadPool pool(threads);
+    set_compute_pool(&pool);
+    const auto r = run_kernel(make_spec(3, 8, {3, 3, 3}, {1, 1, 1}, {1, 1, 1}),
+                              Conv3dKernel::kGemm, {3, 6, 10, 10}, 40);
+    set_compute_pool(nullptr);
+    return r;
+  };
+  const KernelRun serial = run(1);
+  const KernelRun parallel = run(8);
+  expect_bitwise_equal(serial.out, parallel.out, "gemm output");
+  expect_bitwise_equal(serial.gx, parallel.gx, "gemm grad_input");
+  expect_bitwise_equal(serial.gw, parallel.gw, "gemm weight grad");
+  expect_bitwise_equal(serial.gb, parallel.gb, "gemm bias grad");
+}
+
+TEST(Conv3dKernels, RepeatedBackwardAccumulatesIdentically) {
+  // Parameter gradients accumulate across backward calls; the GEMM path
+  // must seed its chains from the existing gradient exactly like the
+  // reference kernel does.
+  const auto spec = make_spec(2, 3, {3, 3, 3}, {1, 1, 1}, {1, 1, 1});
+  auto run_twice = [&](Conv3dKernel impl) {
+    Conv3dSpec s = spec;
+    s.kernel_impl = impl;
+    Rng rng(50);
+    Conv3d conv(s, rng);
+    Rng xrng(51);
+    const Tensor x1 = Tensor::uniform({2, 3, 5, 5}, -1.0f, 1.0f, xrng);
+    const Tensor x2 = Tensor::uniform({2, 3, 5, 5}, -1.0f, 1.0f, xrng);
+    const Tensor g1 =
+        Tensor::uniform(conv.output_shape(x1.shape()), -1.0f, 1.0f, xrng);
+    const Tensor g2 =
+        Tensor::uniform(conv.output_shape(x2.shape()), -1.0f, 1.0f, xrng);
+    (void)conv.forward(x1);
+    (void)conv.backward(g1);
+    (void)conv.forward(x2);
+    (void)conv.backward(g2);
+    return std::pair<Tensor, Tensor>(conv.parameters()[0]->grad,
+                                     conv.parameters()[1]->grad);
+  };
+  const auto direct = run_twice(Conv3dKernel::kDirect);
+  const auto gemm = run_twice(Conv3dKernel::kGemm);
+  expect_bitwise_equal(direct.first, gemm.first, "accumulated weight grad");
+  expect_bitwise_equal(direct.second, gemm.second, "accumulated bias grad");
+}
+
+TEST(Conv3dKernels, CloneCopiesSpecAndWeightsExactly) {
+  Rng rng(60);
+  Conv3d conv(make_spec(2, 3, {3, 3, 3}, {1, 2, 2}, {1, 1, 1}, true,
+                        Conv3dKernel::kGemm),
+              rng);
+  auto clone = conv.clone();
+  ASSERT_NE(clone, nullptr);
+  auto* copy = dynamic_cast<Conv3d*>(clone.get());
+  ASSERT_NE(copy, nullptr);
+  EXPECT_EQ(copy->spec().kernel_impl, Conv3dKernel::kGemm);
+  EXPECT_EQ(copy->spec().in_channels, conv.spec().in_channels);
+  EXPECT_EQ(copy->spec().stride, conv.spec().stride);
+  ASSERT_EQ(copy->parameters().size(), conv.parameters().size());
+  for (std::size_t i = 0; i < conv.parameters().size(); ++i) {
+    expect_bitwise_equal(conv.parameters()[i]->value,
+                         copy->parameters()[i]->value, "cloned parameter");
+    EXPECT_FLOAT_EQ(copy->parameters()[i]->grad.norm_linf(), 0.0f);
+  }
+  Rng xrng(61);
+  const Tensor x = Tensor::uniform({2, 4, 6, 6}, -1.0f, 1.0f, xrng);
+  expect_bitwise_equal(conv.forward(x), copy->forward(x), "cloned forward");
+}
+
+TEST(Conv3dKernels, ExtractorFeaturesBitwiseAcrossKernels) {
+  // Whole-model forward equality: flipping the process default kernel on a
+  // kAuto-spec'd architecture must not move a single feature bit.
+  const video::VideoGeometry geometry{8, 16, 16, 3};
+  auto spec = video::DatasetSpec::hmdb51_like(3);
+  spec.geometry = geometry;
+  const video::Video v = video::SyntheticGenerator(spec).make_video(0, 0, 7);
+  auto features = [&](Conv3dKernel impl) {
+    KernelGuard guard(impl);
+    Rng rng(70);
+    auto model = models::make_extractor(models::ModelKind::kC3D, geometry, 16,
+                                        rng);
+    model->set_training(false);
+    return model->extract(v);
+  };
+  expect_bitwise_equal(features(Conv3dKernel::kDirect),
+                       features(Conv3dKernel::kGemm), "C3D features");
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: the GEMM kernel reproduces the reference kernel's retrieval
+// lists and accepted perturbations on the seed fixtures.
+// ---------------------------------------------------------------------------
+
+TEST(Conv3dKernels, EndToEndAttackMatchesReferenceKernel) {
+  auto& w = duo::testing::TinyWorld::mutable_instance();
+  const auto& v = w.dataset.train[1];
+  const auto& vt = w.dataset.train[14];
+
+  attack::Perturbation support = [&] {
+    Rng rng(3);
+    attack::Perturbation p =
+        baselines::random_support(v.geometry(), 150, 3, rng);
+    Tensor noise =
+        Tensor::uniform(v.geometry().tensor_shape(), -10.0f, 10.0f, rng);
+    p.magnitude() = noise * p.pixel_mask() * p.frame_mask();
+    return p;
+  }();
+
+  struct E2E {
+    std::vector<metrics::RetrievalList> lists;
+    std::vector<double> t_history;
+    Tensor v_adv;
+    std::int64_t queries = 0;
+  };
+  auto run = [&](Conv3dKernel impl) {
+    KernelGuard guard(impl);
+    E2E e;
+    for (const auto& q : w.dataset.test) {
+      e.lists.push_back(w.victim->retrieve(q, 8));
+    }
+    retrieval::BlackBoxHandle handle(*w.victim);
+    const auto ctx = attack::make_objective_context(handle, v, vt, 8);
+    attack::SparseQueryConfig cfg;
+    cfg.iter_numQ = 30;
+    cfg.tau = 30.0f;
+    cfg.m = 8;
+    const auto result = attack::sparse_query(v, support, handle, ctx, cfg);
+    e.t_history = result.t_history;
+    e.v_adv = result.v_adv.data();
+    e.queries = result.queries_spent;
+    return e;
+  };
+
+  const E2E direct = run(Conv3dKernel::kDirect);
+  const E2E gemm = run(Conv3dKernel::kGemm);
+  ASSERT_EQ(direct.lists.size(), gemm.lists.size());
+  for (std::size_t i = 0; i < direct.lists.size(); ++i) {
+    EXPECT_EQ(direct.lists[i], gemm.lists[i]) << "retrieval list " << i;
+  }
+  EXPECT_EQ(direct.queries, gemm.queries);
+  ASSERT_EQ(direct.t_history.size(), gemm.t_history.size());
+  for (std::size_t i = 0; i < direct.t_history.size(); ++i) {
+    EXPECT_EQ(direct.t_history[i], gemm.t_history[i]) << "T at step " << i;
+  }
+  expect_bitwise_equal(direct.v_adv, gemm.v_adv, "accepted perturbations");
+}
+
+}  // namespace
+}  // namespace duo::nn

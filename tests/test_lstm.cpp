@@ -15,6 +15,34 @@ TEST(Lstm, OutputShapeIsSequenceOfHidden) {
   EXPECT_EQ(out.shape(), (Tensor::Shape{7, 5}));
 }
 
+TEST(Lstm, CloneCopiesParametersExactly) {
+  Rng rng(9);
+  Lstm lstm(3, 4, rng);
+  // clone() constructs the copy uninitialized (no wasted xavier draws) and
+  // copies values over; the result must reproduce the original bitwise.
+  auto clone = lstm.clone();
+  ASSERT_NE(clone, nullptr);
+  auto* copy = dynamic_cast<Lstm*>(clone.get());
+  ASSERT_NE(copy, nullptr);
+  const auto orig_params = lstm.parameters();
+  const auto copy_params = copy->parameters();
+  ASSERT_EQ(orig_params.size(), copy_params.size());
+  for (std::size_t i = 0; i < orig_params.size(); ++i) {
+    const Tensor& a = orig_params[i]->value;
+    const Tensor& b = copy_params[i]->value;
+    ASSERT_EQ(a.shape(), b.shape());
+    for (std::int64_t j = 0; j < a.size(); ++j) ASSERT_EQ(a[j], b[j]);
+    EXPECT_FLOAT_EQ(copy_params[i]->grad.norm_linf(), 0.0f);
+  }
+  Rng xrng(10);
+  const Tensor x = Tensor::uniform({5, 3}, -1.0f, 1.0f, xrng);
+  const Tensor out_a = lstm.forward(x);
+  const Tensor out_b = copy->forward(x);
+  for (std::int64_t j = 0; j < out_a.size(); ++j) {
+    ASSERT_EQ(out_a[j], out_b[j]);
+  }
+}
+
 TEST(Lstm, RejectsWrongInputWidth) {
   Rng rng(2);
   Lstm lstm(3, 4, rng);
