@@ -24,12 +24,13 @@ using namespace duo;
 namespace {
 
 // The platform's originality verdict: a submission is flagged as plagiarism
-// when any of its top-m retrieval hits is "too close" in feature distance.
+// when any of its top-m retrieval hits is "too close" in feature distance
+// (thresholds compare squared L2, matching Neighbor::distance_sq).
 bool flags_as_plagiarism(retrieval::RetrievalSystem& system,
                          const video::Video& submission, double threshold,
                          std::size_t m = 5) {
   const auto hits = system.retrieve_detailed(submission, m);
-  return !hits.empty() && hits.front().distance < threshold;
+  return !hits.empty() && hits.front().distance_sq < threshold;
 }
 
 // Calibrate the distance threshold from the gallery itself: the midpoint
@@ -41,7 +42,7 @@ double calibrate_threshold(retrieval::RetrievalSystem& system,
   for (const auto& v : samples) {
     const auto hits = system.retrieve_detailed(v, 2);
     // hits[0] is the video itself (distance ~0); hits[1] its true neighbor.
-    nn_sum += hits.size() > 1 ? hits[1].distance : 0.0;
+    nn_sum += hits.size() > 1 ? hits[1].distance_sq : 0.0;
   }
   return 0.5 * nn_sum / static_cast<double>(samples.size());
 }

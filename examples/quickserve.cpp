@@ -50,7 +50,7 @@ int main() {
   retrieval::RetrievalSystem victim(std::move(extractor), /*num_nodes=*/2);
   victim.add_all(dataset.train);
   std::printf("gallery: %zu videos over %zu data nodes\n",
-              victim.gallery_size(), victim.index().node_count());
+              victim.gallery_size(), victim.index().shard_count());
 
   const video::Video& v = dataset.train[2];
   const video::Video& v_t = dataset.train[20];

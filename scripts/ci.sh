@@ -19,7 +19,7 @@ cmake --build "$build_dir" -j "$(nproc)"
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 
 DUO_THREADS=8 ctest --test-dir "$build_dir" \
-  -R 'ParallelDeterminism|Serve|SparseQueryPipelined|FaultInjection|Resilient|Admission|Pacer|Circuit' \
+  -R 'ParallelDeterminism|Serve|SparseQueryPipelined|FaultInjection|Resilient|Admission|Pacer|Circuit|NeighborOrder|Ivf' \
   --output-on-failure
 
 # Kernel-equivalence re-run under the reference Conv3d kernel: the gradient
@@ -47,3 +47,8 @@ DUO_THREADS=8 "$build_dir/bench/fault_soak" --smoke
 # or if the billing ledger stops reconciling (billed == served + faulted +
 # expired + shed).
 DUO_THREADS=8 "$build_dir/bench/overload_soak" --smoke
+
+# Gallery-scale smoke: flat exact scan vs sharded IVF + quantized re-rank;
+# fails if nprobe=all-cells diverges from the exact index or IVF results
+# differ across shard counts (the determinism/identity contracts).
+DUO_THREADS=8 "$build_dir/bench/gallery_scale" --smoke

@@ -18,7 +18,8 @@ cmake -B "$build_dir" -S "$repo_root" -DDUO_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" -j "$(nproc)" \
   --target test_thread_pool test_parallel_determinism test_serve \
-  test_sparse_query test_failure_modes test_gradcheck
+  test_sparse_query test_failure_modes test_gradcheck test_ivf_index \
+  test_retrieval
 
 # TSan multiplies runtime ~5-15x; give the suites generous slack but keep
 # the halt-on-first-race behaviour so CI fails loudly. The regex picks up the
@@ -31,7 +32,7 @@ cmake --build "$build_dir" -j "$(nproc)" \
 # from the uninstrumented libstdc++ (see the file for details).
 export TSAN_OPTIONS="suppressions=$repo_root/scripts/tsan.supp ${TSAN_OPTIONS:-halt_on_error=1}"
 ctest --test-dir "$build_dir" \
-  -R 'ThreadPool|ParallelDeterminism|Conv3d|Pooling|Extractor|Gallery|Serve|SparseQueryPipelined|FaultInjection|Resilient|Admission|Pacer|Circuit|CheckGrad' \
+  -R 'ThreadPool|ParallelDeterminism|Conv3d|Pooling|Extractor|Gallery|Serve|SparseQueryPipelined|FaultInjection|Resilient|Admission|Pacer|Circuit|CheckGrad|Ivf|RetrievalIndex' \
   --output-on-failure --timeout 1800
 
 # The overload soak stresses the admission controller, rate limiter, pacer,

@@ -19,6 +19,24 @@ void DataNode::add(const GalleryEntry& entry) {
   features_.insert(features_.end(), f, f + dim_);
 }
 
+bool DataNode::remove(std::int64_t id) {
+  const auto it = std::find(ids_.begin(), ids_.end(), id);
+  if (it == ids_.end()) return false;
+  const auto r = static_cast<std::size_t>(it - ids_.begin());
+  const std::size_t last = ids_.size() - 1;
+  const auto d = static_cast<std::size_t>(dim_);
+  if (r != last) {
+    ids_[r] = ids_[last];
+    labels_[r] = labels_[last];
+    std::copy_n(features_.begin() + static_cast<std::ptrdiff_t>(last * d), d,
+                features_.begin() + static_cast<std::ptrdiff_t>(r * d));
+  }
+  ids_.pop_back();
+  labels_.pop_back();
+  features_.resize(last * d);
+  return true;
+}
+
 std::vector<Neighbor> DataNode::query(const Tensor& feature,
                                       std::size_t m) const {
   DUO_CHECK_MSG(feature.size() == dim_, "DataNode: query dim mismatch");
@@ -35,12 +53,8 @@ std::vector<Neighbor> DataNode::query(const Tensor& feature,
     all.push_back({ids_[r], labels_[r], acc});
   }
   const std::size_t k = std::min(m, all.size());
-  auto cmp = [](const Neighbor& a, const Neighbor& b) {
-    if (a.distance != b.distance) return a.distance < b.distance;
-    return a.id < b.id;
-  };
   std::partial_sort(all.begin(), all.begin() + static_cast<long>(k), all.end(),
-                    cmp);
+                    neighbor_less);
   all.resize(k);
   return all;
 }
@@ -56,6 +70,16 @@ void RetrievalIndex::add(const GalleryEntry& entry) {
   nodes_[next_node_].add(entry);
   next_node_ = (next_node_ + 1) % nodes_.size();
   ++total_;
+}
+
+bool RetrievalIndex::remove(std::int64_t id) {
+  for (auto& node : nodes_) {
+    if (node.remove(id)) {
+      --total_;
+      return true;
+    }
+  }
+  return false;
 }
 
 std::vector<Neighbor> RetrievalIndex::query(const Tensor& feature,
@@ -76,13 +100,9 @@ std::vector<Neighbor> RetrievalIndex::query(const Tensor& feature,
   for (auto& p : partials) {
     merged.insert(merged.end(), p.begin(), p.end());
   }
-  auto cmp = [](const Neighbor& a, const Neighbor& b) {
-    if (a.distance != b.distance) return a.distance < b.distance;
-    return a.id < b.id;
-  };
   const std::size_t k = std::min(m, merged.size());
   std::partial_sort(merged.begin(), merged.begin() + static_cast<long>(k),
-                    merged.end(), cmp);
+                    merged.end(), neighbor_less);
   merged.resize(k);
   return merged;
 }

@@ -1,0 +1,440 @@
+#include "retrieval/ivf_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+
+namespace duo::retrieval {
+namespace {
+
+double l2_sq(const float* a, const float* b, std::int64_t dim) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < dim; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+// NaN-safe total order on (distance, index) pairs — the centroid-ranking
+// analogue of neighbor_less.
+bool dist_index_less(double da, std::size_t ia, double db, std::size_t ib) {
+  const bool a_nan = std::isnan(da);
+  const bool b_nan = std::isnan(db);
+  if (a_nan != b_nan) return b_nan;
+  if (!a_nan && da != db) return da < db;
+  return ia < ib;
+}
+
+// Per-row max-abs int8 quantization. Non-finite values (the NaN corruption
+// class the scan must survive) code to 0 — the approximate scan then sees a
+// plausible small distance, and the exact re-rank restores the NaN, which
+// neighbor_less sinks last.
+void quantize_row(const float* f, std::int64_t dim, std::int8_t* codes,
+                  float* scale_out) {
+  float max_abs = 0.0f;
+  for (std::int64_t i = 0; i < dim; ++i) {
+    const float a = std::fabs(f[i]);
+    if (std::isfinite(a) && a > max_abs) max_abs = a;
+  }
+  const float scale = max_abs > 0.0f ? max_abs / 127.0f : 0.0f;
+  *scale_out = scale;
+  for (std::int64_t i = 0; i < dim; ++i) {
+    if (scale == 0.0f || !std::isfinite(f[i])) {
+      codes[i] = 0;
+      continue;
+    }
+    const long q = std::lround(f[i] / scale);
+    codes[i] = static_cast<std::int8_t>(std::clamp(q, -127L, 127L));
+  }
+}
+
+}  // namespace
+
+IvfIndex::IvfIndex(std::int64_t feature_dim, IndexConfig config)
+    : dim_(feature_dim),
+      config_(std::move(config)),
+      shards_(std::max<std::size_t>(config_.num_nodes, 1)) {
+  DUO_CHECK(feature_dim > 0);
+  DUO_CHECK_MSG(config_.num_cells >= 1, "IvfIndex: needs at least one cell");
+}
+
+void IvfIndex::append_row(Cell& cell, std::int32_t cell_id, std::int64_t id,
+                          int label, const float* f) {
+  const auto row = cell.ids.size();
+  cell.ids.push_back(id);
+  cell.labels.push_back(label);
+  cell.features.insert(cell.features.end(), f, f + dim_);
+  if (config_.quantize && cell_id >= 0) {
+    cell.codes.resize(cell.codes.size() + static_cast<std::size_t>(dim_));
+    cell.scales.resize(cell.scales.size() + 1);
+    quantize_row(f, dim_,
+                 cell.codes.data() + row * static_cast<std::size_t>(dim_),
+                 &cell.scales[row]);
+  }
+  const bool inserted = loc_.emplace(id, Loc{cell_id, row}).second;
+  DUO_CHECK_MSG(inserted, "IvfIndex: duplicate gallery id");
+}
+
+void IvfIndex::swap_remove_row(Cell& cell, std::int32_t cell_id,
+                               std::size_t row) {
+  const std::size_t last = cell.ids.size() - 1;
+  const auto d = static_cast<std::size_t>(dim_);
+  if (row != last) {
+    cell.ids[row] = cell.ids[last];
+    cell.labels[row] = cell.labels[last];
+    std::copy_n(cell.features.begin() + static_cast<std::ptrdiff_t>(last * d),
+                d, cell.features.begin() + static_cast<std::ptrdiff_t>(row * d));
+    if (!cell.codes.empty()) {
+      std::copy_n(cell.codes.begin() + static_cast<std::ptrdiff_t>(last * d), d,
+                  cell.codes.begin() + static_cast<std::ptrdiff_t>(row * d));
+      cell.scales[row] = cell.scales[last];
+    }
+    loc_[cell.ids[row]] = Loc{cell_id, row};
+  }
+  cell.ids.pop_back();
+  cell.labels.pop_back();
+  cell.features.resize(last * d);
+  if (!cell.codes.empty()) {
+    cell.codes.resize(last * d);
+    cell.scales.pop_back();
+  }
+}
+
+void IvfIndex::add(const GalleryEntry& entry) {
+  DUO_CHECK_MSG(entry.feature.size() == dim_, "IvfIndex: feature dim mismatch");
+  if (trained_) {
+    const auto c = static_cast<std::int32_t>(nearest_cell(entry.feature.data()));
+    append_row(cells_[static_cast<std::size_t>(c)], c, entry.id, entry.label,
+               entry.feature.data());
+    return;
+  }
+  append_row(pending_, -1, entry.id, entry.label, entry.feature.data());
+  if (config_.train_after > 0 && pending_.ids.size() >= config_.train_after) {
+    train();
+  }
+}
+
+bool IvfIndex::remove(std::int64_t id) {
+  const auto it = loc_.find(id);
+  if (it == loc_.end()) return false;
+  const Loc loc = it->second;
+  loc_.erase(it);
+  if (loc.cell < 0) {
+    swap_remove_row(pending_, -1, loc.row);
+  } else {
+    swap_remove_row(cells_[static_cast<std::size_t>(loc.cell)], loc.cell,
+                    loc.row);
+  }
+  return true;
+}
+
+std::size_t IvfIndex::cell_size(std::size_t cell) const {
+  DUO_CHECK(cell < cells_.size());
+  return cells_[cell].ids.size();
+}
+
+void IvfIndex::finalize() {
+  if (!trained_ && !pending_.ids.empty()) train();
+}
+
+void IvfIndex::retrain() {
+  // Fold every cell back into the pending buffer (in cell order — training
+  // is sample-order dependent, so keep the fold deterministic) and train
+  // from scratch on the full current content.
+  Cell all;
+  auto fold = [&](Cell& src) {
+    all.ids.insert(all.ids.end(), src.ids.begin(), src.ids.end());
+    all.labels.insert(all.labels.end(), src.labels.begin(), src.labels.end());
+    all.features.insert(all.features.end(), src.features.begin(),
+                        src.features.end());
+  };
+  fold(pending_);
+  for (auto& cell : cells_) fold(cell);
+  cells_.clear();
+  centroids_.clear();
+  trained_ = false;
+  pending_ = std::move(all);
+  loc_.clear();
+  for (std::size_t r = 0; r < pending_.ids.size(); ++r) {
+    loc_.emplace(pending_.ids[r], Loc{-1, r});
+  }
+  if (!pending_.ids.empty()) train();
+}
+
+void IvfIndex::train() {
+  const std::size_t n = pending_.ids.size();
+  DUO_CHECK_MSG(!trained_, "IvfIndex: already trained");
+  DUO_CHECK_MSG(n > 0, "IvfIndex: cannot train on an empty gallery");
+  const auto d = static_cast<std::size_t>(dim_);
+  const std::size_t kcells = std::min(config_.num_cells, n);
+  Rng rng(config_.seed);
+
+  // Training sample: everything when the gallery fits the cap, else a
+  // partial Fisher-Yates draw without replacement (deterministic in
+  // insertion order + seed).
+  std::vector<std::size_t> sample(n);
+  for (std::size_t i = 0; i < n; ++i) sample[i] = i;
+  if (n > config_.train_sample) {
+    for (std::size_t i = 0; i < config_.train_sample; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(rng.uniform_index(n - i));
+      std::swap(sample[i], sample[j]);
+    }
+    sample.resize(config_.train_sample);
+  }
+  const std::size_t s = sample.size();
+  const auto row_of = [&](std::size_t si) {
+    return pending_.features.data() + sample[si] * d;
+  };
+
+  // Init: kcells distinct sample points, chosen by a seeded shuffle.
+  std::vector<std::size_t> init(s);
+  for (std::size_t i = 0; i < s; ++i) init[i] = i;
+  rng.shuffle(init);
+  centroids_.assign(kcells * d, 0.0f);
+  for (std::size_t c = 0; c < kcells; ++c) {
+    std::copy_n(row_of(init[c % s]), d, centroids_.data() + c * d);
+  }
+
+  // Lloyd sweeps. Assignment ties resolve to the lowest cell id; sums are
+  // accumulated in double in sample order; an empty cell reseeds from the
+  // sample point farthest from its current centroid — all deterministic.
+  std::vector<std::size_t> assign(s, 0);
+  std::vector<double> dist_to_own(s, 0.0);
+  std::vector<double> sums(kcells * d);
+  std::vector<std::size_t> counts(kcells);
+  for (int iter = 0; iter < std::max(config_.kmeans_iters, 1); ++iter) {
+    bool changed = false;
+    for (std::size_t si = 0; si < s; ++si) {
+      const float* f = row_of(si);
+      std::size_t best = 0;
+      double best_d = l2_sq(f, centroids_.data(), dim_);
+      for (std::size_t c = 1; c < kcells; ++c) {
+        const double dc = l2_sq(f, centroids_.data() + c * d, dim_);
+        if (dist_index_less(dc, c, best_d, best)) {
+          best_d = dc;
+          best = c;
+        }
+      }
+      if (assign[si] != best) changed = true;
+      assign[si] = best;
+      dist_to_own[si] = best_d;
+    }
+    for (std::size_t c = 0; c < kcells; ++c) counts[c] = 0;
+    for (std::size_t si = 0; si < s; ++si) ++counts[assign[si]];
+    for (std::size_t c = 0; c < kcells; ++c) {
+      if (counts[c] != 0) continue;
+      // Reseed the empty cell on the worst-served point and steal it.
+      std::size_t far = 0;
+      for (std::size_t si = 1; si < s; ++si) {
+        if (dist_index_less(dist_to_own[far], far, dist_to_own[si], si)) {
+          far = si;
+        }
+      }
+      --counts[assign[far]];
+      assign[far] = c;
+      counts[c] = 1;
+      dist_to_own[far] = 0.0;
+      changed = true;
+    }
+    std::fill(sums.begin(), sums.end(), 0.0);
+    for (std::size_t si = 0; si < s; ++si) {
+      const float* f = row_of(si);
+      double* sum = sums.data() + assign[si] * d;
+      for (std::size_t i = 0; i < d; ++i) sum[i] += f[i];
+    }
+    for (std::size_t c = 0; c < kcells; ++c) {
+      for (std::size_t i = 0; i < d; ++i) {
+        centroids_[c * d + i] = static_cast<float>(
+            sums[c * d + i] / static_cast<double>(counts[c]));
+      }
+    }
+    if (!changed && iter > 0) break;
+  }
+
+  // Flush the buffer into its cells. Nearest-centroid choices are
+  // independent per row, so they fan out; rows append serially in insertion
+  // order afterwards (cell content order is not observable either way —
+  // neighbor_less is total — but keep it reproducible for debugging).
+  trained_ = true;
+  cells_.assign(kcells, Cell{});
+  Cell buffered = std::move(pending_);
+  pending_ = Cell{};
+  loc_.clear();
+  const std::size_t total = buffered.ids.size();
+  std::vector<std::int32_t> target(total);
+  compute_pool().parallel_for(total, [&](std::size_t r) {
+    target[r] =
+        static_cast<std::int32_t>(nearest_cell(buffered.features.data() + r * d));
+  });
+  for (std::size_t r = 0; r < total; ++r) {
+    append_row(cells_[static_cast<std::size_t>(target[r])], target[r],
+               buffered.ids[r], buffered.labels[r],
+               buffered.features.data() + r * d);
+  }
+}
+
+std::size_t IvfIndex::nearest_cell(const float* f) const {
+  const auto d = static_cast<std::size_t>(dim_);
+  std::size_t best = 0;
+  double best_d = l2_sq(f, centroids_.data(), dim_);
+  for (std::size_t c = 1; c < cells_.size(); ++c) {
+    const double dc = l2_sq(f, centroids_.data() + c * d, dim_);
+    if (dist_index_less(dc, c, best_d, best)) {
+      best_d = dc;
+      best = c;
+    }
+  }
+  return best;
+}
+
+void IvfIndex::scan_cell(const Cell& cell, std::int32_t cell_id, const float* q,
+                         bool quantized, std::vector<Candidate>& out) const {
+  const auto d = static_cast<std::size_t>(dim_);
+  for (std::size_t r = 0; r < cell.ids.size(); ++r) {
+    double acc = 0.0;
+    if (quantized) {
+      const std::int8_t* codes = cell.codes.data() + r * d;
+      const double scale = cell.scales[r];
+      for (std::size_t i = 0; i < d; ++i) {
+        const double diff = static_cast<double>(q[i]) - codes[i] * scale;
+        acc += diff * diff;
+      }
+    } else {
+      acc = l2_sq(q, cell.features.data() + r * d, dim_);
+    }
+    out.push_back({Neighbor{cell.ids[r], cell.labels[r], acc}, cell_id, r});
+  }
+}
+
+double IvfIndex::exact_distance_sq(const Candidate& c, const float* q) const {
+  const Cell& cell = c.cell < 0 ? pending_ : cells_[static_cast<std::size_t>(c.cell)];
+  return l2_sq(q, cell.features.data() + c.row * static_cast<std::size_t>(dim_),
+               dim_);
+}
+
+std::vector<Neighbor> IvfIndex::query(const Tensor& feature, std::size_t m,
+                                      bool parallel) const {
+  return query_with_stats(feature, m, parallel, nullptr);
+}
+
+std::vector<Neighbor> IvfIndex::query_with_stats(const Tensor& feature,
+                                                 std::size_t m, bool parallel,
+                                                 IvfQueryStats* stats) const {
+  DUO_CHECK_MSG(feature.size() == dim_, "IvfIndex: query dim mismatch");
+  if (stats != nullptr) *stats = IvfQueryStats{};
+  const float* q = feature.data();
+
+  // Untrained: exact flat scan over the buffer. Correct (and for the small
+  // galleries that land here, faster) — the index degrades to RetrievalIndex
+  // semantics until training.
+  if (!trained_) {
+    std::vector<Candidate> all;
+    all.reserve(pending_.ids.size());
+    scan_cell(pending_, -1, q, /*quantized=*/false, all);
+    std::vector<Neighbor> result;
+    result.reserve(all.size());
+    for (const auto& c : all) result.push_back(c.approx);
+    const std::size_t k = std::min(m, result.size());
+    std::partial_sort(result.begin(),
+                      result.begin() + static_cast<long>(k), result.end(),
+                      neighbor_less);
+    result.resize(k);
+    if (stats != nullptr) stats->vectors_scanned = pending_.ids.size();
+    return result;
+  }
+
+  if (m == 0) {
+    if (stats != nullptr) stats->trained = true;
+    return {};
+  }
+
+  // Stage 1: rank centroids, keep the nprobe nearest cells.
+  const std::size_t kcells = cells_.size();
+  const std::size_t nprobe = std::min(std::max<std::size_t>(config_.nprobe, 1),
+                                      kcells);
+  const auto d = static_cast<std::size_t>(dim_);
+  std::vector<std::pair<double, std::size_t>> ranked(kcells);
+  for (std::size_t c = 0; c < kcells; ++c) {
+    ranked[c] = {l2_sq(q, centroids_.data() + c * d, dim_), c};
+  }
+  std::partial_sort(ranked.begin(), ranked.begin() + static_cast<long>(nprobe),
+                    ranked.end(),
+                    [](const std::pair<double, std::size_t>& a,
+                       const std::pair<double, std::size_t>& b) {
+                      return dist_index_less(a.first, a.second, b.first,
+                                             b.second);
+                    });
+
+  // Stage 2: scan the probed cells, sharded by cell ownership (cell %
+  // shards). Each shard prunes to its own candidate pool; pools merge in
+  // shard order, so the result is independent of the fan-out.
+  const std::size_t pool =
+      config_.quantize ? m * std::max<std::size_t>(config_.rerank, 1) : m;
+  std::vector<std::vector<std::size_t>> probes_by_shard(shards_);
+  for (std::size_t p = 0; p < nprobe; ++p) {
+    const std::size_t cell = ranked[p].second;
+    probes_by_shard[cell % shards_].push_back(cell);
+  }
+  std::vector<std::vector<Candidate>> shard_pools(shards_);
+  std::vector<std::size_t> shard_scanned(shards_, 0);
+  const auto scan_shard = [&](std::size_t sh) {
+    std::vector<Candidate>& pool_out = shard_pools[sh];
+    for (const std::size_t cell : probes_by_shard[sh]) {
+      shard_scanned[sh] += cells_[cell].ids.size();
+      scan_cell(cells_[cell], static_cast<std::int32_t>(cell), q,
+                config_.quantize, pool_out);
+    }
+    const std::size_t keep = std::min(pool, pool_out.size());
+    std::partial_sort(pool_out.begin(),
+                      pool_out.begin() + static_cast<long>(keep),
+                      pool_out.end(), [](const Candidate& a, const Candidate& b) {
+                        return neighbor_less(a.approx, b.approx);
+                      });
+    pool_out.resize(keep);
+  };
+  if (parallel && shards_ > 1) {
+    compute_pool().parallel_for(shards_, scan_shard);
+  } else {
+    for (std::size_t sh = 0; sh < shards_; ++sh) scan_shard(sh);
+  }
+
+  // Stage 3: exact float re-rank of the merged candidate pool.
+  std::vector<Neighbor> result;
+  std::size_t reranked = 0;
+  for (const auto& shard_pool : shard_pools) {
+    for (const auto& c : shard_pool) {
+      result.push_back(
+          Neighbor{c.approx.id, c.approx.label, exact_distance_sq(c, q)});
+      ++reranked;
+    }
+  }
+  const std::size_t k = std::min(m, result.size());
+  std::partial_sort(result.begin(), result.begin() + static_cast<long>(k),
+                    result.end(), neighbor_less);
+  result.resize(k);
+
+  if (stats != nullptr) {
+    stats->trained = true;
+    stats->cells_probed = nprobe;
+    for (const std::size_t v : shard_scanned) stats->vectors_scanned += v;
+    stats->candidates_reranked = reranked;
+  }
+  return result;
+}
+
+std::unique_ptr<GalleryIndex> make_index(std::int64_t feature_dim,
+                                         const IndexConfig& config) {
+  if (config.kind == IndexKind::kIvf) {
+    return std::make_unique<IvfIndex>(feature_dim, config);
+  }
+  return std::make_unique<RetrievalIndex>(feature_dim,
+                                          std::max<std::size_t>(config.num_nodes, 1));
+}
+
+}  // namespace duo::retrieval

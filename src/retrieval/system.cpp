@@ -8,12 +8,21 @@
 namespace duo::retrieval {
 
 RetrievalSystem::RetrievalSystem(
-    std::unique_ptr<models::FeatureExtractor> extractor, std::size_t num_nodes)
+    std::unique_ptr<models::FeatureExtractor> extractor, IndexConfig config)
     : extractor_(std::move(extractor)),
-      index_(extractor_ ? extractor_->feature_dim() : 1, num_nodes) {
+      index_(make_index(extractor_ ? extractor_->feature_dim() : 1, config)) {
   DUO_CHECK_MSG(extractor_ != nullptr, "RetrievalSystem: null extractor");
   extractor_->set_training(false);
 }
+
+RetrievalSystem::RetrievalSystem(
+    std::unique_ptr<models::FeatureExtractor> extractor, std::size_t num_nodes)
+    : RetrievalSystem(std::move(extractor), [num_nodes] {
+        IndexConfig config;
+        config.kind = IndexKind::kFlat;
+        config.num_nodes = num_nodes;
+        return config;
+      }()) {}
 
 void RetrievalSystem::add_to_gallery(const video::Video& v) {
   // Validate before mutating: a rejected video must leave the index and the
@@ -23,9 +32,22 @@ void RetrievalSystem::add_to_gallery(const video::Video& v) {
   entry.id = v.id();
   entry.label = v.label();
   entry.feature = extractor_->extract(v);
-  index_.add(entry);
+  index_->add(entry);
   labels_.emplace(v.id(), v.label());
   ++label_counts_[v.label()];
+}
+
+bool RetrievalSystem::remove_from_gallery(std::int64_t gallery_id) {
+  const auto it = labels_.find(gallery_id);
+  if (it == labels_.end()) return false;
+  const bool removed = index_->remove(gallery_id);
+  DUO_CHECK_MSG(removed, "RetrievalSystem: index and label map out of sync");
+  const auto count_it = label_counts_.find(it->second);
+  DUO_CHECK_MSG(count_it != label_counts_.end() && count_it->second > 0,
+                "RetrievalSystem: label count underflow");
+  if (--count_it->second == 0) label_counts_.erase(count_it);
+  labels_.erase(it);
+  return true;
 }
 
 void RetrievalSystem::add_all(const std::vector<video::Video>& videos) {
@@ -46,10 +68,13 @@ void RetrievalSystem::add_all(const std::vector<video::Video>& videos) {
     entry.id = v.id();
     entry.label = v.label();
     entry.feature = features[i];
-    index_.add(entry);
+    index_->add(entry);
     labels_.emplace(v.id(), v.label());
     ++label_counts_[v.label()];
   }
+  // Bulk ingest is the natural training point for a coarse-quantized index
+  // (no-op for the flat one, or when already trained).
+  index_->finalize();
 }
 
 std::vector<Tensor> RetrievalSystem::extract_features(
@@ -74,7 +99,13 @@ std::vector<Neighbor> RetrievalSystem::retrieve_detailed(const video::Video& v,
 
 std::vector<Neighbor> RetrievalSystem::retrieve_feature(const Tensor& feature,
                                                         std::size_t m) const {
-  return index_.query(feature, m, /*parallel=*/index_.node_count() > 1);
+  // Fan the shard scans out — unless this call is already running on a
+  // compute-pool worker (evaluate_map / the serve batch loop shard per
+  // query). A nested parallel_for would only re-drain the saturated pool
+  // through the caller-runs path; going serial here says so explicitly.
+  const bool parallel =
+      index_->shard_count() > 1 && !compute_pool().in_worker_context();
+  return index_->query(feature, m, parallel);
 }
 
 int RetrievalSystem::label_of(std::int64_t gallery_id) const {

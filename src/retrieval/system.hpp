@@ -20,14 +20,23 @@ namespace duo::retrieval {
 
 class RetrievalSystem {
  public:
-  // Takes ownership of the (trained) extractor. `num_nodes` is the number of
-  // distributed data nodes the gallery is sharded over.
+  // Takes ownership of the (trained) extractor. `config` selects and tunes
+  // the gallery index (flat exact scan vs sharded IVF with quantized
+  // re-rank — see retrieval/index.hpp); retrieval semantics are identical
+  // either way up to IVF's nprobe recall.
   RetrievalSystem(std::unique_ptr<models::FeatureExtractor> extractor,
-                  std::size_t num_nodes = 4);
+                  IndexConfig config);
+  // Flat-index shorthand: `num_nodes` distributed data nodes.
+  explicit RetrievalSystem(std::unique_ptr<models::FeatureExtractor> extractor,
+                           std::size_t num_nodes = 4);
 
   // Featurize and index a gallery video. Rejects duplicate ids (throws
   // std::logic_error) *before* mutating any internal state.
   void add_to_gallery(const video::Video& v);
+  // Remove a gallery video by id, keeping the index and the label /
+  // relevant-count bookkeeping consistent. Returns false (and changes
+  // nothing) when the id is unknown.
+  bool remove_from_gallery(std::int64_t gallery_id);
   // Bulk ingestion: features are extracted in parallel (over thread-private
   // extractor replicas) and then indexed in input order, so the resulting
   // gallery is identical to sequential add_to_gallery calls. The whole batch
@@ -46,19 +55,22 @@ class RetrievalSystem {
   // Retrieval with distances/labels (used by evaluation harnesses).
   std::vector<Neighbor> retrieve_detailed(const video::Video& v,
                                           std::size_t m);
-  // Retrieval for a precomputed feature (no extractor forward).
+  // Retrieval for a precomputed feature (no extractor forward). The index
+  // scan fans out across shards on compute_pool() — except when the caller
+  // is already a pool worker (evaluate_map's per-query fan-out), where the
+  // scan runs serially instead of re-entering the saturated pool.
   std::vector<Neighbor> retrieve_feature(const Tensor& feature,
                                          std::size_t m) const;
 
   models::FeatureExtractor& extractor() noexcept { return *extractor_; }
-  const RetrievalIndex& index() const noexcept { return index_; }
-  std::size_t gallery_size() const noexcept { return index_.size(); }
+  const GalleryIndex& index() const noexcept { return *index_; }
+  std::size_t gallery_size() const noexcept { return index_->size(); }
   int label_of(std::int64_t gallery_id) const;
   std::int64_t relevant_count(int label) const;
 
  private:
   std::unique_ptr<models::FeatureExtractor> extractor_;
-  RetrievalIndex index_;
+  std::unique_ptr<GalleryIndex> index_;
   std::unordered_map<std::int64_t, int> labels_;
   std::unordered_map<int, std::int64_t> label_counts_;
 };

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 #include "serve/errors.hpp"
 #include "serve/fault_injection.hpp"
 
@@ -267,6 +268,44 @@ void RetrievalServer::process_batch(std::vector<Request>& batch) {
     return;
   }
 
+  // Answer the index lookups for every request that will need one, fanned
+  // out across the compute pool (each inner shard scan goes serial via
+  // RetrievalSystem::retrieve_feature's worker-context guard, so this is a
+  // flat per-request fan-out, not nested). Answers are bitwise identical to
+  // the serial loop — each slot is written by exactly one worker — and
+  // fulfillment below stays in arrival order.
+  struct Answer {
+    metrics::RetrievalList list;
+    std::exception_ptr error;
+  };
+  std::vector<Answer> answers(batch.size());
+  std::vector<std::size_t> needs_answer;
+  needs_answer.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (faults[i] == FaultKind::kNone || faults[i] == FaultKind::kDelay) {
+      needs_answer.push_back(i);
+    }
+  }
+  const auto answer_one = [&](std::size_t i) {
+    try {
+      const auto neighbors = system_.retrieve_feature(features[i], batch[i].m);
+      answers[i].list.reserve(neighbors.size());
+      for (const auto& n : neighbors) answers[i].list.push_back(n.id);
+    } catch (const std::exception& e) {
+      answers[i].error = std::make_exception_ptr(
+          ServeError(ServeErrorCode::kFatal, /*billed=*/true,
+                     std::string("RetrievalServer: backend failure: ") +
+                         e.what()));
+    }
+  };
+  if (needs_answer.size() > 1) {
+    compute_pool().parallel_for(needs_answer.size(), [&](std::size_t j) {
+      answer_one(needs_answer[j]);
+    });
+  } else {
+    for (const std::size_t i : needs_answer) answer_one(i);
+  }
+
   std::vector<double> latencies;
   latencies.reserve(batch.size());
   std::int64_t served = 0;
@@ -298,20 +337,13 @@ void RetrievalServer::process_batch(std::vector<Request>& batch) {
       case FaultKind::kNone:
         break;
     }
-    try {
-      const auto neighbors = system_.retrieve_feature(features[i], batch[i].m);
-      metrics::RetrievalList list;
-      list.reserve(neighbors.size());
-      for (const auto& n : neighbors) list.push_back(n.id);
-      latencies.push_back(batch[i].queued.elapsed_ms());
-      batch[i].promise.set_value(std::move(list));
-      ++served;
-    } catch (const std::exception& e) {
-      batch[i].promise.set_exception(std::make_exception_ptr(
-          ServeError(ServeErrorCode::kFatal, /*billed=*/true,
-                     std::string("RetrievalServer: backend failure: ") +
-                         e.what())));
+    if (answers[i].error != nullptr) {
+      batch[i].promise.set_exception(answers[i].error);
+      continue;
     }
+    latencies.push_back(batch[i].queued.elapsed_ms());
+    batch[i].promise.set_value(std::move(answers[i].list));
+    ++served;
   }
 
   std::lock_guard<std::mutex> lock(stats_mutex_);

@@ -5,13 +5,21 @@
 // any thread and get a std::future for the retrieval list; a dedicated
 // scheduler thread drains up to `max_batch` queued requests per tick,
 // featurizes them with one FeatureExtractor::extract_batch call (amortizing
-// extractor-replica setup across the batch), answers each against the index,
-// and fulfills the futures.
+// extractor-replica setup across the batch), answers each against the index
+// (per-request lookups fanned out over compute_pool(), each inner shard
+// scan serial), and fulfills the futures in arrival order.
+//
+// The server is index-agnostic: it serves whatever GalleryIndex the
+// RetrievalSystem was configured with (retrieval::IndexConfig — exact flat
+// scan or the sharded, quantized IvfIndex for million-video galleries); no
+// server-side knob changes.
 //
 // Correctness contract: answers are bitwise identical to direct
 // RetrievalSystem::retrieve calls regardless of client count, arrival order,
 // or max_batch — batching amortizes cost, it never changes results
-// (extract_batch guarantees bitwise equality with serial extraction).
+// (extract_batch guarantees bitwise equality with serial extraction, and
+// the batched index fan-out writes each answer slot from exactly one
+// worker).
 //
 // Concurrency contract: submit is MPMC-safe and applies backpressure — it
 // blocks while the bounded queue is full (submit_with_deadline bounds the

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <memory>
 #include <thread>
 #include <utility>
@@ -59,7 +61,7 @@ TEST(DataNode, ReturnsNearestFirst) {
   EXPECT_EQ(result[0].id, 1);
   EXPECT_EQ(result[1].id, 2);
   EXPECT_EQ(result[2].id, 3);
-  EXPECT_LT(result[0].distance, result[1].distance);
+  EXPECT_LT(result[0].distance_sq, result[1].distance_sq);
 }
 
 TEST(DataNode, TopMSmallerThanStore) {
@@ -91,6 +93,154 @@ TEST(DataNode, DeterministicTieBreakById) {
   EXPECT_EQ(result[1].id, 7);
 }
 
+TEST(NeighborOrder, SquaredDistanceConventionPinned) {
+  // Neighbor::distance_sq is *squared* L2 — pinned here so a future scan
+  // stage (e.g. IVF's quantized cell scan) can't silently feed a different
+  // metric into the merge. (1,1) vs (4,5): L2 = 5, squared = 25.
+  DataNode node(2);
+  node.add(entry(1, 0, {4.0f, 5.0f}));
+  const auto result = node.query(Tensor({2}, std::vector<float>{1.0f, 1.0f}), 1);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_DOUBLE_EQ(result[0].distance_sq, 25.0);
+}
+
+TEST(NeighborOrder, ComparatorIsTotalWithNaN) {
+  // neighbor_less must be a strict total order even with NaN distances —
+  // the raw `<` comparator it replaces is not (NaN is incomparable with
+  // everything while finite values still compare, so "equivalence" loses
+  // transitivity → UB in std::partial_sort). Check the strict-weak axioms
+  // exhaustively over a mixed finite/NaN sample.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<Neighbor> sample = {
+      {1, 0, 0.0}, {2, 0, 1.0}, {3, 0, 1.0}, {4, 0, nan}, {5, 0, nan},
+      {6, 0, -1.0}};
+  for (const auto& a : sample) {
+    EXPECT_FALSE(neighbor_less(a, a));  // irreflexive
+    for (const auto& b : sample) {
+      if (a.id != b.id) {
+        // Total: distinct neighbors are never equivalent (ids tie-break).
+        EXPECT_NE(neighbor_less(a, b), neighbor_less(b, a));
+      }
+      for (const auto& c : sample) {  // transitive
+        if (neighbor_less(a, b) && neighbor_less(b, c)) {
+          EXPECT_TRUE(neighbor_less(a, c));
+        }
+      }
+    }
+  }
+}
+
+TEST(NeighborOrder, NaNGalleryEntrySinksLast) {
+  // Regression (headline bugfix): one NaN-poisoned gallery feature —
+  // exactly the corruption class the PR 6 MaxPool3d fix proved reachable —
+  // made the old raw-double comparator violate strict weak ordering inside
+  // std::partial_sort. Observed on the old code: the NaN entry ranked at
+  // position 1 of the top-10, above strictly closer finite entries. The fix
+  // sinks NaN distances last under a total order.
+  DataNode node(1);
+  node.add(entry(0, 0, {std::numeric_limits<float>::quiet_NaN()}));
+  for (int i = 1; i <= 32; ++i) {
+    node.add(entry(i, 0, {static_cast<float>(100 - i)}));
+  }
+  const auto top = node.query(Tensor({1}, std::vector<float>{0.0f}), 10);
+  ASSERT_EQ(top.size(), 10u);
+  for (const auto& n : top) {
+    EXPECT_NE(n.id, 0) << "NaN-poisoned entry ranked into the top-m";
+    EXPECT_FALSE(std::isnan(n.distance_sq));
+  }
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_LT(top[i - 1].distance_sq, top[i].distance_sq);
+  }
+  // Asking for everything: the NaN entry comes back, but dead last.
+  const auto all = node.query(Tensor({1}, std::vector<float>{0.0f}), 33);
+  ASSERT_EQ(all.size(), 33u);
+  EXPECT_EQ(all.back().id, 0);
+  EXPECT_TRUE(std::isnan(all.back().distance_sq));
+}
+
+TEST(NeighborOrder, NaNPoisonedQueryIsDeterministic) {
+  // An all-NaN distance column (NaN query feature) must order by id — the
+  // old comparator returned ids in arbitrary heap order. Both DataNode and
+  // the scatter-gather merge go through the shared comparator now.
+  RetrievalIndex index(1, 3);
+  for (int i = 15; i >= 0; --i) {
+    index.add(entry(i, 0, {static_cast<float>(i)}));
+  }
+  const Tensor nan_q({1},
+                     std::vector<float>{std::numeric_limits<float>::quiet_NaN()});
+  const auto top = index.query(nan_q, 5);
+  ASSERT_EQ(top.size(), 5u);
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    EXPECT_EQ(top[i].id, static_cast<std::int64_t>(i));
+    EXPECT_TRUE(std::isnan(top[i].distance_sq));
+  }
+}
+
+TEST(RetrievalIndex, MZeroReturnsEmpty) {
+  RetrievalIndex index(1, 2);
+  index.add(entry(1, 0, {1.0f}));
+  EXPECT_TRUE(index.query(Tensor({1}, std::vector<float>{0.0f}), 0).empty());
+  DataNode node(1);
+  node.add(entry(1, 0, {1.0f}));
+  EXPECT_TRUE(node.query(Tensor({1}, std::vector<float>{0.0f}), 0).empty());
+}
+
+TEST(RetrievalIndex, EmptyShardAndEmptyIndex) {
+  // 3 nodes, 2 entries: one shard is empty; queries must still work, and an
+  // entirely empty index answers with an empty list.
+  RetrievalIndex index(1, 3);
+  EXPECT_TRUE(index.query(Tensor({1}, std::vector<float>{0.0f}), 4).empty());
+  index.add(entry(1, 0, {1.0f}));
+  index.add(entry(2, 0, {2.0f}));
+  const auto result = index.query(Tensor({1}, std::vector<float>{0.0f}), 4);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].id, 1);
+  EXPECT_EQ(result[1].id, 2);
+}
+
+TEST(RetrievalIndex, MExceedingSizeReturnsAllAcrossNodes) {
+  RetrievalIndex index(1, 4);
+  for (int i = 0; i < 6; ++i) index.add(entry(i, 0, {static_cast<float>(i)}));
+  EXPECT_EQ(index.query(Tensor({1}, std::vector<float>{0.0f}), 100).size(), 6u);
+}
+
+TEST(RetrievalIndex, DuplicateDistancesMergeDeterministicallyAcrossNodeCounts) {
+  // Many entries at identical distances: the (distance_sq, id) total order
+  // must produce the same top-m whatever the shard count.
+  std::vector<std::size_t> node_counts = {1, 2, 8};
+  std::vector<std::vector<std::int64_t>> tops;
+  for (const std::size_t nodes : node_counts) {
+    RetrievalIndex index(1, nodes);
+    Rng rng(11);
+    std::vector<int> ids(40);
+    for (int i = 0; i < 40; ++i) ids[static_cast<std::size_t>(i)] = i;
+    rng.shuffle(ids);  // insertion order ≠ id order
+    for (const int id : ids) {
+      index.add(entry(id, 0, {static_cast<float>(id % 4)}));  // 4-way ties
+    }
+    const auto result =
+        index.query(Tensor({1}, std::vector<float>{0.0f}), 10,
+                    /*parallel=*/nodes > 1);
+    std::vector<std::int64_t> got;
+    for (const auto& n : result) got.push_back(n.id);
+    tops.push_back(got);
+  }
+  EXPECT_EQ(tops[0], tops[1]);
+  EXPECT_EQ(tops[0], tops[2]);
+}
+
+TEST(RetrievalIndex, RemoveByIdShrinksAndExcludes) {
+  RetrievalIndex index(1, 3);
+  for (int i = 0; i < 9; ++i) index.add(entry(i, 0, {static_cast<float>(i)}));
+  EXPECT_TRUE(index.remove(0));
+  EXPECT_FALSE(index.remove(0));  // already gone
+  EXPECT_FALSE(index.remove(999));
+  EXPECT_EQ(index.size(), 8u);
+  const auto result = index.query(Tensor({1}, std::vector<float>{0.0f}), 3);
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_EQ(result[0].id, 1);  // 0 no longer retrievable
+}
+
 TEST(RetrievalIndex, ShardsRoundRobin) {
   RetrievalIndex index(1, 3);
   for (int i = 0; i < 7; ++i) index.add(entry(i, 0, {static_cast<float>(i)}));
@@ -114,7 +264,7 @@ TEST(RetrievalIndex, ScatterGatherMatchesSingleNode) {
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].id, b[i].id);
-    EXPECT_DOUBLE_EQ(a[i].distance, b[i].distance);
+    EXPECT_DOUBLE_EQ(a[i].distance_sq, b[i].distance_sq);
   }
 }
 
@@ -287,6 +437,65 @@ TEST_F(SystemTest, RetrieveFeatureMatchesRetrieveVideo) {
   for (std::size_t i = 0; i < via_video.size(); ++i) {
     EXPECT_EQ(via_video[i].id, via_feature[i].id);
   }
+}
+
+TEST_F(SystemTest, RemoveFromGalleryKeepsBookkeepingConsistent) {
+  const auto& victim = dataset_.train[4];
+  const std::size_t size_before = system_->gallery_size();
+  const auto count_before = system_->relevant_count(victim.label());
+
+  EXPECT_TRUE(system_->remove_from_gallery(victim.id()));
+  EXPECT_EQ(system_->gallery_size(), size_before - 1);
+  EXPECT_EQ(system_->relevant_count(victim.label()), count_before - 1);
+  EXPECT_THROW((void)system_->label_of(victim.id()), std::logic_error);
+  for (const auto id : system_->retrieve(victim, 20)) {
+    EXPECT_NE(id, victim.id());
+  }
+  // Unknown ids are a no-op, and a removed video is addable again.
+  EXPECT_FALSE(system_->remove_from_gallery(victim.id()));
+  EXPECT_FALSE(system_->remove_from_gallery(987654));
+  system_->add_to_gallery(victim);
+  EXPECT_EQ(system_->gallery_size(), size_before);
+  EXPECT_EQ(system_->relevant_count(victim.label()), count_before);
+  EXPECT_EQ(system_->retrieve(victim, 1).front(), victim.id());
+}
+
+TEST_F(SystemTest, RetrieveFeatureInsideWorkerMatchesOutside) {
+  // Regression for the nested fan-out: evaluate_map calls retrieve_feature
+  // from inside compute_pool().parallel_for, where the per-shard scatter
+  // used to re-enter the saturated pool. The fix runs the inner scan serial
+  // on pool workers — results must be bitwise identical either way.
+  ThreadPool pool(4);
+  set_compute_pool(&pool);
+  struct Restore {
+    ~Restore() { set_compute_pool(nullptr); }
+  } restore;
+
+  const Tensor feature = system_->extractor().extract(dataset_.test.front());
+  const auto outside = system_->retrieve_feature(feature, 8);
+  std::vector<Neighbor> inside;
+  compute_pool().parallel_for(1, [&](std::size_t) {
+    inside = system_->retrieve_feature(feature, 8);
+  });
+  ASSERT_EQ(outside.size(), inside.size());
+  for (std::size_t i = 0; i < outside.size(); ++i) {
+    EXPECT_EQ(outside[i].id, inside[i].id);
+    EXPECT_EQ(outside[i].distance_sq, inside[i].distance_sq);
+  }
+}
+
+TEST_F(SystemTest, EvaluateMapBitwiseAcrossThreadCounts) {
+  // The satellite contract for the nested-parallelism fix: mAP is bitwise
+  // identical whether the per-query fan-out runs serial or on 8 workers.
+  double maps[2];
+  const std::size_t threads[2] = {1, 8};
+  for (int t = 0; t < 2; ++t) {
+    ThreadPool pool(threads[t]);
+    set_compute_pool(&pool);
+    maps[t] = evaluate_map(*system_, dataset_.test, 5);
+    set_compute_pool(nullptr);
+  }
+  EXPECT_EQ(maps[0], maps[1]);
 }
 
 TEST_F(SystemTest, TrainerReportsLossPerEpoch) {
