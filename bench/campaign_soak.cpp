@@ -1,0 +1,178 @@
+// Campaign soak: the full multi-tenant campaign loop — N sparse attack
+// sessions and M benign query streams against one served victim, under
+// per-client rate limiting, a shared client-side pacer, and injected
+// transient faults — run three ways:
+//
+//   1. reference:  the uninterrupted campaign;
+//   2. killed:     the same campaign with the victim dying mid-run
+//                  (fault_error_from), every session checkpointing;
+//   3. resumed:    the same manifest again, healthy, resuming from the
+//                  checkpoints.
+//
+// The resumed campaign must land bitwise on the reference per-session
+// outcomes (answer-stream hashes for benign sessions, adversarial-video
+// hashes and T trajectories for attacks), and every run's billing ledger
+// must reconcile: client-side billed == served + faulted + expired + shed,
+// globally and per client.
+//
+//   ./build/bench/campaign_soak            # quick scale
+//   ./build/bench/campaign_soak --smoke    # seconds-long CI smoke pass
+//
+// Exits nonzero on any outcome mismatch or accounting violation.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "bench_common.hpp"
+#include "campaign/report.hpp"
+#include "campaign/runner.hpp"
+#include "common/stopwatch.hpp"
+
+using namespace duo;
+
+namespace {
+
+campaign::CampaignManifest make_manifest(bool smoke) {
+  campaign::CampaignManifest m;
+  m.name = smoke ? "campaign-soak-smoke" : "campaign-soak";
+  m.seed = 59;
+  m.client_rate = 500.0;
+  m.client_burst = 2.0;
+  m.fault_error_prob = 0.05;
+  m.fault_seed = 23;
+  m.pacer_rate = 4000.0;
+  m.pacer_burst = 4.0;
+  m.max_attempts = 8;
+  m.circuit_threshold = 0;  // kills are detected by retry exhaustion
+  m.query_timeout_ms = 5000.0;
+  m.submit_deadline_ms = 5000.0;
+
+  const int attackers = smoke ? 2 : 4;
+  const int readers = smoke ? 4 : 8;
+  for (int i = 0; i < attackers; ++i) {
+    campaign::SessionSpec s;
+    s.client_id = "attacker-" + std::to_string(i);
+    s.role = campaign::SessionRole::kSparse;
+    s.seed = 100 + static_cast<std::uint64_t>(i);
+    s.m = 8;
+    s.iterations = smoke ? 6 : 20;
+    s.support_k = 60;
+    s.support_n = 3;
+    s.source_index = i;
+    s.target_index = i + attackers;
+    m.sessions.push_back(s);
+  }
+  for (int i = 0; i < readers; ++i) {
+    campaign::SessionSpec s;
+    s.client_id = "reader-" + std::to_string(i);
+    s.role = campaign::SessionRole::kBenign;
+    s.seed = 200 + static_cast<std::uint64_t>(i);
+    s.m = 8;
+    s.queries = smoke ? 12 : 40;
+    s.think_ms = i % 2 == 0 ? 2.0 : 0.0;
+    m.sessions.push_back(s);
+  }
+  return m;
+}
+
+bool same_outcomes(const campaign::CampaignOutcome& a,
+                   const campaign::CampaignOutcome& b) {
+  if (a.sessions.size() != b.sessions.size()) return false;
+  for (std::size_t i = 0; i < a.sessions.size(); ++i) {
+    const auto& sa = a.sessions[i];
+    const auto& sb = b.sessions[i];
+    if (!sa.completed || !sb.completed) return false;
+    if (sa.outcome_hash != sb.outcome_hash || sa.final_t != sb.final_t ||
+        sa.t_history != sb.t_history) {
+      std::fprintf(stderr, "outcome mismatch: %s\n", sa.client_id.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = bench::scale_from_env() == bench::Scale::kSmoke;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  bench::SoakWorld world = bench::make_soak_world(smoke, 59);
+  const std::vector<video::Video>& roster = world.dataset.test;
+  const campaign::CampaignManifest healthy = make_manifest(smoke);
+
+  Stopwatch wall;
+  campaign::CampaignOutcome reference =
+      campaign::CampaignRunner(*world.system, roster, healthy).run();
+
+  const std::string ck_dir = "bench_results/campaign_soak_ck";
+  std::filesystem::remove_all(ck_dir);
+  campaign::CampaignManifest dying = healthy;
+  dying.checkpoint_dir = ck_dir;
+  dying.fault_error_from = smoke ? 25 : 150;
+  campaign::CampaignOutcome killed =
+      campaign::CampaignRunner(*world.system, roster, dying).run();
+
+  campaign::CampaignManifest resuming = dying;
+  resuming.fault_error_from = -1;
+  campaign::CampaignOutcome resumed =
+      campaign::CampaignRunner(*world.system, roster, resuming).run();
+  const double wall_ms = wall.elapsed_ms();
+  std::filesystem::remove_all(ck_dir);
+
+  TableWriter sessions = campaign::session_table(resumed);
+  bench::emit(sessions, "campaign_soak_sessions.csv");
+  TableWriter fairness = campaign::fairness_table(resumed);
+  bench::emit(fairness, "campaign_soak_fairness.csv");
+  std::printf(
+      "reference billed=%lld  killed billed=%lld (completed %s)  resumed "
+      "billed=%lld  jain_served=%.3f  wall_ms=%.0f\n",
+      static_cast<long long>(reference.server_billed),
+      static_cast<long long>(killed.server_billed),
+      killed.all_completed() ? "yes" : "no",
+      static_cast<long long>(resumed.server_billed),
+      resumed.fairness.jain_served, wall_ms);
+  bench::print_paper_note(
+      "No paper counterpart: soaks the campaign driver — concurrent attack "
+      "sessions and benign streams against one victim. A campaign killed "
+      "mid-run and resumed must reproduce the uninterrupted campaign's "
+      "per-session outcomes bitwise, and every run's billing ledger must "
+      "reconcile globally and per client.");
+
+  bool ok = true;
+  if (!reference.all_completed()) {
+    std::fprintf(stderr, "CAMPAIGN SOAK FAILED: reference did not complete\n");
+    ok = false;
+  }
+  if (killed.all_completed()) {
+    std::fprintf(stderr,
+                 "CAMPAIGN SOAK FAILED: kill run finished unscathed "
+                 "(fault_error_from too high?)\n");
+    ok = false;
+  }
+  if (!resumed.all_completed()) {
+    std::fprintf(stderr, "CAMPAIGN SOAK FAILED: resumed run incomplete\n");
+    ok = false;
+  }
+  for (const auto* run : {&reference, &killed, &resumed}) {
+    if (!run->ledger_ok) {
+      std::fprintf(stderr,
+                   "CAMPAIGN SOAK FAILED: ledger mismatch (client %lld vs "
+                   "server %lld)\n",
+                   static_cast<long long>(run->client_billed),
+                   static_cast<long long>(run->server_billed));
+      ok = false;
+    }
+  }
+  if (!same_outcomes(reference, resumed)) {
+    std::fprintf(stderr,
+                 "CAMPAIGN SOAK FAILED: resumed outcomes diverge from the "
+                 "uninterrupted reference\n");
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

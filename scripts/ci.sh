@@ -19,7 +19,7 @@ cmake --build "$build_dir" -j "$(nproc)"
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 
 DUO_THREADS=8 ctest --test-dir "$build_dir" \
-  -R 'ParallelDeterminism|Serve|SparseQueryPipelined|FaultInjection|Resilient|Admission|Pacer|Circuit|NeighborOrder|Ivf' \
+  -R 'ParallelDeterminism|Serve|SparseQueryPipelined|FaultInjection|Resilient|Admission|Pacer|Circuit|NeighborOrder|Ivf|Campaign' \
   --output-on-failure
 
 # Kernel-equivalence re-run under the reference Conv3d kernel: the gradient
@@ -52,3 +52,9 @@ DUO_THREADS=8 "$build_dir/bench/overload_soak" --smoke
 # fails if nprobe=all-cells diverges from the exact index or IVF results
 # differ across shard counts (the determinism/identity contracts).
 DUO_THREADS=8 "$build_dir/bench/gallery_scale" --smoke
+
+# Campaign smoke: concurrent attack sessions + benign streams against one
+# victim, killed mid-run and resumed; fails if the resumed campaign's
+# per-session outcomes diverge bitwise from the uninterrupted reference or
+# any run's billing ledger stops reconciling (globally or per client).
+DUO_THREADS=8 "$build_dir/bench/campaign_soak" --smoke

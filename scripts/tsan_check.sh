@@ -19,7 +19,7 @@ cmake -B "$build_dir" -S "$repo_root" -DDUO_SANITIZE=thread \
 cmake --build "$build_dir" -j "$(nproc)" \
   --target test_thread_pool test_parallel_determinism test_serve \
   test_sparse_query test_failure_modes test_gradcheck test_ivf_index \
-  test_retrieval
+  test_retrieval test_campaign
 
 # TSan multiplies runtime ~5-15x; give the suites generous slack but keep
 # the halt-on-first-race behaviour so CI fails loudly. The regex picks up the
@@ -32,7 +32,7 @@ cmake --build "$build_dir" -j "$(nproc)" \
 # from the uninstrumented libstdc++ (see the file for details).
 export TSAN_OPTIONS="suppressions=$repo_root/scripts/tsan.supp ${TSAN_OPTIONS:-halt_on_error=1}"
 ctest --test-dir "$build_dir" \
-  -R 'ThreadPool|ParallelDeterminism|Conv3d|Pooling|Extractor|Gallery|Serve|SparseQueryPipelined|FaultInjection|Resilient|Admission|Pacer|Circuit|CheckGrad|Ivf|RetrievalIndex' \
+  -R 'ThreadPool|ParallelDeterminism|Conv3d|Pooling|Extractor|Gallery|Serve|SparseQueryPipelined|FaultInjection|Resilient|Admission|Pacer|Circuit|CheckGrad|Ivf|RetrievalIndex|Campaign' \
   --output-on-failure --timeout 1800
 
 # The overload soak stresses the admission controller, rate limiter, pacer,
@@ -40,3 +40,9 @@ ctest --test-dir "$build_dir" \
 # race would corrupt — so run its smoke pass under TSan too.
 cmake --build "$build_dir" -j "$(nproc)" --target overload_soak
 DUO_THREADS=8 "$build_dir/bench/overload_soak" --smoke
+
+# The campaign soak adds per-client accounting and checkpointing sessions on
+# top of the same concurrent serving surfaces; its kill/resume smoke pass
+# runs under TSan for the same reason.
+cmake --build "$build_dir" -j "$(nproc)" --target campaign_soak
+DUO_THREADS=8 "$build_dir/bench/campaign_soak" --smoke

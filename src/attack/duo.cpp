@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <string>
+#include <type_traits>
 #include <utility>
 
 #include "attack/checkpoint.hpp"
@@ -19,6 +20,22 @@ DuoAttack::DuoAttack(models::FeatureExtractor& surrogate, DuoConfig config)
 
 AttackOutcome DuoAttack::run(const video::Video& v, const video::Video& v_t,
                              retrieval::BlackBoxHandle& victim) {
+  return run_impl(v, v_t, victim);
+}
+
+AttackOutcome DuoAttack::run(const video::Video& v, const video::Video& v_t,
+                             serve::ResilientHandle& victim) {
+  return run_impl(v, v_t, victim);
+}
+
+// The pipeline body, shared by both handle types. The only handle-dependent
+// step is the inner query loop: a plain BlackBoxHandle runs the serial
+// sparse_query, a ResilientHandle runs sparse_query_pipelined (two
+// candidates in flight through the retry policy). Both expose query_count()
+// with victim-side billing semantics, so the accounting below is identical.
+template <typename Handle>
+AttackOutcome DuoAttack::run_impl(const video::Video& v,
+                                  const video::Video& v_t, Handle& victim) {
   const std::int64_t queries_before = victim.query_count();
 
   AttackOutcome out;
@@ -114,8 +131,14 @@ AttackOutcome DuoAttack::run(const video::Video& v, const video::Video& v_t,
       // finishes cleanly; the outer file below covers the loop itself.
       qcfg.remove_on_success = config_.remove_on_success;
     }
-    const SparseQueryResult sq =
-        sparse_query(v_cur, st.perturbation, victim, ctx, qcfg);
+    const SparseQueryResult sq = [&] {
+      if constexpr (std::is_same_v<Handle, serve::ResilientHandle>) {
+        return sparse_query_pipelined(v_cur, st.perturbation, victim, ctx,
+                                      qcfg);
+      } else {
+        return sparse_query(v_cur, st.perturbation, victim, ctx, qcfg);
+      }
+    }();
     queries_total += sq.queries_spent;
 
     out.t_history.insert(out.t_history.end(), sq.t_history.begin(),

@@ -48,11 +48,25 @@ class DuoAttack final : public Attack {
   AttackOutcome run(const video::Video& v, const video::Video& v_t,
                     retrieval::BlackBoxHandle& victim) override;
 
+  // Same pipeline through the retrying client policy: every round's query
+  // loop runs sparse_query_pipelined (both ±ε candidates in flight), and the
+  // objective-context fetch issues its two queries concurrently. Against a
+  // deterministic victim the outcome is bitwise identical to the serial
+  // overload for the same config; only billing (retries, speculative −ε
+  // forwards) and wall time differ. Fatal victim errors propagate as
+  // serve::ServeError after a best-effort checkpoint.
+  AttackOutcome run(const video::Video& v, const video::Video& v_t,
+                    serve::ResilientHandle& victim);
+
   std::string name() const override { return name_; }
 
   const DuoConfig& config() const noexcept { return config_; }
 
  private:
+  template <typename Handle>
+  AttackOutcome run_impl(const video::Video& v, const video::Video& v_t,
+                         Handle& victim);
+
   models::FeatureExtractor* surrogate_;
   DuoConfig config_;
   std::string name_;

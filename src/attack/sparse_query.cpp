@@ -136,12 +136,16 @@ struct CheckpointContext {
 };
 
 // Restores checkpointed driver state when resume is requested and a matching
-// checkpoint exists. Returns the iteration to continue from (1 = fresh).
+// checkpoint exists. Returns the iteration to continue from and sets
+// `resumed`; the flag (not the returned index) distinguishes a fresh start
+// from a checkpoint taken during the very first iteration, whose
+// next_iteration is also 1 but whose baseline/deck state must NOT be rebuilt.
 int try_resume(const SparseQueryConfig& config, const CheckpointContext& cc,
                const StepPlan& plan, video::Video& v_adv, double& t_current,
                std::vector<double>& t_history, std::int64_t& queries_carried,
                int& stall, Rng& rng, std::vector<std::int64_t>& deck,
-               std::size_t& deck_pos) {
+               std::size_t& deck_pos, bool& resumed) {
+  resumed = false;
   if (!config.resume || config.checkpoint_path.empty()) return 1;
   SparseQueryCheckpoint ck;
   if (!load_checkpoint(ck, config.checkpoint_path) || !cc.matches(ck)) {
@@ -156,6 +160,7 @@ int try_resume(const SparseQueryConfig& config, const CheckpointContext& cc,
   rng = Rng(ck.rng_state);
   deck = std::move(ck.deck);
   deck_pos = static_cast<std::size_t>(ck.deck_pos);
+  resumed = true;
   return static_cast<int>(ck.next_iteration);
 }
 
@@ -187,14 +192,15 @@ SparseQueryResult sparse_query(const video::Video& v,
   std::size_t deck_pos = 0;
   int stall = 0;
 
+  bool resumed = false;
   const int start_kappa =
       try_resume(config, cc, plan, v_adv, t_current, result.t_history,
-                 queries_carried, stall, rng, deck, deck_pos);
+                 queries_carried, stall, rng, deck, deck_pos, resumed);
   // Quantized shadow of v_adv, kept in sync per touched coordinate: every
   // victim query sees round(v_adv) without re-rounding the whole tensor
   // (the full copy used to dominate each step at paper-scale geometry).
   video::Video q_adv = quantized(v_adv);
-  if (start_kappa == 1) {
+  if (!resumed) {
     // Line 2: T⁰. A resumed run restored T from the checkpoint instead —
     // the initial query was already billed by the first process.
     t_current = t_loss(victim, q_adv, ctx);
@@ -209,7 +215,7 @@ SparseQueryResult sparse_query(const video::Video& v,
     return result;
   }
 
-  if (start_kappa == 1) {
+  if (!resumed) {
     // Without-replacement sampling: shuffled support, reshuffled on drain.
     deck = plan.support;
     rng.shuffle(deck);
@@ -341,11 +347,12 @@ SparseQueryResult sparse_query_pipelined_impl(const video::Video& v,
   std::size_t deck_pos = 0;
   int stall = 0;
 
+  bool resumed = false;
   const int start_kappa =
       try_resume(config, cc, plan, v_adv, t_current, result.t_history,
-                 queries_carried, stall, rng, deck, deck_pos);
+                 queries_carried, stall, rng, deck, deck_pos, resumed);
   video::Video q_adv = quantized(v_adv);
-  if (start_kappa == 1) {
+  if (!resumed) {
     t_current = t_loss_from_list(victim.submit(q_adv, ctx.m).get(), ctx);
     result.t_history.push_back(t_current);
   }
@@ -358,7 +365,7 @@ SparseQueryResult sparse_query_pipelined_impl(const video::Video& v,
     return result;
   }
 
-  if (start_kappa == 1) {
+  if (!resumed) {
     deck = plan.support;
     rng.shuffle(deck);
     deck_pos = 0;

@@ -1,0 +1,70 @@
+#include "campaign/fairness.hpp"
+
+namespace duo::campaign {
+
+double jain_index(const std::vector<double>& xs) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (xs.empty() || sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+FairnessSummary summarize_fairness(const serve::ServerStats& stats) {
+  FairnessSummary out;
+  out.clients = static_cast<std::int64_t>(stats.per_client.size());
+
+  std::vector<double> served;
+  std::vector<double> billed;
+  served.reserve(stats.per_client.size());
+  billed.reserve(stats.per_client.size());
+  std::int64_t served_total = 0;
+  std::int64_t faulted_total = 0;
+  std::int64_t throttled_total = 0;
+  std::int64_t rejected_total = 0;
+  std::int64_t shed_total = 0;
+  std::int64_t expired_total = 0;
+  bool first = true;
+  for (const auto& [id, c] : stats.per_client) {
+    served.push_back(static_cast<double>(c.served));
+    billed.push_back(static_cast<double>(c.billed()));
+    out.billed_total += c.billed();
+    served_total += c.served;
+    faulted_total += c.faulted;
+    throttled_total += c.throttled;
+    rejected_total += c.rejected;
+    shed_total += c.shed;
+    expired_total += c.expired;
+    if (first || c.served > out.most_served) {
+      out.most_served = c.served;
+      out.most_served_client = id;
+    }
+    if (first || c.served < out.least_served) {
+      out.least_served = c.served;
+      out.least_served_client = id;
+    }
+    first = false;
+  }
+  out.jain_served = jain_index(served);
+  out.jain_billed = jain_index(billed);
+
+  // The per-client ledger is billed() by construction; what must be PROVEN
+  // is that the per-client slices sum exactly to the global counters — i.e.
+  // no request was double-counted or lost between the two accountings.
+  out.ledger_ok = served_total == stats.queries_served &&
+                  faulted_total == stats.faults_injected &&
+                  throttled_total == stats.requests_throttled &&
+                  rejected_total == stats.requests_rejected &&
+                  shed_total == stats.requests_shed &&
+                  expired_total == stats.requests_expired &&
+                  out.billed_total == stats.queries_served +
+                                          stats.faults_injected +
+                                          stats.requests_expired +
+                                          stats.requests_shed;
+  return out;
+}
+
+}  // namespace duo::campaign

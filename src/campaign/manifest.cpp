@@ -1,0 +1,276 @@
+#include "campaign/manifest.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "models/serialization.hpp"
+
+namespace duo::campaign {
+
+namespace {
+
+// %.17g survives a text round trip for every finite double (shortest exact
+// form would too, but 17 significant digits is simpler and canonical here).
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+const char* admission_name(serve::AdmissionPolicy p) {
+  switch (p) {
+    case serve::AdmissionPolicy::kBlock:
+      return "block";
+    case serve::AdmissionPolicy::kReject:
+      return "reject";
+    case serve::AdmissionPolicy::kShed:
+      return "shed";
+  }
+  return "block";
+}
+
+bool admission_from_name(const std::string& name, serve::AdmissionPolicy& p) {
+  if (name == "block") {
+    p = serve::AdmissionPolicy::kBlock;
+  } else if (name == "reject") {
+    p = serve::AdmissionPolicy::kReject;
+  } else if (name == "shed") {
+    p = serve::AdmissionPolicy::kShed;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  std::uint64_t v = 0;
+  return std::sscanf(s.c_str(), "%" SCNu64, &v) == 1 && (out = v, true);
+}
+
+bool parse_i64(const std::string& s, std::int64_t& out) {
+  std::int64_t v = 0;
+  return std::sscanf(s.c_str(), "%" SCNd64, &v) == 1 && (out = v, true);
+}
+
+bool parse_f64(const std::string& s, double& out) {
+  double v = 0.0;
+  return std::sscanf(s.c_str(), "%lg", &v) == 1 && (out = v, true);
+}
+
+bool parse_int(const std::string& s, int& out) {
+  std::int64_t v = 0;
+  if (!parse_i64(s, v)) return false;
+  out = static_cast<int>(v);
+  return true;
+}
+
+bool parse_size(const std::string& s, std::size_t& out) {
+  std::int64_t v = 0;
+  if (!parse_i64(s, v) || v < 0) return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+// One global "key value" line. Returns false for unknown keys or bad values.
+bool apply_global(CampaignManifest& m, const std::string& key,
+                  const std::string& value) {
+  if (key == "campaign") return (m.name = value, true);
+  if (key == "seed") return parse_u64(value, m.seed);
+  if (key == "virtual_clock") {
+    std::int64_t v = 0;
+    if (!parse_i64(value, v)) return false;
+    m.virtual_clock = v != 0;
+    return true;
+  }
+  if (key == "max_batch") return parse_size(value, m.max_batch);
+  if (key == "queue_capacity") return parse_size(value, m.queue_capacity);
+  if (key == "admission") return admission_from_name(value, m.admission);
+  if (key == "admission_threshold")
+    return parse_f64(value, m.admission_threshold);
+  if (key == "reject_retry_after_ms")
+    return parse_f64(value, m.reject_retry_after_ms);
+  if (key == "client_rate") return parse_f64(value, m.client_rate);
+  if (key == "client_burst") return parse_f64(value, m.client_burst);
+  if (key == "fault_error_prob") return parse_f64(value, m.fault_error_prob);
+  if (key == "fault_delay_prob") return parse_f64(value, m.fault_delay_prob);
+  if (key == "fault_drop_prob") return parse_f64(value, m.fault_drop_prob);
+  if (key == "fault_delay_ms") return parse_f64(value, m.fault_delay_ms);
+  if (key == "fault_error_from") return parse_i64(value, m.fault_error_from);
+  if (key == "fault_seed") return parse_u64(value, m.fault_seed);
+  if (key == "pacer_rate") return parse_f64(value, m.pacer_rate);
+  if (key == "pacer_burst") return parse_f64(value, m.pacer_burst);
+  if (key == "max_attempts") return parse_int(value, m.max_attempts);
+  if (key == "query_timeout_ms") return parse_f64(value, m.query_timeout_ms);
+  if (key == "submit_deadline_ms")
+    return parse_f64(value, m.submit_deadline_ms);
+  if (key == "circuit_threshold") return parse_int(value, m.circuit_threshold);
+  if (key == "circuit_cooldown_ms")
+    return parse_f64(value, m.circuit_cooldown_ms);
+  if (key == "checkpoint_dir") return (m.checkpoint_dir = value, true);
+  return false;
+}
+
+bool apply_session(SessionSpec& s, const std::string& key,
+                   const std::string& value) {
+  if (key == "role") return role_from_name(value, s.role);
+  if (key == "seed") return parse_u64(value, s.seed);
+  if (key == "m") return parse_size(value, s.m);
+  if (key == "ttl_ms") return parse_f64(value, s.ttl_ms);
+  if (key == "think_ms") return parse_f64(value, s.think_ms);
+  if (key == "queries") return parse_int(value, s.queries);
+  if (key == "iterations") return parse_int(value, s.iterations);
+  if (key == "rounds") return parse_int(value, s.rounds);
+  if (key == "support_k") return parse_i64(value, s.support_k);
+  if (key == "support_n") return parse_i64(value, s.support_n);
+  if (key == "source_index") return parse_i64(value, s.source_index);
+  if (key == "target_index") return parse_i64(value, s.target_index);
+  if (key == "checkpoint") return (s.checkpoint = value, true);
+  return false;
+}
+
+}  // namespace
+
+const char* role_name(SessionRole role) {
+  switch (role) {
+    case SessionRole::kBenign:
+      return "benign";
+    case SessionRole::kSparse:
+      return "sparse";
+    case SessionRole::kDuo:
+      return "duo";
+  }
+  return "benign";
+}
+
+bool role_from_name(const std::string& name, SessionRole& role) {
+  if (name == "benign") {
+    role = SessionRole::kBenign;
+  } else if (name == "sparse") {
+    role = SessionRole::kSparse;
+  } else if (name == "duo") {
+    role = SessionRole::kDuo;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool operator==(const SessionSpec& a, const SessionSpec& b) {
+  return a.client_id == b.client_id && a.role == b.role && a.seed == b.seed &&
+         a.m == b.m && a.ttl_ms == b.ttl_ms && a.think_ms == b.think_ms &&
+         a.queries == b.queries && a.iterations == b.iterations &&
+         a.rounds == b.rounds && a.support_k == b.support_k &&
+         a.support_n == b.support_n && a.source_index == b.source_index &&
+         a.target_index == b.target_index && a.checkpoint == b.checkpoint;
+}
+
+bool operator==(const CampaignManifest& a, const CampaignManifest& b) {
+  return a.name == b.name && a.seed == b.seed &&
+         a.virtual_clock == b.virtual_clock && a.max_batch == b.max_batch &&
+         a.queue_capacity == b.queue_capacity && a.admission == b.admission &&
+         a.admission_threshold == b.admission_threshold &&
+         a.reject_retry_after_ms == b.reject_retry_after_ms &&
+         a.client_rate == b.client_rate && a.client_burst == b.client_burst &&
+         a.fault_error_prob == b.fault_error_prob &&
+         a.fault_delay_prob == b.fault_delay_prob &&
+         a.fault_drop_prob == b.fault_drop_prob &&
+         a.fault_delay_ms == b.fault_delay_ms &&
+         a.fault_error_from == b.fault_error_from &&
+         a.fault_seed == b.fault_seed && a.pacer_rate == b.pacer_rate &&
+         a.pacer_burst == b.pacer_burst && a.max_attempts == b.max_attempts &&
+         a.query_timeout_ms == b.query_timeout_ms &&
+         a.submit_deadline_ms == b.submit_deadline_ms &&
+         a.circuit_threshold == b.circuit_threshold &&
+         a.circuit_cooldown_ms == b.circuit_cooldown_ms &&
+         a.checkpoint_dir == b.checkpoint_dir && a.sessions == b.sessions;
+}
+
+void write_manifest(std::ostream& out, const CampaignManifest& m) {
+  out << "campaign " << m.name << "\n";
+  out << "seed " << m.seed << "\n";
+  out << "virtual_clock " << (m.virtual_clock ? 1 : 0) << "\n";
+  out << "max_batch " << m.max_batch << "\n";
+  out << "queue_capacity " << m.queue_capacity << "\n";
+  out << "admission " << admission_name(m.admission) << "\n";
+  out << "admission_threshold " << fmt(m.admission_threshold) << "\n";
+  out << "reject_retry_after_ms " << fmt(m.reject_retry_after_ms) << "\n";
+  out << "client_rate " << fmt(m.client_rate) << "\n";
+  out << "client_burst " << fmt(m.client_burst) << "\n";
+  out << "fault_error_prob " << fmt(m.fault_error_prob) << "\n";
+  out << "fault_delay_prob " << fmt(m.fault_delay_prob) << "\n";
+  out << "fault_drop_prob " << fmt(m.fault_drop_prob) << "\n";
+  out << "fault_delay_ms " << fmt(m.fault_delay_ms) << "\n";
+  out << "fault_error_from " << m.fault_error_from << "\n";
+  out << "fault_seed " << m.fault_seed << "\n";
+  out << "pacer_rate " << fmt(m.pacer_rate) << "\n";
+  out << "pacer_burst " << fmt(m.pacer_burst) << "\n";
+  out << "max_attempts " << m.max_attempts << "\n";
+  out << "query_timeout_ms " << fmt(m.query_timeout_ms) << "\n";
+  out << "submit_deadline_ms " << fmt(m.submit_deadline_ms) << "\n";
+  out << "circuit_threshold " << m.circuit_threshold << "\n";
+  out << "circuit_cooldown_ms " << fmt(m.circuit_cooldown_ms) << "\n";
+  if (!m.checkpoint_dir.empty()) {
+    out << "checkpoint_dir " << m.checkpoint_dir << "\n";
+  }
+  for (const auto& s : m.sessions) {
+    out << "session " << s.client_id << "\n";
+    out << "role " << role_name(s.role) << "\n";
+    out << "seed " << s.seed << "\n";
+    out << "m " << s.m << "\n";
+    out << "ttl_ms " << fmt(s.ttl_ms) << "\n";
+    out << "think_ms " << fmt(s.think_ms) << "\n";
+    out << "queries " << s.queries << "\n";
+    out << "iterations " << s.iterations << "\n";
+    out << "rounds " << s.rounds << "\n";
+    out << "support_k " << s.support_k << "\n";
+    out << "support_n " << s.support_n << "\n";
+    out << "source_index " << s.source_index << "\n";
+    out << "target_index " << s.target_index << "\n";
+    if (!s.checkpoint.empty()) out << "checkpoint " << s.checkpoint << "\n";
+  }
+}
+
+bool parse_manifest(std::istream& in, CampaignManifest& manifest) {
+  CampaignManifest staged;  // all-or-nothing: commit only on a clean parse
+  staged.checkpoint_dir.clear();
+  SessionSpec* current = nullptr;
+  std::string line;
+  while (std::getline(in, line)) {
+    // Strip trailing CR (manifests may travel through CRLF editors).
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    const auto space = line.find(' ');
+    const std::string key = line.substr(0, space);
+    const std::string value =
+        space == std::string::npos ? std::string() : line.substr(space + 1);
+    if (key == "session") {
+      if (value.empty()) return false;
+      staged.sessions.emplace_back();
+      current = &staged.sessions.back();
+      current->client_id = value;
+      continue;
+    }
+    const bool ok = current == nullptr ? apply_global(staged, key, value)
+                                       : apply_session(*current, key, value);
+    if (!ok) return false;
+  }
+  manifest = std::move(staged);
+  return true;
+}
+
+bool save_manifest(const CampaignManifest& manifest, const std::string& path) {
+  return models::io::atomic_write(
+      path, [&](std::ostream& out) { write_manifest(out, manifest); });
+}
+
+bool load_manifest(CampaignManifest& manifest, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  return parse_manifest(in, manifest);
+}
+
+}  // namespace duo::campaign

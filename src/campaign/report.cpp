@@ -1,0 +1,76 @@
+#include "campaign/report.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+namespace duo::campaign {
+
+namespace {
+
+std::string hash_hex(std::uint64_t h) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, h);
+  return buf;
+}
+
+long long ll(std::int64_t v) { return static_cast<long long>(v); }
+
+}  // namespace
+
+TableWriter session_table(const CampaignOutcome& outcome) {
+  TableWriter table("campaign sessions");
+  table.set_header({"client", "role", "done", "progress", "billed",
+                    "cumulative", "retries", "overloads", "final_T",
+                    "outcome_hash"});
+  table.set_precision(4);
+  for (const auto& s : outcome.sessions) {
+    table.add_row({s.client_id, std::string(role_name(s.role)),
+                   std::string(s.completed ? "yes" : "no"),
+                   ll(s.logical_queries), ll(s.queries_billed),
+                   ll(s.queries_reported), ll(s.retries), ll(s.overloads),
+                   s.final_t, hash_hex(s.outcome_hash)});
+  }
+  return table;
+}
+
+TableWriter fairness_table(const CampaignOutcome& outcome) {
+  TableWriter table("per-client fairness");
+  table.set_header({"client", "served", "faulted", "throttled", "rejected",
+                    "shed", "expired", "billed", "p50_ms", "p95_ms"});
+  table.set_precision(3);
+  for (const auto& [id, c] : outcome.server.per_client) {
+    table.add_row({id, ll(c.served), ll(c.faulted), ll(c.throttled),
+                   ll(c.rejected), ll(c.shed), ll(c.expired), ll(c.billed()),
+                   c.p50_latency_ms, c.p95_latency_ms});
+  }
+  return table;
+}
+
+void print_report(std::ostream& os, const CampaignOutcome& outcome) {
+  session_table(outcome).print(os);
+  os << "\n";
+  fairness_table(outcome).print(os);
+  os << "\n";
+  const auto& f = outcome.fairness;
+  os << "ledger: client_billed=" << outcome.client_billed
+     << " server_billed=" << outcome.server_billed << " ("
+     << (outcome.ledger_ok ? "reconciled" : "MISMATCH") << ")\n";
+  os << "fairness: clients=" << f.clients << " jain_served=" << f.jain_served
+     << " jain_billed=" << f.jain_billed;
+  if (f.clients > 0) {
+    os << " most=" << f.most_served_client << "(" << f.most_served << ")"
+       << " least=" << f.least_served_client << "(" << f.least_served << ")";
+  }
+  os << "\n";
+  os << "elapsed_ms=" << outcome.elapsed_ms;
+  if (outcome.pacer_granted > 0 || outcome.pacer_waits > 0) {
+    os << " pacer: granted=" << outcome.pacer_granted
+       << " waits=" << outcome.pacer_waits
+       << " waited_ms=" << outcome.pacer_waited_ms
+       << " tokens_available=" << outcome.pacer_tokens_available;
+  }
+  os << "\n";
+}
+
+}  // namespace duo::campaign

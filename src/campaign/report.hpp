@@ -1,0 +1,26 @@
+#pragma once
+
+// Campaign report: the per-session outcome table and the per-client
+// fairness table (common::table), plus a one-stop print_report that renders
+// both with the ledger and pacer summaries. Benches mirror the tables to
+// CSV via TableWriter::write_csv.
+
+#include <iosfwd>
+
+#include "campaign/runner.hpp"
+#include "common/table.hpp"
+
+namespace duo::campaign {
+
+// One row per session: role, completion, logical progress, billing (this
+// run and cumulative), retries/overloads, outcome signature, final T.
+TableWriter session_table(const CampaignOutcome& outcome);
+
+// One row per client_id from the server's per-client breakdown:
+// served/faulted/throttled/rejected/shed/expired, billed, p50/p95 latency.
+TableWriter fairness_table(const CampaignOutcome& outcome);
+
+// Both tables + ledger / fairness-index / pacer summary lines.
+void print_report(std::ostream& os, const CampaignOutcome& outcome);
+
+}  // namespace duo::campaign

@@ -1,0 +1,83 @@
+#pragma once
+
+// Session lifecycle: one client of a campaign, executed on its own thread
+// against the shared served victim through a ResilientHandle. Three roles
+// (campaign/manifest.hpp):
+//
+//  - benign: a seeded query mix — `queries` retrievals over the campaign
+//    roster with an optional exponential think-time arrival process. The
+//    answer stream folds into a running FNV-1a hash (outcome_hash), the
+//    bitwise signature a kill-and-resume run must reproduce.
+//  - sparse: sparse_query_pipelined from a seeded random support (no
+//    surrogate needed — the query attack works against untrained victims).
+//  - duo: the full DuoAttack pipeline through the ResilientHandle overload
+//    (requires the runner's surrogate).
+//
+// Checkpoint/resume: each session persists its progress to its own file
+// (SessionSpec::checkpoint). Attack roles reuse attack::checkpoint through
+// SparseQueryConfig/DuoConfig; benign streams write a small campaign-native
+// checkpoint (fingerprint + Rng state + next query index + running answer
+// hash) through models::io, saved after every completed query. A session
+// interrupted by a fatal victim error (circuit open, fatal fault, shutdown)
+// records the error and keeps its checkpoint; re-running the same spec
+// resumes where it stopped and finishes with outcome_hash / t_history /
+// final_t bitwise identical to an uninterrupted session. Checkpoints are
+// removed after a clean finish so campaigns do not accumulate stale state.
+//
+// Determinism contract: per-session *outcomes* (the answer-stream hash for
+// benign, t_history / final_t / adversarial-video hash for attacks) are a
+// pure function of (spec, roster, victim gallery) — independent of thread
+// scheduling, DUO_THREADS, faults, throttling, and kill/resume points,
+// because every victim answer is deterministic and retries only re-ask.
+// *Billing* (queries_billed, retries, throttles) is schedule-dependent:
+// which arrival gets throttled or faulted depends on how sessions interleave
+// at the server. The campaign-level ledger still reconciles exactly
+// (campaign/runner.hpp).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/manifest.hpp"
+#include "models/feature_extractor.hpp"
+#include "serve/clock.hpp"
+#include "serve/resilient.hpp"
+#include "video/video.hpp"
+
+namespace duo::campaign {
+
+// What one session produced. `queries_billed` is this process's victim-side
+// billing (feeds the campaign ledger); `queries_reported` adds progress
+// restored from a checkpoint, so it is the cumulative logical spend across
+// every process that contributed to the session.
+struct SessionResult {
+  std::string client_id;
+  SessionRole role = SessionRole::kBenign;
+  bool completed = false;
+  std::string error;  // ServeError message when !completed
+
+  std::int64_t logical_queries = 0;  // benign answers / attack iterations
+  std::int64_t queries_billed = 0;   // this run, victim-side
+  std::int64_t queries_reported = 0;
+  std::int64_t retries = 0;
+  std::int64_t overloads = 0;
+  std::int64_t circuit_opens = 0;
+  double wall_ms = 0.0;  // campaign-clock time inside the session
+
+  // Bitwise outcome signature: benign = running hash of the answer stream,
+  // attacks = FNV-1a of the final adversarial video's pixels.
+  std::uint64_t outcome_hash = 0;
+  double final_t = 0.0;
+  std::vector<double> t_history;  // attacks only
+};
+
+// Runs the session described by `spec` to completion or first fatal error.
+// Dispatches on spec.role; `surrogate` may be null unless the role is kDuo.
+// The roster provides benign query material and attack source/target videos
+// (spec.source_index / spec.target_index must be in range).
+SessionResult run_session(const SessionSpec& spec,
+                          const std::vector<video::Video>& roster,
+                          serve::ResilientHandle& victim, serve::Clock& clock,
+                          models::FeatureExtractor* surrogate);
+
+}  // namespace duo::campaign

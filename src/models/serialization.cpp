@@ -112,9 +112,28 @@ bool read_f64_vec(std::istream& in, std::vector<double>& v) {
   return true;
 }
 
+void write_string(std::ostream& out, const std::string& s) {
+  write_i64(out, static_cast<std::int64_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool read_string(std::istream& in, std::string& s) {
+  std::int64_t size = 0;
+  if (!read_i64(in, size) || size < 0 || size > (1 << 20)) return false;
+  std::string staged(static_cast<std::size_t>(size), '\0');
+  in.read(staged.data(), static_cast<std::streamsize>(staged.size()));
+  if (!in) return false;
+  s = std::move(staged);
+  return true;
+}
+
 std::uint64_t fnv1a(const void* data, std::size_t bytes) {
+  return fnv1a(data, bytes, 0xCBF29CE484222325ULL);
+}
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t basis) {
   const auto* p = static_cast<const unsigned char*>(data);
-  std::uint64_t h = 0xCBF29CE484222325ULL;
+  std::uint64_t h = basis;
   for (std::size_t i = 0; i < bytes; ++i) {
     h ^= p[i];
     h *= 0x100000001B3ULL;

@@ -51,9 +51,16 @@ bool read_i64_vec(std::istream& in, std::vector<std::int64_t>& v);
 void write_f64_vec(std::ostream& out, const std::vector<double>& v);
 bool read_f64_vec(std::istream& in, std::vector<double>& v);
 
+// Length-prefixed byte string. read_string validates the length (< 2^20)
+// before allocating, so a corrupt file cannot trigger a huge allocation.
+void write_string(std::ostream& out, const std::string& s);
+bool read_string(std::istream& in, std::string& s);
+
 // FNV-1a over raw bytes — the fingerprint used to bind an attack checkpoint
-// to the exact inputs it was taken against.
+// to the exact inputs it was taken against. The basis overload chains: pass
+// a previous digest to fold additional bytes into a running hash.
 std::uint64_t fnv1a(const void* data, std::size_t bytes);
+std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t basis);
 std::uint64_t fnv1a(const Tensor& t);
 
 // Write-then-rename commit: `write` streams into `path + ".tmp"`, which is

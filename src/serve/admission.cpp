@@ -48,6 +48,12 @@ double TokenBucket::try_acquire(double now_ms) {
   return (1.0 - tokens_) * 1000.0 / rate_;
 }
 
+double TokenBucket::peek_tokens(double now_ms) const noexcept {
+  if (!primed_) return tokens_;
+  const double elapsed_ms = std::max(0.0, now_ms - last_ms_);
+  return std::min(burst_, tokens_ + elapsed_ms * rate_ / 1000.0);
+}
+
 RateLimiter::RateLimiter(double rate_per_sec, double burst)
     : rate_(validated_rate(rate_per_sec)), burst_(validated_burst(burst)) {}
 
@@ -105,6 +111,11 @@ std::int64_t Pacer::waits() const {
 double Pacer::waited_ms() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return waited_ms_;
+}
+
+double Pacer::tokens_available() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bucket_.peek_tokens(clock_->now_ms());
 }
 
 }  // namespace duo::serve

@@ -50,6 +50,12 @@ class TokenBucket {
   // hint) without consuming anything. `now_ms` must be monotone.
   double try_acquire(double now_ms);
 
+  // Tokens that would be available at `now_ms`, without consuming anything
+  // or advancing the refill timeline. Before the first acquire the bucket
+  // reports its full burst. Pure observation — interleaving peeks between
+  // acquires never changes any grant/deny decision.
+  double peek_tokens(double now_ms) const noexcept;
+
   double rate() const noexcept { return rate_; }
   double burst() const noexcept { return burst_; }
 
@@ -101,6 +107,9 @@ class Pacer {
   std::int64_t granted() const;    // tokens handed out
   std::int64_t waits() const;      // sleep rounds taken while pacing
   double waited_ms() const;        // total clock time spent pacing
+  // Tokens the shared bucket holds right now (reads the clock, consumes
+  // nothing) — lets a campaign report show residual client-side headroom.
+  double tokens_available() const;
 
   const PacerConfig& config() const noexcept { return config_; }
   Clock& clock() noexcept { return *clock_; }

@@ -30,6 +30,18 @@ std::unique_ptr<retrieval::RetrievalSystem> checked_nonnull(
   return system;
 }
 
+// FNV-1a over the client id, used to derive a per-client reservoir seed.
+// (Local copy: duo_serve does not link duo_models, where the shared fnv1a
+// helper for checkpoints lives.)
+std::uint64_t client_seed_hash(const std::string& id) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const unsigned char c : id) {
+    h ^= static_cast<std::uint64_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
 }  // namespace
 
 RetrievalServer::RetrievalServer(retrieval::RetrievalSystem& system,
@@ -73,6 +85,7 @@ RetrievalServer::~RetrievalServer() { shutdown(); }
 bool RetrievalServer::enqueue(Request& req,
                               const std::chrono::milliseconds* deadline,
                               const RequestOptions& opts) {
+  req.client_id = opts.client_id;
   // Rate limiting first: a throttled request must not even contend for queue
   // space, and the decision needs no queue lock.
   if (limiter_ != nullptr) {
@@ -82,6 +95,7 @@ bool RetrievalServer::enqueue(Request& req,
       {
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++requests_throttled_;
+        ++client_slot(opts.client_id).throttled;
       }
       req.promise.set_exception(std::make_exception_ptr(ServeError(
           ServeErrorCode::kThrottled, /*billed=*/false,
@@ -120,6 +134,7 @@ bool RetrievalServer::enqueue(Request& req,
       {
         std::lock_guard<std::mutex> slock(stats_mutex_);
         ++requests_rejected_;
+        ++client_slot(opts.client_id).rejected;
       }
       req.promise.set_exception(std::make_exception_ptr(ServeError(
           ServeErrorCode::kOverloaded, /*billed=*/false,
@@ -149,6 +164,11 @@ bool RetrievalServer::enqueue(Request& req,
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       requests_shed_ += static_cast<std::int64_t>(shed_victims.size());
+      // Attribute each eviction to the victim's own client, not the
+      // newcomer that displaced it.
+      for (const auto& victim : shed_victims) {
+        ++client_slot(victim.client_id).shed;
+      }
     }
     // Shed requests were accepted (and billed at acceptance); fail them with
     // the typed eviction error so retrying clients can resubmit.
@@ -230,6 +250,7 @@ void RetrievalServer::scheduler_loop() {
       {
         std::lock_guard<std::mutex> lock(stats_mutex_);
         requests_expired_ += static_cast<std::int64_t>(expired.size());
+        for (const auto& r : expired) ++client_slot(r.client_id).expired;
       }
       const auto error = std::make_exception_ptr(
           ServeError(ServeErrorCode::kExpired, /*billed=*/true,
@@ -306,29 +327,30 @@ void RetrievalServer::process_batch(std::vector<Request>& batch) {
     for (const std::size_t i : needs_answer) answer_one(i);
   }
 
-  std::vector<double> latencies;
-  latencies.reserve(batch.size());
-  std::int64_t served = 0;
-  std::int64_t faulted = 0;
+  // Per-request outcome for client attribution: served carries its latency,
+  // faulted is counted against the client the injector hit.
+  std::vector<std::pair<std::size_t, double>> served_lat;
+  served_lat.reserve(batch.size());
+  std::vector<std::size_t> faulted_idx;
   for (std::size_t i = 0; i < batch.size(); ++i) {
     switch (faults[i]) {
       case FaultKind::kTransientError:
         batch[i].promise.set_exception(std::make_exception_ptr(
             ServeError(ServeErrorCode::kTransient, /*billed=*/true,
                        "RetrievalServer: injected transient error")));
-        ++faulted;
+        faulted_idx.push_back(i);
         continue;
       case FaultKind::kFatalError:
         batch[i].promise.set_exception(std::make_exception_ptr(
             ServeError(ServeErrorCode::kFatal, /*billed=*/true,
                        "RetrievalServer: injected fatal victim error")));
-        ++faulted;
+        faulted_idx.push_back(i);
         continue;
       case FaultKind::kDrop:
         // Abandoning the promise makes the future ready with
         // std::future_error{broken_promise} — the lost-response signal.
         batch[i].promise = std::promise<metrics::RetrievalList>();
-        ++faulted;
+        faulted_idx.push_back(i);
         continue;
       case FaultKind::kDelay:
         std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
@@ -341,17 +363,49 @@ void RetrievalServer::process_batch(std::vector<Request>& batch) {
       batch[i].promise.set_exception(answers[i].error);
       continue;
     }
-    latencies.push_back(batch[i].queued.elapsed_ms());
+    served_lat.emplace_back(i, batch[i].queued.elapsed_ms());
     batch[i].promise.set_value(std::move(answers[i].list));
-    ++served;
   }
 
   std::lock_guard<std::mutex> lock(stats_mutex_);
-  queries_served_ += served;
-  faults_injected_ += faulted;
+  queries_served_ += static_cast<std::int64_t>(served_lat.size());
+  faults_injected_ += static_cast<std::int64_t>(faulted_idx.size());
   ++batches_;
   ++batch_size_counts_[batch.size()];
-  for (const double ms : latencies) record_latency(ms);
+  for (const auto& [i, ms] : served_lat) {
+    record_latency(ms);
+    auto& c = client_slot(batch[i].client_id);
+    ++c.served;
+    record_client_latency(c, ms, config_.client_latency_reservoir);
+  }
+  for (const std::size_t i : faulted_idx) {
+    ++client_slot(batch[i].client_id).faulted;
+  }
+}
+
+RetrievalServer::ClientAccounting& RetrievalServer::client_slot(
+    const std::string& client_id) {
+  auto it = clients_.find(client_id);
+  if (it == clients_.end()) {
+    it = clients_.emplace(client_id, ClientAccounting{}).first;
+    // Seeding from the id (not insertion order) keeps each client's retained
+    // sample set independent of which clients happened to arrive first.
+    it->second.rng = Rng(kReservoirSeed ^ client_seed_hash(client_id));
+  }
+  return it->second;
+}
+
+void RetrievalServer::record_client_latency(ClientAccounting& c, double ms,
+                                            std::size_t reservoir_cap) {
+  c.max_latency_ms = std::max(c.max_latency_ms, ms);
+  if (c.reservoir.size() < reservoir_cap) {
+    c.reservoir.push_back(ms);
+  } else if (reservoir_cap > 0) {
+    const auto j =
+        c.rng.uniform_index(static_cast<std::uint64_t>(c.latency_count) + 1);
+    if (j < c.reservoir.size()) c.reservoir[j] = ms;
+  }
+  ++c.latency_count;
 }
 
 void RetrievalServer::record_latency(double ms) {
@@ -371,6 +425,7 @@ void RetrievalServer::record_latency(double ms) {
 ServerStats RetrievalServer::stats() const {
   ServerStats out;
   std::vector<double> latencies;
+  std::map<std::string, std::vector<double>> client_latencies;
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     out.queries_served = queries_served_;
@@ -386,9 +441,27 @@ ServerStats RetrievalServer::stats() const {
         static_cast<std::int64_t>(latency_reservoir_.size());
     out.max_latency_ms = max_latency_ms_;
     latencies = latency_reservoir_;
+    for (const auto& [id, acc] : clients_) {
+      ClientStats cs;
+      cs.served = acc.served;
+      cs.faulted = acc.faulted;
+      cs.throttled = acc.throttled;
+      cs.rejected = acc.rejected;
+      cs.shed = acc.shed;
+      cs.expired = acc.expired;
+      cs.latency_count = acc.latency_count;
+      cs.max_latency_ms = acc.max_latency_ms;
+      out.per_client.emplace(id, cs);
+      client_latencies.emplace(id, acc.reservoir);
+    }
   }
   out.p50_latency_ms = percentile(latencies, 0.50);
   out.p95_latency_ms = percentile(latencies, 0.95);
+  for (auto& [id, xs] : client_latencies) {
+    auto& cs = out.per_client[id];
+    cs.p50_latency_ms = percentile(xs, 0.50);
+    cs.p95_latency_ms = percentile(xs, 0.95);
+  }
   return out;
 }
 
@@ -406,6 +479,7 @@ void RetrievalServer::reset_stats() {
   latency_count_ = 0;
   max_latency_ms_ = 0.0;
   reservoir_rng_ = Rng(kReservoirSeed);
+  clients_.clear();
 }
 
 }  // namespace duo::serve

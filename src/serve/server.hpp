@@ -63,6 +63,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -106,6 +107,9 @@ struct ServerConfig {
   // RequestOptions::client_id. 0 disables rate limiting.
   double client_rate = 0.0;
   double client_burst = 4.0;
+  // Bounded per-client latency reservoir (the global reservoir keeps
+  // `latency_reservoir` samples; each client additionally keeps this many).
+  std::size_t client_latency_reservoir = 128;
 };
 
 // Per-request metadata carried alongside (video, m).
@@ -120,6 +124,31 @@ struct RequestOptions {
   double ttl_ms = 0.0;
 
   bool has_deadline() const noexcept { return ttl_ms != 0.0; }
+};
+
+// Per-client slice of the server-side accounting, keyed by
+// RequestOptions::client_id. Billing semantics mirror the global counters:
+// served/faulted/expired/shed terminate accepted (billed) requests;
+// throttled/rejected turn-aways were never accepted (unbilled). The ledger
+// `billed == served + faulted + expired + shed` therefore holds per client,
+// not just globally. Latency percentiles come from a bounded per-client
+// reservoir of ServerConfig::client_latency_reservoir samples.
+struct ClientStats {
+  std::int64_t served = 0;
+  std::int64_t faulted = 0;
+  std::int64_t throttled = 0;
+  std::int64_t rejected = 0;
+  std::int64_t shed = 0;
+  std::int64_t expired = 0;
+  std::int64_t latency_count = 0;
+  double p50_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+
+  // Queries the victim billed this client for.
+  std::int64_t billed() const noexcept {
+    return served + faulted + expired + shed;
+  }
 };
 
 // Snapshot of server-side accounting (see RetrievalServer::stats).
@@ -144,6 +173,11 @@ struct ServerStats {
   double p50_latency_ms = 0.0;
   double p95_latency_ms = 0.0;
   double max_latency_ms = 0.0;
+  // Per-client breakdown keyed by RequestOptions::client_id (std::map for
+  // deterministic iteration order in reports). Every counter above is the
+  // sum of the per-client slices plus, for latency percentiles, the global
+  // reservoir's own estimate.
+  std::map<std::string, ClientStats> per_client;
 
   double mean_batch_size() const noexcept {
     return batches == 0
@@ -222,6 +256,24 @@ class RetrievalServer {
     Stopwatch queued;       // reset at enqueue; read at fulfillment
     bool has_deadline = false;
     double deadline_ms = 0.0;  // absolute, in clock_->now_ms() terms
+    std::string client_id;     // RequestOptions::client_id, for attribution
+  };
+
+  // Mutable per-client accounting slice (guarded by stats_mutex_). Each
+  // client gets its own Algorithm-R reservoir seeded from its id, so the
+  // retained sample set is a pure function of that client's latency
+  // sequence — independent of how other clients' requests interleave.
+  struct ClientAccounting {
+    std::int64_t served = 0;
+    std::int64_t faulted = 0;
+    std::int64_t throttled = 0;
+    std::int64_t rejected = 0;
+    std::int64_t shed = 0;
+    std::int64_t expired = 0;
+    std::vector<double> reservoir;
+    std::int64_t latency_count = 0;
+    double max_latency_ms = 0.0;
+    Rng rng{0};
   };
 
   void start();
@@ -232,6 +284,10 @@ class RetrievalServer {
   void scheduler_loop();
   void process_batch(std::vector<Request>& batch);
   void record_latency(double ms);  // requires stats_mutex_ held
+  // Lazily creates the client's slice. Requires stats_mutex_ held.
+  ClientAccounting& client_slot(const std::string& client_id);
+  static void record_client_latency(ClientAccounting& c, double ms,
+                                    std::size_t reservoir_cap);
 
   std::unique_ptr<retrieval::RetrievalSystem> owned_;  // empty when borrowed
   retrieval::RetrievalSystem& system_;
@@ -261,6 +317,7 @@ class RetrievalServer {
   std::int64_t latency_count_ = 0;
   double max_latency_ms_ = 0.0;
   Rng reservoir_rng_{kReservoirSeed};
+  std::map<std::string, ClientAccounting> clients_;
 
   std::thread scheduler_;  // last member: started after everything above
 };

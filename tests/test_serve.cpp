@@ -958,5 +958,116 @@ TEST(Resilient, GivesUpOnceAttemptsOrBudgetExhaust) {
   server.shutdown();
 }
 
+// ISSUE 8 satellite: observable Pacer state. peek is pure — interleaving
+// tokens_available() between acquires never changes a grant decision — and
+// it tracks burst consumption and refill on the virtual clock.
+TEST(Pacer, TokensAvailableObservesWithoutConsuming) {
+  auto clock = std::make_shared<VirtualClock>();
+  PacerConfig pcfg;
+  pcfg.rate_per_sec = 1000.0;  // 1 token/ms
+  pcfg.burst = 4.0;
+  Pacer pacer(pcfg, clock);
+
+  // Fresh pacer reports its full burst; peeking twice reads the same value.
+  EXPECT_DOUBLE_EQ(pacer.tokens_available(), 4.0);
+  EXPECT_DOUBLE_EQ(pacer.tokens_available(), 4.0);
+
+  pacer.acquire();
+  pacer.acquire();
+  EXPECT_DOUBLE_EQ(pacer.tokens_available(), 2.0);
+
+  // Refill follows the clock, capped at burst.
+  clock->advance_ms(1.0);
+  EXPECT_DOUBLE_EQ(pacer.tokens_available(), 3.0);
+  clock->advance_ms(100.0);
+  EXPECT_DOUBLE_EQ(pacer.tokens_available(), 4.0);
+}
+
+// ISSUE 8 satellite regression: two sessions sharing one pacer never jointly
+// exceed the configured rate. On the virtual clock the joint grant total is
+// bounded by burst + rate × elapsed — equivalently, draining 2Q tokens must
+// have advanced virtual time by at least (2Q − burst) / rate.
+TEST(Pacer, TwoSessionsSharingOnePacerRespectTheJointRate) {
+  auto clock = std::make_shared<VirtualClock>();
+  PacerConfig pcfg;
+  pcfg.rate_per_sec = 500.0;
+  pcfg.burst = 4.0;
+  auto pacer = std::make_shared<Pacer>(pcfg, clock);
+
+  constexpr int kPerSession = 50;
+  std::thread a([&] {
+    for (int i = 0; i < kPerSession; ++i) pacer->acquire();
+  });
+  std::thread b([&] {
+    for (int i = 0; i < kPerSession; ++i) pacer->acquire();
+  });
+  a.join();
+  b.join();
+
+  EXPECT_EQ(pacer->granted(), 2 * kPerSession);
+  const double elapsed_ms = clock->now_ms();
+  const double min_elapsed_ms =
+      (2.0 * kPerSession - pcfg.burst) / pcfg.rate_per_sec * 1000.0;
+  EXPECT_GE(elapsed_ms, min_elapsed_ms - 1e-6);
+  // And the joint admitted volume never exceeded the bucket bound at the
+  // final timestamp: granted <= burst + rate * elapsed.
+  EXPECT_LE(static_cast<double>(pacer->granted()),
+            pcfg.burst + pcfg.rate_per_sec * elapsed_ms / 1000.0 + 1e-6);
+  // All tokens were spent the moment the last acquire returned.
+  EXPECT_LT(pacer->tokens_available(), 1.0);
+}
+
+// ISSUE 8 satellite: per-client breakdown in ServerStats. Counters are
+// attributed to the RequestOptions::client_id that caused them, the ledger
+// billed == served + faulted + expired + shed holds per client, and the
+// slices sum exactly to the global counters.
+TEST(Serve, PerClientStatsBreakdownSumsToGlobals) {
+  auto& w = ServeWorld::mutable_instance();
+  auto clock = std::make_shared<VirtualClock>();
+  ServerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.clock = clock;
+  cfg.client_rate = 1000.0;  // 1 token/ms
+  cfg.client_burst = 2.0;
+  RetrievalServer server(*w.system, cfg);
+
+  // alice: 2 in-budget requests. bob: 3 back-to-back — the burst admits 2,
+  // the third is throttled (virtual time never advances between submits).
+  RequestOptions alice;
+  alice.client_id = "alice";
+  RequestOptions bob;
+  bob.client_id = "bob";
+  std::vector<std::future<metrics::RetrievalList>> ok;
+  ok.push_back(server.submit(w.dataset.test[0], 5, alice));
+  ok.push_back(server.submit(w.dataset.test[1], 5, alice));
+  ok.push_back(server.submit(w.dataset.test[0], 5, bob));
+  ok.push_back(server.submit(w.dataset.test[1], 5, bob));
+  auto throttled = server.submit(w.dataset.test[2], 5, bob);
+  EXPECT_THROW((void)throttled.get(), ServeError);
+  for (auto& f : ok) (void)f.get();
+  server.shutdown();
+
+  const ServerStats stats = server.stats();
+  ASSERT_EQ(stats.per_client.size(), 2u);
+  const ClientStats& a = stats.per_client.at("alice");
+  const ClientStats& b = stats.per_client.at("bob");
+  EXPECT_EQ(a.served, 2);
+  EXPECT_EQ(a.throttled, 0);
+  EXPECT_EQ(b.served, 2);
+  EXPECT_EQ(b.throttled, 1);
+  EXPECT_EQ(a.billed(), 2);
+  EXPECT_EQ(b.billed(), 2);
+
+  // Slices sum to globals, including the latency accounting.
+  EXPECT_EQ(a.served + b.served, stats.queries_served);
+  EXPECT_EQ(a.throttled + b.throttled, stats.requests_throttled);
+  EXPECT_EQ(a.latency_count + b.latency_count, stats.latency_count);
+  EXPECT_LE(a.p50_latency_ms, a.p95_latency_ms);
+  EXPECT_LE(a.p95_latency_ms, a.max_latency_ms);
+
+  server.reset_stats();
+  EXPECT_TRUE(server.stats().per_client.empty());
+}
+
 }  // namespace
 }  // namespace duo::serve
