@@ -13,8 +13,16 @@
 //
 //   ./build/bench/overload_soak            # quick scale
 //   ./build/bench/overload_soak --smoke    # seconds-long CI smoke pass
+//   ./build/bench/overload_soak --aimd     # static vs adaptive comparison
 //
-// Exits nonzero on any mismatched answer or accounting violation.
+// --aimd runs the soak twice against fresh servers: once with the static
+// overdriven pacer, once with the AIMD pacer started from the same (wrong)
+// rate. Sheds and expiries are billed, so a client that keeps overdriving a
+// kShed server pays for work the server then throws away; AIMD backs off to
+// the discovered sustainable rate and must not bill more than static.
+//
+// Exits nonzero on any mismatched answer, accounting violation, or (with
+// --aimd) an adaptive pass that billed more than the static one.
 
 #include <cstdio>
 #include <cstring>
@@ -30,14 +38,27 @@
 #include "serve/resilient.hpp"
 #include "serve/server.hpp"
 
-int main(int argc, char** argv) {
-  using namespace duo;
-  bool smoke = bench::scale_from_env() == bench::Scale::kSmoke;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
-  }
+namespace {
 
-  bench::SoakWorld world = bench::make_soak_world(smoke, 59);
+struct SoakOutcome {
+  long long logical = 0;
+  long long billed = 0;
+  long long overloads = 0;
+  long long bad = 0;
+  long long pacer_waits = 0;
+  double wall_ms = 0.0;
+  double discovered_rate = 0.0;
+  duo::serve::ServerStats stats;
+
+  long long terminated() const {
+    return stats.queries_served + stats.faults_injected +
+           stats.requests_expired + stats.requests_shed;
+  }
+};
+
+SoakOutcome run_soak_pass(duo::bench::SoakWorld& world, bool smoke,
+                          bool aimd) {
+  using namespace duo;
 
   // Transient errors plus injected processing delays: a delayed batch makes
   // requests age in the queue past their deadline, so the expiry path gets
@@ -63,10 +84,13 @@ int main(int argc, char** argv) {
   // One shared pacer across every client — "one API key, many attack
   // processes" — deliberately faster than the server's per-client limit so
   // the server-side throttle path does real work too, but tight enough that
-  // retry bursts queue up behind the shared bucket.
+  // retry bursts queue up behind the shared bucket. The AIMD pass starts
+  // from the same wrong rate and has to discover the sustainable one.
   serve::PacerConfig pcfg;
   pcfg.rate_per_sec = 80.0 * static_cast<double>(clients);
   pcfg.burst = 2.0;
+  pcfg.aimd = aimd;
+  pcfg.aimd_increase = 50.0;
   auto pacer = std::make_shared<serve::Pacer>(pcfg, nullptr);
 
   serve::RetryPolicy policy;
@@ -92,29 +116,77 @@ int main(int argc, char** argv) {
       [&](std::size_t t, const video::Video& v, std::size_t m) {
         return handles[t]->retrieve(v, m);
       });
-  const double wall_ms = wall.elapsed_ms();
-  server.shutdown();
 
-  const serve::ServerStats stats = server.stats();
-  const auto logical = static_cast<long long>(clients) * queries_per_client;
-  long long billed = 0;
-  long long overloads = 0;
+  SoakOutcome out;
+  out.wall_ms = wall.elapsed_ms();
+  server.shutdown();
+  out.stats = server.stats();
+  out.logical = static_cast<long long>(clients) * queries_per_client;
+  out.bad = bad;
+  out.pacer_waits = pacer->waits();
+  out.discovered_rate = pacer->current_rate();
   for (const auto& h : handles) {
-    billed += h->queries_billed();
-    overloads += h->overloads_seen();
+    out.billed += h->queries_billed();
+    out.overloads += h->overloads_seen();
+  }
+  return out;
+}
+
+// Shared invariants for one pass; returns false (and reports) on violation.
+bool check_pass(const char* label, const SoakOutcome& out) {
+  if (out.bad > 0) {
+    std::fprintf(stderr, "OVERLOAD SOAK FAILED (%s): %lld mismatched answers\n",
+                 label, out.bad);
+    return false;
+  }
+  if (out.billed != out.terminated()) {
+    std::fprintf(stderr,
+                 "OVERLOAD SOAK FAILED (%s): billed %lld != served+faulted+"
+                 "expired+shed %lld\n",
+                 label, out.billed, out.terminated());
+    return false;
+  }
+  if (out.billed < out.logical) {
+    std::fprintf(stderr, "OVERLOAD SOAK FAILED (%s): billed %lld < logical %lld\n",
+                 label, out.billed, out.logical);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace duo;
+  bool smoke = bench::scale_from_env() == bench::Scale::kSmoke;
+  bool aimd = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--aimd") == 0) aimd = true;
   }
 
+  bench::SoakWorld world = bench::make_soak_world(smoke, 59);
+
+  const SoakOutcome fixed = run_soak_pass(world, smoke, /*aimd=*/false);
+  SoakOutcome adaptive;
+  if (aimd) adaptive = run_soak_pass(world, smoke, /*aimd=*/true);
+
   TableWriter table("Overload soak: paced clients vs throttling kShed server");
-  table.set_header({"clients", "logical_q", "billed_q", "throttled", "shed",
-                    "expired", "served", "pacer_waits", "wall_ms", "p95_ms"});
+  table.set_header({"pacer", "logical_q", "billed_q", "throttled", "shed",
+                    "expired", "served", "pacer_waits", "rate", "wall_ms",
+                    "p95_ms"});
   table.set_precision(2);
-  table.add_row({static_cast<long long>(clients), logical, billed,
-                 static_cast<long long>(stats.requests_throttled),
-                 static_cast<long long>(stats.requests_shed),
-                 static_cast<long long>(stats.requests_expired),
-                 static_cast<long long>(stats.queries_served),
-                 static_cast<long long>(pacer->waits()), wall_ms,
-                 stats.p95_latency_ms});
+  const auto add_row = [&](const char* label, const SoakOutcome& out) {
+    table.add_row({std::string(label), out.logical, out.billed,
+                   static_cast<long long>(out.stats.requests_throttled),
+                   static_cast<long long>(out.stats.requests_shed),
+                   static_cast<long long>(out.stats.requests_expired),
+                   static_cast<long long>(out.stats.queries_served),
+                   out.pacer_waits, out.discovered_rate, out.wall_ms,
+                   out.stats.p95_latency_ms});
+  };
+  add_row("static", fixed);
+  if (aimd) add_row("aimd", adaptive);
   bench::emit(table, "overload_soak.csv");
   bench::print_paper_note(
       "No paper counterpart: soaks the overload policies a deployed victim "
@@ -122,28 +194,30 @@ int main(int argc, char** argv) {
       "retrying client an attacker needs. Every answer must match the "
       "unthrottled retrieval bitwise; the billing ledger must reconcile.");
 
-  if (bad > 0) {
-    std::fprintf(stderr, "OVERLOAD SOAK FAILED: %lld mismatched answers\n",
-                 static_cast<long long>(bad));
-    return 1;
-  }
-  const long long terminated = stats.queries_served + stats.faults_injected +
-                               stats.requests_expired + stats.requests_shed;
-  if (billed != terminated) {
-    std::fprintf(stderr,
-                 "OVERLOAD SOAK FAILED: billed %lld != served+faulted+"
-                 "expired+shed %lld\n",
-                 billed, terminated);
-    return 1;
-  }
-  if (billed < logical) {
-    std::fprintf(stderr, "OVERLOAD SOAK FAILED: billed %lld < logical %lld\n",
-                 billed, logical);
-    return 1;
+  if (!check_pass("static", fixed)) return 1;
+  if (aimd && !check_pass("aimd", adaptive)) return 1;
+
+  if (aimd) {
+    // The comparison this mode exists for: the adaptive client, which pays
+    // for shed/expired work like everyone else, must not bill more than the
+    // statically overdriven one it replaces.
+    std::printf(
+        "aimd vs static: billed %lld vs %lld, shed %lld vs %lld, "
+        "discovered rate %.1f/s (static pinned at %.1f/s)\n",
+        adaptive.billed, fixed.billed,
+        static_cast<long long>(adaptive.stats.requests_shed),
+        static_cast<long long>(fixed.stats.requests_shed),
+        adaptive.discovered_rate, fixed.discovered_rate);
+    if (adaptive.billed > fixed.billed) {
+      std::fprintf(stderr,
+                   "OVERLOAD SOAK FAILED: aimd billed %lld > static %lld\n",
+                   adaptive.billed, fixed.billed);
+      return 1;
+    }
   }
   std::printf(
       "overload soak OK: %lld logical queries, %lld billed, %lld overload "
       "pushbacks absorbed, %lld pacer waits\n",
-      logical, billed, overloads, static_cast<long long>(pacer->waits()));
+      fixed.logical, fixed.billed, fixed.overloads, fixed.pacer_waits);
   return 0;
 }

@@ -19,7 +19,7 @@ cmake --build "$build_dir" -j "$(nproc)"
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 
 DUO_THREADS=8 ctest --test-dir "$build_dir" \
-  -R 'ParallelDeterminism|Serve|SparseQueryPipelined|FaultInjection|Resilient|Admission|Pacer|Circuit|NeighborOrder|Ivf|Campaign' \
+  -R 'ParallelDeterminism|Serve|SparseQueryPipelined|FaultInjection|Resilient|Admission|Pacer|Aimd|Circuit|NeighborOrder|Ivf|Campaign' \
   --output-on-failure
 
 # Kernel-equivalence re-run under the reference Conv3d kernel: the gradient
@@ -45,8 +45,9 @@ DUO_THREADS=8 "$build_dir/bench/fault_soak" --smoke
 # Overload smoke: paced clients against a throttling, load-shedding,
 # deadline-enforcing, fault-injecting victim; fails on any mismatched answer
 # or if the billing ledger stops reconciling (billed == served + faulted +
-# expired + shed).
-DUO_THREADS=8 "$build_dir/bench/overload_soak" --smoke
+# expired + shed). --aimd additionally runs the adaptive pacer against a
+# fresh identical server and fails if it bills more than the static one.
+DUO_THREADS=8 "$build_dir/bench/overload_soak" --smoke --aimd
 
 # Gallery-scale smoke: flat exact scan vs sharded IVF + quantized re-rank;
 # fails if nprobe=all-cells diverges from the exact index or IVF results

@@ -32,14 +32,16 @@ cmake --build "$build_dir" -j "$(nproc)" \
 # from the uninstrumented libstdc++ (see the file for details).
 export TSAN_OPTIONS="suppressions=$repo_root/scripts/tsan.supp ${TSAN_OPTIONS:-halt_on_error=1}"
 ctest --test-dir "$build_dir" \
-  -R 'ThreadPool|ParallelDeterminism|Conv3d|Pooling|Extractor|Gallery|Serve|SparseQueryPipelined|FaultInjection|Resilient|Admission|Pacer|Circuit|CheckGrad|Ivf|RetrievalIndex|Campaign' \
+  -R 'ThreadPool|ParallelDeterminism|Conv3d|Pooling|Extractor|Gallery|Serve|SparseQueryPipelined|FaultInjection|Resilient|Admission|Pacer|Aimd|Circuit|CheckGrad|Ivf|RetrievalIndex|Campaign' \
   --output-on-failure --timeout 1800
 
 # The overload soak stresses the admission controller, rate limiter, pacer,
 # and expiry shedding from concurrent client threads — the exact surfaces a
-# race would corrupt — so run its smoke pass under TSan too.
+# race would corrupt — so run its smoke pass under TSan too. --aimd adds the
+# adaptive pacer's feedback path (on_success/on_overload from every client
+# thread into the shared bucket) to the surfaces under test.
 cmake --build "$build_dir" -j "$(nproc)" --target overload_soak
-DUO_THREADS=8 "$build_dir/bench/overload_soak" --smoke
+DUO_THREADS=8 "$build_dir/bench/overload_soak" --smoke --aimd
 
 # The campaign soak adds per-client accounting and checkpointing sessions on
 # top of the same concurrent serving surfaces; its kill/resume smoke pass

@@ -95,6 +95,9 @@ bool apply_global(CampaignManifest& m, const std::string& key,
     return parse_f64(value, m.reject_retry_after_ms);
   if (key == "client_rate") return parse_f64(value, m.client_rate);
   if (key == "client_burst") return parse_f64(value, m.client_burst);
+  if (key == "batch_timeout_ms") return parse_f64(value, m.batch_timeout_ms);
+  if (key == "degrade_high") return parse_f64(value, m.degrade_high);
+  if (key == "degrade_low") return parse_f64(value, m.degrade_low);
   if (key == "fault_error_prob") return parse_f64(value, m.fault_error_prob);
   if (key == "fault_delay_prob") return parse_f64(value, m.fault_delay_prob);
   if (key == "fault_drop_prob") return parse_f64(value, m.fault_drop_prob);
@@ -103,6 +106,16 @@ bool apply_global(CampaignManifest& m, const std::string& key,
   if (key == "fault_seed") return parse_u64(value, m.fault_seed);
   if (key == "pacer_rate") return parse_f64(value, m.pacer_rate);
   if (key == "pacer_burst") return parse_f64(value, m.pacer_burst);
+  if (key == "pacer_aimd") {
+    std::int64_t v = 0;
+    if (!parse_i64(value, v)) return false;
+    m.pacer_aimd = v != 0;
+    return true;
+  }
+  if (key == "aimd_increase") return parse_f64(value, m.aimd_increase);
+  if (key == "aimd_decrease") return parse_f64(value, m.aimd_decrease);
+  if (key == "aimd_floor") return parse_f64(value, m.aimd_floor);
+  if (key == "aimd_ceiling") return parse_f64(value, m.aimd_ceiling);
   if (key == "max_attempts") return parse_int(value, m.max_attempts);
   if (key == "query_timeout_ms") return parse_f64(value, m.query_timeout_ms);
   if (key == "submit_deadline_ms")
@@ -175,13 +188,19 @@ bool operator==(const CampaignManifest& a, const CampaignManifest& b) {
          a.admission_threshold == b.admission_threshold &&
          a.reject_retry_after_ms == b.reject_retry_after_ms &&
          a.client_rate == b.client_rate && a.client_burst == b.client_burst &&
+         a.batch_timeout_ms == b.batch_timeout_ms &&
+         a.degrade_high == b.degrade_high && a.degrade_low == b.degrade_low &&
          a.fault_error_prob == b.fault_error_prob &&
          a.fault_delay_prob == b.fault_delay_prob &&
          a.fault_drop_prob == b.fault_drop_prob &&
          a.fault_delay_ms == b.fault_delay_ms &&
          a.fault_error_from == b.fault_error_from &&
          a.fault_seed == b.fault_seed && a.pacer_rate == b.pacer_rate &&
-         a.pacer_burst == b.pacer_burst && a.max_attempts == b.max_attempts &&
+         a.pacer_burst == b.pacer_burst && a.pacer_aimd == b.pacer_aimd &&
+         a.aimd_increase == b.aimd_increase &&
+         a.aimd_decrease == b.aimd_decrease && a.aimd_floor == b.aimd_floor &&
+         a.aimd_ceiling == b.aimd_ceiling &&
+         a.max_attempts == b.max_attempts &&
          a.query_timeout_ms == b.query_timeout_ms &&
          a.submit_deadline_ms == b.submit_deadline_ms &&
          a.circuit_threshold == b.circuit_threshold &&
@@ -200,6 +219,9 @@ void write_manifest(std::ostream& out, const CampaignManifest& m) {
   out << "reject_retry_after_ms " << fmt(m.reject_retry_after_ms) << "\n";
   out << "client_rate " << fmt(m.client_rate) << "\n";
   out << "client_burst " << fmt(m.client_burst) << "\n";
+  out << "batch_timeout_ms " << fmt(m.batch_timeout_ms) << "\n";
+  out << "degrade_high " << fmt(m.degrade_high) << "\n";
+  out << "degrade_low " << fmt(m.degrade_low) << "\n";
   out << "fault_error_prob " << fmt(m.fault_error_prob) << "\n";
   out << "fault_delay_prob " << fmt(m.fault_delay_prob) << "\n";
   out << "fault_drop_prob " << fmt(m.fault_drop_prob) << "\n";
@@ -208,6 +230,11 @@ void write_manifest(std::ostream& out, const CampaignManifest& m) {
   out << "fault_seed " << m.fault_seed << "\n";
   out << "pacer_rate " << fmt(m.pacer_rate) << "\n";
   out << "pacer_burst " << fmt(m.pacer_burst) << "\n";
+  out << "pacer_aimd " << (m.pacer_aimd ? 1 : 0) << "\n";
+  out << "aimd_increase " << fmt(m.aimd_increase) << "\n";
+  out << "aimd_decrease " << fmt(m.aimd_decrease) << "\n";
+  out << "aimd_floor " << fmt(m.aimd_floor) << "\n";
+  out << "aimd_ceiling " << fmt(m.aimd_ceiling) << "\n";
   out << "max_attempts " << m.max_attempts << "\n";
   out << "query_timeout_ms " << fmt(m.query_timeout_ms) << "\n";
   out << "submit_deadline_ms " << fmt(m.submit_deadline_ms) << "\n";

@@ -97,6 +97,13 @@ struct CampaignManifest {
   double reject_retry_after_ms = 5.0;
   double client_rate = 0.0;  // per-client_id token bucket; 0 = off
   double client_burst = 4.0;
+  // Latency-aware batching timeout (ServerConfig::batch_timeout_ms); 0 =
+  // drain immediately.
+  double batch_timeout_ms = 0.0;
+  // Graceful-degradation ladder (ServerConfig::degrade_high/degrade_low);
+  // degrade_high 0 = disabled.
+  double degrade_high = 0.0;
+  double degrade_low = 0.25;
 
   // Fault schedule (serve::FaultConfig); all zero/disabled = healthy victim.
   double fault_error_prob = 0.0;
@@ -109,6 +116,13 @@ struct CampaignManifest {
   // Shared client-side pacer ("one API key"); 0 = no pacer.
   double pacer_rate = 0.0;
   double pacer_burst = 4.0;
+  // AIMD closed-loop pacing (serve::PacerConfig): when on, pacer_rate is
+  // only the initial rate and the loop converges on the victim's limit.
+  bool pacer_aimd = false;
+  double aimd_increase = 4.0;
+  double aimd_decrease = 0.5;
+  double aimd_floor = 0.1;
+  double aimd_ceiling = 1e6;
 
   // Client retry policy (serve::RetryPolicy), shared shape across sessions;
   // each session's jitter stream is reseeded from its own seed.

@@ -21,7 +21,7 @@ long long ll(std::int64_t v) { return static_cast<long long>(v); }
 TableWriter session_table(const CampaignOutcome& outcome) {
   TableWriter table("campaign sessions");
   table.set_header({"client", "role", "done", "progress", "billed",
-                    "cumulative", "retries", "overloads", "final_T",
+                    "cumulative", "retries", "overloads", "rate", "final_T",
                     "outcome_hash"});
   table.set_precision(4);
   for (const auto& s : outcome.sessions) {
@@ -29,7 +29,7 @@ TableWriter session_table(const CampaignOutcome& outcome) {
                    std::string(s.completed ? "yes" : "no"),
                    ll(s.logical_queries), ll(s.queries_billed),
                    ll(s.queries_reported), ll(s.retries), ll(s.overloads),
-                   s.final_t, hash_hex(s.outcome_hash)});
+                   s.discovered_rate, s.final_t, hash_hex(s.outcome_hash)});
   }
   return table;
 }
@@ -68,9 +68,21 @@ void print_report(std::ostream& os, const CampaignOutcome& outcome) {
     os << " pacer: granted=" << outcome.pacer_granted
        << " waits=" << outcome.pacer_waits
        << " waited_ms=" << outcome.pacer_waited_ms
-       << " tokens_available=" << outcome.pacer_tokens_available;
+       << " tokens_available=" << outcome.pacer_tokens_available
+       << " final_rate=" << outcome.pacer_final_rate
+       << " increases=" << outcome.pacer_rate_increases
+       << " decreases=" << outcome.pacer_rate_decreases;
   }
   os << "\n";
+  const auto& sv = outcome.server;
+  if (sv.degrade_entries > 0 || sv.degraded_now) {
+    const double share =
+        outcome.elapsed_ms > 0.0 ? sv.degraded_ms / outcome.elapsed_ms : 0.0;
+    os << "degraded: entries=" << sv.degrade_entries
+       << " time_ms=" << sv.degraded_ms << " share=" << share
+       << " served_degraded=" << sv.degraded_served
+       << (sv.degraded_now ? " (still degraded)" : "") << "\n";
+  }
 }
 
 }  // namespace duo::campaign

@@ -87,6 +87,9 @@ CampaignOutcome CampaignRunner::run() {
   scfg.reject_retry_after_ms = manifest_.reject_retry_after_ms;
   scfg.client_rate = manifest_.client_rate;
   scfg.client_burst = manifest_.client_burst;
+  scfg.batch_timeout_ms = manifest_.batch_timeout_ms;
+  scfg.degrade_high = manifest_.degrade_high;
+  scfg.degrade_low = manifest_.degrade_low;
   if (wants_faults(manifest_)) {
     serve::FaultConfig fcfg;
     fcfg.error_prob = manifest_.fault_error_prob;
@@ -103,6 +106,11 @@ CampaignOutcome CampaignRunner::run() {
     serve::PacerConfig pcfg;
     pcfg.rate_per_sec = manifest_.pacer_rate;
     pcfg.burst = manifest_.pacer_burst;
+    pcfg.aimd = manifest_.pacer_aimd;
+    pcfg.aimd_increase = manifest_.aimd_increase;
+    pcfg.aimd_decrease = manifest_.aimd_decrease;
+    pcfg.aimd_floor = manifest_.aimd_floor;
+    pcfg.aimd_ceiling = manifest_.aimd_ceiling;
     pacer = std::make_shared<serve::Pacer>(pcfg, clock);
   }
 
@@ -153,6 +161,9 @@ CampaignOutcome CampaignRunner::run() {
       out.pacer_waits = pacer->waits();
       out.pacer_waited_ms = pacer->waited_ms();
       out.pacer_tokens_available = pacer->tokens_available();
+      out.pacer_final_rate = pacer->current_rate();
+      out.pacer_rate_increases = pacer->rate_increases();
+      out.pacer_rate_decreases = pacer->rate_decreases();
     }
     server.shutdown();
     out.server = server.stats();

@@ -56,6 +56,12 @@ struct CampaignOutcome {
   std::int64_t pacer_waits = 0;
   double pacer_waited_ms = 0.0;
   double pacer_tokens_available = 0.0;
+  // AIMD observability: the shared rate when the campaign ended (the
+  // discovered limit estimate) and the step counts that got it there.
+  // final rate == pacer_rate when AIMD is off.
+  double pacer_final_rate = 0.0;
+  std::int64_t pacer_rate_increases = 0;
+  std::int64_t pacer_rate_decreases = 0;
 
   bool all_completed() const noexcept {
     for (const auto& s : sessions) {

@@ -283,6 +283,9 @@ SessionResult run_session(const SessionSpec& spec,
   out.overloads = victim.overloads_seen();
   out.circuit_opens = victim.circuit_opens();
   out.wall_ms = clock.now_ms() - started_ms;
+  if (victim.pacer() != nullptr) {
+    out.discovered_rate = victim.pacer()->current_rate();
+  }
   return out;
 }
 

@@ -63,6 +63,10 @@ struct SessionResult {
   std::int64_t overloads = 0;
   std::int64_t circuit_opens = 0;
   double wall_ms = 0.0;  // campaign-clock time inside the session
+  // Shared-pacer rate when this session finished (AIMD: the limit estimate
+  // the loop had discovered by then; static pacer: the configured rate;
+  // 0 when the session ran unpaced).
+  double discovered_rate = 0.0;
 
   // Bitwise outcome signature: benign = running hash of the answer stream,
   // attacks = FNV-1a of the final adversarial video's pixels.

@@ -90,6 +90,11 @@ struct IndexConfig {
   // calls (bulk ingest paths call finalize() instead). Before training the
   // index answers with an exact flat scan over the buffer.
   std::size_t train_after = 1024;
+  // nprobe used while the index is in degraded mode (set_degraded(true)):
+  // the serve layer's graceful-degradation ladder trades recall for latency
+  // under sustained queue pressure. Clamped to [1, nprobe] at query time so
+  // degrading never *increases* work.
+  std::size_t degraded_nprobe = 1;
 };
 
 // Interface RetrievalSystem programs against. Implementations must be
@@ -117,6 +122,17 @@ class GalleryIndex {
   // One-time bulk-ingest hook: trains an untrained IVF index; no-op for the
   // flat index (and for an already-trained IVF one).
   virtual void finalize() {}
+
+  // Graceful-degradation hook for the serve layer: while degraded, an
+  // implementation may trade recall for latency (IvfIndex probes
+  // degraded_nprobe cells instead of nprobe). Returns whether the
+  // implementation honors the request; the exact flat index has no cheaper
+  // mode and reports false. Must be safe to call concurrently with query().
+  virtual bool set_degraded(bool on) {
+    (void)on;
+    return false;
+  }
+  virtual bool degraded() const noexcept { return false; }
 };
 
 // Build the index described by `config` (kFlat → RetrievalIndex, kIvf →

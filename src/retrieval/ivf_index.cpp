@@ -354,10 +354,16 @@ std::vector<Neighbor> IvfIndex::query_with_stats(const Tensor& feature,
     return {};
   }
 
-  // Stage 1: rank centroids, keep the nprobe nearest cells.
+  // Stage 1: rank centroids, keep the nprobe nearest cells. Degraded mode
+  // (serve-layer pressure relief) probes min(degraded_nprobe, nprobe) cells
+  // instead — strictly less work, the recall-for-latency trade. The flag is
+  // read once here, so each query is internally consistent.
   const std::size_t kcells = cells_.size();
-  const std::size_t nprobe = std::min(std::max<std::size_t>(config_.nprobe, 1),
-                                      kcells);
+  const std::size_t want =
+      degraded() ? std::max<std::size_t>(
+                       1, std::min(config_.degraded_nprobe, config_.nprobe))
+                 : std::max<std::size_t>(config_.nprobe, 1);
+  const std::size_t nprobe = std::min(want, kcells);
   const auto d = static_cast<std::size_t>(dim_);
   std::vector<std::pair<double, std::size_t>> ranked(kcells);
   for (std::size_t c = 0; c < kcells; ++c) {

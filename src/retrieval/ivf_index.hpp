@@ -31,6 +31,7 @@
 // bitwise identical across shard counts, thread counts, and storage order
 // (swap-removal is invisible).
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -54,6 +55,21 @@ class IvfIndex : public GalleryIndex {
   // `config.kind` is ignored (constructing an IvfIndex *is* the choice).
   IvfIndex(std::int64_t feature_dim, IndexConfig config);
 
+  // Movable despite the atomic degraded_ flag (atomics delete the implicit
+  // moves); moving is only sensible while no other thread queries the
+  // source, so a plain value transfer is enough.
+  IvfIndex(IvfIndex&& other) noexcept
+      : dim_(other.dim_),
+        config_(std::move(other.config_)),
+        shards_(other.shards_),
+        degraded_(other.degraded_.load(std::memory_order_relaxed)),
+        trained_(other.trained_),
+        centroids_(std::move(other.centroids_)),
+        pending_(std::move(other.pending_)),
+        cells_(std::move(other.cells_)),
+        loc_(std::move(other.loc_)) {}
+  IvfIndex& operator=(IvfIndex&&) = delete;
+
   void add(const GalleryEntry& entry) override;
   bool remove(std::int64_t id) override;
   std::size_t size() const noexcept override { return loc_.size(); }
@@ -73,6 +89,18 @@ class IvfIndex : public GalleryIndex {
   // Drop the cell structure and re-train on the full current content —
   // the answer to centroid drift after heavy add/remove churn.
   void retrain();
+
+  // Degraded mode probes min(degraded_nprobe, nprobe) cells — the serve
+  // scheduler flips this under queue pressure. A relaxed atomic: each query
+  // reads the flag once at its start, so any individual query is internally
+  // consistent, and no ordering with other state is required.
+  bool set_degraded(bool on) override {
+    degraded_.store(on, std::memory_order_relaxed);
+    return true;
+  }
+  bool degraded() const noexcept override {
+    return degraded_.load(std::memory_order_relaxed);
+  }
 
   bool trained() const noexcept { return trained_; }
   std::size_t cell_count() const noexcept { return cells_.size(); }
@@ -113,6 +141,7 @@ class IvfIndex : public GalleryIndex {
   std::int64_t dim_;
   IndexConfig config_;
   std::size_t shards_;
+  std::atomic<bool> degraded_{false};
   bool trained_ = false;
   std::vector<float> centroids_;  // row-major [cell_count, dim]
   Cell pending_;                  // untrained buffer (codes/scales unused)

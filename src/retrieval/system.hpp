@@ -64,6 +64,10 @@ class RetrievalSystem {
 
   models::FeatureExtractor& extractor() noexcept { return *extractor_; }
   const GalleryIndex& index() const noexcept { return *index_; }
+  // Serve-layer degradation passthrough (see GalleryIndex::set_degraded):
+  // returns whether the underlying index honors degraded mode.
+  bool set_index_degraded(bool on) { return index_->set_degraded(on); }
+  bool index_degraded() const noexcept { return index_->degraded(); }
   std::size_t gallery_size() const noexcept { return index_->size(); }
   int label_of(std::int64_t gallery_id) const;
   std::int64_t relevant_count(int label) const;

@@ -54,6 +54,17 @@ double TokenBucket::peek_tokens(double now_ms) const noexcept {
   return std::min(burst_, tokens_ + elapsed_ms * rate_ / 1000.0);
 }
 
+void TokenBucket::set_rate(double rate_per_sec, double now_ms) {
+  // Settle accrual at the old rate before swapping: the new rate applies
+  // only from `now_ms` forward, never retroactively to the elapsed window.
+  if (primed_) {
+    const double elapsed_ms = std::max(0.0, now_ms - last_ms_);
+    tokens_ = std::min(burst_, tokens_ + elapsed_ms * rate_ / 1000.0);
+    last_ms_ = now_ms;
+  }
+  rate_ = validated_rate(rate_per_sec);
+}
+
 RateLimiter::RateLimiter(double rate_per_sec, double burst)
     : rate_(validated_rate(rate_per_sec)), burst_(validated_burst(burst)) {}
 
@@ -66,15 +77,53 @@ double RateLimiter::try_acquire(const std::string& client_id, double now_ms) {
   return it->second.try_acquire(now_ms);
 }
 
+void RateLimiter::set_rate(double rate_per_sec, double now_ms) {
+  const double rate = validated_rate(rate_per_sec);
+  std::lock_guard<std::mutex> lock(mutex_);
+  rate_ = rate;
+  for (auto& [id, bucket] : buckets_) bucket.set_rate(rate_, now_ms);
+}
+
+double RateLimiter::rate() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rate_;
+}
+
 std::int64_t RateLimiter::clients_seen() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return static_cast<std::int64_t>(buckets_.size());
 }
 
+namespace {
+
+PacerConfig validated_pacer_config(PacerConfig config) {
+  if (config.aimd) {
+    if (config.aimd_increase <= 0.0) {
+      throw std::invalid_argument("aimd_increase must be > 0");
+    }
+    if (config.aimd_decrease <= 0.0 || config.aimd_decrease >= 1.0) {
+      throw std::invalid_argument("aimd_decrease must be in (0, 1)");
+    }
+    if (config.aimd_floor <= 0.0) {
+      throw std::invalid_argument("aimd_floor must be > 0");
+    }
+    if (config.aimd_ceiling < config.aimd_floor) {
+      throw std::invalid_argument("aimd_ceiling must be >= aimd_floor");
+    }
+    // The loop keeps the rate inside [floor, ceiling]; start it there too so
+    // the very first decision already respects the configured band.
+    config.rate_per_sec = std::clamp(config.rate_per_sec, config.aimd_floor,
+                                     config.aimd_ceiling);
+  }
+  return config;
+}
+
+}  // namespace
+
 Pacer::Pacer(PacerConfig config, std::shared_ptr<Clock> clock)
-    : config_(config),
+    : config_(validated_pacer_config(config)),
       clock_(ensure_clock(std::move(clock))),
-      bucket_(config.rate_per_sec, config.burst) {}
+      bucket_(config_.rate_per_sec, config_.burst) {}
 
 void Pacer::acquire() {
   for (;;) {
@@ -116,6 +165,48 @@ double Pacer::waited_ms() const {
 double Pacer::tokens_available() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return bucket_.peek_tokens(clock_->now_ms());
+}
+
+void Pacer::on_success() {
+  if (!config_.aimd) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double rate = bucket_.rate();
+  // `+= increase / rate` per served answer ≈ `increase` tokens/sec of growth
+  // per second of sustained service — the classic linear probe, expressed
+  // per-event so it needs no timer.
+  const double next =
+      std::min(config_.aimd_ceiling,
+               rate + config_.aimd_increase / std::max(rate, config_.aimd_floor));
+  bucket_.set_rate(next, clock_->now_ms());
+  ++rate_increases_;
+}
+
+void Pacer::on_overload(double retry_after_ms) {
+  if (!config_.aimd) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  double next = bucket_.rate() * config_.aimd_decrease;
+  // A throttle hint is (1 - tokens) · 1000 / server_rate ≤ 1000 / server_rate,
+  // so 1000/hint upper-bounds the server's refill rate: seeding from it pulls
+  // a wildly mis-set rate to within one burst of the limit in one round trip.
+  if (retry_after_ms > 0.0) next = std::min(next, 1000.0 / retry_after_ms);
+  next = std::max(config_.aimd_floor, next);
+  bucket_.set_rate(next, clock_->now_ms());
+  ++rate_decreases_;
+}
+
+double Pacer::current_rate() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bucket_.rate();
+}
+
+std::int64_t Pacer::rate_increases() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rate_increases_;
+}
+
+std::int64_t Pacer::rate_decreases() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rate_decreases_;
 }
 
 }  // namespace duo::serve

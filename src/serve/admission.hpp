@@ -15,7 +15,12 @@
 //  - Pacer: the client-side counterpart — one shared token bucket across
 //    any number of ResilientHandle instances, modeling concurrent attack
 //    processes pacing themselves under a single API key instead of
-//    hammering the victim and eating throttles.
+//    hammering the victim and eating throttles. With PacerConfig::aimd the
+//    pacer closes the loop: ResilientHandle feeds served answers and
+//    overload pushback back into it, and the shared rate converges on the
+//    victim's undisclosed limit with zero configuration
+//    (additive-increase / multiplicative-decrease, seeded by the server's
+//    retry_after_ms hints).
 //
 // TokenBucket is not thread-safe (callers lock); RateLimiter and Pacer are.
 
@@ -34,8 +39,9 @@ namespace duo::serve {
 enum class AdmissionPolicy {
   kBlock,   // wait for room (bounded by the caller's submit deadline)
   kReject,  // fail immediately with ServeError{kOverloaded} + retry_after
-  kShed,    // accept, dropping the oldest queued request (its future fails
-            // with ServeError{kShed}) — freshest-first under overload
+  kShed,    // accept, evicting the queued request closest to its deadline
+            // (least useful work; its future fails with ServeError{kShed}),
+            // falling back to oldest-first among undeadlined requests
 };
 
 // Deterministic token bucket: `rate` tokens/sec refill up to `burst`.
@@ -55,6 +61,12 @@ class TokenBucket {
   // reports its full burst. Pure observation — interleaving peeks between
   // acquires never changes any grant/deny decision.
   double peek_tokens(double now_ms) const noexcept;
+
+  // Retune the refill rate at time `now_ms`: accrual up to `now_ms` is
+  // settled at the old rate first, so a rate change never rewrites history —
+  // decisions stay a pure function of the (call, timestamp) sequence. Burst
+  // and current tokens are untouched.
+  void set_rate(double rate_per_sec, double now_ms);
 
   double rate() const noexcept { return rate_; }
   double burst() const noexcept { return burst_; }
@@ -77,6 +89,13 @@ class RateLimiter {
   // TokenBucket::try_acquire. Thread-safe.
   double try_acquire(const std::string& client_id, double now_ms);
 
+  // Mid-run limit change: retunes the sustained rate for every existing
+  // bucket (settled at `now_ms`, see TokenBucket::set_rate) and for buckets
+  // created later. The serving story behind AIMD's re-convergence test: the
+  // victim quietly drops its rate and clients must rediscover it.
+  void set_rate(double rate_per_sec, double now_ms);
+
+  double rate() const;
   std::int64_t clients_seen() const;
 
  private:
@@ -88,9 +107,25 @@ class RateLimiter {
 
 struct PacerConfig {
   // Sustained submissions/sec shared by every handle on this pacer, and the
-  // burst the bucket tolerates. rate must be > 0.
+  // burst the bucket tolerates. rate must be > 0. Under AIMD this is only
+  // the *initial* rate — the loop retunes it from server feedback.
   double rate_per_sec = 50.0;
   double burst = 4.0;
+
+  // AIMD mode: converge on the victim's undisclosed rate limit with zero
+  // hand-tuning. Each served answer grows the rate by aimd_increase/rate
+  // (≈ aimd_increase tokens/sec per second of sustained service — the
+  // classic linear probe); each overload pushback contracts it to
+  // aimd_decrease × rate; a throttle's retry_after_ms hint additionally
+  // seeds the rate directly (the hint upper-bounds the server's refill
+  // rate), so a wildly mis-set initial rate converges in one round trip
+  // instead of decaying geometrically. The rate is clamped to
+  // [aimd_floor, aimd_ceiling] throughout.
+  bool aimd = false;
+  double aimd_increase = 4.0;  // probe slope, tokens/sec per sec of service
+  double aimd_decrease = 0.5;  // back-off factor on pushback, in (0, 1)
+  double aimd_floor = 0.1;     // rate never contracts below this
+  double aimd_ceiling = 1e6;   // rate never grows above this
 };
 
 // Shared client-side pacer: acquire() blocks (through the clock, so a
@@ -104,12 +139,28 @@ class Pacer {
   // Blocks until a token is granted. Thread-safe.
   void acquire();
 
+  // AIMD feedback (no-ops unless config.aimd). ResilientHandle calls these
+  // for every handle sharing the pacer, so the discovered rate is the joint
+  // rate of the whole API key, not per handle. Deterministic: the rate
+  // trajectory is a pure function of the (success, overload-hint) call
+  // sequence and the clock timestamps at which they land.
+  void on_success();  // served answer → additive increase
+  // Overload pushback (kThrottled / kOverloaded / kShed / kExpired) →
+  // multiplicative decrease. `retry_after_ms` > 0 (throttle / reject hints)
+  // also seeds the rate from the hint-implied server rate.
+  void on_overload(double retry_after_ms);
+
   std::int64_t granted() const;    // tokens handed out
   std::int64_t waits() const;      // sleep rounds taken while pacing
   double waited_ms() const;        // total clock time spent pacing
   // Tokens the shared bucket holds right now (reads the clock, consumes
   // nothing) — lets a campaign report show residual client-side headroom.
   double tokens_available() const;
+  // The current shared rate: under AIMD, the discovered limit estimate;
+  // otherwise the static configured rate.
+  double current_rate() const;
+  std::int64_t rate_increases() const;  // AIMD additive steps taken
+  std::int64_t rate_decreases() const;  // AIMD contractions taken
 
   const PacerConfig& config() const noexcept { return config_; }
   Clock& clock() noexcept { return *clock_; }
@@ -122,6 +173,8 @@ class Pacer {
   std::int64_t granted_ = 0;
   std::int64_t waits_ = 0;
   double waited_ms_ = 0.0;
+  std::int64_t rate_increases_ = 0;
+  std::int64_t rate_decreases_ = 0;
 };
 
 }  // namespace duo::serve

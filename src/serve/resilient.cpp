@@ -103,6 +103,7 @@ double ResilientHandle::classify_failure(
       throw;
     }
     note_retryable(e.overload(), was_probe);
+    if (pacer_ != nullptr && e.overload()) pacer_->on_overload(e.retry_after_ms());
     return e.retry_after_ms();
   } catch (const std::future_error&) {
     // Dropped response: promise abandoned server-side. Breaker-relevant.
@@ -128,6 +129,7 @@ metrics::RetrievalList ResilientHandle::await_with_retry(
         try {
           auto list = future.get();
           note_success(probe);
+          if (pacer_ != nullptr) pacer_->on_success();
           return list;
         } catch (const ServeError& e) {
           if (!e.retryable()) {
@@ -136,6 +138,9 @@ metrics::RetrievalList ResilientHandle::await_with_retry(
           }
           retryable_failure = true;
           note_retryable(e.overload(), probe);
+          if (pacer_ != nullptr && e.overload()) {
+            pacer_->on_overload(e.retry_after_ms());
+          }
           retry_after_ms = e.retry_after_ms();
         } catch (const std::future_error&) {
           retryable_failure = true;  // dropped response

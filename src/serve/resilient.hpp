@@ -9,7 +9,11 @@
 //     honors server retry_after hints (throttles / admission rejections),
 //   - a per-query attempt cap and a handle-wide total retry budget,
 //   - an optional shared Pacer (one API key, many attack processes: every
-//     submission first takes a token from the shared bucket),
+//     submission first takes a token from the shared bucket); when the pacer
+//     runs in AIMD mode the handle closes the loop, reporting every served
+//     answer (additive increase) and every overload-family failure with its
+//     retry_after hint (multiplicative decrease) back into the shared rate —
+//     timeouts and drops carry no load signal and report nothing,
 //   - an optional circuit breaker: after `circuit_threshold` consecutive
 //     breaker-relevant failures (transient errors, drops, timeouts — NOT
 //     overload pushback, which proves the victim is up) the circuit opens

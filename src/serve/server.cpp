@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 
@@ -67,6 +69,15 @@ void RetrievalServer::start() {
   DUO_CHECK_MSG(
       config_.admission_threshold > 0.0 && config_.admission_threshold <= 1.0,
       "RetrievalServer: admission_threshold must be in (0, 1]");
+  DUO_CHECK_MSG(config_.batch_timeout_ms >= 0.0,
+                "RetrievalServer: negative batch_timeout_ms");
+  if (config_.degrade_high > 0.0) {
+    DUO_CHECK_MSG(config_.degrade_high <= 1.0,
+                  "RetrievalServer: degrade_high must be in (0, 1]");
+    DUO_CHECK_MSG(
+        config_.degrade_low >= 0.0 && config_.degrade_low < config_.degrade_high,
+        "RetrievalServer: degrade_low must be in [0, degrade_high)");
+  }
   clock_ = ensure_clock(config_.clock);
   if (config_.client_rate > 0.0) {
     limiter_ = std::make_unique<RateLimiter>(config_.client_rate,
@@ -76,6 +87,8 @@ void RetrievalServer::start() {
       1, static_cast<std::size_t>(config_.admission_threshold *
                                   static_cast<double>(config_.queue_capacity)));
   batch_size_counts_.assign(config_.max_batch + 1, 0);
+  occupancy_deciles_.assign(11, 0);
+  retry_after_buckets_.assign(12, 0);
   latency_reservoir_.reserve(config_.latency_reservoir);
   scheduler_ = std::thread([this] { scheduler_loop(); });
 }
@@ -96,6 +109,7 @@ bool RetrievalServer::enqueue(Request& req,
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++requests_throttled_;
         ++client_slot(opts.client_id).throttled;
+        record_retry_after(wait_ms);
       }
       req.promise.set_exception(std::make_exception_ptr(ServeError(
           ServeErrorCode::kThrottled, /*billed=*/false,
@@ -135,6 +149,7 @@ bool RetrievalServer::enqueue(Request& req,
         std::lock_guard<std::mutex> slock(stats_mutex_);
         ++requests_rejected_;
         ++client_slot(opts.client_id).rejected;
+        record_retry_after(config_.reject_retry_after_ms);
       }
       req.promise.set_exception(std::make_exception_ptr(ServeError(
           ServeErrorCode::kOverloaded, /*billed=*/false,
@@ -143,11 +158,24 @@ bool RetrievalServer::enqueue(Request& req,
       return false;
     }
     if (config_.admission == AdmissionPolicy::kShed) {
-      // Freshest-first under overload: evict from the front (oldest) until
-      // the newcomer fits under the admit limit.
+      // Evict the queued request closest to its deadline — the least useful
+      // work left, since it is the likeliest to expire before serving anyway.
+      // Undeadlined requests key as +inf, so among them the strict `<` scan
+      // keeps the earliest index and the policy falls back to oldest-first.
       while (queue_.size() >= admit_limit_) {
-        shed_victims.push_back(std::move(queue_.front()));
-        queue_.pop_front();
+        std::size_t victim = 0;
+        double best = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < queue_.size(); ++i) {
+          const double key = queue_[i].has_deadline
+                                 ? queue_[i].deadline_ms
+                                 : std::numeric_limits<double>::infinity();
+          if (key < best) {
+            best = key;
+            victim = i;
+          }
+        }
+        shed_victims.push_back(std::move(queue_[victim]));
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(victim));
       }
     }
     if (opts.has_deadline()) {
@@ -226,10 +254,23 @@ void RetrievalServer::scheduler_loop() {
   std::vector<Request> batch;
   std::vector<Request> expired;
   for (;;) {
+    std::size_t occupancy = 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       not_empty_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and everything drained
+      if (queue_.empty()) break;  // stop_ set and everything drained
+      if (config_.batch_timeout_ms > 0.0 && !stop_ &&
+          queue_.size() < config_.max_batch) {
+        // Latency-aware batching: pay a bounded wall wait for a fuller
+        // batch, draining early the moment the batch fills or shutdown
+        // begins. The queue only shrinks on this thread, so it is still
+        // non-empty when the wait returns.
+        not_empty_.wait_for(
+            lock,
+            std::chrono::duration<double, std::milli>(config_.batch_timeout_ms),
+            [this] { return stop_ || queue_.size() >= config_.max_batch; });
+      }
+      occupancy = queue_.size();
       batch.clear();
       expired.clear();
       // Shed expired requests before they cost a batch slot (and before the
@@ -246,6 +287,10 @@ void RetrievalServer::scheduler_loop() {
       }
     }
     not_full_.notify_all();
+    // Ladder decisions use the occupancy this tick *saw*, before draining:
+    // the batch about to be served is the one that pays (or stops paying)
+    // the recall trade.
+    update_degradation(occupancy);
     if (!expired.empty()) {
       {
         std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -258,6 +303,49 @@ void RetrievalServer::scheduler_loop() {
       for (auto& r : expired) r.promise.set_exception(error);
     }
     if (!batch.empty()) process_batch(batch);
+  }
+  // Drained for shutdown: leave the index exactly as a never-degraded
+  // server would, and settle the open degraded stint into the accumulator.
+  if (degraded_mode_) {
+    system_.set_index_degraded(false);
+    degraded_mode_ = false;
+    const double now_ms = clock_->now_ms();
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    degraded_accum_ms_ += std::max(0.0, now_ms - degraded_since_ms_);
+    degraded_stat_ = false;
+  }
+}
+
+void RetrievalServer::update_degradation(std::size_t occupancy) {
+  const auto decile = std::min<std::size_t>(
+      10, occupancy * 10 / config_.queue_capacity);
+  bool entered = false;
+  bool left = false;
+  if (config_.degrade_high > 0.0) {
+    const double frac = static_cast<double>(occupancy) /
+                        static_cast<double>(config_.queue_capacity);
+    if (!degraded_mode_ && frac >= config_.degrade_high) {
+      // set_index_degraded reports whether the index has a cheaper mode at
+      // all — the flat exact scan does not, and then the server never
+      // pretends to be degraded.
+      degraded_mode_ = system_.set_index_degraded(true);
+      entered = degraded_mode_;
+    } else if (degraded_mode_ && frac <= config_.degrade_low) {
+      system_.set_index_degraded(false);
+      degraded_mode_ = false;
+      left = true;
+    }
+  }
+  const double now_ms = clock_->now_ms();
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++occupancy_deciles_[decile];
+  if (entered) {
+    ++degrade_entries_;
+    degraded_since_ms_ = now_ms;
+    degraded_stat_ = true;
+  } else if (left) {
+    degraded_accum_ms_ += std::max(0.0, now_ms - degraded_since_ms_);
+    degraded_stat_ = false;
   }
 }
 
@@ -369,6 +457,9 @@ void RetrievalServer::process_batch(std::vector<Request>& batch) {
 
   std::lock_guard<std::mutex> lock(stats_mutex_);
   queries_served_ += static_cast<std::int64_t>(served_lat.size());
+  if (degraded_mode_) {  // scheduler thread: its own ladder state
+    degraded_served_ += static_cast<std::int64_t>(served_lat.size());
+  }
   faults_injected_ += static_cast<std::int64_t>(faulted_idx.size());
   ++batches_;
   ++batch_size_counts_[batch.size()];
@@ -408,6 +499,18 @@ void RetrievalServer::record_client_latency(ClientAccounting& c, double ms,
   ++c.latency_count;
 }
 
+void RetrievalServer::record_retry_after(double hint_ms) {
+  // Power-of-two buckets: 0 holds hints <= 1 ms, b holds (2^(b-1), 2^b],
+  // the last bucket everything beyond.
+  std::size_t b = 0;
+  double upper = 1.0;
+  while (b + 1 < retry_after_buckets_.size() && hint_ms > upper) {
+    upper *= 2.0;
+    ++b;
+  }
+  ++retry_after_buckets_[b];
+}
+
 void RetrievalServer::record_latency(double ms) {
   max_latency_ms_ = std::max(max_latency_ms_, ms);
   if (latency_reservoir_.size() < config_.latency_reservoir) {
@@ -426,6 +529,7 @@ ServerStats RetrievalServer::stats() const {
   ServerStats out;
   std::vector<double> latencies;
   std::map<std::string, std::vector<double>> client_latencies;
+  const double now_ms = clock_->now_ms();  // clock read outside the lock
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     out.queries_served = queries_served_;
@@ -440,6 +544,16 @@ ServerStats RetrievalServer::stats() const {
     out.latency_samples_retained =
         static_cast<std::int64_t>(latency_reservoir_.size());
     out.max_latency_ms = max_latency_ms_;
+    out.degrade_entries = degrade_entries_;
+    out.degraded_now = degraded_stat_;
+    out.degraded_served = degraded_served_;
+    // An open degraded stint counts up to the snapshot, so degraded_ms is
+    // monotone in time, not only at exit ticks.
+    out.degraded_ms =
+        degraded_accum_ms_ +
+        (degraded_stat_ ? std::max(0.0, now_ms - degraded_since_ms_) : 0.0);
+    out.occupancy_deciles = occupancy_deciles_;
+    out.retry_after_buckets = retry_after_buckets_;
     latencies = latency_reservoir_;
     for (const auto& [id, acc] : clients_) {
       ClientStats cs;
@@ -465,7 +579,21 @@ ServerStats RetrievalServer::stats() const {
   return out;
 }
 
+void RetrievalServer::set_client_rate(double rate_per_sec) {
+  if (limiter_ == nullptr) {
+    throw std::logic_error(
+        "RetrievalServer::set_client_rate: rate limiting is disabled "
+        "(client_rate was 0 at construction)");
+  }
+  limiter_->set_rate(rate_per_sec, clock_->now_ms());
+}
+
+double RetrievalServer::client_rate() const {
+  return limiter_ == nullptr ? 0.0 : limiter_->rate();
+}
+
 void RetrievalServer::reset_stats() {
+  const double now_ms = clock_->now_ms();
   std::lock_guard<std::mutex> lock(stats_mutex_);
   queries_served_ = 0;
   batches_ = 0;
@@ -475,6 +603,14 @@ void RetrievalServer::reset_stats() {
   requests_shed_ = 0;
   requests_expired_ = 0;
   std::fill(batch_size_counts_.begin(), batch_size_counts_.end(), 0);
+  std::fill(occupancy_deciles_.begin(), occupancy_deciles_.end(), 0);
+  std::fill(retry_after_buckets_.begin(), retry_after_buckets_.end(), 0);
+  degrade_entries_ = 0;
+  degraded_accum_ms_ = 0.0;
+  degraded_served_ = 0;
+  // A reset during an open degraded stint restarts the stint's clock; the
+  // ladder state itself (degraded or not) is serving reality, not a stat.
+  if (degraded_stat_) degraded_since_ms_ = now_ms;
   latency_reservoir_.clear();
   latency_count_ = 0;
   max_latency_ms_ = 0.0;

@@ -41,9 +41,10 @@
 //  - Admission policy: once queue occupancy reaches admission_threshold ×
 //    queue_capacity, kReject fails new submits with ServeError{kOverloaded}
 //    (+ retry_after hint, not billed), kShed admits them by evicting the
-//    oldest queued request (the victim's future fails with
-//    ServeError{kShed}; the evictee WAS accepted, so it stays billed).
-//    kBlock is the legacy backpressure behaviour.
+//    queued request closest to its deadline — the least useful work left —
+//    falling back to oldest-first among undeadlined requests (the victim's
+//    future fails with ServeError{kShed}; the evictee WAS accepted, so it
+//    stays billed). kBlock is the legacy backpressure behaviour.
 //  - Deadline propagation: RequestOptions::ttl_ms attaches a deadline at
 //    enqueue; the scheduler sheds expired requests *before* paying for
 //    extraction (ServeError{kExpired}, billed — they were accepted) and they
@@ -110,6 +111,25 @@ struct ServerConfig {
   // Bounded per-client latency reservoir (the global reservoir keeps
   // `latency_reservoir` samples; each client additionally keeps this many).
   std::size_t client_latency_reservoir = 128;
+  // Latency-aware batching: > 0 lets a scheduler tick that woke with fewer
+  // than max_batch queued requests wait up to this many milliseconds of
+  // real wall time for a fuller batch before draining (it drains early the
+  // moment max_batch requests are queued, or on shutdown). 0 drains
+  // immediately — the legacy latency-first behaviour. Batch composition
+  // never affects answers, so the correctness contract is unchanged.
+  double batch_timeout_ms = 0.0;
+  // Graceful-degradation ladder: when tick-start queue occupancy reaches
+  // degrade_high × queue_capacity, the scheduler puts the index in degraded
+  // mode (GalleryIndex::set_degraded — IVF probes degraded_nprobe cells,
+  // trading recall for latency); it leaves degraded mode once occupancy
+  // falls back to degrade_low × queue_capacity. The gap is the hysteresis
+  // band that keeps the ladder from flapping tick-to-tick. degrade_high = 0
+  // disables degradation entirely (default). While degraded, answers may
+  // differ from direct RetrievalSystem::retrieve calls — the one deliberate
+  // exception to the bitwise correctness contract, always observable via
+  // ServerStats.
+  double degrade_high = 0.0;
+  double degrade_low = 0.25;
 };
 
 // Per-request metadata carried alongside (video, m).
@@ -173,6 +193,23 @@ struct ServerStats {
   double p50_latency_ms = 0.0;
   double p95_latency_ms = 0.0;
   double max_latency_ms = 0.0;
+  // Degradation observability: entries into degraded mode, total clock time
+  // spent degraded (including the current stint when degraded_now), whether
+  // the server is degraded at snapshot time, and how many answers were
+  // served while degraded (the requests whose recall may be reduced).
+  std::int64_t degrade_entries = 0;
+  double degraded_ms = 0.0;
+  bool degraded_now = false;
+  std::int64_t degraded_served = 0;
+  // occupancy_deciles[d] = scheduler ticks whose tick-start queue occupancy
+  // was in [d, d+1) tenths of queue_capacity; index 10 counts ticks at (or
+  // beyond) full. size() == 11.
+  std::vector<std::int64_t> occupancy_deciles;
+  // retry_after_buckets[b] = retry_after hints handed out with throttle /
+  // admission-reject failures, bucketed by power of two: bucket 0 holds
+  // hints <= 1 ms, bucket b holds (2^(b-1), 2^b] ms, the last bucket
+  // everything beyond ~1 s. size() == 12.
+  std::vector<std::int64_t> retry_after_buckets;
   // Per-client breakdown keyed by RequestOptions::client_id (std::map for
   // deterministic iteration order in reports). Every counter above is the
   // sum of the per-client slices plus, for latency percentiles, the global
@@ -243,6 +280,16 @@ class RetrievalServer {
   ServerStats stats() const;
   void reset_stats();
 
+  // Mid-run rate-limit change: retunes every existing and future per-client
+  // bucket to `rate_per_sec` (settled at the current clock time, so the
+  // change never rewrites past accrual). Requires rate limiting to be
+  // enabled at construction (client_rate > 0); throws std::logic_error
+  // otherwise. The AIMD re-convergence scenario: the victim quietly drops
+  // its limit and adaptive clients must rediscover it.
+  void set_client_rate(double rate_per_sec);
+  // The limiter's current sustained rate (client_rate when never retuned).
+  double client_rate() const;
+
   const ServerConfig& config() const noexcept { return config_; }
   Clock& clock() noexcept { return *clock_; }
   // The served system. Only safe to touch directly once stopped().
@@ -283,7 +330,12 @@ class RetrievalServer {
                const RequestOptions& opts);
   void scheduler_loop();
   void process_batch(std::vector<Request>& batch);
-  void record_latency(double ms);  // requires stats_mutex_ held
+  // Walk the degradation ladder for a tick that started with `occupancy`
+  // queued requests (also records the occupancy histogram). Called from the
+  // scheduler thread only, outside mutex_.
+  void update_degradation(std::size_t occupancy);
+  void record_latency(double ms);          // requires stats_mutex_ held
+  void record_retry_after(double hint_ms);  // requires stats_mutex_ held
   // Lazily creates the client's slice. Requires stats_mutex_ held.
   ClientAccounting& client_slot(const std::string& client_id);
   static void record_client_latency(ClientAccounting& c, double ms,
@@ -318,6 +370,17 @@ class RetrievalServer {
   double max_latency_ms_ = 0.0;
   Rng reservoir_rng_{kReservoirSeed};
   std::map<std::string, ClientAccounting> clients_;
+  // Degradation ladder state. degraded_mode_ is the scheduler thread's
+  // private view (no lock); everything below it is the stats mirror under
+  // stats_mutex_, from which stats() reports.
+  bool degraded_mode_ = false;
+  std::int64_t degrade_entries_ = 0;
+  double degraded_accum_ms_ = 0.0;   // completed stints
+  double degraded_since_ms_ = 0.0;   // start of the current stint
+  bool degraded_stat_ = false;       // mirror of degraded_mode_
+  std::int64_t degraded_served_ = 0;
+  std::vector<std::int64_t> occupancy_deciles_;
+  std::vector<std::int64_t> retry_after_buckets_;
 
   std::thread scheduler_;  // last member: started after everything above
 };

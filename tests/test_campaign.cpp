@@ -152,6 +152,9 @@ CampaignManifest full_manifest() {
   m.reject_retry_after_ms = 7.25;
   m.client_rate = 123.5;
   m.client_burst = 3.0;
+  m.batch_timeout_ms = 1.75;
+  m.degrade_high = 0.875;
+  m.degrade_low = 0.375;
   m.fault_error_prob = 0.05;
   m.fault_delay_prob = 0.125;
   m.fault_drop_prob = 0.0625;
@@ -160,6 +163,11 @@ CampaignManifest full_manifest() {
   m.fault_seed = 17;
   m.pacer_rate = 456.125;
   m.pacer_burst = 6.0;
+  m.pacer_aimd = true;
+  m.aimd_increase = 2.5;
+  m.aimd_decrease = 0.625;
+  m.aimd_floor = 0.25;
+  m.aimd_ceiling = 5000.0;
   m.max_attempts = 11;
   m.query_timeout_ms = 321.5;
   m.submit_deadline_ms = 222.25;

@@ -18,6 +18,7 @@
 #include "baselines/timi.hpp"
 #include "baselines/vanilla.hpp"
 #include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
 #include "fixtures.hpp"
 #include "metrics/metrics.hpp"
 #include "nn/conv3d.hpp"
@@ -620,6 +621,125 @@ TEST(FailureModes, AdmissionRejectionsAreRetriedUnbilled) {
   // Rejections never reached the victim: the bill is the logical count.
   EXPECT_EQ(resilient.queries_billed(), 4);
   EXPECT_EQ(stats.queries_served, 4);
+}
+
+// ISSUE 9 acceptance: an AIMD-paced attack against an *undisclosed* server
+// rate limit bills no more than a static pacer hand-tuned to the exact
+// limit, stays bitwise identical to the unthrottled reference, and is
+// decision-for-decision reproducible — including a mid-run limit change
+// (the server drops client_rate between two attack runs; AIMD re-converges
+// while the hand-tuned setting silently goes stale).
+TEST(FailureModes, AimdPacedAttackBillsNoMoreThanHandTunedStatic) {
+  auto& w = TinyWorld::mutable_instance();
+  const auto& v = w.dataset.train[1];
+  const auto& vt = w.dataset.train[9];
+  retrieval::BlackBoxHandle direct(*w.victim);
+  const auto ctx = attack::make_objective_context(direct, v, vt, 8);
+  const attack::Perturbation pert = noisy_support(v, 14);
+
+  attack::SparseQueryConfig cfg;
+  cfg.iter_numQ = 16;
+  cfg.m = 8;
+  const auto ref = attack::sparse_query(v, pert, direct, ctx, cfg);
+
+  struct Trace {
+    std::int64_t billed = 0;
+    std::int64_t throttled = 0;
+    std::int64_t granted = 0;
+    std::int64_t decreases = 0;
+    double elapsed_ms = 0.0;
+    double final_rate = 0.0;
+  };
+  // One paced campaign: two back-to-back pipelined attacks against a server
+  // whose undisclosed per-client limit drops from 20/s to 10/s in between.
+  const auto run = [&](bool aimd) {
+    auto clock = std::make_shared<serve::VirtualClock>();
+    serve::ServerConfig scfg;
+    scfg.clock = clock;
+    scfg.client_rate = 20.0;
+    scfg.client_burst = 2.0;
+    serve::RetrievalServer server(*w.victim, scfg);
+    serve::AsyncBlackBoxHandle async(server);
+
+    serve::PacerConfig pcfg;
+    // The static baseline is hand-tuned to the exact opening limit; AIMD
+    // starts from a deliberately bad guess and has to discover it.
+    pcfg.rate_per_sec = aimd ? 4.0 : 20.0;
+    pcfg.burst = 1.0;
+    pcfg.aimd = aimd;
+    pcfg.aimd_increase = 100.0;
+    auto pacer = std::make_shared<serve::Pacer>(pcfg, clock);
+
+    serve::RetryPolicy policy;
+    policy.max_attempts = 10;
+    policy.backoff_base = std::chrono::milliseconds(0);
+    policy.query_timeout = std::chrono::milliseconds(10000);
+    policy.seed = 17;
+    serve::ResilientHandle resilient(async, policy, pacer, clock);
+
+    const auto first =
+        attack::sparse_query_pipelined(v, pert, resilient, ctx, cfg);
+    EXPECT_EQ(first.t_history, ref.t_history);
+    expect_bitwise_equal(first.v_adv.data(), ref.v_adv.data(),
+                         aimd ? "aimd v_adv (phase 1)" : "static v_adv (1)");
+
+    server.set_client_rate(10.0);
+    const auto second =
+        attack::sparse_query_pipelined(v, pert, resilient, ctx, cfg);
+    EXPECT_EQ(second.t_history, ref.t_history);
+    expect_bitwise_equal(second.v_adv.data(), ref.v_adv.data(),
+                         aimd ? "aimd v_adv (phase 2)" : "static v_adv (2)");
+    server.shutdown();
+
+    // Ledger identity: billed == served + faulted + expired + shed (the
+    // only terminal states an accepted request has).
+    const serve::ServerStats stats = server.stats();
+    EXPECT_EQ(resilient.queries_billed(),
+              stats.queries_served + stats.faults_injected +
+                  stats.requests_expired + stats.requests_shed);
+    EXPECT_EQ(resilient.overloads_seen(), stats.requests_throttled);
+    EXPECT_EQ(pacer->granted(),
+              resilient.queries_billed() + stats.requests_throttled);
+
+    Trace t;
+    t.billed = resilient.queries_billed();
+    t.throttled = stats.requests_throttled;
+    t.granted = pacer->granted();
+    t.decreases = pacer->rate_decreases();
+    t.elapsed_ms = clock->now_ms();
+    t.final_rate = pacer->current_rate();
+    return t;
+  };
+
+  const Trace adaptive = run(/*aimd=*/true);
+  const Trace tuned = run(/*aimd=*/false);
+
+  // The acceptance inequality: discovery costs no extra bill. Throttles are
+  // unbilled and retried, so both pacers pay exactly the logical count.
+  EXPECT_LE(adaptive.billed, tuned.billed);
+  EXPECT_EQ(adaptive.billed, tuned.billed);  // and in fact exactly equal
+  // AIMD actually engaged: it probed past the limit and backed off, and
+  // after the drop its estimate sits near the *new* limit, not the old one.
+  EXPECT_GT(adaptive.throttled, 0);
+  EXPECT_GT(adaptive.decreases, 0);
+  EXPECT_GE(adaptive.final_rate, 4.0);
+  EXPECT_LE(adaptive.final_rate, 22.0);
+
+  // Decision-for-decision reproducible: the identical scenario replays to an
+  // identical trace — and the compute-pool width (the DUO_THREADS analogue)
+  // must not leak into a single pacer decision.
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{7}}) {
+    ThreadPool pool(threads);
+    set_compute_pool(&pool);
+    const Trace replay = run(/*aimd=*/true);
+    set_compute_pool(nullptr);
+    EXPECT_EQ(replay.billed, adaptive.billed) << threads;
+    EXPECT_EQ(replay.throttled, adaptive.throttled) << threads;
+    EXPECT_EQ(replay.granted, adaptive.granted) << threads;
+    EXPECT_EQ(replay.decreases, adaptive.decreases) << threads;
+    EXPECT_DOUBLE_EQ(replay.elapsed_ms, adaptive.elapsed_ms) << threads;
+    EXPECT_DOUBLE_EQ(replay.final_rate, adaptive.final_rate) << threads;
+  }
 }
 
 // ISSUE satellites (circuit breaker + checkpoint GC): when the victim goes

@@ -351,6 +351,45 @@ TEST_F(IvfSystemTest, EvaluateMapBitwiseAcrossThreadCountsOnIvf) {
   EXPECT_EQ(maps[0], maps[1]);
 }
 
+// ISSUE 9: graceful degradation. set_degraded(true) caps the probe count at
+// degraded_nprobe for the cheaper scan; clearing it restores the exact
+// pre-degradation answers bit for bit. The flat index has no cheaper mode
+// and must decline the request outright.
+TEST_F(IvfVsFlat, DegradedModeProbesFewerCellsAndRestoresBitwise) {
+  IndexConfig cfg = ivf_config(16, 4, /*quantize=*/false);
+  cfg.degraded_nprobe = 1;
+  IvfIndex ivf = make_trained(cfg);
+  ASSERT_TRUE(ivf.trained());
+  EXPECT_FALSE(ivf.degraded());
+
+  std::vector<std::vector<Neighbor>> healthy;
+  for (const auto& q : queries_) healthy.push_back(ivf.query(q, 10));
+
+  EXPECT_TRUE(ivf.set_degraded(true));  // IVF has a cheaper mode to offer
+  EXPECT_TRUE(ivf.degraded());
+  for (const auto& q : queries_) {
+    IvfQueryStats stats;
+    (void)ivf.query_with_stats(q, 10, false, &stats);
+    EXPECT_EQ(stats.cells_probed, 1u);  // nprobe 4 -> degraded_nprobe 1
+  }
+
+  EXPECT_TRUE(ivf.set_degraded(false));
+  EXPECT_FALSE(ivf.degraded());
+  for (std::size_t i = 0; i < queries_.size(); ++i) {
+    IvfQueryStats stats;
+    const auto restored = ivf.query_with_stats(queries_[i], 10, false, &stats);
+    EXPECT_EQ(stats.cells_probed, 4u);
+    expect_identical(healthy[i], restored);
+  }
+
+  // Flat exact scan: no reduced-effort mode, the request is declined and
+  // the index never reports itself degraded.
+  RetrievalIndex flat(8, 1);
+  for (const auto& e : gallery_) flat.add(e);
+  EXPECT_FALSE(flat.set_degraded(true));
+  EXPECT_FALSE(flat.degraded());
+}
+
 TEST_F(IvfSystemTest, RemovalRoutesThroughIvfIndex) {
   const auto system = make_system(ivf_config(6, 6, true, 3));
   const auto& victim = dataset_.train[2];

@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <memory>
+#include <numeric>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -279,6 +281,16 @@ TEST(Serve, RejectsDegenerateConfig) {
   ServerConfig no_reservoir;
   no_reservoir.latency_reservoir = 0;
   EXPECT_THROW(RetrievalServer(*w.system, no_reservoir), std::logic_error);
+  ServerConfig negative_timeout;
+  negative_timeout.batch_timeout_ms = -1.0;
+  EXPECT_THROW(RetrievalServer(*w.system, negative_timeout), std::logic_error);
+  ServerConfig inverted_ladder;
+  inverted_ladder.degrade_high = 0.5;
+  inverted_ladder.degrade_low = 0.5;  // exit mark must sit below the entry
+  EXPECT_THROW(RetrievalServer(*w.system, inverted_ladder), std::logic_error);
+  ServerConfig high_above_full;
+  high_above_full.degrade_high = 1.5;  // occupancy share cannot exceed 1
+  EXPECT_THROW(RetrievalServer(*w.system, high_above_full), std::logic_error);
 }
 
 // Satellite regression: shutdown() raced from several threads used to be a
@@ -533,8 +545,9 @@ TEST(Admission, ShedPolicyEvictsOldestAndKeepsAccountingConsistent) {
   AsyncBlackBoxHandle handle(server);
 
   // Every submission is accepted (and billed); overload is paid by evicting
-  // the oldest queued request. With at most 1 in service + 2 queued early
-  // on, at least 3 of 6 rapid submissions must shed a predecessor.
+  // a queued request. None of these carry a deadline, so the deadline-aware
+  // policy falls back to oldest-first. With at most 1 in service + 2 queued
+  // early on, at least 3 of 6 rapid submissions must shed a predecessor.
   std::vector<SubmitOutcome> outs;
   for (int i = 0; i < 6; ++i) {
     outs.push_back(handle.submit_with_deadline(w.dataset.test[0], 5,
@@ -1067,6 +1080,593 @@ TEST(Serve, PerClientStatsBreakdownSumsToGlobals) {
 
   server.reset_stats();
   EXPECT_TRUE(server.stats().per_client.empty());
+}
+
+// ISSUE 9: the kShed eviction is deadline-aware — under pressure the victim
+// is the queued request closest to its deadline (the least useful work
+// left), so a long-deadline request survives a storm of short-deadline ones.
+// Virtual time stands still, so the short deadlines never *expire*; they are
+// only ever closer, which pins the eviction order itself.
+TEST(Admission, ShedPolicyEvictsClosestToDeadlineFirst) {
+  auto& w = ServeWorld::mutable_instance();
+  auto clock = std::make_shared<VirtualClock>();
+  ServerConfig cfg;
+  cfg.clock = clock;
+  cfg.max_batch = 1;
+  cfg.queue_capacity = 2;
+  cfg.admission = AdmissionPolicy::kShed;
+  FaultConfig fc;
+  fc.delay_prob = 1.0;
+  fc.delay_ms = 100.0;  // wall sleep: keeps the worker busy, clock frozen
+  cfg.fault_injector = std::make_shared<FaultInjector>(fc);
+  RetrievalServer server(*w.system, cfg);
+
+  RequestOptions patient;
+  patient.ttl_ms = 10000.0;
+  RequestOptions urgent;
+  urgent.ttl_ms = 100.0;
+  AsyncBlackBoxHandle patient_handle(server, patient);
+  AsyncBlackBoxHandle urgent_handle(server, urgent);
+
+  // One patient request, then a storm of urgent ones. Every shed scan runs
+  // over a full queue (capacity 2), which always holds at least one urgent
+  // request — strictly closer to its deadline than the patient one — so the
+  // patient request is never the victim.
+  SubmitOutcome keeper = patient_handle.submit_with_deadline(
+      w.dataset.test[0], 5, std::chrono::milliseconds(0));
+  ASSERT_TRUE(keeper.accepted);
+  std::vector<SubmitOutcome> storm;
+  for (int i = 0; i < 4; ++i) {
+    storm.push_back(urgent_handle.submit_with_deadline(
+        w.dataset.test[1], 5, std::chrono::milliseconds(0)));
+  }
+  for (const auto& out : storm) EXPECT_TRUE(out.accepted);
+  server.shutdown();
+
+  EXPECT_EQ(keeper.future.get(), w.expected[0]);  // survived every eviction
+  int shed = 0;
+  for (auto& out : storm) {
+    try {
+      EXPECT_EQ(out.future.get(), w.expected[1]);
+    } catch (const ServeError& e) {
+      ++shed;
+      EXPECT_EQ(e.code(), ServeErrorCode::kShed);
+      EXPECT_TRUE(e.billed());
+    }
+  }
+  EXPECT_GE(shed, 2);  // at most 1 in service + 2 queued among 5 accepted
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests_shed, shed);
+  EXPECT_EQ(stats.requests_expired, 0);  // frozen clock: closer, not late
+  EXPECT_EQ(stats.queries_served + stats.requests_shed, 5);
+}
+
+// ISSUE 9 satellite regression: overload pushback (kThrottled / kOverloaded)
+// is flow-control, not failure — even a hair-trigger breaker must stay
+// closed through arbitrarily long throttle storms, or an AIMD client probing
+// past the limit would open its own circuit.
+TEST(Circuit, OverloadPushbackNeverTripsTheBreaker) {
+  auto& w = ServeWorld::mutable_instance();
+  // Deterministic half: a per-client rate limit on the virtual clock. Every
+  // retrieve past the burst is throttled at least once and retried after the
+  // server's 1 ms hint, with a circuit that opens on a single real failure.
+  {
+    auto clock = std::make_shared<VirtualClock>();
+    ServerConfig cfg;
+    cfg.clock = clock;
+    cfg.client_rate = 1000.0;
+    cfg.client_burst = 1.0;
+    RetrievalServer server(*w.system, cfg);
+    AsyncBlackBoxHandle async(server);
+
+    RetryPolicy policy;
+    policy.max_attempts = 5;
+    policy.backoff_base = std::chrono::milliseconds(0);
+    policy.circuit_threshold = 1;  // one breaker-relevant failure trips it
+    ResilientHandle resilient(async, policy, nullptr, clock);
+
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(resilient.retrieve(w.dataset.test[0], 5), w.expected[0]);
+    }
+    server.shutdown();
+    EXPECT_GE(resilient.overloads_seen(), 3);  // only the first ran free
+    EXPECT_EQ(resilient.circuit_opens(), 0);
+    EXPECT_EQ(resilient.circuit_state(), CircuitState::kClosed);
+    EXPECT_EQ(server.stats().requests_throttled, resilient.overloads_seen());
+  }
+
+  // Robust half: admission kReject under real backpressure. The retrieve
+  // exhausts its attempts on kOverloaded rejections — and even the terminal
+  // kRetryExhausted leaves the breaker untouched.
+  {
+    ServerConfig cfg;
+    cfg.max_batch = 1;
+    cfg.queue_capacity = 2;
+    cfg.admission = AdmissionPolicy::kReject;
+    cfg.reject_retry_after_ms = 1.0;
+    FaultConfig fc;
+    fc.delay_prob = 1.0;
+    fc.delay_ms = 200.0;
+    cfg.fault_injector = std::make_shared<FaultInjector>(fc);
+    RetrievalServer server(*w.system, cfg);
+    AsyncBlackBoxHandle async(server);
+
+    // Saturate: let the first request reach the worker (it holds it for
+    // 200 ms), then fill both queue slots — rejections follow for ~150 ms.
+    std::vector<std::future<metrics::RetrievalList>> pending;
+    pending.push_back(server.submit(w.dataset.test[0], 5));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    pending.push_back(server.submit(w.dataset.test[0], 5));
+    pending.push_back(server.submit(w.dataset.test[0], 5));
+
+    RetryPolicy policy;
+    policy.max_attempts = 2;
+    policy.backoff_base = std::chrono::milliseconds(0);
+    policy.query_timeout = std::chrono::milliseconds(60000);
+    policy.circuit_threshold = 1;
+    ResilientHandle resilient(async, policy);
+    try {
+      (void)resilient.retrieve(w.dataset.test[1], 5);
+      FAIL() << "saturated reject server should exhaust the attempts";
+    } catch (const ServeError& e) {
+      EXPECT_EQ(e.code(), ServeErrorCode::kRetryExhausted);
+    }
+    EXPECT_EQ(resilient.overloads_seen(), 2);
+    EXPECT_EQ(resilient.circuit_opens(), 0);
+    EXPECT_EQ(resilient.circuit_state(), CircuitState::kClosed);
+
+    for (auto& f : pending) EXPECT_EQ(f.get(), w.expected[0]);
+    server.shutdown();
+  }
+}
+
+// ISSUE 9 satellite: batch_timeout_ms trades a bounded wall wait for fuller
+// batches. A full batch never waits; the timeout only coalesces.
+TEST(Serve, BatchTimeoutCoalescesFullBatchesDeterministically) {
+  auto& w = ServeWorld::mutable_instance();
+  ServerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.batch_timeout_ms = 10000.0;  // absurd on purpose: full batch = no wait
+  RetrievalServer server(*w.system, cfg);
+
+  std::vector<std::future<metrics::RetrievalList>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(
+        server.submit(w.dataset.test[static_cast<std::size_t>(i) %
+                                     w.dataset.test.size()],
+                      5));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get(), w.expected[i % w.dataset.test.size()]);
+  }
+  server.shutdown();
+
+  // However submits interleave with the scheduler, the wait-for-full-batch
+  // predicate guarantees a single tick drained all four.
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.queries_served, 4);
+  EXPECT_EQ(stats.batches, 1);
+  ASSERT_EQ(stats.batch_size_counts.size(), 5u);
+  EXPECT_EQ(stats.batch_size_counts[4], 1);
+}
+
+TEST(Serve, BatchTimeoutDrainsPartialBatchAndShutsDownPromptly) {
+  auto& w = ServeWorld::mutable_instance();
+  // A lone request is served after at most the timeout — the knob bounds
+  // added latency, it never strands work.
+  {
+    ServerConfig cfg;
+    cfg.max_batch = 4;
+    cfg.batch_timeout_ms = 5.0;
+    RetrievalServer server(*w.system, cfg);
+    EXPECT_EQ(server.submit(w.dataset.test[0], 5).get(), w.expected[0]);
+    server.shutdown();
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.batches, 1);
+    EXPECT_EQ(stats.batch_size_counts[1], 1);
+  }
+  // Shutdown interrupts the coalescing wait instead of sitting it out.
+  {
+    ServerConfig cfg;
+    cfg.max_batch = 4;
+    cfg.batch_timeout_ms = 60000.0;
+    RetrievalServer server(*w.system, cfg);
+    auto future = server.submit(w.dataset.test[1], 5);
+    const auto t0 = std::chrono::steady_clock::now();
+    server.shutdown();
+    EXPECT_EQ(future.get(), w.expected[1]);
+    const double drained_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_LT(drained_ms, 30000.0);  // far below the 60 s coalescing wait
+  }
+}
+
+// ISSUE 9 tentpole: the AIMD pacer discovers an undisclosed server-side rate
+// limit. The whole loop runs on one virtual clock, so the trajectory is a
+// pure function of the configs — asserted by running the scenario twice.
+TEST(Aimd, PacerConvergesIntoTheLimitBand) {
+  auto& w = ServeWorld::mutable_instance();
+  struct Run {
+    double elapsed_ms = 0.0;
+    double final_rate = 0.0;
+    std::int64_t granted = 0;
+    std::int64_t throttled = 0;
+    std::int64_t billed = 0;
+    std::int64_t increases = 0;
+    std::int64_t decreases = 0;
+  };
+  const auto run_once = [&]() {
+    auto clock = std::make_shared<VirtualClock>();
+    ServerConfig cfg;
+    cfg.clock = clock;
+    cfg.client_rate = 50.0;  // the undisclosed limit under discovery
+    cfg.client_burst = 2.0;
+    RetrievalServer server(*w.system, cfg);
+    AsyncBlackBoxHandle async(server);
+
+    PacerConfig pcfg;
+    pcfg.rate_per_sec = 5.0;  // start far below the limit
+    pcfg.burst = 1.0;
+    pcfg.aimd = true;
+    pcfg.aimd_increase = 100.0;
+    pcfg.aimd_decrease = 0.5;
+    auto pacer = std::make_shared<Pacer>(pcfg, clock);
+
+    RetryPolicy policy;
+    policy.max_attempts = 10;
+    policy.backoff_base = std::chrono::milliseconds(0);
+    policy.query_timeout = std::chrono::milliseconds(10000);
+    ResilientHandle resilient(async, policy, pacer, clock);
+
+    constexpr int kQueries = 400;
+    for (int i = 0; i < kQueries; ++i) {
+      EXPECT_EQ(resilient.retrieve(w.dataset.test[0], 5), w.expected[0]);
+    }
+    server.shutdown();
+
+    Run out;
+    out.elapsed_ms = clock->now_ms();
+    out.final_rate = pacer->current_rate();
+    out.granted = pacer->granted();
+    out.throttled = server.stats().requests_throttled;
+    out.billed = resilient.queries_billed();
+    out.increases = pacer->rate_increases();
+    out.decreases = pacer->rate_decreases();
+    return out;
+  };
+
+  const Run run = run_once();
+  // Throttles are unbilled and retried: each logical query bills exactly
+  // one accepted submission.
+  EXPECT_EQ(run.billed, 400);
+  EXPECT_EQ(run.granted, run.billed + run.throttled);
+  // The server bucket bounds the admitted volume by burst + rate·T — the
+  // client can discover the limit but never beat it.
+  EXPECT_LE(400.0, 2.0 + 50.0 * run.elapsed_ms / 1000.0 + 1e-6);
+  // And the probe is efficient: at least half the limit sustained end to
+  // end (a static pacer hand-tuned to 50/s would take 8 s; AIMD pays the
+  // sawtooth, not an order of magnitude).
+  EXPECT_LE(run.elapsed_ms, 16000.0);
+  // The sawtooth has settled into the band around the true 50/s limit.
+  EXPECT_GE(run.final_rate, 20.0);
+  EXPECT_LE(run.final_rate, 70.0);
+  EXPECT_GT(run.increases, 0);
+  EXPECT_GT(run.decreases, 0);
+  EXPECT_GT(run.throttled, 0);  // discovery requires touching the limit
+
+  // Bitwise-reproducible: the whole closed loop is deterministic on the
+  // virtual clock, decision for decision.
+  const Run again = run_once();
+  EXPECT_DOUBLE_EQ(again.elapsed_ms, run.elapsed_ms);
+  EXPECT_DOUBLE_EQ(again.final_rate, run.final_rate);
+  EXPECT_EQ(again.granted, run.granted);
+  EXPECT_EQ(again.throttled, run.throttled);
+  EXPECT_EQ(again.increases, run.increases);
+  EXPECT_EQ(again.decreases, run.decreases);
+
+  // Hint seeding: a wildly optimistic starting rate is pulled to the limit
+  // by the first retry_after hint (rate <- min(beta·r, 1000/hint)) instead
+  // of decaying geometrically through dozens of halvings.
+  {
+    auto clock = std::make_shared<VirtualClock>();
+    ServerConfig cfg;
+    cfg.clock = clock;
+    cfg.client_rate = 50.0;
+    cfg.client_burst = 2.0;
+    RetrievalServer server(*w.system, cfg);
+    AsyncBlackBoxHandle async(server);
+    PacerConfig pcfg;
+    pcfg.rate_per_sec = 100000.0;
+    pcfg.burst = 1.0;
+    pcfg.aimd = true;
+    auto pacer = std::make_shared<Pacer>(pcfg, clock);
+    RetryPolicy policy;
+    policy.max_attempts = 10;
+    policy.backoff_base = std::chrono::milliseconds(0);
+    ResilientHandle resilient(async, policy, pacer, clock);
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(resilient.retrieve(w.dataset.test[0], 5), w.expected[0]);
+    }
+    server.shutdown();
+    EXPECT_GE(pacer->rate_decreases(), 1);
+    EXPECT_LE(pacer->current_rate(), 60.0);  // one round trip, not ~11 halvings
+  }
+}
+
+// ISSUE 9 acceptance (serve half): the server drops the limit mid-run and
+// the AIMD loop re-converges into the new band without operator input.
+TEST(Aimd, ReconvergesAfterAMidRunLimitDrop) {
+  auto& w = ServeWorld::mutable_instance();
+  auto clock = std::make_shared<VirtualClock>();
+  ServerConfig cfg;
+  cfg.clock = clock;
+  cfg.client_rate = 80.0;
+  cfg.client_burst = 2.0;
+  RetrievalServer server(*w.system, cfg);
+  AsyncBlackBoxHandle async(server);
+
+  PacerConfig pcfg;
+  pcfg.rate_per_sec = 5.0;
+  pcfg.burst = 1.0;
+  pcfg.aimd = true;
+  pcfg.aimd_increase = 100.0;
+  auto pacer = std::make_shared<Pacer>(pcfg, clock);
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.backoff_base = std::chrono::milliseconds(0);
+  policy.query_timeout = std::chrono::milliseconds(10000);
+  ResilientHandle resilient(async, policy, pacer, clock);
+
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(resilient.retrieve(w.dataset.test[0], 5), w.expected[0]);
+  }
+  EXPECT_GE(pacer->current_rate(), 32.0);  // converged around 80/s
+  EXPECT_LE(pacer->current_rate(), 112.0);
+  EXPECT_DOUBLE_EQ(server.client_rate(), 80.0);
+
+  // The operator tightens the limit on the live server: existing buckets
+  // settle their accrual at the old rate, then refill at the new one.
+  server.set_client_rate(20.0);
+  EXPECT_DOUBLE_EQ(server.client_rate(), 20.0);
+  const double t1 = clock->now_ms();
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(resilient.retrieve(w.dataset.test[0], 5), w.expected[0]);
+  }
+  const double phase2_ms = clock->now_ms() - t1;
+  server.shutdown();
+
+  // Admitted volume in phase 2 is bounded by the new limit...
+  EXPECT_LE(300.0, 2.0 + 20.0 * phase2_ms / 1000.0 + 1e-6);
+  // ...and the loop re-discovered it rather than crawling: ≥ half the new
+  // limit sustained, with the final rate inside the new band.
+  EXPECT_LE(phase2_ms, 30000.0);
+  // Sawtooth band around the new 20/s limit: a decrease lands between
+  // beta·limit and the hint-capped estimate, an increase probes just past.
+  EXPECT_GE(pacer->current_rate(), 8.0);
+  EXPECT_LE(pacer->current_rate(), 42.0);
+}
+
+// ISSUE 9 satellite: two handles sharing one AIMD pacer treat the discovered
+// limit as a joint budget — the pacer's bucket admits their union, so the
+// pair can never jointly exceed what one client is allowed.
+TEST(Aimd, TwoHandlesSharingOnePacerRespectTheJointLimit) {
+  auto& w = ServeWorld::mutable_instance();
+  auto clock = std::make_shared<VirtualClock>();
+  ServerConfig cfg;
+  cfg.clock = clock;
+  cfg.client_rate = 50.0;
+  cfg.client_burst = 2.0;
+  RetrievalServer server(*w.system, cfg);
+  RequestOptions opts;
+  opts.client_id = "joint";  // both handles bill the same server bucket
+  AsyncBlackBoxHandle async_a(server, opts);
+  AsyncBlackBoxHandle async_b(server, opts);
+
+  PacerConfig pcfg;
+  pcfg.rate_per_sec = 5.0;
+  pcfg.burst = 1.0;
+  pcfg.aimd = true;
+  pcfg.aimd_increase = 100.0;
+  auto pacer = std::make_shared<Pacer>(pcfg, clock);
+  RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.backoff_base = std::chrono::milliseconds(0);
+  policy.query_timeout = std::chrono::milliseconds(10000);
+  ResilientHandle handle_a(async_a, policy, pacer, clock);
+  ResilientHandle handle_b(async_b, policy, pacer, clock);
+
+  constexpr int kPerHandle = 150;
+  std::atomic<int> mismatches{0};
+  const auto drive = [&](ResilientHandle& handle) {
+    for (int i = 0; i < kPerHandle; ++i) {
+      if (handle.retrieve(w.dataset.test[0], 5) != w.expected[0]) {
+        mismatches.fetch_add(1);
+      }
+    }
+  };
+  std::thread ta([&] { drive(handle_a); });
+  std::thread tb([&] { drive(handle_b); });
+  ta.join();
+  tb.join();
+  server.shutdown();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // Each logical query billed exactly once across both handles...
+  const std::int64_t billed =
+      handle_a.queries_billed() + handle_b.queries_billed();
+  EXPECT_EQ(billed, 2 * kPerHandle);
+  EXPECT_EQ(server.stats().queries_served, 2 * kPerHandle);
+  // ...within the joint bucket bound, whatever the thread interleaving.
+  const double elapsed_ms = clock->now_ms();
+  EXPECT_LE(static_cast<double>(billed),
+            2.0 + 50.0 * elapsed_ms / 1000.0 + 1e-6);
+  // Every pacer grant became exactly one submission: accepted or throttled.
+  EXPECT_EQ(pacer->granted(),
+            billed + server.stats().requests_throttled);
+  // The shared estimate landed near the per-client limit, not 2x it.
+  EXPECT_GE(pacer->current_rate(), 10.0);
+  EXPECT_LE(pacer->current_rate(), 125.0);
+}
+
+// ISSUE 9: AIMD knob validation and the non-AIMD no-op contract.
+TEST(Aimd, ConfigIsValidatedAndStaticPacersNeverAdapt) {
+  auto clock = std::make_shared<VirtualClock>();
+  const auto invalid = [&](auto mutate) {
+    PacerConfig pcfg;
+    pcfg.rate_per_sec = 10.0;
+    pcfg.aimd = true;
+    mutate(pcfg);
+    EXPECT_THROW(Pacer(pcfg, clock), std::invalid_argument);
+  };
+  invalid([](PacerConfig& c) { c.aimd_increase = 0.0; });
+  invalid([](PacerConfig& c) { c.aimd_decrease = 0.0; });
+  invalid([](PacerConfig& c) { c.aimd_decrease = 1.0; });
+  invalid([](PacerConfig& c) { c.aimd_floor = 0.0; });
+  invalid([](PacerConfig& c) { c.aimd_ceiling = 0.05; });  // below the floor
+
+  // A starting rate outside [floor, ceiling] is clamped, not rejected.
+  PacerConfig clamped;
+  clamped.rate_per_sec = 1e9;
+  clamped.aimd = true;
+  clamped.aimd_ceiling = 100.0;
+  EXPECT_DOUBLE_EQ(Pacer(clamped, clock).current_rate(), 100.0);
+
+  // Feedback on a static pacer is a no-op: the configured rate is the rate.
+  PacerConfig pcfg;
+  pcfg.rate_per_sec = 10.0;
+  Pacer pacer(pcfg, clock);
+  pacer.on_success();
+  pacer.on_overload(5.0);
+  EXPECT_DOUBLE_EQ(pacer.current_rate(), 10.0);
+  EXPECT_EQ(pacer.rate_increases(), 0);
+  EXPECT_EQ(pacer.rate_decreases(), 0);
+
+  // AIMD floor: decreases saturate instead of starving the client forever.
+  PacerConfig floored;
+  floored.rate_per_sec = 1.0;
+  floored.aimd = true;
+  floored.aimd_floor = 0.5;
+  Pacer adaptive(floored, clock);
+  for (int i = 0; i < 10; ++i) adaptive.on_overload(0.0);
+  EXPECT_DOUBLE_EQ(adaptive.current_rate(), 0.5);
+}
+
+// ISSUE 9 tentpole (server half): under sustained queue pressure the server
+// degrades IVF search (nprobe -> degraded_nprobe) with hysteresis, accounts
+// the stint, and restores the index on drain. A flat index has no cheaper
+// mode, so the ladder never pretends to degrade it.
+TEST(Serve, DegradationLadderEngagesUnderPressureAndRestores) {
+  // Local IVF world: trained via add_all (which finalizes the index).
+  video::DatasetSpec spec = video::DatasetSpec::hmdb51_like(77);
+  spec.num_classes = 2;
+  spec.train_per_class = 8;
+  spec.test_per_class = 1;
+  spec.geometry = {8, 16, 16, 3};
+  const video::Dataset dataset = video::SyntheticGenerator(spec).generate();
+  Rng rng(5);
+  auto extractor =
+      models::make_extractor(models::ModelKind::kC3D, spec.geometry, 16, rng);
+  retrieval::IndexConfig icfg;
+  icfg.kind = retrieval::IndexKind::kIvf;
+  icfg.num_nodes = 2;
+  icfg.num_cells = 4;
+  icfg.nprobe = 4;
+  icfg.degraded_nprobe = 1;
+  retrieval::RetrievalSystem system(std::move(extractor), icfg);
+  system.add_all(dataset.train);
+
+  ServerConfig cfg;
+  cfg.max_batch = 1;
+  cfg.queue_capacity = 8;
+  cfg.degrade_high = 0.5;   // enter at tick-start occupancy >= 4
+  cfg.degrade_low = 0.125;  // leave once it drains to <= 1
+  FaultConfig fc;
+  fc.delay_prob = 1.0;
+  fc.delay_ms = 60.0;  // each served request holds the worker 60 ms
+  cfg.fault_injector = std::make_shared<FaultInjector>(fc);
+  RetrievalServer server(system, cfg);
+
+  std::vector<std::future<metrics::RetrievalList>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(server.submit(dataset.test[0], 3));
+  }
+  for (auto& f : futures) (void)f.get();  // answers exist; recall may differ
+  server.shutdown();
+
+  const ServerStats stats = server.stats();
+  EXPECT_GE(stats.degrade_entries, 1);
+  EXPECT_GT(stats.degraded_ms, 0.0);
+  EXPECT_GE(stats.degraded_served, 1);
+  EXPECT_FALSE(stats.degraded_now);
+  // Drained server leaves the index exactly as it found it.
+  EXPECT_FALSE(system.index_degraded());
+  // Every scheduler tick recorded its tick-start occupancy (no expiries in
+  // this run, so ticks == batches), and some tick saw the queue half full.
+  ASSERT_EQ(stats.occupancy_deciles.size(), 11u);
+  const std::int64_t ticks =
+      std::accumulate(stats.occupancy_deciles.begin(),
+                      stats.occupancy_deciles.end(), std::int64_t{0});
+  EXPECT_EQ(ticks, stats.batches);
+  std::int64_t high_ticks = 0;
+  for (std::size_t d = 5; d < stats.occupancy_deciles.size(); ++d) {
+    high_ticks += stats.occupancy_deciles[d];
+  }
+  EXPECT_GE(high_ticks, 1);
+
+  // Flat index under identical pressure: set_degraded is declined, so the
+  // ladder never reports an entry and the recall contract stays exact.
+  auto& w = ServeWorld::mutable_instance();
+  ServerConfig flat_cfg;
+  flat_cfg.max_batch = 1;
+  flat_cfg.queue_capacity = 4;
+  flat_cfg.degrade_high = 0.5;
+  FaultConfig flat_fc;
+  flat_fc.delay_prob = 1.0;
+  flat_fc.delay_ms = 30.0;
+  flat_cfg.fault_injector = std::make_shared<FaultInjector>(flat_fc);
+  RetrievalServer flat_server(*w.system, flat_cfg);
+  std::vector<std::future<metrics::RetrievalList>> flat_futures;
+  for (int i = 0; i < 5; ++i) {
+    flat_futures.push_back(flat_server.submit(w.dataset.test[0], 5));
+  }
+  for (auto& f : flat_futures) EXPECT_EQ(f.get(), w.expected[0]);
+  flat_server.shutdown();
+  const ServerStats flat_stats = flat_server.stats();
+  EXPECT_EQ(flat_stats.degrade_entries, 0);
+  EXPECT_DOUBLE_EQ(flat_stats.degraded_ms, 0.0);
+  EXPECT_FALSE(w.system->index_degraded());
+}
+
+// ISSUE 9: the throttle hint histogram. Virtual time stands still, so the
+// third submission's hint is exactly 1 ms — bucket 0 by definition.
+TEST(Admission, RetryAfterHintsLandInTheExpectedHistogramBucket) {
+  auto& w = ServeWorld::mutable_instance();
+  auto clock = std::make_shared<VirtualClock>();
+  ServerConfig cfg;
+  cfg.clock = clock;
+  cfg.client_rate = 1000.0;
+  cfg.client_burst = 2.0;
+  RetrievalServer server(*w.system, cfg);
+  AsyncBlackBoxHandle handle(server);
+  std::vector<SubmitOutcome> outs;
+  for (int i = 0; i < 3; ++i) {
+    outs.push_back(handle.submit_with_deadline(w.dataset.test[0], 5,
+                                               std::chrono::milliseconds(250)));
+  }
+  EXPECT_FALSE(outs[2].accepted);
+  EXPECT_EQ(outs[0].future.get(), w.expected[0]);
+  EXPECT_EQ(outs[1].future.get(), w.expected[0]);
+  server.shutdown();
+
+  const ServerStats stats = server.stats();
+  ASSERT_EQ(stats.retry_after_buckets.size(), 12u);
+  EXPECT_EQ(stats.retry_after_buckets[0], 1);  // the exact 1 ms hint
+  EXPECT_EQ(std::accumulate(stats.retry_after_buckets.begin(),
+                            stats.retry_after_buckets.end(), std::int64_t{0}),
+            stats.requests_throttled + stats.requests_rejected);
 }
 
 }  // namespace
