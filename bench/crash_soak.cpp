@@ -1,0 +1,195 @@
+// Crash soak: the ISSUE 10 acceptance loop at bench scale. One served victim
+// under multi-tenant traffic — sparse attack sessions plus think-time benign
+// readers, per-client rate limiting — run twice:
+//
+//   1. reference:  the crash-free campaign;
+//   2. crashed:    the same campaign with the victim abruptly crashing and
+//                  restarting mid-run (two cycles), each restart restored
+//                  from an accounting snapshot round-tripped through durable
+//                  files (server.snap + gallery.idx in checkpoint_dir).
+//
+// The crashed campaign must land bitwise on the reference per-session
+// outcomes — crash timing may only perturb billing — and both runs' ledgers
+// must reconcile: client billed == served + faulted + expired + shed,
+// globally and per client, with crash casualties folded in as faulted+lost.
+//
+//   ./build/bench/crash_soak            # quick scale
+//   ./build/bench/crash_soak --smoke    # seconds-long CI smoke pass
+//
+// Exits nonzero on any outcome divergence or accounting violation.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "bench_common.hpp"
+#include "campaign/report.hpp"
+#include "campaign/runner.hpp"
+#include "common/stopwatch.hpp"
+
+using namespace duo;
+
+namespace {
+
+campaign::CampaignManifest make_manifest(bool smoke) {
+  campaign::CampaignManifest m;
+  m.name = smoke ? "crash-soak-smoke" : "crash-soak";
+  m.seed = 67;
+  m.client_rate = 500.0;  // bucket levels must survive the restarts
+  m.client_burst = 2.0;
+  m.max_attempts = 8;
+  m.circuit_threshold = 0;
+  m.query_timeout_ms = 5000.0;
+  m.submit_deadline_ms = 5000.0;
+
+  const int attackers = smoke ? 2 : 4;
+  const int readers = smoke ? 4 : 8;
+  for (int i = 0; i < attackers; ++i) {
+    campaign::SessionSpec s;
+    s.client_id = "attacker-" + std::to_string(i);
+    s.role = campaign::SessionRole::kSparse;
+    s.seed = 300 + static_cast<std::uint64_t>(i);
+    s.m = 8;
+    s.iterations = smoke ? 6 : 20;
+    s.support_k = 60;
+    s.support_n = 3;
+    s.source_index = i;
+    s.target_index = i + attackers;
+    m.sessions.push_back(s);
+  }
+  for (int i = 0; i < readers; ++i) {
+    campaign::SessionSpec s;
+    s.client_id = "reader-" + std::to_string(i);
+    s.role = campaign::SessionRole::kBenign;
+    s.seed = 400 + static_cast<std::uint64_t>(i);
+    s.m = 8;
+    s.queries = smoke ? 12 : 40;
+    // Every reader thinks: the crash schedule reads the campaign clock, and
+    // virtual time only moves while some session sleeps on it.
+    s.think_ms = i % 2 == 0 ? 3.0 : 2.0;
+    m.sessions.push_back(s);
+  }
+  return m;
+}
+
+bool same_outcomes(const campaign::CampaignOutcome& a,
+                   const campaign::CampaignOutcome& b) {
+  if (a.sessions.size() != b.sessions.size()) return false;
+  for (std::size_t i = 0; i < a.sessions.size(); ++i) {
+    const auto& sa = a.sessions[i];
+    const auto& sb = b.sessions[i];
+    if (!sa.completed || !sb.completed) return false;
+    if (sa.outcome_hash != sb.outcome_hash || sa.final_t != sb.final_t ||
+        sa.t_history != sb.t_history) {
+      std::fprintf(stderr, "outcome mismatch: %s\n", sa.client_id.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = bench::scale_from_env() == bench::Scale::kSmoke;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  bench::SoakWorld world = bench::make_soak_world(smoke, 67);
+  const std::vector<video::Video>& roster = world.dataset.test;
+  const campaign::CampaignManifest healthy = make_manifest(smoke);
+
+  Stopwatch wall;
+  campaign::CampaignOutcome reference =
+      campaign::CampaignRunner(*world.system, roster, healthy).run();
+
+  const std::string ck_dir = "bench_results/crash_soak_ck";
+  std::filesystem::remove_all(ck_dir);
+  campaign::CampaignManifest crashy = healthy;
+  crashy.checkpoint_dir = ck_dir;
+  campaign::CrashEvent first;
+  first.at_ms = 3.0;
+  first.restart_after_ms = 1.0;
+  campaign::CrashEvent second;
+  second.at_ms = 8.0;
+  second.restart_after_ms = 1.0;
+  crashy.crashes = {first, second};
+  campaign::CampaignOutcome crashed =
+      campaign::CampaignRunner(*world.system, roster, crashy).run();
+  const double wall_ms = wall.elapsed_ms();
+
+  TableWriter fairness = campaign::fairness_table(crashed);
+  bench::emit(fairness, "crash_soak_fairness.csv");
+  std::printf(
+      "reference billed=%lld  crashed billed=%lld  crashes_survived=%lld  "
+      "requests_lost=%lld  queries_replayed=%lld  epoch=%lld  wall_ms=%.0f\n",
+      static_cast<long long>(reference.server_billed),
+      static_cast<long long>(crashed.server_billed),
+      static_cast<long long>(crashed.crashes_survived),
+      static_cast<long long>(crashed.requests_lost),
+      static_cast<long long>(crashed.queries_replayed),
+      static_cast<long long>(crashed.server.server_epoch), wall_ms);
+  bench::print_paper_note(
+      "No paper counterpart: soaks crash recovery — a campaign whose victim "
+      "abruptly dies and restarts mid-run (snapshot-restored through durable "
+      "files) must reproduce the crash-free campaign's per-session outcomes "
+      "bitwise, with the billing ledger reconciled globally and per client.");
+
+  bool ok = true;
+  if (!reference.all_completed()) {
+    std::fprintf(stderr, "CRASH SOAK FAILED: reference did not complete\n");
+    ok = false;
+  }
+  if (!crashed.all_completed()) {
+    std::fprintf(stderr,
+                 "CRASH SOAK FAILED: a session did not survive the crashes\n");
+    ok = false;
+  }
+  if (crashed.crashes_survived != 2) {
+    std::fprintf(stderr,
+                 "CRASH SOAK FAILED: expected 2 crash/restart cycles, got "
+                 "%lld\n",
+                 static_cast<long long>(crashed.crashes_survived));
+    ok = false;
+  }
+  if (crashed.server.server_epoch != 3) {
+    std::fprintf(stderr, "CRASH SOAK FAILED: epoch %lld after 2 restarts\n",
+                 static_cast<long long>(crashed.server.server_epoch));
+    ok = false;
+  }
+  for (const auto* run : {&reference, &crashed}) {
+    if (!run->ledger_ok) {
+      std::fprintf(stderr,
+                   "CRASH SOAK FAILED: ledger mismatch (client %lld vs "
+                   "server %lld)\n",
+                   static_cast<long long>(run->client_billed),
+                   static_cast<long long>(run->server_billed));
+      ok = false;
+    }
+  }
+  if (crashed.queries_replayed < crashed.requests_lost) {
+    std::fprintf(stderr,
+                 "CRASH SOAK FAILED: %lld requests lost but only %lld "
+                 "replayed\n",
+                 static_cast<long long>(crashed.requests_lost),
+                 static_cast<long long>(crashed.queries_replayed));
+    ok = false;
+  }
+  if (!std::filesystem::exists(ck_dir + "/server.snap") ||
+      !std::filesystem::exists(ck_dir + "/gallery.idx")) {
+    std::fprintf(stderr,
+                 "CRASH SOAK FAILED: durable snapshot files missing from %s\n",
+                 ck_dir.c_str());
+    ok = false;
+  }
+  if (!same_outcomes(reference, crashed)) {
+    std::fprintf(stderr,
+                 "CRASH SOAK FAILED: crashed-campaign outcomes diverge from "
+                 "the crash-free reference\n");
+    ok = false;
+  }
+  std::filesystem::remove_all(ck_dir);
+  return ok ? 0 : 1;
+}

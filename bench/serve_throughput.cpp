@@ -43,6 +43,37 @@ std::string histogram_string(const serve::ServerStats& stats) {
   return first ? std::string("-") : os.str();
 }
 
+// "0%:119 10%:4" — scheduler ticks by tick-start queue occupancy decile.
+std::string decile_string(const std::vector<std::int64_t>& deciles) {
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t d = 0; d < deciles.size(); ++d) {
+    if (deciles[d] == 0) continue;
+    if (!first) os << " ";
+    os << d * 10 << "%:" << deciles[d];
+    first = false;
+  }
+  return first ? std::string("-") : os.str();
+}
+
+// "<=2ms:31 <=4ms:6" — retry_after hints handed out with throttle and
+// admission-reject failures, power-of-two millisecond buckets.
+std::string retry_after_string(const std::vector<std::int64_t>& buckets) {
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    if (!first) os << " ";
+    if (b + 1 == buckets.size()) {
+      os << ">1s:" << buckets[b];
+    } else {
+      os << "<=" << (1ll << b) << "ms:" << buckets[b];
+    }
+    first = false;
+  }
+  return first ? std::string("-") : os.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -74,7 +105,8 @@ int main(int argc, char** argv) {
 
   TableWriter table("Serve throughput: clients x max_batch");
   table.set_header({"clients", "max_batch", "queries", "wall_ms", "qps",
-                    "mean_batch", "p50_ms", "p95_ms", "batch_histogram"});
+                    "mean_batch", "p50_ms", "p95_ms", "batch_histogram",
+                    "occupancy_deciles"});
   table.set_precision(2);
 
   for (const std::size_t clients : client_counts) {
@@ -110,11 +142,81 @@ int main(int argc, char** argv) {
                      static_cast<long long>(stats.queries_served), wall_ms,
                      total / (wall_ms / 1e3), stats.mean_batch_size(),
                      stats.p50_latency_ms, stats.p95_latency_ms,
-                     histogram_string(stats)});
+                     histogram_string(stats),
+                     decile_string(stats.occupancy_deciles)});
     }
   }
 
   duo::bench::emit(table, "serve_throughput.csv");
+
+  // Rate-limited sweep: per-client token buckets low enough that clients
+  // actually bounce, so the retry_after histogram and throttle counters show
+  // the hint distribution a well-behaved client would back off on. Clients
+  // honor the hint — sleep retry_after_ms, then re-ask — so every query
+  // eventually lands and queries_served stays exact.
+  TableWriter limited("Serve throughput: rate-limited clients (retry_after)");
+  limited.set_header({"clients", "rate_qps", "queries", "throttled", "wall_ms",
+                      "qps", "occupancy_deciles", "retry_after_hist"});
+  limited.set_precision(2);
+
+  const std::vector<double> rates =
+      smoke ? std::vector<double>{50.0} : std::vector<double>{50.0, 200.0};
+  const std::vector<std::size_t> limited_clients =
+      smoke ? std::vector<std::size_t>{2} : std::vector<std::size_t>{2, 4};
+  const int limited_queries = smoke ? 8 : 32;
+
+  for (const std::size_t clients : limited_clients) {
+    for (const double rate : rates) {
+      serve::ServerConfig cfg;
+      cfg.max_batch = 4;
+      cfg.queue_capacity = 32;
+      cfg.client_rate = rate;
+      cfg.client_burst = 2.0;
+      serve::RetrievalServer server(system, cfg);
+
+      Stopwatch wall;
+      std::vector<std::thread> threads;
+      threads.reserve(clients);
+      for (std::size_t t = 0; t < clients; ++t) {
+        threads.emplace_back([&, t] {
+          serve::RequestOptions opt;
+          opt.client_id = "client-" + std::to_string(t);
+          serve::AsyncBlackBoxHandle handle(server, opt);
+          for (int q = 0; q < limited_queries; ++q) {
+            const std::size_t vi =
+                (t + static_cast<std::size_t>(q) * clients) %
+                dataset.test.size();
+            for (;;) {
+              try {
+                (void)handle.retrieve(dataset.test[vi], 10);
+                break;
+              } catch (const serve::ServeError& e) {
+                if (!e.retryable()) break;
+                const double wait_ms =
+                    e.retry_after_ms() > 0.0 ? e.retry_after_ms() : 0.5;
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double, std::milli>(wait_ms));
+              }
+            }
+          }
+        });
+      }
+      for (auto& th : threads) th.join();
+      const double wall_ms = wall.elapsed_ms();
+      server.shutdown();
+
+      const serve::ServerStats stats = server.stats();
+      const auto total = static_cast<double>(clients) * limited_queries;
+      limited.add_row({static_cast<long long>(clients), rate,
+                       static_cast<long long>(stats.queries_served),
+                       static_cast<long long>(stats.requests_throttled),
+                       wall_ms, total / (wall_ms / 1e3),
+                       decile_string(stats.occupancy_deciles),
+                       retry_after_string(stats.retry_after_buckets)});
+    }
+  }
+
+  duo::bench::emit(limited, "serve_throughput_rate_limited.csv");
   duo::bench::print_paper_note(
       "No paper counterpart: this models the deployed victim R(m, v) as a "
       "batched, latency-bound service (QAIR/Sparse-RS-style serving stack). "

@@ -19,7 +19,7 @@ cmake --build "$build_dir" -j "$(nproc)"
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 
 DUO_THREADS=8 ctest --test-dir "$build_dir" \
-  -R 'ParallelDeterminism|Serve|SparseQueryPipelined|FaultInjection|Resilient|Admission|Pacer|Aimd|Circuit|NeighborOrder|Ivf|Campaign' \
+  -R 'ParallelDeterminism|Serve|SparseQueryPipelined|FaultInjection|Resilient|Admission|Pacer|Aimd|Circuit|NeighborOrder|Ivf|Campaign|CrashRecovery' \
   --output-on-failure
 
 # Kernel-equivalence re-run under the reference Conv3d kernel: the gradient
@@ -59,3 +59,10 @@ DUO_THREADS=8 "$build_dir/bench/gallery_scale" --smoke
 # per-session outcomes diverge bitwise from the uninterrupted reference or
 # any run's billing ledger stops reconciling (globally or per client).
 DUO_THREADS=8 "$build_dir/bench/campaign_soak" --smoke
+
+# Crash smoke: the same multi-tenant campaign with the victim abruptly
+# crashing and restarting mid-run (accounting snapshot + gallery index
+# round-tripped through durable files); fails if any per-session outcome
+# diverges bitwise from the crash-free reference, the ledger stops
+# reconciling across the restarts, or the durable files go missing.
+DUO_THREADS=8 "$build_dir/bench/crash_soak" --smoke

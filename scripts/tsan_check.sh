@@ -19,7 +19,7 @@ cmake -B "$build_dir" -S "$repo_root" -DDUO_SANITIZE=thread \
 cmake --build "$build_dir" -j "$(nproc)" \
   --target test_thread_pool test_parallel_determinism test_serve \
   test_sparse_query test_failure_modes test_gradcheck test_ivf_index \
-  test_retrieval test_campaign
+  test_retrieval test_campaign test_crash_recovery
 
 # TSan multiplies runtime ~5-15x; give the suites generous slack but keep
 # the halt-on-first-race behaviour so CI fails loudly. The regex picks up the
@@ -32,7 +32,7 @@ cmake --build "$build_dir" -j "$(nproc)" \
 # from the uninstrumented libstdc++ (see the file for details).
 export TSAN_OPTIONS="suppressions=$repo_root/scripts/tsan.supp ${TSAN_OPTIONS:-halt_on_error=1}"
 ctest --test-dir "$build_dir" \
-  -R 'ThreadPool|ParallelDeterminism|Conv3d|Pooling|Extractor|Gallery|Serve|SparseQueryPipelined|FaultInjection|Resilient|Admission|Pacer|Aimd|Circuit|CheckGrad|Ivf|RetrievalIndex|Campaign' \
+  -R 'ThreadPool|ParallelDeterminism|Conv3d|Pooling|Extractor|Gallery|Serve|SparseQueryPipelined|FaultInjection|Resilient|Admission|Pacer|Aimd|Circuit|CheckGrad|Ivf|RetrievalIndex|Campaign|CrashRecovery' \
   --output-on-failure --timeout 1800
 
 # The overload soak stresses the admission controller, rate limiter, pacer,
@@ -48,3 +48,9 @@ DUO_THREADS=8 "$build_dir/bench/overload_soak" --smoke --aimd
 # runs under TSan for the same reason.
 cmake --build "$build_dir" -j "$(nproc)" --target campaign_soak
 DUO_THREADS=8 "$build_dir/bench/campaign_soak" --smoke
+
+# The crash soak adds abrupt server crashes, snapshot/restart, and client
+# reconnects — the chaos thread races every serving surface by design — so
+# its smoke pass runs under TSan as well.
+cmake --build "$build_dir" -j "$(nproc)" --target crash_soak
+DUO_THREADS=8 "$build_dir/bench/crash_soak" --smoke

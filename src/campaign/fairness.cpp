@@ -27,6 +27,7 @@ FairnessSummary summarize_fairness(const serve::ServerStats& stats) {
   std::int64_t rejected_total = 0;
   std::int64_t shed_total = 0;
   std::int64_t expired_total = 0;
+  std::int64_t lost_total = 0;
   bool first = true;
   for (const auto& [id, c] : stats.per_client) {
     served.push_back(static_cast<double>(c.served));
@@ -38,6 +39,7 @@ FairnessSummary summarize_fairness(const serve::ServerStats& stats) {
     rejected_total += c.rejected;
     shed_total += c.shed;
     expired_total += c.expired;
+    lost_total += c.lost;
     if (first || c.served > out.most_served) {
       out.most_served = c.served;
       out.most_served_client = id;
@@ -60,6 +62,10 @@ FairnessSummary summarize_fairness(const serve::ServerStats& stats) {
                   rejected_total == stats.requests_rejected &&
                   shed_total == stats.requests_shed &&
                   expired_total == stats.requests_expired &&
+                  // Crash casualties: the lost slices must likewise sum to
+                  // the global counter (lost is a subset of faulted, so the
+                  // billed formula below already covers it).
+                  lost_total == stats.requests_lost &&
                   out.billed_total == stats.queries_served +
                                           stats.faults_injected +
                                           stats.requests_expired +

@@ -124,6 +124,25 @@ bool apply_global(CampaignManifest& m, const std::string& key,
   if (key == "circuit_cooldown_ms")
     return parse_f64(value, m.circuit_cooldown_ms);
   if (key == "checkpoint_dir") return (m.checkpoint_dir = value, true);
+  if (key == "crash_at_ms") {
+    double v = 0.0;
+    if (!parse_f64(value, v) || v <= 0.0) return false;
+    // Strictly increasing, so the runner can execute the schedule as a
+    // single forward sweep of the campaign clock.
+    if (!m.crashes.empty() && v <= m.crashes.back().at_ms) return false;
+    CrashEvent e;
+    e.at_ms = v;
+    m.crashes.push_back(e);
+    return true;
+  }
+  if (key == "restart_after_ms") {
+    // Tunes the most recent crash_at_ms event; meaningless before one.
+    if (m.crashes.empty()) return false;
+    double v = 0.0;
+    if (!parse_f64(value, v) || v <= 0.0) return false;
+    m.crashes.back().restart_after_ms = v;
+    return true;
+  }
   return false;
 }
 
@@ -205,7 +224,8 @@ bool operator==(const CampaignManifest& a, const CampaignManifest& b) {
          a.submit_deadline_ms == b.submit_deadline_ms &&
          a.circuit_threshold == b.circuit_threshold &&
          a.circuit_cooldown_ms == b.circuit_cooldown_ms &&
-         a.checkpoint_dir == b.checkpoint_dir && a.sessions == b.sessions;
+         a.checkpoint_dir == b.checkpoint_dir && a.crashes == b.crashes &&
+         a.sessions == b.sessions;
 }
 
 void write_manifest(std::ostream& out, const CampaignManifest& m) {
@@ -242,6 +262,10 @@ void write_manifest(std::ostream& out, const CampaignManifest& m) {
   out << "circuit_cooldown_ms " << fmt(m.circuit_cooldown_ms) << "\n";
   if (!m.checkpoint_dir.empty()) {
     out << "checkpoint_dir " << m.checkpoint_dir << "\n";
+  }
+  for (const auto& c : m.crashes) {
+    out << "crash_at_ms " << fmt(c.at_ms) << "\n";
+    out << "restart_after_ms " << fmt(c.restart_after_ms) << "\n";
   }
   for (const auto& s : m.sessions) {
     out << "session " << s.client_id << "\n";

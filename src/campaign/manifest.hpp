@@ -80,6 +80,20 @@ struct SessionSpec {
   friend bool operator==(const SessionSpec& a, const SessionSpec& b);
 };
 
+// Scheduled victim crash: at `at_ms` of campaign clock time the server
+// crashes abruptly (queued and in-flight requests die with
+// ServeError{kConnectionLost}); `restart_after_ms` later it restarts from
+// its accounting snapshot (round-tripped through durable files when the
+// campaign has a checkpoint_dir). In the manifest, `crash_at_ms <t>` opens
+// a new event and an optional following `restart_after_ms <d>` sets its
+// downtime; crash times must be positive and strictly increasing.
+struct CrashEvent {
+  double at_ms = 0.0;
+  double restart_after_ms = 5.0;
+
+  friend bool operator==(const CrashEvent&, const CrashEvent&) = default;
+};
+
 // The whole campaign: victim/server config, fault schedule, shared client
 // policy, and the session roster.
 struct CampaignManifest {
@@ -134,6 +148,9 @@ struct CampaignManifest {
 
   // Default directory for per-session checkpoints (created on demand).
   std::string checkpoint_dir;
+
+  // Scheduled crash/restart cycles the runner executes (chaos schedule).
+  std::vector<CrashEvent> crashes;
 
   std::vector<SessionSpec> sessions;
 

@@ -36,13 +36,14 @@ TableWriter session_table(const CampaignOutcome& outcome) {
 
 TableWriter fairness_table(const CampaignOutcome& outcome) {
   TableWriter table("per-client fairness");
-  table.set_header({"client", "served", "faulted", "throttled", "rejected",
-                    "shed", "expired", "billed", "p50_ms", "p95_ms"});
+  table.set_header({"client", "served", "faulted", "lost", "throttled",
+                    "rejected", "shed", "expired", "billed", "p50_ms",
+                    "p95_ms"});
   table.set_precision(3);
   for (const auto& [id, c] : outcome.server.per_client) {
-    table.add_row({id, ll(c.served), ll(c.faulted), ll(c.throttled),
-                   ll(c.rejected), ll(c.shed), ll(c.expired), ll(c.billed()),
-                   c.p50_latency_ms, c.p95_latency_ms});
+    table.add_row({id, ll(c.served), ll(c.faulted), ll(c.lost),
+                   ll(c.throttled), ll(c.rejected), ll(c.shed), ll(c.expired),
+                   ll(c.billed()), c.p50_latency_ms, c.p95_latency_ms});
   }
   return table;
 }
@@ -75,6 +76,12 @@ void print_report(std::ostream& os, const CampaignOutcome& outcome) {
   }
   os << "\n";
   const auto& sv = outcome.server;
+  if (outcome.crashes_survived > 0 || sv.crashes > 0) {
+    os << "crashes: survived=" << outcome.crashes_survived
+       << " requests_lost=" << outcome.requests_lost
+       << " queries_replayed=" << outcome.queries_replayed
+       << " server_epoch=" << sv.server_epoch << "\n";
+  }
   if (sv.degrade_entries > 0 || sv.degraded_now) {
     const double share =
         outcome.elapsed_ms > 0.0 ? sv.degraded_ms / outcome.elapsed_ms : 0.0;

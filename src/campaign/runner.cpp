@@ -1,5 +1,6 @@
 #include "campaign/runner.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <stdexcept>
@@ -125,6 +126,51 @@ CampaignOutcome CampaignRunner::run() {
   {
     serve::RetrievalServer server(system_, scfg);
 
+    // Chaos schedule: a dedicated thread watches the campaign clock and
+    // executes each manifest crash event — abrupt crash, accounting snapshot
+    // (round-tripped through durable files when the campaign has a
+    // checkpoint_dir, so what restart() restores is what came back off
+    // disk), a downtime sleep, restart. Session outcomes are pure functions
+    // of (spec, roster, gallery), so crash timing perturbs only billing
+    // schedules — and the ledger still reconciles exactly.
+    std::atomic<bool> sessions_done{false};
+    std::int64_t crashes_survived = 0;
+    std::thread chaos;
+    if (!manifest_.crashes.empty()) {
+      chaos = std::thread([this, &server, &sessions_done, &crashes_survived,
+                           clock, started_ms] {
+        for (const auto& event : manifest_.crashes) {
+          // The campaign clock only moves when some thread sleeps on it
+          // (virtual runs), so poll in real time rather than sleeping on the
+          // clock — a clocked wait here would itself advance virtual time.
+          while (!sessions_done.load(std::memory_order_acquire) &&
+                 clock->now_ms() - started_ms < event.at_ms) {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+          }
+          if (sessions_done.load(std::memory_order_acquire)) break;
+          server.crash();
+          serve::ServerSnapshot snap = server.snapshot();
+          if (!manifest_.checkpoint_dir.empty()) {
+            const std::string snap_path =
+                manifest_.checkpoint_dir + "/server.snap";
+            const std::string index_path =
+                manifest_.checkpoint_dir + "/gallery.idx";
+            if (serve::save_snapshot(snap, snap_path) &&
+                system_.save_gallery_index(index_path)) {
+              serve::ServerSnapshot loaded;
+              if (serve::load_snapshot(loaded, snap_path) &&
+                  system_.load_gallery_index(index_path)) {
+                snap = loaded;
+              }
+            }
+          }
+          clock->sleep_ms(event.restart_after_ms);
+          server.restart(snap);
+          ++crashes_survived;
+        }
+      });
+    }
+
     std::vector<std::thread> threads;
     threads.reserve(manifest_.sessions.size());
     for (std::size_t i = 0; i < manifest_.sessions.size(); ++i) {
@@ -154,6 +200,9 @@ CampaignOutcome CampaignRunner::run() {
       });
     }
     for (auto& t : threads) t.join();
+    sessions_done.store(true, std::memory_order_release);
+    if (chaos.joinable()) chaos.join();
+    out.crashes_survived = crashes_survived;
 
     out.elapsed_ms = clock->now_ms() - started_ms;
     if (pacer != nullptr) {
@@ -170,6 +219,8 @@ CampaignOutcome CampaignRunner::run() {
   }
 
   out.fairness = summarize_fairness(out.server);
+  out.requests_lost = out.server.requests_lost;
+  for (const auto& s : out.sessions) out.queries_replayed += s.reconnects;
   for (const auto& s : out.sessions) out.client_billed += s.queries_billed;
   out.server_billed = out.server.queries_served + out.server.faults_injected +
                       out.server.requests_expired + out.server.requests_shed;

@@ -63,6 +63,16 @@ struct CampaignOutcome {
   std::int64_t pacer_rate_increases = 0;
   std::int64_t pacer_rate_decreases = 0;
 
+  // Crash-recovery observability (all zero without a crash schedule).
+  // crashes_survived counts executed crash/restart cycles; queries_replayed
+  // is the total of per-session reconnect resubmissions (each one a query
+  // replayed across a restart); requests_lost is the server-side count of
+  // accepted requests that died in a crash (subset of faults, so the ledger
+  // reconciles unchanged).
+  std::int64_t crashes_survived = 0;
+  std::int64_t queries_replayed = 0;
+  std::int64_t requests_lost = 0;
+
   bool all_completed() const noexcept {
     for (const auto& s : sessions) {
       if (!s.completed) return false;

@@ -281,6 +281,7 @@ SessionResult run_session(const SessionSpec& spec,
   }
   out.retries = victim.retries();
   out.overloads = victim.overloads_seen();
+  out.reconnects = victim.connection_losses();
   out.circuit_opens = victim.circuit_opens();
   out.wall_ms = clock.now_ms() - started_ms;
   if (victim.pacer() != nullptr) {

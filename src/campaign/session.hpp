@@ -61,6 +61,9 @@ struct SessionResult {
   std::int64_t queries_reported = 0;
   std::int64_t retries = 0;
   std::int64_t overloads = 0;
+  // Connection-lost failures survived (victim crashes): each one is a query
+  // this session replayed across a server restart.
+  std::int64_t reconnects = 0;
   std::int64_t circuit_opens = 0;
   double wall_ms = 0.0;  // campaign-clock time inside the session
   // Shared-pacer rate when this session finished (AIMD: the limit estimate

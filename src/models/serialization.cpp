@@ -7,6 +7,11 @@
 #include <ostream>
 #include <vector>
 
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 namespace duo::models {
 
 namespace io {
@@ -112,6 +117,66 @@ bool read_f64_vec(std::istream& in, std::vector<double>& v) {
   return true;
 }
 
+void write_f32_vec(std::ostream& out, const std::vector<float>& v) {
+  write_i64(out, static_cast<std::int64_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+bool read_f32_vec(std::istream& in, std::vector<float>& v) {
+  std::int64_t size = 0;
+  if (!read_i64(in, size) || size < 0 ||
+      size > std::numeric_limits<std::int32_t>::max()) {
+    return false;
+  }
+  std::vector<float> staged(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(staged.data()),
+          static_cast<std::streamsize>(staged.size() * sizeof(float)));
+  if (!in) return false;
+  v = std::move(staged);
+  return true;
+}
+
+void write_i32_vec(std::ostream& out, const std::vector<int>& v) {
+  write_i64(out, static_cast<std::int64_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(int)));
+}
+
+bool read_i32_vec(std::istream& in, std::vector<int>& v) {
+  std::int64_t size = 0;
+  if (!read_i64(in, size) || size < 0 ||
+      size > std::numeric_limits<std::int32_t>::max()) {
+    return false;
+  }
+  std::vector<int> staged(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(staged.data()),
+          static_cast<std::streamsize>(staged.size() * sizeof(int)));
+  if (!in) return false;
+  v = std::move(staged);
+  return true;
+}
+
+void write_i8_vec(std::ostream& out, const std::vector<std::int8_t>& v) {
+  write_i64(out, static_cast<std::int64_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size()));
+}
+
+bool read_i8_vec(std::istream& in, std::vector<std::int8_t>& v) {
+  std::int64_t size = 0;
+  if (!read_i64(in, size) || size < 0 ||
+      size > std::numeric_limits<std::int32_t>::max()) {
+    return false;
+  }
+  std::vector<std::int8_t> staged(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(staged.data()),
+          static_cast<std::streamsize>(staged.size()));
+  if (!in) return false;
+  v = std::move(staged);
+  return true;
+}
+
 void write_string(std::ostream& out, const std::string& s) {
   write_i64(out, static_cast<std::int64_t>(s.size()));
   out.write(s.data(), static_cast<std::streamsize>(s.size()));
@@ -145,23 +210,70 @@ std::uint64_t fnv1a(const Tensor& t) {
   return fnv1a(t.data(), static_cast<std::size_t>(t.size()) * sizeof(float));
 }
 
+namespace {
+
+// fsync the file at `path` (and with O_DIRECTORY, the directory itself).
+// rename() orders the publish against other *metadata* operations, but not
+// against the tmp file's *data* reaching disk: without an fsync of the file
+// before the rename — and of the parent directory after it — a power loss
+// can publish a valid-looking name pointing at truncated bytes, which
+// defeats the whole point of write-then-rename. Windows has no fsync/dirfd
+// equivalents here; the stream flush above is the best this code path gets.
+bool sync_path(const std::string& path, bool directory) {
+#ifndef _WIN32
+  const int flags = directory ? (O_RDONLY | O_DIRECTORY) : O_WRONLY;
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+#else
+  (void)path;
+  (void)directory;
+  return true;
+#endif
+}
+
+std::string parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
 bool atomic_write(const std::string& path,
                   const std::function<void(std::ostream&)>& write) {
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return false;
-    write(out);
+    try {
+      write(out);
+    } catch (...) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw;
+    }
+    out.flush();
     if (!out) {
       out.close();
       std::remove(tmp.c_str());
       return false;
     }
   }
+  // Data must be durable BEFORE the rename publishes the name; the directory
+  // fsync after makes the rename itself durable.
+  if (!sync_path(tmp, /*directory=*/false)) {
+    std::remove(tmp.c_str());
+    return false;
+  }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return false;
   }
+  sync_path(parent_dir(path), /*directory=*/true);
   return true;
 }
 

@@ -50,6 +50,12 @@ void write_i64_vec(std::ostream& out, const std::vector<std::int64_t>& v);
 bool read_i64_vec(std::istream& in, std::vector<std::int64_t>& v);
 void write_f64_vec(std::ostream& out, const std::vector<double>& v);
 bool read_f64_vec(std::istream& in, std::vector<double>& v);
+void write_f32_vec(std::ostream& out, const std::vector<float>& v);
+bool read_f32_vec(std::istream& in, std::vector<float>& v);
+void write_i32_vec(std::ostream& out, const std::vector<int>& v);
+bool read_i32_vec(std::istream& in, std::vector<int>& v);
+void write_i8_vec(std::ostream& out, const std::vector<std::int8_t>& v);
+bool read_i8_vec(std::istream& in, std::vector<std::int8_t>& v);
 
 // Length-prefixed byte string. read_string validates the length (< 2^20)
 // before allocating, so a corrupt file cannot trigger a huge allocation.
@@ -64,9 +70,12 @@ std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t basis);
 std::uint64_t fnv1a(const Tensor& t);
 
 // Write-then-rename commit: `write` streams into `path + ".tmp"`, which is
-// renamed over `path` only if every write succeeded. A reader therefore
-// never observes a torn checkpoint, and a crash mid-write leaves any
-// previous checkpoint intact.
+// flushed + fsync'd and only then renamed over `path` (the parent directory
+// is fsync'd after the rename on POSIX, making the publish itself durable).
+// A reader therefore never observes a torn checkpoint, and a crash — even a
+// power loss mid-write — leaves any previous checkpoint intact. If `write`
+// throws, the tmp file is removed and the exception propagates; the
+// destination is never touched.
 bool atomic_write(const std::string& path,
                   const std::function<void(std::ostream&)>& write);
 

@@ -1,9 +1,13 @@
 #include "retrieval/index.hpp"
 
 #include <algorithm>
+#include <istream>
+#include <ostream>
+#include <utility>
 
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
+#include "models/serialization.hpp"
 
 namespace duo::retrieval {
 
@@ -59,6 +63,18 @@ std::vector<Neighbor> DataNode::query(const Tensor& feature,
   return all;
 }
 
+bool DataNode::restore(std::vector<std::int64_t> ids, std::vector<int> labels,
+                       std::vector<float> features) {
+  const auto d = static_cast<std::size_t>(dim_);
+  if (labels.size() != ids.size() || features.size() != ids.size() * d) {
+    return false;
+  }
+  ids_ = std::move(ids);
+  labels_ = std::move(labels);
+  features_ = std::move(features);
+  return true;
+}
+
 RetrievalIndex::RetrievalIndex(std::int64_t feature_dim, std::size_t num_nodes)
     : dim_(feature_dim) {
   DUO_CHECK_MSG(num_nodes >= 1, "RetrievalIndex: needs at least one node");
@@ -105,6 +121,67 @@ std::vector<Neighbor> RetrievalIndex::query(const Tensor& feature,
                     merged.end(), neighbor_less);
   merged.resize(k);
   return merged;
+}
+
+namespace {
+// Kind tag leading every save_state payload, so loading a flat snapshot into
+// an IVF index (or vice versa) is rejected instead of misparsed.
+constexpr std::int64_t kFlatStateTag = 1;
+}  // namespace
+
+void RetrievalIndex::save_state(std::ostream& out) const {
+  namespace mio = models::io;
+  mio::write_i64(out, kFlatStateTag);
+  mio::write_i64(out, dim_);
+  mio::write_i64(out, static_cast<std::int64_t>(nodes_.size()));
+  mio::write_i64(out, static_cast<std::int64_t>(next_node_));
+  for (const auto& node : nodes_) {
+    mio::write_i64_vec(out, node.ids());
+    mio::write_i32_vec(out, node.labels());
+    mio::write_f32_vec(out, node.features());
+  }
+}
+
+bool RetrievalIndex::load_state(std::istream& in) {
+  namespace mio = models::io;
+  std::int64_t tag = 0;
+  std::int64_t dim = 0;
+  std::int64_t node_count = 0;
+  std::int64_t next_node = 0;
+  if (!mio::read_i64(in, tag) || tag != kFlatStateTag) return false;
+  if (!mio::read_i64(in, dim) || dim != dim_) return false;
+  if (!mio::read_i64(in, node_count) ||
+      node_count != static_cast<std::int64_t>(nodes_.size())) {
+    return false;
+  }
+  if (!mio::read_i64(in, next_node) || next_node < 0 ||
+      next_node >= node_count) {
+    return false;
+  }
+
+  // All-or-nothing: stage every shard, then commit.
+  std::vector<DataNode> staged;
+  staged.reserve(nodes_.size());
+  std::size_t total = 0;
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    std::vector<std::int64_t> ids;
+    std::vector<int> labels;
+    std::vector<float> features;
+    if (!mio::read_i64_vec(in, ids) || !mio::read_i32_vec(in, labels) ||
+        !mio::read_f32_vec(in, features)) {
+      return false;
+    }
+    DataNode node(dim_);
+    if (!node.restore(std::move(ids), std::move(labels), std::move(features))) {
+      return false;
+    }
+    total += node.size();
+    staged.push_back(std::move(node));
+  }
+  nodes_ = std::move(staged);
+  next_node_ = static_cast<std::size_t>(next_node);
+  total_ = total;
+  return true;
 }
 
 }  // namespace duo::retrieval

@@ -16,7 +16,9 @@
 
 #include <cmath>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "tensor/tensor.hpp"
@@ -133,12 +135,34 @@ class GalleryIndex {
     return false;
   }
   virtual bool degraded() const noexcept { return false; }
+
+  // Durable snapshots. save_state streams the complete index content (for
+  // IVF: centroids, int8 codes and scales, pending buffer, trained flag;
+  // the degraded bit is recorded for observability only). load_state
+  // replaces this index's content with the stream's; it returns false —
+  // leaving the index untouched — on a kind/dim mismatch or a malformed
+  // stream. A loaded index answers every query bitwise identically to the
+  // saved one, but always restores NON-degraded with the configured nprobe:
+  // degraded mode is a live-load response and re-enters only via the serve
+  // layer's hysteresis ladder. Use save_index/load_index below for the
+  // fingerprint-validated atomic file wrapper.
+  virtual void save_state(std::ostream& out) const = 0;
+  virtual bool load_state(std::istream& in) = 0;
 };
 
 // Build the index described by `config` (kFlat → RetrievalIndex, kIvf →
 // IvfIndex). Defined in ivf_index.cpp.
 std::unique_ptr<GalleryIndex> make_index(std::int64_t feature_dim,
                                          const IndexConfig& config);
+
+// Durable index files (index_io.cpp): magic + FNV-1a fingerprint over the
+// save_state payload, committed via models::io::atomic_write (flush + fsync
+// + rename), so a crash mid-save never corrupts the previous snapshot and a
+// truncated/bit-flipped file is rejected at load instead of silently
+// answering queries from garbage. load_index leaves `index` untouched on
+// failure.
+bool save_index(const GalleryIndex& index, const std::string& path);
+bool load_index(GalleryIndex& index, const std::string& path);
 
 // One storage shard. Holds features contiguously for cache-friendly scans.
 class DataNode {
@@ -154,6 +178,15 @@ class DataNode {
   // Local top-m nearest neighbors by squared L2 distance (neighbor_less
   // order). m may exceed size(); fewer results are returned then.
   std::vector<Neighbor> query(const Tensor& feature, std::size_t m) const;
+
+  // Serialization hooks for RetrievalIndex::save_state / load_state.
+  const std::vector<std::int64_t>& ids() const noexcept { return ids_; }
+  const std::vector<int>& labels() const noexcept { return labels_; }
+  const std::vector<float>& features() const noexcept { return features_; }
+  // Replace the shard's content wholesale; false (shard untouched) when the
+  // vector sizes are mutually inconsistent with the shard's feature dim.
+  bool restore(std::vector<std::int64_t> ids, std::vector<int> labels,
+               std::vector<float> features);
 
  private:
   std::int64_t dim_;
@@ -179,6 +212,11 @@ class RetrievalIndex : public GalleryIndex {
   // gather and merge.
   std::vector<Neighbor> query(const Tensor& feature, std::size_t m,
                               bool parallel = false) const override;
+
+  // Per-shard rows plus the round-robin cursor, so add() after a load lands
+  // on the same shard it would have without the save/load cycle.
+  void save_state(std::ostream& out) const override;
+  bool load_state(std::istream& in) override;
 
  private:
   std::int64_t dim_;

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
+#include <ostream>
 #include <utility>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "models/serialization.hpp"
 
 namespace duo::retrieval {
 namespace {
@@ -432,6 +435,127 @@ std::vector<Neighbor> IvfIndex::query_with_stats(const Tensor& feature,
     stats->candidates_reranked = reranked;
   }
   return result;
+}
+
+namespace {
+
+constexpr std::int64_t kIvfStateTag = 2;  // RetrievalIndex uses tag 1
+
+void write_cell_rows(std::ostream& out, const std::vector<std::int64_t>& ids,
+                     const std::vector<int>& labels,
+                     const std::vector<float>& features,
+                     const std::vector<std::int8_t>& codes,
+                     const std::vector<float>& scales) {
+  namespace mio = duo::models::io;
+  mio::write_i64_vec(out, ids);
+  mio::write_i32_vec(out, labels);
+  mio::write_f32_vec(out, features);
+  mio::write_i8_vec(out, codes);
+  mio::write_f32_vec(out, scales);
+}
+
+}  // namespace
+
+void IvfIndex::save_state(std::ostream& out) const {
+  namespace mio = models::io;
+  mio::write_i64(out, kIvfStateTag);
+  mio::write_i64(out, dim_);
+  mio::write_i64(out, config_.quantize ? 1 : 0);
+  mio::write_i64(out, trained_ ? 1 : 0);
+  // Observability only: load_state always restores non-degraded (degraded
+  // mode is the serve layer's live-load response, not index content).
+  mio::write_i64(out, degraded() ? 1 : 0);
+  mio::write_f32_vec(out, centroids_);
+  write_cell_rows(out, pending_.ids, pending_.labels, pending_.features,
+                  pending_.codes, pending_.scales);
+  mio::write_i64(out, static_cast<std::int64_t>(cells_.size()));
+  for (const Cell& cell : cells_) {
+    write_cell_rows(out, cell.ids, cell.labels, cell.features, cell.codes,
+                    cell.scales);
+  }
+}
+
+bool IvfIndex::load_state(std::istream& in) {
+  namespace mio = models::io;
+  const auto d = static_cast<std::size_t>(dim_);
+  std::int64_t tag = 0;
+  std::int64_t dim = 0;
+  std::int64_t quantize = 0;
+  std::int64_t trained = 0;
+  std::int64_t was_degraded = 0;
+  if (!mio::read_i64(in, tag) || tag != kIvfStateTag) return false;
+  if (!mio::read_i64(in, dim) || dim != dim_) return false;
+  if (!mio::read_i64(in, quantize) ||
+      (quantize != 0) != config_.quantize) {
+    return false;
+  }
+  if (!mio::read_i64(in, trained) || (trained != 0 && trained != 1)) {
+    return false;
+  }
+  if (!mio::read_i64(in, was_degraded)) return false;
+
+  std::vector<float> centroids;
+  if (!mio::read_f32_vec(in, centroids)) return false;
+
+  const auto read_cell = [&](Cell& cell, bool quantized_cell) {
+    if (!mio::read_i64_vec(in, cell.ids) || !mio::read_i32_vec(in, cell.labels) ||
+        !mio::read_f32_vec(in, cell.features) ||
+        !mio::read_i8_vec(in, cell.codes) ||
+        !mio::read_f32_vec(in, cell.scales)) {
+      return false;
+    }
+    const std::size_t n = cell.ids.size();
+    if (cell.labels.size() != n || cell.features.size() != n * d) return false;
+    if (quantized_cell) {
+      if (cell.codes.size() != n * d || cell.scales.size() != n) return false;
+    } else if (!cell.codes.empty() || !cell.scales.empty()) {
+      return false;
+    }
+    return true;
+  };
+
+  // All-or-nothing: stage everything, validate, then commit.
+  Cell pending;
+  if (!read_cell(pending, /*quantized_cell=*/false)) return false;
+  std::int64_t cell_count = 0;
+  if (!mio::read_i64(in, cell_count) || cell_count < 0 ||
+      cell_count > (1 << 24)) {
+    return false;
+  }
+  if (trained != 0) {
+    if (centroids.size() != static_cast<std::size_t>(cell_count) * d) {
+      return false;
+    }
+  } else if (cell_count != 0 || !centroids.empty()) {
+    return false;
+  }
+  std::vector<Cell> cells(static_cast<std::size_t>(cell_count));
+  for (Cell& cell : cells) {
+    if (!read_cell(cell, config_.quantize)) return false;
+  }
+
+  // Rebuild loc_ and reject duplicate ids across cells + pending.
+  std::unordered_map<std::int64_t, Loc> loc;
+  for (std::size_t r = 0; r < pending.ids.size(); ++r) {
+    if (!loc.emplace(pending.ids[r], Loc{-1, r}).second) return false;
+  }
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    for (std::size_t r = 0; r < cells[c].ids.size(); ++r) {
+      if (!loc.emplace(cells[c].ids[r],
+                       Loc{static_cast<std::int32_t>(c), r})
+               .second) {
+        return false;
+      }
+    }
+  }
+
+  trained_ = trained != 0;
+  centroids_ = std::move(centroids);
+  pending_ = std::move(pending);
+  cells_ = std::move(cells);
+  loc_ = std::move(loc);
+  set_degraded(false);  // see header: hysteresis ladder re-enters, not load
+  return true;
 }
 
 std::unique_ptr<GalleryIndex> make_index(std::int64_t feature_dim,

@@ -57,12 +57,16 @@ class IvfIndex : public GalleryIndex {
 
   // Movable despite the atomic degraded_ flag (atomics delete the implicit
   // moves); moving is only sensible while no other thread queries the
-  // source, so a plain value transfer is enough.
+  // source, so a plain value transfer is enough. degraded_ deliberately does
+  // NOT transfer: it is the serve scheduler's live-load response for the
+  // *source* object, not index content — a clone/snapshot taken while
+  // degraded must answer with the configured nprobe and re-enter degraded
+  // mode only via the hysteresis ladder (same contract as load_state).
   IvfIndex(IvfIndex&& other) noexcept
       : dim_(other.dim_),
         config_(std::move(other.config_)),
         shards_(other.shards_),
-        degraded_(other.degraded_.load(std::memory_order_relaxed)),
+        degraded_(false),
         trained_(other.trained_),
         centroids_(std::move(other.centroids_)),
         pending_(std::move(other.pending_)),
@@ -106,6 +110,13 @@ class IvfIndex : public GalleryIndex {
   std::size_t cell_count() const noexcept { return cells_.size(); }
   std::size_t cell_size(std::size_t cell) const;
   const IndexConfig& config() const noexcept { return config_; }
+
+  // Full content snapshot: trained flag, centroids, pending buffer, every
+  // cell's rows + int8 codes/scales (loc_ is rebuilt on load). The degraded
+  // bit is written for observability but ignored on load — see the move
+  // constructor note.
+  void save_state(std::ostream& out) const override;
+  bool load_state(std::istream& in) override;
 
  private:
   // One coarse cell: parallel row arrays, exact float store always present,

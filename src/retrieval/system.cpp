@@ -10,6 +10,7 @@ namespace duo::retrieval {
 RetrievalSystem::RetrievalSystem(
     std::unique_ptr<models::FeatureExtractor> extractor, IndexConfig config)
     : extractor_(std::move(extractor)),
+      index_config_(config),
       index_(make_index(extractor_ ? extractor_->feature_dim() : 1, config)) {
   DUO_CHECK_MSG(extractor_ != nullptr, "RetrievalSystem: null extractor");
   extractor_->set_training(false);
@@ -106,6 +107,18 @@ std::vector<Neighbor> RetrievalSystem::retrieve_feature(const Tensor& feature,
   const bool parallel =
       index_->shard_count() > 1 && !compute_pool().in_worker_context();
   return index_->query(feature, m, parallel);
+}
+
+bool RetrievalSystem::load_gallery_index(const std::string& path) {
+  // Stage into a scratch index so a rejected file leaves the live one
+  // untouched, then sanity-check the restored entry count against the label
+  // bookkeeping this system already holds — the file fingerprint catches
+  // corruption, this catches "valid snapshot of the wrong gallery".
+  auto staged = make_index(extractor_->feature_dim(), index_config_);
+  if (!retrieval::load_index(*staged, path)) return false;
+  if (staged->size() != labels_.size()) return false;
+  index_ = std::move(staged);
+  return true;
 }
 
 int RetrievalSystem::label_of(std::int64_t gallery_id) const {

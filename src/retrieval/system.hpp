@@ -68,12 +68,25 @@ class RetrievalSystem {
   // returns whether the underlying index honors degraded mode.
   bool set_index_degraded(bool on) { return index_->set_degraded(on); }
   bool index_degraded() const noexcept { return index_->degraded(); }
+
+  // Durable gallery snapshots (fingerprint-validated atomic files — see
+  // retrieval::save_index / load_index). load_gallery_index stages the file
+  // into a scratch index built from this system's config, validates that the
+  // restored entry count matches the label bookkeeping (a snapshot of a
+  // *different* gallery is rejected with false, system untouched), then
+  // swaps it in. Not safe concurrently with queries — the serve layer calls
+  // these only while the server is stopped.
+  bool save_gallery_index(const std::string& path) const {
+    return retrieval::save_index(*index_, path);
+  }
+  bool load_gallery_index(const std::string& path);
   std::size_t gallery_size() const noexcept { return index_->size(); }
   int label_of(std::int64_t gallery_id) const;
   std::int64_t relevant_count(int label) const;
 
  private:
   std::unique_ptr<models::FeatureExtractor> extractor_;
+  IndexConfig index_config_;  // retained to stage load_gallery_index
   std::unique_ptr<GalleryIndex> index_;
   std::unordered_map<std::int64_t, int> labels_;
   std::unordered_map<int, std::int64_t> label_counts_;

@@ -65,6 +65,18 @@ void TokenBucket::set_rate(double rate_per_sec, double now_ms) {
   rate_ = validated_rate(rate_per_sec);
 }
 
+TokenBucketState TokenBucket::state() const noexcept {
+  return TokenBucketState{rate_, burst_, tokens_, last_ms_, primed_};
+}
+
+void TokenBucket::restore(const TokenBucketState& state) {
+  rate_ = validated_rate(state.rate);
+  burst_ = validated_burst(state.burst);
+  tokens_ = state.tokens;
+  last_ms_ = state.last_ms;
+  primed_ = state.primed;
+}
+
 RateLimiter::RateLimiter(double rate_per_sec, double burst)
     : rate_(validated_rate(rate_per_sec)), burst_(validated_burst(burst)) {}
 
@@ -92,6 +104,32 @@ double RateLimiter::rate() const {
 std::int64_t RateLimiter::clients_seen() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return static_cast<std::int64_t>(buckets_.size());
+}
+
+RateLimiter::State RateLimiter::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  State out;
+  out.rate = rate_;
+  out.burst = burst_;
+  out.buckets.reserve(buckets_.size());
+  for (const auto& [id, bucket] : buckets_) {
+    out.buckets.emplace_back(id, bucket.state());
+  }
+  std::sort(out.buckets.begin(), out.buckets.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+void RateLimiter::restore(const State& state) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rate_ = validated_rate(state.rate);
+  burst_ = validated_burst(state.burst);
+  buckets_.clear();
+  for (const auto& [id, bucket_state] : state.buckets) {
+    TokenBucket bucket(rate_, burst_);
+    bucket.restore(bucket_state);
+    buckets_.emplace(id, bucket);
+  }
 }
 
 namespace {

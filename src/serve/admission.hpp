@@ -29,6 +29,8 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "serve/clock.hpp"
 
@@ -42,6 +44,23 @@ enum class AdmissionPolicy {
   kShed,    // accept, evicting the queued request closest to its deadline
             // (least useful work; its future fails with ServeError{kShed}),
             // falling back to oldest-first among undeadlined requests
+};
+
+// The complete decision state of a TokenBucket, exposed so a server snapshot
+// can persist per-client rate-limit levels across a crash/restart: a client
+// that had drained its burst before the crash must not get a fresh burst
+// after recovery, or the billing trajectory would depend on crash timing.
+struct TokenBucketState {
+  double rate = 0.0;
+  double burst = 0.0;
+  double tokens = 0.0;
+  double last_ms = 0.0;
+  bool primed = false;
+
+  friend bool operator==(const TokenBucketState& a, const TokenBucketState& b) {
+    return a.rate == b.rate && a.burst == b.burst && a.tokens == b.tokens &&
+           a.last_ms == b.last_ms && a.primed == b.primed;
+  }
 };
 
 // Deterministic token bucket: `rate` tokens/sec refill up to `burst`.
@@ -71,6 +90,12 @@ class TokenBucket {
   double rate() const noexcept { return rate_; }
   double burst() const noexcept { return burst_; }
 
+  // Snapshot / restore the full decision state. A restored bucket makes
+  // exactly the decisions the snapshotted one would have made for the same
+  // subsequent (call, timestamp) sequence.
+  TokenBucketState state() const noexcept;
+  void restore(const TokenBucketState& state);
+
  private:
   double rate_;
   double burst_;
@@ -97,6 +122,21 @@ class RateLimiter {
 
   double rate() const;
   std::int64_t clients_seen() const;
+
+  // Per-client bucket states sorted by client id (deterministic order for
+  // serialization/fingerprinting), plus the configured rate/burst. restore()
+  // replaces every existing bucket with the snapshotted set.
+  struct State {
+    double rate = 0.0;
+    double burst = 0.0;
+    std::vector<std::pair<std::string, TokenBucketState>> buckets;
+
+    friend bool operator==(const State& a, const State& b) {
+      return a.rate == b.rate && a.burst == b.burst && a.buckets == b.buckets;
+    }
+  };
+  State snapshot() const;
+  void restore(const State& state);
 
  private:
   double rate_;

@@ -32,6 +32,10 @@ enum class ServeErrorCode {
   kUnavailable,     // client-side circuit breaker is open; nothing was sent
                     // to the victim (unbilled, not retryable — checkpoint
                     // and surface instead of burning the retry budget)
+  kConnectionLost,  // server crashed: the request was lost in flight (billed
+                    // — it was accepted) or arrived while the server is down
+                    // (unbilled). Retryable: reconnect and re-submit once
+                    // the server restarts.
 };
 
 class ServeError : public std::runtime_error {
@@ -63,7 +67,8 @@ class ServeError : public std::runtime_error {
            code_ == ServeErrorCode::kDropped ||
            code_ == ServeErrorCode::kThrottled ||
            code_ == ServeErrorCode::kExpired ||
-           code_ == ServeErrorCode::kShed;
+           code_ == ServeErrorCode::kShed ||
+           code_ == ServeErrorCode::kConnectionLost;
   }
 
   // Overload-family failures: the victim pushed back on load rather than
@@ -74,6 +79,16 @@ class ServeError : public std::runtime_error {
            code_ == ServeErrorCode::kThrottled ||
            code_ == ServeErrorCode::kExpired ||
            code_ == ServeErrorCode::kShed;
+  }
+
+  // Connection-lost failures are their own family, distinct from both the
+  // fault family (the breaker must not open: the server is *restarting*, not
+  // malfunctioning — tripping it would strand the client after recovery) and
+  // the overload family (the pacer must not contract: a crash says nothing
+  // about the victim's rate limit). The resilient client reconnects with
+  // backoff until the server returns.
+  bool connection_lost() const noexcept {
+    return code_ == ServeErrorCode::kConnectionLost;
   }
 
  private:

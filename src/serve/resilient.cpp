@@ -1,6 +1,7 @@
 #include "serve/resilient.hpp"
 
 #include <algorithm>
+#include <thread>
 
 #include "common/check.hpp"
 
@@ -28,6 +29,10 @@ ResilientHandle::ResilientHandle(AsyncBlackBoxHandle& inner,
                 "ResilientHandle: negative circuit_threshold");
   DUO_CHECK_MSG(policy_.circuit_cooldown_ms >= 0.0,
                 "ResilientHandle: negative circuit_cooldown_ms");
+  DUO_CHECK_MSG(policy_.reconnect_attempts >= 0,
+                "ResilientHandle: negative reconnect_attempts");
+  DUO_CHECK_MSG(policy_.reconnect_wait_ms >= 0.0,
+                "ResilientHandle: negative reconnect_wait_ms");
 }
 
 ResilientHandle::Gate ResilientHandle::circuit_gate() {
@@ -90,8 +95,9 @@ PendingRetrieval ResilientHandle::submit(video::Video v, std::size_t m) {
   return PendingRetrieval(*this, std::move(v), m, std::move(first.out), probe);
 }
 
-double ResilientHandle::classify_failure(
+ResilientHandle::FailureInfo ResilientHandle::classify_failure(
     std::future<metrics::RetrievalList>& future, bool was_probe) {
+  FailureInfo info;
   try {
     (void)future.get();
     DUO_CHECK_MSG(false, "ResilientHandle: classify_failure on a success");
@@ -102,14 +108,20 @@ double ResilientHandle::classify_failure(
       if (was_probe) release_probe();
       throw;
     }
+    if (e.connection_lost()) {
+      note_connection_lost(was_probe);
+      info.connection_lost = true;
+      return info;
+    }
     note_retryable(e.overload(), was_probe);
     if (pacer_ != nullptr && e.overload()) pacer_->on_overload(e.retry_after_ms());
-    return e.retry_after_ms();
+    info.retry_after_ms = e.retry_after_ms();
+    return info;
   } catch (const std::future_error&) {
     // Dropped response: promise abandoned server-side. Breaker-relevant.
     note_retryable(/*overload=*/false, was_probe);
   }
-  return 0.0;
+  return info;
 }
 
 metrics::RetrievalList ResilientHandle::await_with_retry(
@@ -117,15 +129,19 @@ metrics::RetrievalList ResilientHandle::await_with_retry(
     const video::Video& v, std::size_t m) {
   bool any_billed = accepted;
   int attempt = 1;
+  int lost_streak = 0;  // consecutive connection-lost failures
   double retry_after_ms = 0.0;
+  bool lost = false;
   if (!accepted) {
-    retry_after_ms = classify_failure(future, probe);  // throws if fatal
+    const FailureInfo info = classify_failure(future, probe);  // throws if fatal
+    retry_after_ms = info.retry_after_ms;
+    lost = info.connection_lost;
   }
   for (;;) {
     if (accepted) {
+      lost = false;
       if (future.wait_for(policy_.query_timeout) ==
           std::future_status::ready) {
-        bool retryable_failure = false;
         try {
           auto list = future.get();
           note_success(probe);
@@ -136,17 +152,22 @@ metrics::RetrievalList ResilientHandle::await_with_retry(
             if (probe) release_probe();
             throw;
           }
-          retryable_failure = true;
-          note_retryable(e.overload(), probe);
-          if (pacer_ != nullptr && e.overload()) {
-            pacer_->on_overload(e.retry_after_ms());
+          if (e.connection_lost()) {
+            // The request died with the server (billed — it was accepted).
+            // Replay it through the reconnect path below.
+            note_connection_lost(probe);
+            lost = true;
+          } else {
+            note_retryable(e.overload(), probe);
+            if (pacer_ != nullptr && e.overload()) {
+              pacer_->on_overload(e.retry_after_ms());
+            }
+            retry_after_ms = e.retry_after_ms();
           }
-          retry_after_ms = e.retry_after_ms();
         } catch (const std::future_error&) {
-          retryable_failure = true;  // dropped response
+          // Dropped response: promise abandoned server-side.
           note_retryable(/*overload=*/false, probe);
         }
-        (void)retryable_failure;
       } else {
         // Answer overdue: declare it lost and resubmit. The abandoned future
         // may still be fulfilled later; that forward stays billed. A victim
@@ -155,21 +176,42 @@ metrics::RetrievalList ResilientHandle::await_with_retry(
         retry_after_ms = 0.0;
       }
     }
-    if (attempt >= policy_.max_attempts) {
-      throw ServeError(ServeErrorCode::kRetryExhausted, any_billed,
-                       "ResilientHandle: attempts exhausted for this query");
-    }
-    consume_budget(any_billed);
-    const auto backoff = next_backoff(attempt);
-    // A server retry_after hint is a floor on the wait, not a replacement
-    // for backoff: the client never retries sooner than the victim asked.
-    const double wait_ms = std::max(backoff.count(), retry_after_ms);
-    if (wait_ms > 0.0) clock_->sleep_ms(wait_ms);
-    retry_after_ms = 0.0;
-    ++attempt;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++retries_;
+    if (lost) {
+      // Reconnect path: the victim crashed — ride out the downtime without
+      // spending attempts or budget (the crash is not this query's fault),
+      // bounded by its own allowance so a server that never comes back
+      // still fails closed. The wait is REAL wall time: the restart runs in
+      // real time on another thread, and under a VirtualClock a clocked
+      // sleep would complete instantly and burn the allowance dry before
+      // the server is back.
+      if (++lost_streak > policy_.reconnect_attempts) {
+        throw ServeError(ServeErrorCode::kRetryExhausted, any_billed,
+                         "ResilientHandle: reconnect attempts exhausted — "
+                         "the server never came back");
+      }
+      if (policy_.reconnect_wait_ms > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            policy_.reconnect_wait_ms));
+      }
+      retry_after_ms = 0.0;
+    } else {
+      lost_streak = 0;
+      if (attempt >= policy_.max_attempts) {
+        throw ServeError(ServeErrorCode::kRetryExhausted, any_billed,
+                         "ResilientHandle: attempts exhausted for this query");
+      }
+      consume_budget(any_billed);
+      const auto backoff = next_backoff(attempt);
+      // A server retry_after hint is a floor on the wait, not a replacement
+      // for backoff: the client never retries sooner than the victim asked.
+      const double wait_ms = std::max(backoff.count(), retry_after_ms);
+      if (wait_ms > 0.0) clock_->sleep_ms(wait_ms);
+      retry_after_ms = 0.0;
+      ++attempt;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++retries_;
+      }
     }
     GuardedSubmit retry = guarded_submit(v, m);
     accepted = retry.out.accepted;
@@ -177,7 +219,9 @@ metrics::RetrievalList ResilientHandle::await_with_retry(
     any_billed = any_billed || accepted;
     future = std::move(retry.out.future);
     if (!accepted) {
-      retry_after_ms = classify_failure(future, probe);
+      const FailureInfo info = classify_failure(future, probe);
+      retry_after_ms = info.retry_after_ms;
+      lost = info.connection_lost;
       probe = false;  // the failed probe already released its slot
     }
   }
@@ -217,6 +261,19 @@ void ResilientHandle::note_retryable(bool overload, bool was_probe) {
     if (++consecutive_failures_ >= policy_.circuit_threshold) {
       open_circuit_locked();
     }
+  }
+}
+
+void ResilientHandle::note_connection_lost(bool was_probe) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++faults_seen_;
+  ++connection_losses_;
+  // Never advances the breaker: a crash heals via restart, and an open
+  // circuit would abort the whole attack with kUnavailable. A half-open
+  // probe just releases its slot (like overload pushback) so the next
+  // attempt can re-probe.
+  if (was_probe && circuit_ == CircuitState::kHalfOpen) {
+    probe_in_flight_ = false;
   }
 }
 
@@ -275,6 +332,11 @@ std::int64_t ResilientHandle::faults_seen() const {
 std::int64_t ResilientHandle::overloads_seen() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return overloads_seen_;
+}
+
+std::int64_t ResilientHandle::connection_losses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return connection_losses_;
 }
 
 std::int64_t ResilientHandle::circuit_opens() const {

@@ -79,6 +79,22 @@ struct RetryPolicy {
   int circuit_threshold = 0;
   // Open → half-open probe delay, scaled by the same seeded jitter stream.
   double circuit_cooldown_ms = 100.0;
+  // Crash-reconnect policy. ServeError{kConnectionLost} means the victim
+  // process died (request lost in flight, or submitted while it is down) —
+  // a third failure family beside faults and overload: it does not advance
+  // the circuit breaker (the crash is expected to heal via restart, and an
+  // open circuit would abort the attack), does not signal the pacer, and
+  // does not consume per-query attempts or the retry budget. Instead the
+  // handle rides out the downtime: up to `reconnect_attempts` consecutive
+  // connection-lost failures per logical query (then kRetryExhausted), each
+  // waiting `reconnect_wait_ms` of REAL wall time before resubmitting. The
+  // real-time wait matters under a VirtualClock — the restart happens in
+  // real time on another thread, and virtual sleeps complete instantly, so
+  // a clocked wait would burn the whole reconnect allowance before the
+  // server is back (precedent: ServerConfig::batch_timeout_ms also waits
+  // real time). Defaults cover ~2 s of downtime.
+  int reconnect_attempts = 8000;
+  double reconnect_wait_ms = 0.25;
 };
 
 enum class CircuitState { kClosed, kOpen, kHalfOpen };
@@ -161,6 +177,10 @@ class ResilientHandle {
   // Overload-family failures (throttle / reject / shed / expiry) — a subset
   // of faults_seen that never feeds the circuit breaker.
   std::int64_t overloads_seen() const;
+  // Connection-lost failures survived (crash casualties + submits bounced
+  // off a down server) — a subset of faults_seen; each one triggered a
+  // reconnect resubmission. These do not count as retries().
+  std::int64_t connection_losses() const;
   // Circuit breaker observability.
   std::int64_t circuit_opens() const;
   std::int64_t fast_failures() const;  // submissions refused while open
@@ -191,16 +211,27 @@ class ResilientHandle {
       std::future<metrics::RetrievalList> future, bool accepted, bool probe,
       const video::Video& v, std::size_t m);
 
-  // Classifies the error in a ready future: returns the server's
-  // retry_after hint (0 if none) when the failure is retryable (counting
-  // it), rethrows otherwise.
-  double classify_failure(std::future<metrics::RetrievalList>& future,
-                          bool was_probe);
+  // Classification of a retryable failure: the server's retry_after hint
+  // (0 if none) and whether it was a connection loss (crash family — takes
+  // the reconnect path instead of the attempt-counted retry path).
+  struct FailureInfo {
+    double retry_after_ms = 0.0;
+    bool connection_lost = false;
+  };
+
+  // Classifies the error in a ready future: returns the FailureInfo when
+  // the failure is retryable (counting it), rethrows otherwise.
+  FailureInfo classify_failure(std::future<metrics::RetrievalList>& future,
+                               bool was_probe);
 
   // Records one retryable failure. `overload` failures release a probe
   // without reopening (the victim is up, just busy); breaker-relevant ones
   // advance the consecutive-failure count and can open the circuit.
   void note_retryable(bool overload, bool was_probe);
+  // Records one connection-lost failure: counted in faults_seen and
+  // connection_losses, never advances the breaker (a half-open probe just
+  // releases its slot, like overload pushback).
+  void note_connection_lost(bool was_probe);
   void note_success(bool was_probe);
   void release_probe();  // frees the half-open slot without counting a fault
   void open_circuit_locked();  // requires mutex_ held
@@ -218,6 +249,7 @@ class ResilientHandle {
   std::int64_t retries_ = 0;
   std::int64_t faults_seen_ = 0;
   std::int64_t overloads_seen_ = 0;
+  std::int64_t connection_losses_ = 0;
   std::int64_t budget_left_ = 0;  // ignored when policy_.retry_budget < 0
   // Circuit breaker state (all under mutex_).
   CircuitState circuit_ = CircuitState::kClosed;

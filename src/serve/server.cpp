@@ -136,10 +136,22 @@ bool RetrievalServer::enqueue(Request& req,
       }
     }
     if (stop_) {
+      // A crashed server is DOWN, not gone: fail with the retryable
+      // connection-lost error (unbilled — nothing was accepted) so resilient
+      // clients keep reconnecting through the downtime. Only a deliberate
+      // shutdown is terminal.
+      const bool crashed = crashed_.load(std::memory_order_relaxed);
       lock.unlock();
-      req.promise.set_exception(std::make_exception_ptr(
-          ServeError(ServeErrorCode::kShutdown, /*billed=*/false,
-                     "RetrievalServer: submit after shutdown")));
+      if (crashed) {
+        req.promise.set_exception(std::make_exception_ptr(
+            ServeError(ServeErrorCode::kConnectionLost, /*billed=*/false,
+                       "RetrievalServer: server crashed; reconnect and "
+                       "retry")));
+      } else {
+        req.promise.set_exception(std::make_exception_ptr(
+            ServeError(ServeErrorCode::kShutdown, /*billed=*/false,
+                       "RetrievalServer: submit after shutdown")));
+      }
       return false;
     }
     if (config_.admission == AdmissionPolicy::kReject &&
@@ -237,17 +249,218 @@ void RetrievalServer::shutdown() {
   }
   not_empty_.notify_all();
   not_full_.notify_all();
+  join_scheduler();
+}
+
+void RetrievalServer::join_scheduler() {
   // The join itself must happen exactly once, but every racer has to block
-  // until draining finishes — std::call_once gives both (concurrent callers
-  // wait for the active execution).
-  std::call_once(join_once_, [this] {
-    if (scheduler_.joinable()) scheduler_.join();
-  });
+  // until it finishes. Racers serialize on the mutex; whichever arrives
+  // first performs the join, late arrivals see an unjoinable thread and fall
+  // through. (The old std::call_once could never be re-armed, which restart()
+  // needs after relaunching the scheduler.)
+  std::lock_guard<std::mutex> lock(join_mutex_);
+  if (scheduler_.joinable()) scheduler_.join();
 }
 
 bool RetrievalServer::stopped() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stop_;
+}
+
+bool RetrievalServer::crashed() const {
+  return crashed_.load(std::memory_order_relaxed);
+}
+
+std::int64_t RetrievalServer::epoch() const noexcept {
+  return epoch_.load(std::memory_order_relaxed);
+}
+
+void RetrievalServer::fail_lost(std::vector<Request>& lost) {
+  if (lost.empty()) return;
+  {
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    for (const auto& r : lost) {
+      ++faults_injected_;
+      ++requests_lost_;
+      auto& c = client_slot(r.client_id);
+      ++c.faulted;
+      ++c.lost;
+    }
+  }
+  // Lost requests were accepted — the victim may already have spent (or been
+  // about to spend) backend work on them — so they stay billed, mirroring
+  // the shed/expired convention. kConnectionLost is retryable: the client
+  // re-submits after the restart.
+  const auto error = std::make_exception_ptr(
+      ServeError(ServeErrorCode::kConnectionLost, /*billed=*/true,
+                 "RetrievalServer: server crashed with the request in "
+                 "flight"));
+  for (auto& r : lost) r.promise.set_exception(error);
+  lost.clear();
+}
+
+void RetrievalServer::crash() {
+  std::vector<Request> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) return;  // already down (crashed or shut down)
+    stop_ = true;
+    crashed_.store(true, std::memory_order_release);
+    // NO draining — the queue dies with the process. Move it out so the
+    // scheduler wakes to an empty queue and exits immediately.
+    while (!queue_.empty()) {
+      orphans.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  join_scheduler();
+  // Requests the scheduler had in flight failed inside process_batch (it
+  // polls crashed_); the queued ones die here.
+  fail_lost(orphans);
+  std::lock_guard<std::mutex> slock(stats_mutex_);
+  ++crashes_;
+}
+
+ServerSnapshot RetrievalServer::snapshot() const {
+  if (!stopped()) {
+    throw std::logic_error(
+        "RetrievalServer::snapshot: requires a stopped server (a consistent "
+        "ledger cannot be read out from under a live scheduler)");
+  }
+  ServerSnapshot snap;
+  snap.epoch = epoch_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  snap.queries_served = queries_served_;
+  snap.batches = batches_;
+  snap.faults_injected = faults_injected_;
+  snap.requests_throttled = requests_throttled_;
+  snap.requests_rejected = requests_rejected_;
+  snap.requests_shed = requests_shed_;
+  snap.requests_expired = requests_expired_;
+  snap.requests_lost = requests_lost_;
+  snap.crashes = crashes_;
+  snap.batch_size_counts = batch_size_counts_;
+  snap.occupancy_deciles = occupancy_deciles_;
+  snap.retry_after_buckets = retry_after_buckets_;
+  snap.latency_reservoir = latency_reservoir_;
+  snap.latency_count = latency_count_;
+  snap.max_latency_ms = max_latency_ms_;
+  snap.reservoir_rng_state = reservoir_rng_.state();
+  snap.degrade_entries = degrade_entries_;
+  snap.degraded_accum_ms = degraded_accum_ms_;
+  snap.degraded_served = degraded_served_;
+  snap.clients.reserve(clients_.size());
+  for (const auto& [id, acc] : clients_) {  // std::map → sorted by id
+    ServerSnapshot::ClientSlice slice;
+    slice.id = id;
+    slice.served = acc.served;
+    slice.faulted = acc.faulted;
+    slice.throttled = acc.throttled;
+    slice.rejected = acc.rejected;
+    slice.shed = acc.shed;
+    slice.expired = acc.expired;
+    slice.lost = acc.lost;
+    slice.reservoir = acc.reservoir;
+    slice.latency_count = acc.latency_count;
+    slice.max_latency_ms = acc.max_latency_ms;
+    slice.rng_state = acc.rng.state();
+    snap.clients.push_back(std::move(slice));
+  }
+  if (limiter_ != nullptr) {
+    snap.has_limiter = true;
+    snap.limiter = limiter_->snapshot();
+  }
+  return snap;
+}
+
+void RetrievalServer::restart() { restart_internal(nullptr); }
+
+void RetrievalServer::restart(const ServerSnapshot& snap) {
+  restart_internal(&snap);
+}
+
+void RetrievalServer::restart_internal(const ServerSnapshot* snap) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!stop_) {
+      throw std::logic_error(
+          "RetrievalServer::restart: server is still running");
+    }
+  }
+  join_scheduler();  // the previous scheduler must be fully gone
+
+  if (snap == nullptr) {
+    // A new process with empty ledgers: billing reconciliation across the
+    // restart is exactly what this path does NOT give you — that is the
+    // snapshot overload's job.
+    reset_stats();
+  } else {
+    if (snap->batch_size_counts.size() != config_.max_batch + 1 ||
+        snap->occupancy_deciles.size() != 11 ||
+        snap->retry_after_buckets.size() != 12) {
+      throw std::logic_error(
+          "RetrievalServer::restart: snapshot does not match this server's "
+          "configuration");
+    }
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    queries_served_ = snap->queries_served;
+    batches_ = snap->batches;
+    faults_injected_ = snap->faults_injected;
+    requests_throttled_ = snap->requests_throttled;
+    requests_rejected_ = snap->requests_rejected;
+    requests_shed_ = snap->requests_shed;
+    requests_expired_ = snap->requests_expired;
+    requests_lost_ = snap->requests_lost;
+    crashes_ = snap->crashes;
+    batch_size_counts_ = snap->batch_size_counts;
+    occupancy_deciles_ = snap->occupancy_deciles;
+    retry_after_buckets_ = snap->retry_after_buckets;
+    latency_reservoir_ = snap->latency_reservoir;
+    latency_count_ = snap->latency_count;
+    max_latency_ms_ = snap->max_latency_ms;
+    reservoir_rng_ = Rng(snap->reservoir_rng_state);
+    degrade_entries_ = snap->degrade_entries;
+    degraded_accum_ms_ = snap->degraded_accum_ms;
+    degraded_served_ = snap->degraded_served;
+    degraded_stat_ = false;  // recovery restores the configured index mode
+    clients_.clear();
+    for (const auto& slice : snap->clients) {
+      ClientAccounting acc;
+      acc.served = slice.served;
+      acc.faulted = slice.faulted;
+      acc.throttled = slice.throttled;
+      acc.rejected = slice.rejected;
+      acc.shed = slice.shed;
+      acc.expired = slice.expired;
+      acc.lost = slice.lost;
+      acc.reservoir = slice.reservoir;
+      acc.latency_count = slice.latency_count;
+      acc.max_latency_ms = slice.max_latency_ms;
+      acc.rng = Rng(slice.rng_state);
+      clients_.emplace(slice.id, std::move(acc));
+    }
+    if (snap->has_limiter && limiter_ != nullptr) {
+      limiter_->restore(snap->limiter);
+    }
+  }
+
+  // The scheduler is not running, so its thread-private ladder state is safe
+  // to reset here; the index itself was already restored non-degraded by the
+  // exiting scheduler (or by a gallery snapshot load).
+  degraded_mode_ = false;
+  system_.set_index_degraded(false);
+
+  const std::int64_t base =
+      snap != nullptr ? snap->epoch : epoch_.load(std::memory_order_relaxed);
+  epoch_.store(base + 1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = false;
+    crashed_.store(false, std::memory_order_release);
+  }
+  scheduler_ = std::thread([this] { scheduler_loop(); });
 }
 
 void RetrievalServer::scheduler_loop() {
@@ -350,6 +563,12 @@ void RetrievalServer::update_degradation(std::size_t occupancy) {
 }
 
 void RetrievalServer::process_batch(std::vector<Request>& batch) {
+  // A crash kills in-flight work: a batch picked up after the crash flag
+  // went up dies as lost instead of being served by a "dead" process.
+  if (crashed_.load(std::memory_order_acquire)) {
+    fail_lost(batch);
+    return;
+  }
   // Fault decisions are drawn up front, one per request in arrival order, so
   // the injected schedule is a pure function of the injector seed and the
   // request sequence — independent of batching.
@@ -413,6 +632,13 @@ void RetrievalServer::process_batch(std::vector<Request>& batch) {
     });
   } else {
     for (const std::size_t i : needs_answer) answer_one(i);
+  }
+
+  // Last pre-response crash check: if the process "died" while the answers
+  // were being computed, none of them ever reached a client.
+  if (crashed_.load(std::memory_order_acquire)) {
+    fail_lost(batch);
+    return;
   }
 
   // Per-request outcome for client attribution: served carries its latency,
@@ -527,6 +753,7 @@ void RetrievalServer::record_latency(double ms) {
 
 ServerStats RetrievalServer::stats() const {
   ServerStats out;
+  out.server_epoch = epoch_.load(std::memory_order_relaxed);
   std::vector<double> latencies;
   std::map<std::string, std::vector<double>> client_latencies;
   const double now_ms = clock_->now_ms();  // clock read outside the lock
@@ -539,6 +766,8 @@ ServerStats RetrievalServer::stats() const {
     out.requests_rejected = requests_rejected_;
     out.requests_shed = requests_shed_;
     out.requests_expired = requests_expired_;
+    out.requests_lost = requests_lost_;
+    out.crashes = crashes_;
     out.batch_size_counts = batch_size_counts_;
     out.latency_count = latency_count_;
     out.latency_samples_retained =
@@ -563,6 +792,7 @@ ServerStats RetrievalServer::stats() const {
       cs.rejected = acc.rejected;
       cs.shed = acc.shed;
       cs.expired = acc.expired;
+      cs.lost = acc.lost;
       cs.latency_count = acc.latency_count;
       cs.max_latency_ms = acc.max_latency_ms;
       out.per_client.emplace(id, cs);
@@ -602,6 +832,8 @@ void RetrievalServer::reset_stats() {
   requests_rejected_ = 0;
   requests_shed_ = 0;
   requests_expired_ = 0;
+  requests_lost_ = 0;
+  crashes_ = 0;
   std::fill(batch_size_counts_.begin(), batch_size_counts_.end(), 0);
   std::fill(occupancy_deciles_.begin(), occupancy_deciles_.end(), 0);
   std::fill(retry_after_buckets_.begin(), retry_after_buckets_.end(), 0);

@@ -58,6 +58,7 @@
 // non-retryable ServeError. The backend work still happens, so every
 // injected fault is billed; see serve/fault_injection.hpp.
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -160,6 +161,10 @@ struct ClientStats {
   std::int64_t rejected = 0;
   std::int64_t shed = 0;
   std::int64_t expired = 0;
+  // Subset of `faulted`: accepted requests that died with the server in a
+  // crash (queued or in flight). Folding them into faulted keeps the ledger
+  // formula unchanged across crashes; `lost` preserves the breakdown.
+  std::int64_t lost = 0;
   std::int64_t latency_count = 0;
   double p50_latency_ms = 0.0;
   double p95_latency_ms = 0.0;
@@ -182,6 +187,15 @@ struct ServerStats {
   std::int64_t requests_rejected = 0;   // admission kReject turn-aways
   std::int64_t requests_shed = 0;       // evicted by admission kShed
   std::int64_t requests_expired = 0;    // deadline passed while queued
+  // Crash accounting. requests_lost counts accepted requests that died with
+  // the server (a subset of faults_injected, so the billing ledger
+  // `billed == served + faulted + expired + shed` holds verbatim across
+  // crashes); crashes counts crash() calls; server_epoch starts at 1 and
+  // increments on every restart — a client that saw epoch N+1 knows every
+  // request it had in flight during epoch N is gone.
+  std::int64_t requests_lost = 0;
+  std::int64_t crashes = 0;
+  std::int64_t server_epoch = 1;
   // batch_size_counts[s] = number of ticks that drained exactly s requests;
   // index 0 is unused, size() == max_batch + 1.
   std::vector<std::int64_t> batch_size_counts;
@@ -223,6 +237,75 @@ struct ServerStats {
                      static_cast<double>(batches);
   }
 };
+
+// Everything a RetrievalServer must persist for billing reconciliation to
+// hold across a crash/restart: the global counters and histograms, the
+// latency reservoirs (with their replacement-Rng states, so post-restart
+// retention decisions continue the pre-crash stream exactly), every
+// per-client ledger slice, the per-client token-bucket levels, and the
+// degradation accounting. Deliberately NOT included: queue contents (a crash
+// loses in-flight work — that is the point; the lost requests are already
+// terminally accounted as faulted+lost), the live degraded bit (recovery
+// restores the configured index mode; the hysteresis ladder re-enters on its
+// own), and the gallery index (snapshotted separately via
+// RetrievalSystem::save_gallery_index). Serialize with save_snapshot /
+// load_snapshot below.
+struct ServerSnapshot {
+  std::int64_t epoch = 1;
+
+  std::int64_t queries_served = 0;
+  std::int64_t batches = 0;
+  std::int64_t faults_injected = 0;
+  std::int64_t requests_throttled = 0;
+  std::int64_t requests_rejected = 0;
+  std::int64_t requests_shed = 0;
+  std::int64_t requests_expired = 0;
+  std::int64_t requests_lost = 0;
+  std::int64_t crashes = 0;
+  std::vector<std::int64_t> batch_size_counts;
+  std::vector<std::int64_t> occupancy_deciles;
+  std::vector<std::int64_t> retry_after_buckets;
+
+  std::vector<double> latency_reservoir;
+  std::int64_t latency_count = 0;
+  double max_latency_ms = 0.0;
+  std::uint64_t reservoir_rng_state = 0;
+
+  std::int64_t degrade_entries = 0;
+  double degraded_accum_ms = 0.0;
+  std::int64_t degraded_served = 0;
+
+  struct ClientSlice {
+    std::string id;
+    std::int64_t served = 0;
+    std::int64_t faulted = 0;
+    std::int64_t throttled = 0;
+    std::int64_t rejected = 0;
+    std::int64_t shed = 0;
+    std::int64_t expired = 0;
+    std::int64_t lost = 0;
+    std::vector<double> reservoir;
+    std::int64_t latency_count = 0;
+    double max_latency_ms = 0.0;
+    std::uint64_t rng_state = 0;
+
+    friend bool operator==(const ClientSlice&, const ClientSlice&) = default;
+  };
+  std::vector<ClientSlice> clients;  // sorted by id
+
+  bool has_limiter = false;
+  RateLimiter::State limiter;  // meaningful only when has_limiter
+
+  friend bool operator==(const ServerSnapshot&, const ServerSnapshot&) =
+      default;
+};
+
+// Durable snapshot files: magic + FNV-1a fingerprint over the payload,
+// committed via models::io::atomic_write — same corruption guarantees as
+// retrieval::save_index / load_index. load_snapshot leaves `snap` untouched
+// on a malformed, truncated, or fingerprint-mismatched file.
+bool save_snapshot(const ServerSnapshot& snap, const std::string& path);
+bool load_snapshot(ServerSnapshot& snap, const std::string& path);
 
 // Result of a bounded-deadline submission. When `accepted` is false the
 // request was never enqueued (queue stayed full past the deadline, admission
@@ -275,6 +358,38 @@ class RetrievalServer {
   void shutdown();
   bool stopped() const;
 
+  // --- crash / restart lifecycle -----------------------------------------
+  // Abrupt process-death simulation: NO draining. Every queued request and
+  // any batch the scheduler had in flight fails with a retryable
+  // ServeError{kConnectionLost, billed=true} (they were accepted, so they
+  // stay billed — counted as faulted+lost, keeping the ledger formula
+  // intact), the scheduler is joined, and subsequent submits fail with
+  // kConnectionLost (unbilled) instead of the terminal kShutdown, so
+  // resilient clients keep retrying through the downtime. Idempotent; a
+  // no-op on an already-stopped server.
+  void crash();
+
+  // Whether the server is down due to crash() (as opposed to shutdown()).
+  bool crashed() const;
+
+  // Complete accounting snapshot for durable recovery. Requires stopped()
+  // (throws std::logic_error otherwise): a consistent ledger cannot be read
+  // out from under a live scheduler.
+  ServerSnapshot snapshot() const;
+
+  // Bring a crashed (or shut-down) server back up on the same clock and the
+  // same RetrievalSystem, with server_epoch bumped. The snapshot overload
+  // restores every ledger, reservoir, and token-bucket level first — billing
+  // reconciliation then holds across the restart as if the crash never
+  // happened; the bare overload restarts with fresh accounting (epoch still
+  // increments). Degraded mode always restarts OFF — the hysteresis ladder
+  // re-enters under live load. Throws std::logic_error on a running server.
+  void restart();
+  void restart(const ServerSnapshot& snap);
+
+  // Monotone restart generation, starting at 1. Stamped into ServerStats.
+  std::int64_t epoch() const noexcept;
+
   // Consistent snapshot of the accounting counters. Percentiles come from a
   // bounded reservoir (see ServerStats); reset_stats restarts the reservoir.
   ServerStats stats() const;
@@ -317,6 +432,7 @@ class RetrievalServer {
     std::int64_t rejected = 0;
     std::int64_t shed = 0;
     std::int64_t expired = 0;
+    std::int64_t lost = 0;  // subset of faulted (crash casualties)
     std::vector<double> reservoir;
     std::int64_t latency_count = 0;
     double max_latency_ms = 0.0;
@@ -324,6 +440,16 @@ class RetrievalServer {
   };
 
   void start();
+  // Join the scheduler thread; serializes racing callers and is idempotent
+  // (late callers see an unjoinable thread). A mutex instead of the old
+  // std::once_flag because restart() must be able to relaunch the scheduler
+  // — a once_flag can never be re-armed.
+  void join_scheduler();
+  // Fail `lost` requests with ServeError{kConnectionLost, billed=true} and
+  // account them as faulted+lost, globally and per client.
+  void fail_lost(std::vector<Request>& lost);
+  // Shared restart path (snap == nullptr → fresh accounting).
+  void restart_internal(const ServerSnapshot* snap);
   // Shared enqueue path: nullptr deadline = wait forever. Returns false
   // (with the rejection ServeError set on the promise) when not enqueued.
   bool enqueue(Request& req, const std::chrono::milliseconds* deadline,
@@ -353,7 +479,12 @@ class RetrievalServer {
   std::condition_variable not_full_;
   std::deque<Request> queue_;
   bool stop_ = false;
-  std::once_flag join_once_;  // serializes the draining join across racers
+  // True while down due to crash() — distinguishes the retryable
+  // "reconnect later" submit failure from terminal kShutdown. Atomic so the
+  // scheduler can poll it mid-batch without taking mutex_.
+  std::atomic<bool> crashed_{false};
+  std::atomic<std::int64_t> epoch_{1};
+  std::mutex join_mutex_;  // serializes the scheduler join across racers
 
   mutable std::mutex stats_mutex_;
   std::int64_t queries_served_ = 0;
@@ -363,6 +494,8 @@ class RetrievalServer {
   std::int64_t requests_rejected_ = 0;
   std::int64_t requests_shed_ = 0;
   std::int64_t requests_expired_ = 0;
+  std::int64_t requests_lost_ = 0;
+  std::int64_t crashes_ = 0;
   std::vector<std::int64_t> batch_size_counts_;
   // Algorithm-R reservoir over latencies + exact running max and count.
   std::vector<double> latency_reservoir_;

@@ -174,6 +174,13 @@ CampaignManifest full_manifest() {
   m.circuit_threshold = 4;
   m.circuit_cooldown_ms = 55.5;
   m.checkpoint_dir = "ck/dir";
+  campaign::CrashEvent first_crash;
+  first_crash.at_ms = 40.0;
+  first_crash.restart_after_ms = 5.0;
+  campaign::CrashEvent second_crash;
+  second_crash.at_ms = 90.5;
+  second_crash.restart_after_ms = 2.25;
+  m.crashes = {first_crash, second_crash};
 
   SessionSpec b = benign_spec("reader-0", 5, 12, 3.5);
   b.ttl_ms = 250.0;
@@ -456,6 +463,80 @@ TEST(Campaign, KillAndResumeMatchesUninterrupted) {
         std::filesystem::exists(dir + "/" + spec.client_id + ".ck"))
         << spec.client_id;
   }
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Crash/restart acceptance campaign (ISSUE 10): sparse + duo + benign traffic
+// with two abrupt mid-run crash/restart cycles, snapshot round-tripped
+// through durable files, required to match the crash-free campaign bitwise
+// with the billing ledger reconciled globally and per client.
+// ---------------------------------------------------------------------------
+
+TEST(Campaign, CrashRestartCyclesMatchCrashFreeBitwise) {
+  auto& world = testing::TinyWorld::mutable_instance();
+  CampaignManifest m;
+  m.name = "crashy";
+  m.seed = 88;
+  harden_policies(m);
+  m.client_rate = 500.0;  // token-bucket levels must survive the restarts
+  m.client_burst = 2.0;
+  m.sessions = {
+      sparse_spec("attacker-0", 311, 6, 0, 4),
+      duo_spec("attacker-1", 312, 5, 1, 2, 6),
+      // Think-time readers keep the campaign clock moving so the crash
+      // schedule is reached while the attack sessions are still in flight.
+      benign_spec("reader-0", 411, 10, 3.0),
+      benign_spec("reader-1", 412, 10, 2.0),
+  };
+
+  CampaignOutcome reference =
+      CampaignRunner(*world.victim, roster(), m, world.surrogate.get()).run();
+  ASSERT_TRUE(reference.all_completed());
+  EXPECT_TRUE(reference.ledger_ok);
+  EXPECT_EQ(reference.crashes_survived, 0);
+  EXPECT_EQ(reference.server.server_epoch, 1);
+
+  const std::string dir = scratch_dir("crashy");
+  CampaignManifest crashy = m;
+  crashy.checkpoint_dir = dir;
+  campaign::CrashEvent first;
+  first.at_ms = 2.0;
+  first.restart_after_ms = 1.0;
+  campaign::CrashEvent second;
+  second.at_ms = 5.0;
+  second.restart_after_ms = 1.0;
+  crashy.crashes = {first, second};
+
+  CampaignOutcome crashed =
+      CampaignRunner(*world.victim, roster(), crashy, world.surrogate.get())
+          .run();
+  EXPECT_TRUE(crashed.all_completed());
+  EXPECT_EQ(crashed.crashes_survived, 2);
+  EXPECT_EQ(crashed.server.crashes, 2);
+  EXPECT_EQ(crashed.server.server_epoch, 3);
+  // The ledger reconciles across both restarts — client vs server and per
+  // client vs global, with crash casualties folded in as faulted+lost.
+  EXPECT_TRUE(crashed.ledger_ok);
+  EXPECT_EQ(crashed.requests_lost, crashed.server.requests_lost);
+  // Every billed crash casualty was replayed by its session's reconnect
+  // policy (replays also count unbilled bounces off the down server).
+  EXPECT_GE(crashed.queries_replayed, crashed.requests_lost);
+
+  // Tentpole acceptance: attack outcomes are bitwise identical to the
+  // crash-free campaign — crash timing perturbs only billing schedules.
+  expect_same_outcomes(reference, crashed, "crash/restart");
+
+  // The chaos schedule round-tripped the accounting snapshot and the gallery
+  // index through durable files in checkpoint_dir.
+  EXPECT_TRUE(std::filesystem::exists(dir + "/server.snap"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/gallery.idx"));
+
+  // The report surfaces the crash line.
+  std::ostringstream report;
+  campaign::print_report(report, crashed);
+  EXPECT_NE(report.str().find("crashes: survived=2"), std::string::npos)
+      << report.str();
   std::filesystem::remove_all(dir);
 }
 

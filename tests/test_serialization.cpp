@@ -4,6 +4,7 @@
 #include <fstream>
 #include <limits>
 #include <sstream>
+#include <stdexcept>
 
 #include "attack/checkpoint.hpp"
 #include "models/feature_extractor.hpp"
@@ -221,6 +222,42 @@ TEST(SerializationIo, AtomicWriteCommitsOrLeavesNothing) {
   std::uint64_t value = 0;
   ASSERT_TRUE(io::read_u64(check, value));
   EXPECT_EQ(value, 42u);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationIo, AtomicWriteShortWriteNeverReplacesGoodCheckpoint) {
+  const std::string path = "/tmp/duo_test_atomic_short.bin";
+  const std::string tmp = path + ".tmp";
+  std::remove(path.c_str());
+  std::remove(tmp.c_str());
+
+  ASSERT_TRUE(
+      io::atomic_write(path, [](std::ostream& out) { io::write_u64(out, 7); }));
+
+  // Short write: a writer that emits partial data and then hits a device
+  // failure must leave the previously committed file byte-identical, with no
+  // staging residue — the crash-mid-save scenario durable recovery leans on.
+  EXPECT_FALSE(io::atomic_write(path, [](std::ostream& out) {
+    io::write_u64(out, 999);  // partial payload reaches the staging file
+    out.setstate(std::ios::badbit);  // then the write "fails" mid-stream
+  }));
+  EXPECT_FALSE(std::ifstream(tmp).good());
+
+  // A throwing writer propagates the exception and also leaves the committed
+  // file untouched.
+  EXPECT_THROW(io::atomic_write(path,
+                                [](std::ostream& out) {
+                                  io::write_u64(out, 999);
+                                  throw std::runtime_error("disk on fire");
+                                }),
+               std::runtime_error);
+  EXPECT_FALSE(std::ifstream(tmp).good());
+
+  std::ifstream check(path, std::ios::binary);
+  std::uint64_t value = 0;
+  ASSERT_TRUE(io::read_u64(check, value));
+  EXPECT_EQ(value, 7u);
+  EXPECT_FALSE(io::read_u64(check, value));  // exactly one record, no tail
   std::remove(path.c_str());
 }
 
